@@ -1,0 +1,3 @@
+module hyrisenv
+
+go 1.22

@@ -1,0 +1,339 @@
+// Package hyrisenv is a Go reproduction of Hyrise-NV, the NVM-resident
+// in-memory database storage engine of Schwalb et al., "Leveraging
+// non-volatile memory for instant restarts of in-memory database
+// systems" (ICDE 2016).
+//
+// The engine is a dictionary-compressed main/delta column store with
+// insert-only MVCC transactions and three durability modes:
+//
+//   - Volatile — no durability; the DRAM reference point.
+//   - LogBased — write-ahead logging + binary checkpoints on a modelled
+//     disk; restart replays the log and rebuilds indexes (time grows
+//     with data size — the paper measures ~53 s for 92.2 GB).
+//   - NVM — the paper's contribution: all table, MVCC and index
+//     structures live on (simulated) byte-addressable non-volatile
+//     memory and are updated transactionally consistently, so restart
+//     is near-instant and independent of data size.
+//
+// Quickstart:
+//
+//	db, err := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.NVM, Dir: "data"})
+//	...
+//	tbl, err := db.CreateTable("orders",
+//		[]hyrisenv.Column{
+//			{Name: "id", Type: hyrisenv.Int64},
+//			{Name: "customer", Type: hyrisenv.String},
+//		}, "id")
+//	tx := db.Begin()
+//	tx.Insert(tbl, hyrisenv.Int(1), hyrisenv.Str("alice"))
+//	err = tx.Commit()
+package hyrisenv
+
+import (
+	"fmt"
+	"time"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/disk"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Mode selects the durability architecture.
+type Mode int
+
+// Durability modes.
+const (
+	// Volatile keeps everything in DRAM with no durability.
+	Volatile Mode = iota
+	// LogBased uses write-ahead logging and binary checkpoints — the
+	// conventional recovery architecture.
+	LogBased
+	// NVM keeps all data structures on simulated non-volatile memory —
+	// the Hyrise-NV architecture with instant restarts.
+	NVM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Volatile:
+		return "volatile"
+	case LogBased:
+		return "log-based"
+	case NVM:
+		return "nvm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+func (m Mode) txnMode() txn.Mode {
+	switch m {
+	case LogBased:
+		return txn.ModeLog
+	case NVM:
+		return txn.ModeNVM
+	default:
+		return txn.ModeNone
+	}
+}
+
+// Type is a column type.
+type Type = storage.ColType
+
+// Column types.
+const (
+	Int64   = storage.TypeInt64
+	Float64 = storage.TypeFloat64
+	String  = storage.TypeString
+)
+
+// Value is a cell value; construct with Int, Float and Str.
+type Value = storage.Value
+
+// Int returns an int64 value.
+func Int(v int64) Value { return storage.Int(v) }
+
+// Float returns a float64 value.
+func Float(v float64) Value { return storage.Float(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return storage.Str(v) }
+
+// Column defines one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// DiskModel shapes the simulated log/checkpoint device (LogBased mode).
+type DiskModel = disk.Model
+
+// NVMLatency configures the emulated NVM latencies (NVM mode).
+type NVMLatency = nvm.LatencyModel
+
+// Config configures Open.
+type Config struct {
+	// Mode selects the durability architecture.
+	Mode Mode
+	// Dir is the data directory (required except in Volatile mode).
+	Dir string
+	// NVMHeapSize sizes the simulated NVM device on first creation
+	// (NVM mode; default 1 GiB).
+	NVMHeapSize uint64
+	// NVMLatency injects emulated NVM write/fence/read latencies.
+	NVMLatency NVMLatency
+	// DiskModel shapes the log device; disk.SSD2016 approximates the
+	// paper's hardware era. Zero = raw file speed.
+	DiskModel DiskModel
+	// MergeThresholdRows, when non-zero, lets Maintain auto-merge tables
+	// whose delta has grown past this many rows.
+	MergeThresholdRows uint64
+	// CheckpointLogBytes, when non-zero, lets Maintain rotate the log
+	// once the segment exceeds this size (LogBased mode).
+	CheckpointLogBytes uint64
+	// HashDictIndex uses an O(1) persistent hash map instead of the
+	// ordered skip list for NVM delta dictionary indexes (NVM mode).
+	HashDictIndex bool
+	// CompressCheckpoints flate-compresses binary checkpoints (LogBased
+	// mode) — smaller checkpoint I/O at some CPU cost.
+	CompressCheckpoints bool
+}
+
+// RecoveryStats describes what the last Open had to do to reach a
+// queryable state — the quantity the paper's headline experiment
+// compares across architectures.
+type RecoveryStats struct {
+	Mode           Mode
+	Total          time.Duration
+	TablesOpened   int
+	CheckpointLoad time.Duration // LogBased: reading the binary checkpoint
+	LogReplay      time.Duration // LogBased: redoing committed transactions
+	IndexRebuild   time.Duration // LogBased: reconstructing index structures
+	ReplayRecords  int
+	// NVM mode: the in-flight transaction fixup (the only data-dependent
+	// restart work).
+	InFlightRolledBack int
+	EntriesUndone      int
+}
+
+// DB is an open database.
+type DB struct {
+	eng  *core.Engine
+	mode Mode
+}
+
+// Table is a handle to a table.
+type Table struct {
+	t *storage.Table
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.t.Name }
+
+// Rows returns the total physical row count (including dead versions).
+func (t *Table) Rows() uint64 { return t.t.Rows() }
+
+// MainRows returns the number of rows in the read-optimized main
+// partition.
+func (t *Table) MainRows() uint64 { return t.t.MainRows() }
+
+// DeltaRows returns the number of rows in the write-optimized delta.
+func (t *Table) DeltaRows() uint64 { return t.t.DeltaRows() }
+
+// Value reads column col of physical row ID row (no visibility check —
+// use Tx query methods for transactional reads).
+func (t *Table) Value(col int, row uint64) Value { return t.t.Value(col, row) }
+
+// Internal exposes the storage-layer table to the sibling benchmark and
+// example code inside this module.
+func (t *Table) Internal() *storage.Table { return t.t }
+
+// Open creates or re-opens a database.
+func Open(cfg Config) (*DB, error) {
+	eng, err := core.Open(core.Config{
+		Mode:                cfg.Mode.txnMode(),
+		Dir:                 cfg.Dir,
+		NVMHeapSize:         cfg.NVMHeapSize,
+		NVMLatency:          cfg.NVMLatency,
+		DiskModel:           cfg.DiskModel,
+		MergeThresholdRows:  cfg.MergeThresholdRows,
+		CheckpointLogBytes:  cfg.CheckpointLogBytes,
+		HashDictIndex:       cfg.HashDictIndex,
+		CompressCheckpoints: cfg.CompressCheckpoints,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng, mode: cfg.Mode}, nil
+}
+
+// Close releases resources. Committed data is already durable in every
+// mode; Close never writes.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Mode returns the durability mode.
+func (db *DB) Mode() Mode { return db.mode }
+
+// CreateTable creates a table. indexed names columns to maintain
+// secondary indexes on.
+func (db *DB) CreateTable(name string, cols []Column, indexed ...string) (*Table, error) {
+	defs := make([]storage.ColumnDef, len(cols))
+	for i, c := range cols {
+		defs[i] = storage.ColumnDef{Name: c.Name, Type: c.Type}
+	}
+	sch, err := storage.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.eng.CreateTable(name, sch, indexed...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, err := db.eng.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// Tables lists all tables.
+func (db *DB) Tables() []*Table {
+	ts := db.eng.Tables()
+	out := make([]*Table, len(ts))
+	for i, t := range ts {
+		out[i] = &Table{t: t}
+	}
+	return out
+}
+
+// Merge compacts the named table's delta partition into a new main
+// partition (dropping dead row versions). The table must be quiescent.
+func (db *DB) Merge(name string) error {
+	_, err := db.eng.Merge(name)
+	return err
+}
+
+// Checkpoint writes a binary checkpoint and rotates the log (LogBased
+// mode; a no-op under NVM where data is always durable).
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RecoveryStats reports the cost of the last Open.
+func (db *DB) RecoveryStats() RecoveryStats {
+	rs := db.eng.RecoveryStats()
+	return RecoveryStats{
+		Mode:               db.mode,
+		Total:              rs.Total,
+		TablesOpened:       rs.TablesOpened,
+		CheckpointLoad:     rs.CheckpointLoad,
+		LogReplay:          rs.LogReplay,
+		IndexRebuild:       rs.IndexRebuild,
+		ReplayRecords:      rs.ReplayRecords,
+		InFlightRolledBack: rs.NVM.RolledBack,
+		EntriesUndone:      rs.NVM.EntriesUndone,
+	}
+}
+
+// NVMStats reports persistence-primitive counters of the simulated NVM
+// device (NVM mode; zero value otherwise).
+type NVMStats struct {
+	Flushes   uint64
+	Fences    uint64
+	BytesUsed uint64
+}
+
+// NVMStats returns the NVM device counters.
+func (db *DB) NVMStats() NVMStats {
+	h := db.eng.Heap()
+	if h == nil {
+		return NVMStats{}
+	}
+	s := h.Stats()
+	return NVMStats{Flushes: s.Flushes, Fences: s.Fences, BytesUsed: s.BytesUsed}
+}
+
+// ResetNVMStats zeroes the NVM counters (for measurement windows).
+func (db *DB) ResetNVMStats() {
+	if h := db.eng.Heap(); h != nil {
+		h.ResetStats()
+	}
+}
+
+// Maintain runs due background maintenance synchronously: auto-merges
+// (Config.MergeThresholdRows) and log-rotation checkpoints
+// (Config.CheckpointLogBytes).
+func (db *DB) Maintain() error { return db.eng.Maintain() }
+
+// Check validates structural invariants of every table (vector
+// alignment, dictionary order, MVCC stamp sanity, index agreement) and
+// returns an error describing the first violation found.
+func (db *DB) Check() error {
+	_, err := db.eng.Check()
+	return err
+}
+
+// Scavenge reclaims unreachable NVM blocks (superseded merge partitions,
+// allocations orphaned by crashes). NVM mode only; the caller must
+// ensure no transactions are active.
+func (db *DB) Scavenge() (reclaimed int, err error) { return db.eng.Scavenge() }
+
+// Engine exposes the internal engine to the sibling benchmark code.
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// SyncToDisk forces the simulated NVM mapping down to its backing file
+// via msync. The simulation is durable across process restarts without
+// it (the page cache persists); call this for durability against OS
+// crashes too. No-op outside NVM mode.
+func (db *DB) SyncToDisk() error {
+	if h := db.eng.Heap(); h != nil {
+		return h.Sync()
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/disk"
+)
+
+// tinyScale keeps the harness smoke tests fast.
+var tinyScale = Scale{
+	E1Sizes: []int{500, 1500},
+	E2Rows:  500, E2Ops: 600, Threads: 2,
+	E3Rows: 300, E3Ops: 300,
+	E7Sizes: []int{500, 1500},
+	E8Rows:  1500,
+}
+
+func TestReportPrint(t *testing.T) {
+	r := &Report{ID: "EX", Title: "demo", Headers: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddRow("333", "4")
+	r.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX — demo", "a    bb", "333", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtDur(2*time.Second) != "2.00s" {
+		t.Fatal(fmtDur(2 * time.Second))
+	}
+	if fmtDur(1500*time.Microsecond) != "1.50ms" {
+		t.Fatal(fmtDur(1500 * time.Microsecond))
+	}
+	if fmtDur(500*time.Nanosecond) != "500ns" {
+		t.Fatal(fmtDur(500 * time.Nanosecond))
+	}
+	if fmtF(2500000) != "2.50M" || fmtF(2500) != "2.5k" || fmtF(25) != "25.0" {
+		t.Fatal("fmtF")
+	}
+	if fmtBytes(3<<30) != "3.00GiB" || fmtBytes(3<<20) != "3.0MiB" || fmtBytes(3<<10) != "3.0KiB" || fmtBytes(3) != "3B" {
+		t.Fatal("fmtBytes")
+	}
+}
+
+// parse a duration cell back for shape assertions.
+func parseDur(t *testing.T, cell string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(strings.ReplaceAll(cell, "µs", "us"))
+	if err != nil {
+		t.Fatalf("parse %q: %v", cell, err)
+	}
+	return d
+}
+
+func TestE1ShapeHolds(t *testing.T) {
+	r, err := E1Recovery(t.TempDir(), tinyScale.E1Sizes, disk.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The NVM restart must beat the log restart at every size.
+	for _, row := range r.Rows {
+		logT := parseDur(t, row[2])
+		nvmT := parseDur(t, row[6])
+		if nvmT >= logT {
+			t.Fatalf("shape violated: nvm %v >= log %v (row %v)", nvmT, logT, row)
+		}
+	}
+	// The log restart must grow with size.
+	if parseDur(t, r.Rows[1][2]) <= parseDur(t, r.Rows[0][2]) {
+		t.Fatalf("log restart did not grow: %v then %v", r.Rows[0][2], r.Rows[1][2])
+	}
+}
+
+func TestE2Runs(t *testing.T) {
+	r, err := E2Throughput(t.TempDir(), tinyScale, disk.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 { // 3 modes x 3 mixes
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestE3MonotoneShape(t *testing.T) {
+	r, err := E3LatencySweep(t.TempDir(), tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Highest latency must be clearly slower than zero latency.
+	first, _ := strconv.ParseFloat(r.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(r.Rows[len(r.Rows)-1][3], 64)
+	if first != 1.0 || last >= 0.9 {
+		t.Fatalf("latency sweep shape: first=%.2f last=%.2f", first, last)
+	}
+}
+
+func TestE4Runs(t *testing.T) {
+	r, err := E4InsertBreakdown(t.TempDir(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestE5Runs(t *testing.T) {
+	r, err := E5LogBreakdown(t.TempDir(), tinyScale.E1Sizes, disk.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestE6ReadsAreFree(t *testing.T) {
+	r, err := E6BarrierCounts(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row[0] == "read txn" {
+			if row[1] != "0.0" || row[2] != "0.0" {
+				t.Fatalf("read txn pays barriers: %v", row)
+			}
+			return
+		}
+	}
+	t.Fatal("read txn row missing")
+}
+
+func TestE7Runs(t *testing.T) {
+	r, err := E7Merge(t.TempDir(), tinyScale.E7Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestE8Runs(t *testing.T) {
+	r, err := E8Scans(t.TempDir(), tinyScale.E8Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 { // 3 configs x 2 layouts
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestRecoveryModelMath(t *testing.T) {
+	logStats := core.RecoveryStats{
+		CheckpointLoad:  100 * time.Millisecond,
+		CheckpointBytes: 1000,
+		LogReplay:       50 * time.Millisecond,
+		ReplayRecords:   500,
+		IndexRebuild:    20 * time.Millisecond,
+	}
+	nvmStats := core.RecoveryStats{Total: 2 * time.Millisecond}
+	m := CalibrateRecoveryModel(logStats, nvmStats, 200)
+	if m.NVMConstant != 2*time.Millisecond {
+		t.Fatal("nvm constant")
+	}
+	// Predicting the calibration point reproduces it exactly.
+	pred := m.PredictLog(1000, 500, 200)
+	want := 170 * time.Millisecond
+	if pred < want-time.Millisecond || pred > want+time.Millisecond {
+		t.Fatalf("self-prediction = %v, want %v", pred, want)
+	}
+	// Doubling all inputs doubles the prediction (linearity).
+	if got := m.PredictLog(2000, 1000, 400); got < 2*want-time.Millisecond || got > 2*want+time.Millisecond {
+		t.Fatalf("2x prediction = %v", got)
+	}
+}

@@ -1,0 +1,472 @@
+// Package core implements the Hyrise-NV storage engine: a catalog of
+// main/delta column-store tables with MVCC transactions and one of three
+// durability modes.
+//
+//   - ModeNone — volatile only; the DRAM reference point for overhead
+//     measurements.
+//   - ModeLog — the conventional architecture the paper compares
+//     against: DRAM tables + write-ahead log + binary checkpoints;
+//     restart re-reads the checkpoint, replays the log and rebuilds all
+//     secondary index structures, taking time proportional to data size.
+//   - ModeNVM — the paper's contribution: tables, MVCC vectors and index
+//     structures live in (simulated) non-volatile memory and are updated
+//     transactionally consistently, so restart re-attaches the heap and
+//     fixes up only in-flight transactions: constant time, independent
+//     of data size.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hyrisenv/internal/disk"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+	"hyrisenv/internal/wal"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Mode selects the durability mechanism.
+	Mode txn.Mode
+	// Dir is the data directory (heap file or checkpoint/log files).
+	// Unused in ModeNone.
+	Dir string
+	// NVMHeapSize is the size of the simulated NVM device created on
+	// first open (ModeNVM). Default 1 GiB.
+	NVMHeapSize uint64
+	// NVMLatency injects emulated NVM latencies (ModeNVM).
+	NVMLatency nvm.LatencyModel
+	// DiskModel shapes the log/checkpoint device (ModeLog).
+	DiskModel disk.Model
+	// MergeThresholdRows, when non-zero, lets Maintain auto-merge tables
+	// whose delta has grown past this many rows.
+	MergeThresholdRows uint64
+	// CheckpointLogBytes, when non-zero, lets Maintain rotate the log
+	// with a fresh checkpoint once the segment exceeds this size
+	// (ModeLog).
+	CheckpointLogBytes uint64
+	// HashDictIndex selects the O(1) persistent hash map instead of the
+	// ordered skip list for NVM delta dictionary indexes.
+	HashDictIndex bool
+	// CompressCheckpoints flate-compresses binary checkpoints (ModeLog);
+	// worthwhile when the disk, not the CPU, bounds recovery.
+	CompressCheckpoints bool
+}
+
+// RecoveryStats records what (re)opening the engine had to do — the
+// quantity the paper's headline experiment compares across
+// architectures.
+type RecoveryStats struct {
+	Mode         txn.Mode
+	Total        time.Duration
+	TablesOpened int
+
+	// ModeLog components.
+	CheckpointLoad  time.Duration
+	LogReplay       time.Duration
+	IndexRebuild    time.Duration
+	ReplayRecords   int
+	CheckpointBytes uint64
+
+	// ModeNVM component: the in-flight transaction fixup.
+	NVM txn.NVMRecoveryStats
+}
+
+// Engine is an open database instance.
+type Engine struct {
+	cfg Config
+	mgr *txn.Manager
+
+	h  *nvm.Heap    // ModeNVM
+	lm *wal.Manager // ModeLog
+
+	mu          sync.RWMutex
+	tables      map[string]*storage.Table
+	byID        map[uint32]*storage.Table
+	nextTableID uint32
+
+	recovery RecoveryStats
+	closed   bool
+}
+
+// Errors returned by the engine.
+var (
+	ErrTableExists  = errors.New("core: table already exists")
+	ErrNoSuchTable  = errors.New("core: no such table")
+	ErrClosed       = errors.New("core: engine is closed")
+	ErrWrongMode    = errors.New("core: operation not supported in this durability mode")
+	ErrBadTableName = errors.New("core: invalid table name")
+	maxTableNameLen = 36 // heap root names are bounded
+)
+
+// Open creates or re-opens an engine according to cfg, running the
+// mode-specific recovery path and recording its cost.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.NVMHeapSize == 0 {
+		cfg.NVMHeapSize = 1 << 30
+	}
+	e := &Engine{
+		cfg:         cfg,
+		tables:      map[string]*storage.Table{},
+		byID:        map[uint32]*storage.Table{},
+		nextTableID: 1,
+	}
+	start := time.Now()
+	var err error
+	switch cfg.Mode {
+	case txn.ModeNone:
+		e.mgr = txn.NewManager(txn.ModeNone, 0)
+	case txn.ModeLog:
+		err = e.openLog()
+	case txn.ModeNVM:
+		err = e.openNVM()
+	default:
+		err = fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.recovery.Mode = cfg.Mode
+	e.recovery.Total = time.Since(start)
+	e.recovery.TablesOpened = len(e.tables)
+	return e, nil
+}
+
+func (e *Engine) openLog() error {
+	if e.cfg.Dir == "" {
+		return errors.New("core: ModeLog requires Config.Dir")
+	}
+	lm, err := wal.NewManager(e.cfg.Dir, e.cfg.DiskModel)
+	if err != nil {
+		return err
+	}
+	lm.SetCompression(e.cfg.CompressCheckpoints)
+	e.lm = lm
+	res, err := lm.Recover()
+	if err != nil {
+		return err
+	}
+	e.recovery.CheckpointLoad = res.Stats.CheckpointTime
+	e.recovery.LogReplay = res.Stats.ReplayTime
+	e.recovery.ReplayRecords = res.Stats.ReplayRecords
+	e.recovery.CheckpointBytes = res.Stats.CheckpointBytes
+	e.nextTableID = res.NextTableID
+
+	// Rebuild all volatile index structures — with the replay, the
+	// data-size-proportional part of a conventional restart.
+	idxStart := time.Now()
+	for id, t := range res.Tables {
+		if err := t.RebuildIndexes(); err != nil {
+			return err
+		}
+		e.byID[id] = t
+		e.tables[t.Name] = t
+	}
+	e.recovery.IndexRebuild = time.Since(idxStart)
+
+	e.mgr = txn.NewManager(txn.ModeLog, res.LastCID)
+	var w *wal.Writer
+	if res.HasState {
+		w, err = lm.OpenLogForAppend(res.LogSeq, res.ValidLogBytes)
+	} else {
+		w, _, err = lm.WriteCheckpoint(nil, 0, e.nextTableID)
+	}
+	if err != nil {
+		return err
+	}
+	e.mgr.SetLogWriter(w)
+	return nil
+}
+
+func (e *Engine) openNVM() error {
+	if e.cfg.Dir == "" {
+		return errors.New("core: ModeNVM requires Config.Dir")
+	}
+	if err := os.MkdirAll(e.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(e.cfg.Dir, "heap.nvm")
+	h, err := nvm.Open(path, nvm.WithLatency(e.cfg.NVMLatency))
+	if errors.Is(err, fs.ErrNotExist) {
+		h, err = nvm.Create(path, e.cfg.NVMHeapSize, nvm.WithLatency(e.cfg.NVMLatency))
+	}
+	if err != nil {
+		return err
+	}
+	e.h = h
+
+	// Attach every table — O(columns) each, independent of row count.
+	for _, rootName := range h.Roots() {
+		if !strings.HasPrefix(rootName, "tbl:") {
+			continue
+		}
+		root, _, _ := h.Root(rootName)
+		t, err := storage.OpenNVMTable(h, strings.TrimPrefix(rootName, "tbl:"), root)
+		if err != nil {
+			h.Close()
+			return err
+		}
+		e.tables[t.Name] = t
+		e.byID[t.ID] = t
+		if t.ID >= e.nextTableID {
+			e.nextTableID = t.ID + 1
+		}
+	}
+
+	// In-flight transaction fixup — O(in-flight writes).
+	mgr, stats, err := txn.OpenNVMManager(h, func(id uint32) *storage.Table {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.byID[id]
+	})
+	if err != nil {
+		h.Close()
+		return err
+	}
+	e.mgr = mgr
+	e.recovery.NVM = stats
+	return nil
+}
+
+// Mode returns the engine's durability mode.
+func (e *Engine) Mode() txn.Mode { return e.cfg.Mode }
+
+// RecoveryStats returns what the last Open had to do.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.recovery }
+
+// Heap exposes the NVM heap (ModeNVM; nil otherwise) for statistics.
+func (e *Engine) Heap() *nvm.Heap { return e.h }
+
+// Manager exposes the transaction manager.
+func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *txn.Txn { return e.mgr.Begin() }
+
+// CreateTable creates a table with the given schema; indexedCols names
+// the columns to maintain secondary indexes on.
+func (e *Engine) CreateTable(name string, schema storage.Schema, indexedCols ...string) (*storage.Table, error) {
+	if name == "" || len(name) > maxTableNameLen || strings.ContainsAny(name, ": ") {
+		return nil, fmt.Errorf("%w: %q", ErrBadTableName, name)
+	}
+	var mask uint64
+	for _, cn := range indexedCols {
+		i := schema.ColIndex(cn)
+		if i < 0 {
+			return nil, fmt.Errorf("core: indexed column %q not in schema", cn)
+		}
+		mask |= 1 << uint(i)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if _, exists := e.tables[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	id := e.nextTableID
+	var t *storage.Table
+	var err error
+	if e.cfg.Mode == txn.ModeNVM {
+		var opts []storage.TableOption
+		if e.cfg.HashDictIndex {
+			opts = append(opts, storage.WithHashDictIndex())
+		}
+		t, err = storage.CreateNVMTable(e.h, name, id, schema, mask, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.h.SetRoot("tbl:"+name, t.Root(), 0); err != nil {
+			return nil, err
+		}
+	} else {
+		t = storage.NewVolatileTable(name, id, schema, mask)
+		if err := e.mgr.LogDDL(id, name, schema, mask); err != nil {
+			return nil, err
+		}
+	}
+	e.nextTableID = id + 1
+	e.tables[name] = t
+	e.byID[id] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*storage.Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Tables lists all tables sorted by name.
+func (e *Engine) Tables() []*storage.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*storage.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Checkpoint quiesces commits and writes a binary checkpoint, rotating
+// the log segment (ModeLog only; no-op in ModeNVM where the data is
+// always durable, error in ModeNone).
+func (e *Engine) Checkpoint() error {
+	switch e.cfg.Mode {
+	case txn.ModeNVM:
+		return nil
+	case txn.ModeNone:
+		return ErrWrongMode
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tables := make([]*storage.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	var err error
+	e.mgr.BlockCommits(func() {
+		old := e.mgr.LogWriter()
+		if ferr := old.Flush(); ferr != nil {
+			err = ferr
+			return
+		}
+		var w *wal.Writer
+		w, _, err = e.lm.WriteCheckpoint(tables, e.mgr.LastCID(), e.nextTableID)
+		if err != nil {
+			return
+		}
+		e.mgr.SetLogWriter(w)
+		old.Close()
+	})
+	return err
+}
+
+// Merge compacts the named table's delta into a new main partition. The
+// table must be quiescent (no transaction owning rows).
+func (e *Engine) Merge(name string) (storage.MergeStats, error) {
+	t, err := e.Table(name)
+	if err != nil {
+		return storage.MergeStats{}, err
+	}
+	var stats storage.MergeStats
+	var mergeErr error
+	e.mgr.BlockCommits(func() {
+		stats, mergeErr = t.Merge(e.mgr.LastCID())
+	})
+	if mergeErr != nil {
+		return stats, mergeErr
+	}
+	// The log-based engine must checkpoint after a merge: the merge
+	// rewrote physical row IDs, invalidating log-replay addressing.
+	if e.cfg.Mode == txn.ModeLog {
+		return stats, e.Checkpoint()
+	}
+	return stats, nil
+}
+
+// Close shuts the engine down. In every mode all committed data is
+// already durable; Close only releases resources.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.cfg.Mode == txn.ModeLog {
+		if w := e.mgr.LogWriter(); w != nil {
+			if err := w.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if e.h != nil {
+		return e.h.Close()
+	}
+	return nil
+}
+
+// Scavenge reclaims NVM blocks that are no longer reachable from any
+// table or transaction context: storage superseded by merges and blocks
+// reserved by transactions that crashed between allocation and linking.
+// It is an offline maintenance operation (O(heap size)); the caller must
+// ensure no transactions are active. ModeNVM only.
+func (e *Engine) Scavenge() (reclaimed int, err error) {
+	if e.cfg.Mode != txn.ModeNVM {
+		return 0, ErrWrongMode
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mgr.BlockCommits(func() {
+		reclaimed = e.h.Scavenge(func(yield func(nvm.PPtr)) {
+			for _, t := range e.tables {
+				t.Blocks(yield)
+			}
+			e.mgr.Blocks(yield)
+		})
+	})
+	return reclaimed, nil
+}
+
+// CheckReport aggregates per-table consistency results.
+type CheckReport struct {
+	Tables map[string]storage.CheckReport
+}
+
+// Check runs the structural consistency checker over every table.
+func (e *Engine) Check() (CheckReport, error) {
+	rep := CheckReport{Tables: map[string]storage.CheckReport{}}
+	for _, t := range e.Tables() {
+		tr, err := t.Check()
+		if err != nil {
+			return rep, fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		rep.Tables[t.Name] = tr
+	}
+	return rep, nil
+}
+
+// Maintain runs due background maintenance synchronously:
+//
+//   - tables whose delta row count exceeds Config.MergeThresholdRows are
+//     merged (skipping tables that are currently busy);
+//   - in ModeLog, a checkpoint is taken when the log segment exceeds
+//     Config.CheckpointLogBytes.
+//
+// Both knobs default to "never" (zero).
+func (e *Engine) Maintain() error {
+	if e.cfg.MergeThresholdRows > 0 {
+		for _, t := range e.Tables() {
+			if t.DeltaRows() >= e.cfg.MergeThresholdRows {
+				if _, err := e.Merge(t.Name); err != nil && !errors.Is(err, storage.ErrMergeBusy) {
+					return err
+				}
+			}
+		}
+	}
+	if e.cfg.Mode == txn.ModeLog && e.cfg.CheckpointLogBytes > 0 {
+		if w := e.mgr.LogWriter(); w != nil && w.LSN() >= e.cfg.CheckpointLogBytes {
+			return e.Checkpoint()
+		}
+	}
+	return nil
+}

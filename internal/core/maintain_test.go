@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+func TestMaintainAutoMerges(t *testing.T) {
+	e, err := Open(Config{Mode: txn.ModeNone, MergeThresholdRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl, _ := e.CreateTable("orders", ordersSchema(t), "id")
+	insertOrders(t, e, tbl, 5)
+	if err := e.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MainRows() != 0 {
+		t.Fatal("merged below threshold")
+	}
+	insertOrders(t, e, tbl, 10)
+	if err := e.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MainRows() != 15 || tbl.DeltaRows() != 0 {
+		t.Fatalf("auto-merge did not run: main=%d delta=%d", tbl.MainRows(), tbl.DeltaRows())
+	}
+}
+
+func TestMaintainSkipsBusyTables(t *testing.T) {
+	e, err := Open(Config{Mode: txn.ModeNone, MergeThresholdRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl, _ := e.CreateTable("orders", ordersSchema(t), "id")
+	insertOrders(t, e, tbl, 3)
+	// An in-flight transaction holds a row: merge must be skipped, not
+	// fail Maintain.
+	tx := e.Begin()
+	tx.Insert(tbl, []storage.Value{storage.Int(99), storage.Str("x"), storage.Float(0)})
+	if err := e.Maintain(); err != nil {
+		t.Fatalf("Maintain on busy table: %v", err)
+	}
+	if tbl.MainRows() != 0 {
+		t.Fatal("merged a busy table")
+	}
+	tx.Abort()
+}
+
+func TestMaintainAutoCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Mode: txn.ModeLog, Dir: dir, CheckpointLogBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tbl, _ := e.CreateTable("orders", ordersSchema(t), "id")
+	insertOrders(t, e, tbl, 5)
+	if err := e.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint rotated the log: the fresh segment is empty.
+	if lsn := e.Manager().LogWriter().LSN(); lsn != 0 {
+		t.Fatalf("log not rotated: LSN=%d", lsn)
+	}
+}
+
+func TestEngineCheck(t *testing.T) {
+	for name, e := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			tbl, _ := e.CreateTable("orders", ordersSchema(t), "id", "customer")
+			insertOrders(t, e, tbl, 30)
+			e.Merge("orders")
+			insertOrders(t, e, tbl, 10)
+			// Delete a few to create dead rows.
+			tx := e.Begin()
+			var rows []uint64
+			tbl.ScanVisible(tx.SnapshotCID(), 0, func(r uint64) bool {
+				rows = append(rows, r)
+				return len(rows) < 3
+			})
+			for _, r := range rows {
+				if err := tx.Delete(tbl, r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			rep, err := e.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := rep.Tables["orders"]
+			if tr.VisibleRows != 37 { // 40 inserted, 3 deleted
+				t.Fatalf("check report: %+v", tr)
+			}
+			if tr.DeadRows != 3 {
+				t.Fatalf("DeadRows = %d", tr.DeadRows)
+			}
+			if tr.IndexedCols != 2 {
+				t.Fatalf("IndexedCols = %d", tr.IndexedCols)
+			}
+			if tr.MainRows != 30 || tr.DeltaRows != 10 {
+				t.Fatalf("partition rows: %+v", tr)
+			}
+		})
+	}
+}
+
+func TestCompressedCheckpointEngineRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Mode: txn.ModeLog, Dir: dir, CompressCheckpoints: true}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := e.CreateTable("orders", ordersSchema(t), "id")
+	insertOrders(t, e, tbl, 40)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insertOrders(t, e, tbl, 5)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	tbl2, _ := e2.Table("orders")
+	if got := countVisible(e2, tbl2); got != 45 {
+		t.Fatalf("visible = %d", got)
+	}
+	// A compressed checkpoint also recovers into a plain-config engine
+	// (the format is self-describing).
+	e2.Close()
+	e3, err := Open(Config{Mode: txn.ModeLog, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	tbl3, _ := e3.Table("orders")
+	if got := countVisible(e3, tbl3); got != 45 {
+		t.Fatalf("cross-config visible = %d", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package disk models the block device the log-based baseline persists
+// to. The paper compares Hyrise-NV against a conventional engine whose
+// recovery reads a checkpoint and replays a log from disk/SSD; to
+// reproduce the *shape* of that comparison without the authors' hardware,
+// the device wraps a file and charges a configurable bandwidth and
+// per-operation latency.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Model describes the simulated device characteristics. Zero values mean
+// "unlimited/free" (the raw file speed).
+type Model struct {
+	ReadBandwidth  int64         // bytes per second
+	WriteBandwidth int64         // bytes per second
+	OpLatency      time.Duration // charged once per read/write call
+	SyncLatency    time.Duration // charged per Sync (fsync analog)
+}
+
+// SSD2016 approximates the enterprise SSD class of the paper's era
+// (~500 MB/s sequential, ~50 µs access, ~100 µs flush).
+var SSD2016 = Model{
+	ReadBandwidth:  500 << 20,
+	WriteBandwidth: 450 << 20,
+	OpLatency:      50 * time.Microsecond,
+	SyncLatency:    100 * time.Microsecond,
+}
+
+// Stats counts device operations.
+type Stats struct {
+	BytesRead    uint64
+	BytesWritten uint64
+	Syncs        uint64
+}
+
+// Device is a file-backed simulated disk.
+type Device struct {
+	mu    sync.Mutex
+	f     *os.File
+	model Model
+	stats Stats
+	// debt accumulates fractional sleep time so that many small writes
+	// are charged as accurately as one large write.
+	readDebt  time.Duration
+	writeDebt time.Duration
+}
+
+// Open opens (creating if needed) a device file.
+func Open(path string, model Model) (*Device, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	return &Device{f: f, model: model}, nil
+}
+
+// Close closes the device file.
+func (d *Device) Close() error { return d.f.Close() }
+
+// Size returns the device file size.
+func (d *Device) Size() (int64, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Stats returns operation counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// chargeLocked sleeps to model bandwidth, batching sub-millisecond debts.
+func (d *Device) chargeLocked(n int, bw int64, debt *time.Duration) {
+	if d.model.OpLatency > 0 {
+		*debt += d.model.OpLatency
+	}
+	if bw > 0 {
+		*debt += time.Duration(int64(n) * int64(time.Second) / bw)
+	}
+	if *debt >= time.Millisecond {
+		sleep := *debt
+		*debt = 0
+		d.mu.Unlock()
+		time.Sleep(sleep)
+		d.mu.Lock()
+	}
+}
+
+// WriteAt writes b at offset off, charging the write model.
+func (d *Device) WriteAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.f.WriteAt(b, off)
+	d.stats.BytesWritten += uint64(n)
+	d.chargeLocked(n, d.model.WriteBandwidth, &d.writeDebt)
+	return n, err
+}
+
+// ReadAt reads into b at offset off, charging the read model.
+func (d *Device) ReadAt(b []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.f.ReadAt(b, off)
+	d.stats.BytesRead += uint64(n)
+	d.chargeLocked(n, d.model.ReadBandwidth, &d.readDebt)
+	return n, err
+}
+
+// Sync flushes the device (fsync), charging the sync latency.
+func (d *Device) Sync() error {
+	d.mu.Lock()
+	d.stats.Syncs++
+	lat := d.model.SyncLatency
+	d.mu.Unlock()
+	err := d.f.Sync()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return err
+}
+
+// Truncate resizes the device file.
+func (d *Device) Truncate(n int64) error { return d.f.Truncate(n) }
+
+// SequentialWriter returns an io.Writer that appends at off and charges
+// the write model — the checkpoint/log writer path.
+func (d *Device) SequentialWriter(off int64) *SeqWriter {
+	return &SeqWriter{d: d, off: off}
+}
+
+// SeqWriter is a sequential, offset-tracking writer over a Device.
+type SeqWriter struct {
+	d   *Device
+	off int64
+}
+
+// Write implements io.Writer.
+func (w *SeqWriter) Write(b []byte) (int, error) {
+	n, err := w.d.WriteAt(b, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// Offset returns the current write offset.
+func (w *SeqWriter) Offset() int64 { return w.off }
+
+// SequentialReader returns an io.Reader from off, charging the read model.
+func (d *Device) SequentialReader(off int64) *SeqReader {
+	return &SeqReader{d: d, off: off}
+}
+
+// SeqReader is a sequential reader over a Device.
+type SeqReader struct {
+	d   *Device
+	off int64
+}
+
+// Read implements io.Reader.
+func (r *SeqReader) Read(b []byte) (int, error) {
+	n, err := r.d.ReadAt(b, r.off)
+	r.off += int64(n)
+	return n, err
+}

@@ -1,0 +1,124 @@
+package disk
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openDev(t *testing.T, model Model) *Device {
+	t.Helper()
+	d, err := Open(filepath.Join(t.TempDir(), "dev"), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := openDev(t, Model{})
+	data := []byte("hello block device")
+	if _, err := d.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := d.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(data) {
+		t.Fatalf("read %q", buf)
+	}
+	st := d.Stats()
+	if st.BytesWritten != uint64(len(data)) || st.BytesRead != uint64(len(data)) || st.Syncs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSequentialWriterReader(t *testing.T) {
+	d := openDev(t, Model{})
+	w := d.SequentialWriter(0)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Write([]byte("chunk-")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Offset() != 60 {
+		t.Fatalf("offset = %d", w.Offset())
+	}
+	r := d.SequentialReader(0)
+	got, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	if sz, _ := d.Size(); sz != 60 {
+		t.Fatalf("size = %d", sz)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := openDev(t, Model{})
+	d.WriteAt(make([]byte, 1000), 0)
+	if err := d.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := d.Size(); sz != 100 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+}
+
+func TestBandwidthModelCharges(t *testing.T) {
+	// 1 MiB at 10 MiB/s should take ~100 ms; allow generous slack but
+	// require it to be clearly slower than unlimited.
+	slow := openDev(t, Model{WriteBandwidth: 10 << 20})
+	data := make([]byte, 1<<20)
+	start := time.Now()
+	if _, err := slow.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	slowT := time.Since(start)
+	if slowT < 50*time.Millisecond {
+		t.Fatalf("bandwidth model not charged: %v", slowT)
+	}
+
+	fast := openDev(t, Model{})
+	start = time.Now()
+	fast.WriteAt(data, 0)
+	if fastT := time.Since(start); fastT > slowT {
+		t.Fatalf("unlimited device slower than modelled one: %v vs %v", fastT, slowT)
+	}
+}
+
+func TestSyncLatency(t *testing.T) {
+	d := openDev(t, Model{SyncLatency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("sync latency not charged: %v", el)
+	}
+}
+
+func TestSmallWritesAccumulateDebt(t *testing.T) {
+	// Many small writes must be charged like one big write (debt
+	// accounting), within slack.
+	d := openDev(t, Model{WriteBandwidth: 5 << 20})
+	start := time.Now()
+	chunk := make([]byte, 4096)
+	for i := 0; i < 256; i++ { // 1 MiB total -> ~200ms at 5MiB/s
+		if _, err := d.WriteAt(chunk, int64(i*4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 100*time.Millisecond {
+		t.Fatalf("debt accounting lost time: %v", el)
+	}
+}

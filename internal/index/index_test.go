@@ -1,0 +1,219 @@
+package index
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"hyrisenv/internal/nvm"
+)
+
+func testHeap(t *testing.T) (*nvm.Heap, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.nvm")
+	h, err := nvm.Create(path, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h, path
+}
+
+// ids is a tiny attribute vector: rows -> value IDs.
+var testIDs = []uint64{2, 0, 1, 2, 2, 0}
+
+func idAt(r uint64) uint64 { return testIDs[r] }
+
+type gk interface {
+	Rows(id uint64, fn func(row uint64) bool)
+	RowsInIDRange(lo, hi uint64, fn func(row uint64) bool)
+}
+
+func groupKeys(t *testing.T) map[string]gk {
+	t.Helper()
+	h, _ := testHeap(t)
+	ng, err := BuildNVMGroupKey(h, uint64(len(testIDs)), 3, idAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]gk{
+		"dram": BuildGroupKey(uint64(len(testIDs)), 3, idAt),
+		"nvm":  ng,
+	}
+}
+
+func collect(g gk, id uint64) []uint64 {
+	var out []uint64
+	g.Rows(id, func(r uint64) bool { out = append(out, r); return true })
+	return out
+}
+
+func TestGroupKeyRows(t *testing.T) {
+	for name, g := range groupKeys(t) {
+		t.Run(name, func(t *testing.T) {
+			cases := map[uint64][]uint64{
+				0: {1, 5},
+				1: {2},
+				2: {0, 3, 4},
+			}
+			for id, want := range cases {
+				got := collect(g, id)
+				if len(got) != len(want) {
+					t.Fatalf("Rows(%d) = %v, want %v", id, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("Rows(%d) = %v, want %v", id, got, want)
+					}
+				}
+			}
+			// Out-of-range ID yields nothing.
+			if rows := collect(g, 99); rows != nil {
+				t.Fatalf("Rows(99) = %v", rows)
+			}
+			// Early stop.
+			var n int
+			g.Rows(2, func(uint64) bool { n++; return false })
+			if n != 1 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+func TestGroupKeyRange(t *testing.T) {
+	for name, g := range groupKeys(t) {
+		t.Run(name, func(t *testing.T) {
+			var rows []uint64
+			g.RowsInIDRange(0, 2, func(r uint64) bool { rows = append(rows, r); return true })
+			if len(rows) != 3 { // ids 0 and 1: rows 1,5,2
+				t.Fatalf("range rows = %v", rows)
+			}
+			rows = nil
+			g.RowsInIDRange(1, 1, func(r uint64) bool { rows = append(rows, r); return true })
+			if rows != nil {
+				t.Fatalf("empty range returned %v", rows)
+			}
+			// Early stop across IDs.
+			var n int
+			g.RowsInIDRange(0, 3, func(uint64) bool { n++; return n < 2 })
+			if n != 2 {
+				t.Fatalf("range early stop visited %d", n)
+			}
+		})
+	}
+}
+
+func TestGroupKeyEmpty(t *testing.T) {
+	g := BuildGroupKey(0, 0, nil)
+	if rows := collect(g, 0); rows != nil {
+		t.Fatalf("empty group key returned %v", rows)
+	}
+}
+
+func TestNVMGroupKeySurvivesReopen(t *testing.T) {
+	h, path := testHeap(t)
+	g, err := BuildNVMGroupKey(h, uint64(len(testIDs)), 3, idAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("gk", g.Root(), 0)
+	h.Close()
+	h2, err := nvm.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	root, _, _ := h2.Root("gk")
+	g2 := AttachNVMGroupKey(h2, root)
+	if got := collect(g2, 2); len(got) != 3 || got[0] != 0 {
+		t.Fatalf("after reopen Rows(2) = %v", got)
+	}
+}
+
+type di interface {
+	Insert(encKey []byte, row uint64) error
+	Lookup(encKey []byte, fn func(row uint64) bool)
+}
+
+func deltaIndexes(t *testing.T) map[string]di {
+	t.Helper()
+	h, _ := testHeap(t)
+	nd, err := NewNVMDeltaIndex(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]di{
+		"dram": NewVolatileDeltaIndex(),
+		"nvm":  nd,
+	}
+}
+
+func TestDeltaIndexInsertLookup(t *testing.T) {
+	for name, d := range deltaIndexes(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				if err := d.Insert([]byte(key), uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seen := map[uint64]bool{}
+			d.Lookup([]byte("k3"), func(r uint64) bool { seen[r] = true; return true })
+			if len(seen) != 10 {
+				t.Fatalf("lookup(k3) found %d rows", len(seen))
+			}
+			for r := range seen {
+				if r%5 != 3 {
+					t.Fatalf("row %d should not carry k3", r)
+				}
+			}
+			// Missing key.
+			var n int
+			d.Lookup([]byte("absent"), func(uint64) bool { n++; return true })
+			if n != 0 {
+				t.Fatal("lookup of absent key yielded rows")
+			}
+			// Early stop.
+			n = 0
+			d.Lookup([]byte("k3"), func(uint64) bool { n++; return false })
+			if n != 1 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+func TestNVMDeltaIndexSurvivesReopen(t *testing.T) {
+	h, path := testHeap(t)
+	d, err := NewNVMDeltaIndex(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 30; i++ {
+		d.Insert([]byte("x"), i)
+	}
+	h.SetRoot("di", d.Root(), 0)
+	h.Close()
+	h2, err := nvm.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	root, _, _ := h2.Root("di")
+	d2 := AttachNVMDeltaIndex(h2, root)
+	var n int
+	d2.Lookup([]byte("x"), func(uint64) bool { n++; return true })
+	if n != 30 {
+		t.Fatalf("after reopen lookup found %d", n)
+	}
+	// Writable after restart.
+	if err := d2.Insert([]byte("x"), 99); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	d2.Lookup([]byte("x"), func(uint64) bool { n++; return true })
+	if n != 31 {
+		t.Fatalf("post-restart insert lost: %d", n)
+	}
+}

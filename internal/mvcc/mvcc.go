@@ -1,0 +1,146 @@
+// Package mvcc implements the insert-only multi-version concurrency
+// control of Hyrise: every row carries a begin and an end commit ID (CID)
+// plus a transient transaction ID (TID) used as a row write-lock.
+//
+// A row is visible to a snapshot at CID s when begin <= s < end. Inserts
+// append rows with begin = Inf (invisible); updates insert a new version
+// and stamp the old row's end; both stamps are written at commit time with
+// the committing transaction's CID.
+//
+// On the NVM backend the begin/end vectors live in non-volatile memory and
+// are the *only* durable truth about transaction outcomes: a transaction
+// is durably committed exactly when its row stamps are persisted and the
+// global last-committed CID has been advanced past its CID (see package
+// txn for the commit protocol). The TID vector is always volatile — after
+// a restart no transaction owns any row, which is precisely correct.
+package mvcc
+
+import (
+	"hyrisenv/internal/vec"
+)
+
+// Inf is the CID meaning "never": rows with begin = Inf are uncommitted
+// inserts, rows with end = Inf have not been invalidated.
+const Inf = ^uint64(0)
+
+// Store holds the MVCC vectors for one row region (main or delta
+// partition of a table).
+type Store struct {
+	begin vec.Vec       // persistent on NVM backend
+	end   vec.Vec       // persistent on NVM backend
+	tid   *vec.Volatile // always volatile (row write locks)
+}
+
+// NewStore wraps begin/end vectors (backend-specific) into a Store.
+// Both vectors must have equal lengths.
+func NewStore(begin, end vec.Vec) *Store {
+	s := &Store{begin: begin, end: end, tid: vec.NewVolatile(10)}
+	for s.tid.Len() < begin.Len() {
+		s.tid.Append(0)
+	}
+	return s
+}
+
+// Rows returns the number of rows tracked. When the begin and end vectors
+// disagree (a torn append after a crash), the shorter prefix governs.
+func (s *Store) Rows() uint64 {
+	b, e := s.begin.Len(), s.end.Len()
+	if e < b {
+		return e
+	}
+	return b
+}
+
+// BeginVec exposes the underlying begin-CID vector (recovery fixups).
+func (s *Store) BeginVec() vec.Vec { return s.begin }
+
+// EndVec exposes the underlying end-CID vector (recovery fixups).
+func (s *Store) EndVec() vec.Vec { return s.end }
+
+// AppendRow adds MVCC state for a freshly inserted row: begin = Inf
+// (invisible), end = Inf, tid = owner. It returns the row index.
+func (s *Store) AppendRow(owner uint64) (uint64, error) {
+	row, err := s.begin.Append(Inf)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.end.Append(Inf); err != nil {
+		return 0, err
+	}
+	if _, err := s.tid.Append(owner); err != nil {
+		return 0, err
+	}
+	return row, nil
+}
+
+// AppendCommittedRows bulk-adds n rows that are visible from beginCID on —
+// the bulk-load / merge path.
+func (s *Store) AppendCommittedRows(n uint64, beginCID uint64) error {
+	buf := make([]uint64, n)
+	for i := range buf {
+		buf[i] = beginCID
+	}
+	if _, err := s.begin.AppendN(buf); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] = Inf
+	}
+	if _, err := s.end.AppendN(buf); err != nil {
+		return err
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	_, err := s.tid.AppendN(buf)
+	return err
+}
+
+// Begin returns the begin CID of row.
+func (s *Store) Begin(row uint64) uint64 { return s.begin.Get(row) }
+
+// End returns the end CID of row.
+func (s *Store) End(row uint64) uint64 { return s.end.Get(row) }
+
+// TID returns the transient owner of row (0 = unowned).
+func (s *Store) TID(row uint64) uint64 { return s.tid.Get(row) }
+
+// ClaimRow attempts to write-lock row for transaction owner; it fails if
+// another live transaction holds the row.
+func (s *Store) ClaimRow(row, owner uint64) bool {
+	return s.tid.CompareAndSwap(row, 0, owner)
+}
+
+// ReleaseRow drops the write lock if held by owner.
+func (s *Store) ReleaseRow(row, owner uint64) {
+	s.tid.CompareAndSwap(row, owner, 0)
+}
+
+// SetBegin stamps the begin CID of row without persisting (commit batches
+// stamps and persists once).
+func (s *Store) SetBegin(row, cid uint64) { s.begin.SetNoPersist(row, cid) }
+
+// SetEnd stamps the end CID of row without persisting.
+func (s *Store) SetEnd(row, cid uint64) { s.end.SetNoPersist(row, cid) }
+
+// PersistBegin persists the begin stamp of row.
+func (s *Store) PersistBegin(row uint64) { s.begin.PersistAt(row) }
+
+// PersistEnd persists the end stamp of row.
+func (s *Store) PersistEnd(row uint64) { s.end.PersistAt(row) }
+
+// Visible reports whether row is visible to a snapshot at snapCID taken
+// by transaction selfTID. Uncommitted inserts are visible only to their
+// owner; uncommitted invalidations (own deletes before commit) are
+// handled by the transaction's write set, not here.
+func (s *Store) Visible(row, snapCID, selfTID uint64) bool {
+	b := s.Begin(row)
+	if b == Inf {
+		return selfTID != 0 && s.TID(row) == selfTID
+	}
+	if b > snapCID {
+		return false
+	}
+	e := s.End(row)
+	return e == Inf || e > snapCID
+}

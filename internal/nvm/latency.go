@@ -1,0 +1,17 @@
+package nvm
+
+import "time"
+
+// spin busy-waits for approximately d nanoseconds. NVM latencies are in
+// the tens to hundreds of nanoseconds — far below timer resolution — so a
+// calibrated spin loop is the only faithful way to inject them, mirroring
+// the paper's DRAM-based emulation platform.
+func spin(d int64) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Duration(d)
+	start := time.Now()
+	for time.Since(start) < deadline {
+	}
+}

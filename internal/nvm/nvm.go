@@ -1,0 +1,645 @@
+// Package nvm simulates byte-addressable non-volatile memory for the
+// Hyrise-NV storage engine.
+//
+// The simulated NVM device is a memory-mapped file (MAP_SHARED). Because
+// the mapping is backed by the file, writes survive process restarts and
+// pages are faulted in lazily, so the cost of re-opening a heap is
+// independent of its size — exactly the property the paper exploits for
+// instant restarts. The paper's evaluation platform emulated NVM by adding
+// latency to DRAM writes; we reproduce that with a configurable latency
+// model applied at persist barriers (the clflush+sfence analog).
+//
+// Persistent data structures refer to each other with PPtr values — byte
+// offsets from the beginning of the mapping — so the heap can be mapped at
+// a different virtual address on every restart.
+//
+// Crash consistency follows the nvm_malloc "reserve/activate" discipline:
+// allocating a block only makes it *reserved*; it becomes durably reachable
+// when the caller stores its PPtr into an already-reachable structure and
+// persists that store. Blocks reserved at the moment of a crash are leaked
+// and can be reclaimed by an offline Scavenge; the restart path never scans
+// the heap.
+package nvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// PPtr is a persistent pointer: a byte offset from the start of the heap
+// mapping. The zero value is the nil persistent pointer.
+type PPtr uint64
+
+// IsNil reports whether p is the nil persistent pointer.
+func (p PPtr) IsNil() bool { return p == 0 }
+
+// Add returns the pointer offset by n bytes.
+func (p PPtr) Add(n uint64) PPtr { return p + PPtr(n) }
+
+const (
+	magic         = 0x485952_4953454e56 // "HYRISENV"-ish tag
+	formatVersion = 3
+
+	headerSize  = 4096
+	rootDirOff  = headerSize
+	rootSlots   = 64
+	rootSlotLen = 64
+	rootNameLen = 40
+	rootDirSize = rootSlots * rootSlotLen
+
+	arenaStart = rootDirOff + rootDirSize
+
+	// blockAlign is the alignment of every allocation. 16 bytes keeps
+	// uint64 fields atomically accessible.
+	blockAlign = 16
+
+	// blockHeaderSize precedes every allocation and records its size
+	// class (for Free and Scavenge).
+	blockHeaderSize = 16
+
+	// CacheLineSize is the granularity of persist barriers.
+	CacheLineSize = 64
+)
+
+// Header field offsets (all uint64 unless noted).
+const (
+	hdrMagic     = 0
+	hdrVersion   = 8
+	hdrSize      = 16
+	hdrArenaNext = 24
+	hdrEpoch     = 32
+	hdrLargeFree = 40 // head of the large-block free list
+	hdrFreeLists = 64 // numClasses uint64 slots
+)
+
+// Size classes for the segregated free lists. Allocations larger than the
+// biggest class are carved directly from the bump arena.
+var sizeClasses = [...]uint64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+const numClasses = len(sizeClasses)
+
+// Block header states.
+const (
+	blockFree     = 0xF4EE
+	blockReserved = 0x5E5E
+)
+
+var (
+	// ErrTooSmall is returned when a heap file is too small to hold the
+	// header and root directory.
+	ErrTooSmall = errors.New("nvm: heap size too small")
+	// ErrBadMagic is returned when opening a file that is not an nvm heap.
+	ErrBadMagic = errors.New("nvm: bad magic (not an nvm heap)")
+	// ErrBadVersion is returned when the on-NVM format version differs.
+	ErrBadVersion = errors.New("nvm: unsupported format version")
+	// ErrOutOfMemory is returned when the arena is exhausted.
+	ErrOutOfMemory = errors.New("nvm: out of persistent memory")
+	// ErrRootSlots is returned when the root directory is full.
+	ErrRootSlots = errors.New("nvm: no free root slots")
+	// ErrSimulatedCrash is the panic value raised by the fail-point
+	// mechanism; tests recover it to simulate a power failure.
+	ErrSimulatedCrash = errors.New("nvm: simulated crash")
+)
+
+// LatencyModel configures the emulated NVM latencies, mirroring the
+// DRAM-based emulation platform of the paper. WriteNS is charged per cache
+// line flushed at a persist barrier; FenceNS once per barrier; ReadNS (off
+// by default) can be charged explicitly by read-side code via ChargeRead.
+type LatencyModel struct {
+	WriteNS int64
+	FenceNS int64
+	ReadNS  int64
+}
+
+// Stats counts persistence primitives since the heap was opened.
+type Stats struct {
+	Flushes   uint64 // cache lines flushed
+	Fences    uint64 // persist barriers issued
+	Allocs    uint64
+	Frees     uint64
+	BytesUsed uint64 // high-water bump offset (excludes freed blocks)
+}
+
+// Heap is a simulated NVM heap backed by a memory-mapped file.
+//
+// All exported methods are safe for concurrent use unless noted.
+type Heap struct {
+	f    *os.File
+	mem  []byte
+	size uint64
+
+	lat LatencyModel
+
+	allocMu sync.Mutex
+
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+	allocs  atomic.Uint64
+	frees   atomic.Uint64
+
+	// failAfter, when > 0, counts down on every persist barrier and
+	// panics with ErrSimulatedCrash when it reaches zero.
+	failAfter atomic.Int64
+
+	rootMu sync.Mutex
+}
+
+// Option configures a Heap at Create/Open time.
+type Option func(*Heap)
+
+// WithLatency sets the emulated NVM latency model.
+func WithLatency(m LatencyModel) Option {
+	return func(h *Heap) { h.lat = m }
+}
+
+// Create initializes a new heap file of the given size and maps it.
+// The file must not already exist with conflicting content; an existing
+// file is truncated.
+func Create(path string, size uint64, opts ...Option) (*Heap, error) {
+	if size < arenaStart+4096 {
+		return nil, ErrTooSmall
+	}
+	size = alignUp(size, 4096)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: create %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: truncate: %w", err)
+	}
+	h, err := mapHeap(f, size, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	h.putU64(hdrMagic, magic)
+	h.putU64(hdrVersion, formatVersion)
+	h.putU64(hdrSize, size)
+	h.putU64(hdrArenaNext, arenaStart)
+	h.putU64(hdrEpoch, 1)
+	h.putU64(hdrLargeFree, 0)
+	for c := 0; c < numClasses; c++ {
+		h.putU64(hdrFreeLists+uint64(c)*8, 0)
+	}
+	h.Persist(0, headerSize+rootDirSize)
+	return h, nil
+}
+
+// Open maps an existing heap file. Opening performs O(1) work regardless
+// of heap size: only the header page is touched.
+func Open(path string, opts ...Option) (*Heap, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nvm: stat: %w", err)
+	}
+	if st.Size() < arenaStart {
+		f.Close()
+		return nil, ErrTooSmall
+	}
+	h, err := mapHeap(f, uint64(st.Size()), opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if h.u64(hdrMagic) != magic {
+		h.Close()
+		return nil, ErrBadMagic
+	}
+	if h.u64(hdrVersion) != formatVersion {
+		h.Close()
+		return nil, ErrBadVersion
+	}
+	if h.u64(hdrSize) != uint64(st.Size()) {
+		h.Close()
+		return nil, fmt.Errorf("nvm: header size %d != file size %d", h.u64(hdrSize), st.Size())
+	}
+	// Bump the restart epoch so structures can detect they crossed a
+	// restart (used e.g. to invalidate transient caches).
+	h.putU64(hdrEpoch, h.u64(hdrEpoch)+1)
+	h.Persist(hdrEpoch, 8)
+	return h, nil
+}
+
+func mapHeap(f *os.File, size uint64, opts []Option) (*Heap, error) {
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: mmap: %w", err)
+	}
+	h := &Heap{f: f, mem: mem, size: size}
+	for _, o := range opts {
+		o(h)
+	}
+	return h, nil
+}
+
+// Close unmaps the heap. Data durability does not depend on a clean close.
+func (h *Heap) Close() error {
+	if h.mem != nil {
+		if err := syscall.Munmap(h.mem); err != nil {
+			return fmt.Errorf("nvm: munmap: %w", err)
+		}
+		h.mem = nil
+	}
+	if h.f != nil {
+		err := h.f.Close()
+		h.f = nil
+		return err
+	}
+	return nil
+}
+
+// Sync flushes the whole mapping to the backing file via msync. It is not
+// required for the simulation (the page cache survives process exit) but
+// is exposed for durability against OS crashes.
+func (h *Heap) Sync() error {
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&h.mem[0])), uintptr(len(h.mem)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("nvm: msync: %w", errno)
+	}
+	return nil
+}
+
+// Size returns the total heap size in bytes.
+func (h *Heap) Size() uint64 { return h.size }
+
+// Epoch returns the restart epoch: 1 on a fresh heap, incremented on every
+// Open. Persistent structures compare a stored epoch against this to know
+// whether transient state must be re-derived.
+func (h *Heap) Epoch() uint64 { return h.u64(hdrEpoch) }
+
+// Bytes returns the n bytes at p as a slice aliasing the mapping.
+// The caller must ensure p..p+n lies inside the heap.
+func (h *Heap) Bytes(p PPtr, n uint64) []byte {
+	return h.mem[p : uint64(p)+n : uint64(p)+n]
+}
+
+// U64 atomically loads the uint64 at p (which must be 8-byte aligned).
+func (h *Heap) U64(p PPtr) uint64 {
+	return atomic.LoadUint64(h.u64ptr(p))
+}
+
+// SetU64 atomically stores v at p (which must be 8-byte aligned). The
+// store is not durable until a Persist covering p completes.
+func (h *Heap) SetU64(p PPtr, v uint64) {
+	atomic.StoreUint64(h.u64ptr(p), v)
+}
+
+// CasU64 performs an atomic compare-and-swap on the uint64 at p.
+func (h *Heap) CasU64(p PPtr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(h.u64ptr(p), old, new)
+}
+
+func (h *Heap) u64ptr(p PPtr) *uint64 {
+	if p%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned atomic access at %d", p))
+	}
+	return (*uint64)(unsafe.Pointer(&h.mem[p]))
+}
+
+func (h *Heap) u64(off uint64) uint64       { return h.U64(PPtr(off)) }
+func (h *Heap) putU64(off uint64, v uint64) { h.SetU64(PPtr(off), v) }
+
+// alignUp rounds n up to a multiple of a (a power of two).
+func alignUp(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
+
+// --- Persist barriers -----------------------------------------------------
+
+// Persist flushes the address range [p, p+n) and issues a fence — the
+// analog of clflush-per-line followed by sfence. Under the latency model it
+// charges WriteNS per 64-byte line plus FenceNS. It also drives the
+// fail-point countdown used by crash tests.
+func (h *Heap) Persist(p PPtr, n uint64) {
+	if n == 0 {
+		h.Fence()
+		return
+	}
+	first := uint64(p) &^ (CacheLineSize - 1)
+	last := (uint64(p) + n - 1) &^ (CacheLineSize - 1)
+	lines := (last-first)/CacheLineSize + 1
+	h.flushes.Add(lines)
+	if h.lat.WriteNS > 0 {
+		spin(h.lat.WriteNS * int64(lines))
+	}
+	h.Fence()
+}
+
+// PersistBytes persists a slice previously obtained from Bytes.
+func (h *Heap) PersistBytes(b []byte) {
+	if len(b) == 0 {
+		h.Fence()
+		return
+	}
+	off := h.offsetOf(&b[0])
+	h.Persist(off, uint64(len(b)))
+}
+
+// Fence issues a store fence (sfence analog): it orders prior persists
+// before subsequent ones. Under the latency model it charges FenceNS.
+func (h *Heap) Fence() {
+	h.fences.Add(1)
+	if h.lat.FenceNS > 0 {
+		spin(h.lat.FenceNS)
+	}
+	if n := h.failAfter.Load(); n > 0 {
+		if h.failAfter.Add(-1) == 0 {
+			panic(ErrSimulatedCrash)
+		}
+	}
+}
+
+// ChargeRead charges the read latency model for n bytes. The storage layer
+// calls this on NVM read paths when a read latency is configured.
+func (h *Heap) ChargeRead(n uint64) {
+	if h.lat.ReadNS > 0 && n > 0 {
+		lines := (n + CacheLineSize - 1) / CacheLineSize
+		spin(h.lat.ReadNS * int64(lines))
+	}
+}
+
+// ReadLatencyEnabled reports whether a read latency is configured, letting
+// hot paths skip the accounting entirely.
+func (h *Heap) ReadLatencyEnabled() bool { return h.lat.ReadNS > 0 }
+
+// FailAfter arms the fail-point: after n more persist barriers the heap
+// panics with ErrSimulatedCrash. n <= 0 disarms it. Tests use this to cut
+// power at a precise point in a persistence protocol.
+func (h *Heap) FailAfter(n int64) { h.failAfter.Store(n) }
+
+func (h *Heap) offsetOf(b *byte) PPtr {
+	off := uintptr(unsafe.Pointer(b)) - uintptr(unsafe.Pointer(&h.mem[0]))
+	return PPtr(off)
+}
+
+// Stats returns persistence counters.
+func (h *Heap) Stats() Stats {
+	return Stats{
+		Flushes:   h.flushes.Load(),
+		Fences:    h.fences.Load(),
+		Allocs:    h.allocs.Load(),
+		Frees:     h.frees.Load(),
+		BytesUsed: h.u64(hdrArenaNext),
+	}
+}
+
+// ResetStats zeroes the persistence counters (the allocator watermark is
+// unaffected).
+func (h *Heap) ResetStats() {
+	h.flushes.Store(0)
+	h.fences.Store(0)
+	h.allocs.Store(0)
+	h.frees.Store(0)
+}
+
+// --- Allocation ------------------------------------------------------------
+
+// classFor returns the index of the smallest size class >= n, or -1 when n
+// exceeds the largest class.
+func classFor(n uint64) int {
+	for i, c := range sizeClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc reserves a block of at least n bytes and returns a pointer to its
+// payload. The block is merely *reserved*: it becomes durably owned only
+// once the caller persists a reachable reference to it (reserve/activate).
+// The returned payload is zeroed.
+func (h *Heap) Alloc(n uint64) (PPtr, error) {
+	if n == 0 {
+		n = 1
+	}
+	h.allocs.Add(1)
+	c := classFor(n)
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	if c >= 0 {
+		// Try the free list first.
+		headOff := PPtr(hdrFreeLists + uint64(c)*8)
+		if head := h.U64(headOff); head != 0 {
+			next := h.U64(PPtr(head) + blockHeaderSize) // next link lives in payload
+			h.SetU64(headOff, next)
+			h.Persist(headOff, 8)
+			p := PPtr(head)
+			h.SetU64(p+8, blockReserved)
+			payload := p + blockHeaderSize
+			clear(h.Bytes(payload, sizeClasses[c]))
+			return payload, nil
+		}
+		return h.bump(sizeClasses[c], uint64(c))
+	}
+	want := alignUp(n, blockAlign)
+	if p, ok := h.allocLargeLocked(want); ok {
+		return p, nil
+	}
+	return h.bump(want, uint64(numClasses)+want)
+}
+
+// allocLargeLocked takes a block from the large free list whose payload
+// is at least want bytes but not wastefully bigger (first fit within 2x).
+// Caller holds allocMu.
+func (h *Heap) allocLargeLocked(want uint64) (PPtr, bool) {
+	prevSlot := PPtr(hdrLargeFree)
+	cur := PPtr(h.U64(prevSlot))
+	for !cur.IsNil() {
+		payload := cur + blockHeaderSize
+		size := h.U64(cur) - uint64(numClasses)
+		next := PPtr(h.U64(payload))
+		if size >= want && size <= want*2 {
+			h.SetU64(prevSlot, uint64(next))
+			h.Persist(prevSlot, 8)
+			h.SetU64(cur+8, blockReserved)
+			clear(h.Bytes(payload, size))
+			return payload, true
+		}
+		prevSlot = payload
+		cur = next
+	}
+	return 0, false
+}
+
+// bump carves a block from the arena. classTag encodes either a size-class
+// index (< numClasses) or numClasses+size for large blocks.
+func (h *Heap) bump(payload uint64, classTag uint64) (PPtr, error) {
+	next := h.u64(hdrArenaNext)
+	total := blockHeaderSize + payload
+	if next+total > h.size {
+		return nil1(), ErrOutOfMemory
+	}
+	h.putU64(hdrArenaNext, next+total)
+	h.Persist(hdrArenaNext, 8)
+	p := PPtr(next)
+	h.SetU64(p, classTag)
+	h.SetU64(p+8, blockReserved)
+	h.Persist(p, blockHeaderSize)
+	return p + blockHeaderSize, nil
+}
+
+func nil1() PPtr { return 0 }
+
+// Free returns a block previously obtained from Alloc to the free list
+// of its size class (or to the large-block free list — no splitting or
+// coalescing is performed).
+//
+// Free must only be called once the block is durably unreachable;
+// otherwise a crash could resurrect a recycled block.
+func (h *Heap) Free(payload PPtr) {
+	if payload.IsNil() {
+		return
+	}
+	h.frees.Add(1)
+	p := payload - blockHeaderSize
+	tag := h.U64(p)
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	headOff := PPtr(hdrFreeLists + tag*8)
+	if tag >= uint64(numClasses) {
+		headOff = PPtr(hdrLargeFree)
+	}
+	h.SetU64(p+8, blockFree)
+	h.SetU64(payload, h.U64(headOff)) // next link in payload
+	h.Persist(p, blockHeaderSize+8)
+	h.SetU64(headOff, uint64(p))
+	h.Persist(headOff, 8)
+}
+
+// BlockSize returns the usable payload size of an allocated block.
+func (h *Heap) BlockSize(payload PPtr) uint64 {
+	tag := h.U64(payload - blockHeaderSize)
+	if tag < uint64(numClasses) {
+		return sizeClasses[tag]
+	}
+	return tag - uint64(numClasses)
+}
+
+// --- Root directory ---------------------------------------------------------
+
+// rootSlot layout: name [rootNameLen]byte | ptr uint64 | aux uint64 | pad.
+func (h *Heap) rootSlot(i int) PPtr { return PPtr(rootDirOff + i*rootSlotLen) }
+
+// SetRoot durably associates name with pointer p (and an auxiliary word),
+// creating or updating the named root. Named roots are the anchors from
+// which all persistent structures must be reachable.
+func (h *Heap) SetRoot(name string, p PPtr, aux uint64) error {
+	if len(name) == 0 || len(name) > rootNameLen {
+		return fmt.Errorf("nvm: invalid root name %q", name)
+	}
+	h.rootMu.Lock()
+	defer h.rootMu.Unlock()
+	free := -1
+	for i := 0; i < rootSlots; i++ {
+		s := h.rootSlot(i)
+		cur := h.rootName(s)
+		if cur == name {
+			h.SetU64(s.Add(rootNameLen), uint64(p))
+			h.SetU64(s.Add(rootNameLen+8), aux)
+			h.Persist(s, rootSlotLen)
+			return nil
+		}
+		if cur == "" && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		return ErrRootSlots
+	}
+	s := h.rootSlot(free)
+	// Write pointer+aux first, then the name; a torn name is detected by
+	// readers as "no such root" and the slot is safely overwritten later.
+	h.SetU64(s.Add(rootNameLen), uint64(p))
+	h.SetU64(s.Add(rootNameLen+8), aux)
+	h.Persist(s.Add(rootNameLen), 16)
+	nb := h.Bytes(s, rootNameLen)
+	clear(nb)
+	copy(nb, name)
+	h.Persist(s, rootNameLen)
+	return nil
+}
+
+// Root returns the pointer and auxiliary word of the named root.
+// ok is false when no such root exists.
+func (h *Heap) Root(name string) (p PPtr, aux uint64, ok bool) {
+	h.rootMu.Lock()
+	defer h.rootMu.Unlock()
+	for i := 0; i < rootSlots; i++ {
+		s := h.rootSlot(i)
+		if h.rootName(s) == name {
+			return PPtr(h.U64(s.Add(rootNameLen))), h.U64(s.Add(rootNameLen + 8)), true
+		}
+	}
+	return 0, 0, false
+}
+
+// DeleteRoot removes the named root. Deleting a missing root is a no-op.
+func (h *Heap) DeleteRoot(name string) {
+	h.rootMu.Lock()
+	defer h.rootMu.Unlock()
+	for i := 0; i < rootSlots; i++ {
+		s := h.rootSlot(i)
+		if h.rootName(s) == name {
+			clear(h.Bytes(s, rootNameLen))
+			h.Persist(s, rootNameLen)
+			return
+		}
+	}
+}
+
+// Roots returns the names of all live roots.
+func (h *Heap) Roots() []string {
+	h.rootMu.Lock()
+	defer h.rootMu.Unlock()
+	var names []string
+	for i := 0; i < rootSlots; i++ {
+		if n := h.rootName(h.rootSlot(i)); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func (h *Heap) rootName(s PPtr) string {
+	b := h.Bytes(s, rootNameLen)
+	end := 0
+	for end < len(b) && b[end] != 0 {
+		end++
+	}
+	return string(b[:end])
+}
+
+// --- Encoding helpers --------------------------------------------------------
+
+// PutU64 stores v little-endian at p without atomicity (bulk writes).
+func (h *Heap) PutU64(p PPtr, v uint64) {
+	binary.LittleEndian.PutUint64(h.mem[p:], v)
+}
+
+// GetU64 loads a little-endian uint64 at p without atomicity.
+func (h *Heap) GetU64(p PPtr) uint64 {
+	return binary.LittleEndian.Uint64(h.mem[p:])
+}
+
+// PutU32 stores v little-endian at p.
+func (h *Heap) PutU32(p PPtr, v uint32) {
+	binary.LittleEndian.PutUint32(h.mem[p:], v)
+}
+
+// GetU32 loads a little-endian uint32 at p.
+func (h *Heap) GetU32(p PPtr) uint32 {
+	return binary.LittleEndian.Uint32(h.mem[p:])
+}

@@ -1,0 +1,39 @@
+package nvm
+
+// Scavenge reclaims blocks that were reserved but never activated — the
+// only form of leak the reserve/activate allocation discipline permits
+// (a crash between Alloc and the persist of the activating link).
+//
+// reachable must yield the payload pointer of every block that is
+// durably reachable from the heap's roots. Scavenge walks the arena,
+// and every block in Reserved state that was not yielded is freed.
+//
+// Scavenge is an *offline* maintenance operation: it scans the whole
+// arena (O(heap size)) and must not run concurrently with allocation.
+// The instant-restart path never calls it.
+func (h *Heap) Scavenge(reachable func(yield func(PPtr))) (reclaimed int) {
+	live := make(map[PPtr]struct{})
+	reachable(func(p PPtr) { live[p] = struct{}{} })
+
+	end := PPtr(h.u64(hdrArenaNext))
+	p := PPtr(arenaStart)
+	for p < end {
+		tag := h.U64(p)
+		state := h.U64(p + 8)
+		var payloadSize uint64
+		if tag < uint64(numClasses) {
+			payloadSize = sizeClasses[tag]
+		} else {
+			payloadSize = tag - uint64(numClasses)
+		}
+		payload := p + blockHeaderSize
+		if state == blockReserved {
+			if _, ok := live[payload]; !ok {
+				h.Free(payload)
+				reclaimed++
+			}
+		}
+		p = payload.Add(payloadSize)
+	}
+	return reclaimed
+}

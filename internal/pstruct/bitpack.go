@@ -1,0 +1,184 @@
+package pstruct
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyrisenv/internal/nvm"
+)
+
+// BitPacked is a fixed-width bit-packed vector of value IDs — the
+// attribute-vector format of the read-optimized main partition. It is
+// built once (at merge time) and never mutated, so crash consistency is
+// trivial: the data block is persisted in full before the root pointer is
+// published.
+//
+// Layout of the root block: bits u64 | n u64 | dataPtr u64.
+type BitPacked struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+	bits uint64
+	n    uint64
+	data nvm.PPtr
+}
+
+const bpRootSize = 24
+
+// BitsFor returns the number of bits needed to represent values in
+// [0, maxVal]. At least one bit is always used.
+func BitsFor(maxVal uint64) uint64 {
+	b := uint64(bits.Len64(maxVal))
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// BuildBitPacked packs vals with the given width and persists the result.
+func BuildBitPacked(h *nvm.Heap, vals []uint64, width uint64) (*BitPacked, error) {
+	if width == 0 || width > 64 {
+		return nil, fmt.Errorf("pstruct: bad bit width %d", width)
+	}
+	n := uint64(len(vals))
+	words := (n*width + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	data, err := h.Alloc(words * 8)
+	if err != nil {
+		return nil, err
+	}
+	buf := h.Bytes(data, words*8)
+	for i, v := range vals {
+		if width < 64 && v >= (uint64(1)<<width) {
+			return nil, fmt.Errorf("pstruct: value %d exceeds %d bits", v, width)
+		}
+		PutBits(buf, uint64(i)*width, width, v)
+	}
+	h.Persist(data, words*8)
+
+	root, err := h.Alloc(bpRootSize)
+	if err != nil {
+		return nil, err
+	}
+	h.PutU64(root, width)
+	h.PutU64(root.Add(8), n)
+	h.PutU64(root.Add(16), uint64(data))
+	h.Persist(root, bpRootSize)
+	return &BitPacked{h: h, root: root, bits: width, n: n, data: data}, nil
+}
+
+// AttachBitPacked re-hydrates a BitPacked vector from its root (O(1)).
+func AttachBitPacked(h *nvm.Heap, root nvm.PPtr) *BitPacked {
+	return &BitPacked{
+		h:    h,
+		root: root,
+		bits: h.GetU64(root),
+		n:    h.GetU64(root.Add(8)),
+		data: nvm.PPtr(h.GetU64(root.Add(16))),
+	}
+}
+
+// Root returns the persistent root pointer.
+func (b *BitPacked) Root() nvm.PPtr { return b.root }
+
+// Len returns the number of packed values.
+func (b *BitPacked) Len() uint64 { return b.n }
+
+// Bits returns the bit width per value.
+func (b *BitPacked) Bits() uint64 { return b.bits }
+
+// Get returns value i.
+func (b *BitPacked) Get(i uint64) uint64 {
+	if i >= b.n {
+		panic(fmt.Sprintf("pstruct: bitpacked index %d out of range %d", i, b.n))
+	}
+	words := (b.n*b.bits + 63) / 64
+	buf := b.h.Bytes(b.data, words*8)
+	return GetBits(buf, i*b.bits, b.bits)
+}
+
+// Scan calls fn for each value; it decodes word-at-a-time.
+func (b *BitPacked) Scan(fn func(i uint64, v uint64) bool) {
+	words := (b.n*b.bits + 63) / 64
+	if words == 0 {
+		return
+	}
+	buf := b.h.Bytes(b.data, words*8)
+	if b.h.ReadLatencyEnabled() {
+		b.h.ChargeRead(words * 8)
+	}
+	for i := uint64(0); i < b.n; i++ {
+		if !fn(i, GetBits(buf, i*b.bits, b.bits)) {
+			return
+		}
+	}
+}
+
+// PutBits writes the low `width` bits of v at bit offset off in buf.
+// Exported so the volatile main-partition twin can share the format.
+func PutBits(buf []byte, off, width, v uint64) {
+	word := off / 64
+	shift := off % 64
+	le := func(w uint64) uint64 {
+		var x uint64
+		for i := uint64(0); i < 8; i++ {
+			x |= uint64(buf[w*8+i]) << (8 * i)
+		}
+		return x
+	}
+	store := func(w uint64, x uint64) {
+		for i := uint64(0); i < 8; i++ {
+			buf[w*8+i] = byte(x >> (8 * i))
+		}
+	}
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << width) - 1
+	}
+	v &= mask
+	w0 := le(word)
+	w0 = (w0 &^ (mask << shift)) | (v << shift)
+	store(word, w0)
+	if shift+width > 64 {
+		spill := shift + width - 64
+		w1 := le(word + 1)
+		hiMask := (uint64(1) << spill) - 1
+		w1 = (w1 &^ hiMask) | (v >> (width - spill))
+		store(word+1, w1)
+	}
+}
+
+// GetBits reads `width` bits at bit offset off.
+func GetBits(buf []byte, off, width uint64) uint64 {
+	word := off / 64
+	shift := off % 64
+	le := func(w uint64) uint64 {
+		var x uint64
+		for i := uint64(0); i < 8; i++ {
+			x |= uint64(buf[w*8+i]) << (8 * i)
+		}
+		return x
+	}
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << width) - 1
+	}
+	v := le(word) >> shift
+	if shift+width > 64 {
+		v |= le(word+1) << (64 - shift)
+	}
+	return v & mask
+}
+
+// Blocks yields the heap blocks owned by the bit-packed vector.
+func (b *BitPacked) Blocks(yield func(nvm.PPtr)) {
+	yield(b.root)
+	if !b.data.IsNil() {
+		yield(b.data)
+	}
+}

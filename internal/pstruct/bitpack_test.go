@@ -1,0 +1,151 @@
+package pstruct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyrisenv/internal/nvm"
+)
+
+func TestBitPackedRoundTrip(t *testing.T) {
+	h, _ := testHeap(t)
+	for _, width := range []uint64{1, 3, 7, 8, 13, 16, 31, 32, 33, 63, 64} {
+		n := 257
+		vals := make([]uint64, n)
+		var mask uint64
+		if width == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << width) - 1
+		}
+		for i := range vals {
+			vals[i] = (uint64(i)*2654435761 + 17) & mask
+		}
+		bp, err := BuildBitPacked(h, vals, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if bp.Len() != uint64(n) || bp.Bits() != width {
+			t.Fatalf("width %d: Len=%d Bits=%d", width, bp.Len(), bp.Bits())
+		}
+		for i, want := range vals {
+			if got := bp.Get(uint64(i)); got != want {
+				t.Fatalf("width %d: Get(%d) = %d, want %d", width, i, got, want)
+			}
+		}
+		i := 0
+		bp.Scan(func(idx, v uint64) bool {
+			if v != vals[idx] {
+				t.Fatalf("width %d: Scan(%d) = %d, want %d", width, idx, v, vals[idx])
+			}
+			i++
+			return true
+		})
+		if i != n {
+			t.Fatalf("scan visited %d", i)
+		}
+	}
+}
+
+func TestBitPackedRejectsOversizedValue(t *testing.T) {
+	h, _ := testHeap(t)
+	if _, err := BuildBitPacked(h, []uint64{8}, 3); err == nil {
+		t.Fatal("value 8 accepted at width 3")
+	}
+	if _, err := BuildBitPacked(h, []uint64{1}, 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := BuildBitPacked(h, []uint64{1}, 65); err == nil {
+		t.Fatal("width 65 accepted")
+	}
+}
+
+func TestBitPackedEmpty(t *testing.T) {
+	h, _ := testHeap(t)
+	bp, err := BuildBitPacked(h, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Len() != 0 {
+		t.Fatalf("Len = %d", bp.Len())
+	}
+	bp.Scan(func(uint64, uint64) bool { t.Fatal("scan on empty"); return false })
+}
+
+func TestBitPackedSurvivesReopen(t *testing.T) {
+	h, path := testHeap(t)
+	vals := []uint64{1, 5, 2, 7, 0, 6, 3}
+	bp, _ := BuildBitPacked(h, vals, 3)
+	h.SetRoot("bp", bp.Root(), 0)
+	h2 := reopen(t, h, path)
+	root, _, _ := h2.Root("bp")
+	bp2 := AttachBitPacked(h2, root)
+	for i, want := range vals {
+		if got := bp2.Get(uint64(i)); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ v, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+	}
+	for _, c := range cases {
+		if got := BitsFor(c.v); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPutGetBitsProperty(t *testing.T) {
+	buf := make([]byte, 64)
+	f := func(off uint8, widthIn uint8, v uint64) bool {
+		width := uint64(widthIn%64) + 1
+		o := uint64(off) % 300
+		var mask uint64
+		if width == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << width) - 1
+		}
+		PutBits(buf, o, width, v&mask)
+		return GetBits(buf, o, width) == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	h, path := testHeap(t)
+	cases := [][]byte{nil, {}, []byte("x"), []byte("hello world"), make([]byte, 10000)}
+	var roots []uint64
+	for _, c := range cases {
+		p, err := WriteBlob(h, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ReadBlob(h, p)
+		if string(got) != string(c) {
+			t.Fatalf("blob %q read back as %q", c, got)
+		}
+		if BlobLen(h, p) != uint64(len(c)) {
+			t.Fatalf("BlobLen = %d, want %d", BlobLen(h, p), len(c))
+		}
+		roots = append(roots, uint64(p))
+	}
+	if ReadBlob(h, 0) != nil {
+		t.Fatal("nil blob should read as nil")
+	}
+	if BlobLen(h, 0) != 0 {
+		t.Fatal("nil blob length should be 0")
+	}
+	// Stash the last pointer and confirm persistence across reopen.
+	h.SetRoot("blob", 0, roots[3])
+	h2 := reopen(t, h, path)
+	_, aux, _ := h2.Root("blob")
+	if string(ReadBlob(h2, nvm.PPtr(aux))) != "hello world" {
+		t.Fatal("blob lost across reopen")
+	}
+}

@@ -1,0 +1,151 @@
+package pstruct
+
+import (
+	"bytes"
+	"hash/fnv"
+
+	"hyrisenv/internal/nvm"
+)
+
+// PHash is a persistent hash map from byte-string keys to uint64 values —
+// the alternative to the skip list for the delta dictionary index when
+// ordered access is not required (point lookups only, O(1) instead of
+// O(log n)).
+//
+// Layout: a fixed bucket directory (power-of-two, chosen at creation)
+// of head pointers; entries are chained nodes {keyBlob, value, next}.
+// Crash consistency follows the usual discipline: a node is fully
+// persisted before the bucket head is atomically redirected to it, so a
+// reachable entry is always complete; a crash mid-insert leaks at most
+// one unreachable node (scavengeable).
+//
+// The directory does not resize; chains degrade gracefully when the map
+// outgrows it. Size the directory for the expected delta cardinality
+// (the delta is bounded by the merge threshold by design).
+//
+// Concurrency: one writer at a time; readers may run concurrently with
+// the writer.
+type PHash struct {
+	h       *nvm.Heap
+	root    nvm.PPtr
+	buckets uint64
+}
+
+const (
+	// root block: bucketsLog u64 | heads[buckets] u64
+	phOffBucketsLog = 0
+	phOffHeads      = 8
+
+	// node: keyBlob u64 | value u64 | next u64
+	phnOffKey   = 0
+	phnOffValue = 8
+	phnOffNext  = 16
+	phnSize     = 24
+)
+
+// NewPHash allocates an empty persistent hash map with 1<<bucketsLog
+// buckets.
+func NewPHash(h *nvm.Heap, bucketsLog uint64) (*PHash, error) {
+	buckets := uint64(1) << bucketsLog
+	root, err := h.Alloc(phOffHeads + buckets*8)
+	if err != nil {
+		return nil, err
+	}
+	h.PutU64(root.Add(phOffBucketsLog), bucketsLog)
+	for i := uint64(0); i < buckets; i++ {
+		h.PutU64(root.Add(phOffHeads+i*8), 0)
+	}
+	h.Persist(root, phOffHeads+buckets*8)
+	return &PHash{h: h, root: root, buckets: buckets}, nil
+}
+
+// AttachPHash re-hydrates a persistent hash map from its root (O(1)).
+func AttachPHash(h *nvm.Heap, root nvm.PPtr) *PHash {
+	return &PHash{h: h, root: root, buckets: 1 << h.GetU64(root.Add(phOffBucketsLog))}
+}
+
+// Root returns the persistent root pointer.
+func (p *PHash) Root() nvm.PPtr { return p.root }
+
+func (p *PHash) bucketSlot(key []byte) nvm.PPtr {
+	f := fnv.New64a()
+	f.Write(key)
+	return p.root.Add(phOffHeads + (f.Sum64()&(p.buckets-1))*8)
+}
+
+// Get returns the value stored under key.
+func (p *PHash) Get(key []byte) (uint64, bool) {
+	for cur := nvm.PPtr(p.h.U64(p.bucketSlot(key))); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+		kb := nvm.PPtr(p.h.GetU64(cur.Add(phnOffKey)))
+		if bytes.Equal(ReadBlob(p.h, kb), key) {
+			return p.h.U64(cur.Add(phnOffValue)), true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores value under key; existing keys are durably overwritten.
+func (p *PHash) Insert(key []byte, value uint64) (existed bool, err error) {
+	slot := p.bucketSlot(key)
+	for cur := nvm.PPtr(p.h.U64(slot)); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+		kb := nvm.PPtr(p.h.GetU64(cur.Add(phnOffKey)))
+		if bytes.Equal(ReadBlob(p.h, kb), key) {
+			vp := cur.Add(phnOffValue)
+			p.h.SetU64(vp, value)
+			p.h.Persist(vp, 8)
+			return true, nil
+		}
+	}
+	kb, err := WriteBlob(p.h, key)
+	if err != nil {
+		return false, err
+	}
+	node, err := p.h.Alloc(phnSize)
+	if err != nil {
+		return false, err
+	}
+	p.h.PutU64(node.Add(phnOffKey), uint64(kb))
+	p.h.PutU64(node.Add(phnOffValue), value)
+	p.h.PutU64(node.Add(phnOffNext), p.h.U64(slot))
+	p.h.Persist(node, phnSize)
+	p.h.SetU64(slot, uint64(node))
+	p.h.Persist(slot, 8)
+	return false, nil
+}
+
+// Len counts the entries (O(n); tests and statistics).
+func (p *PHash) Len() uint64 {
+	var n uint64
+	for b := uint64(0); b < p.buckets; b++ {
+		for cur := nvm.PPtr(p.h.U64(p.root.Add(phOffHeads + b*8))); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+			n++
+		}
+	}
+	return n
+}
+
+// Scan calls fn for every entry (bucket order, not key order).
+func (p *PHash) Scan(fn func(key []byte, val uint64) bool) {
+	for b := uint64(0); b < p.buckets; b++ {
+		for cur := nvm.PPtr(p.h.U64(p.root.Add(phOffHeads + b*8))); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+			kb := nvm.PPtr(p.h.GetU64(cur.Add(phnOffKey)))
+			if !fn(ReadBlob(p.h, kb), p.h.U64(cur.Add(phnOffValue))) {
+				return
+			}
+		}
+	}
+}
+
+// Blocks yields the heap blocks owned by the map: its root, every node
+// and every key blob.
+func (p *PHash) Blocks(yield func(nvm.PPtr)) {
+	yield(p.root)
+	for b := uint64(0); b < p.buckets; b++ {
+		for cur := nvm.PPtr(p.h.U64(p.root.Add(phOffHeads + b*8))); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+			yield(cur)
+			if kb := nvm.PPtr(p.h.GetU64(cur.Add(phnOffKey))); !kb.IsNil() {
+				yield(kb)
+			}
+		}
+	}
+}

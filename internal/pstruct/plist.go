@@ -1,0 +1,62 @@
+package pstruct
+
+import (
+	"hyrisenv/internal/nvm"
+)
+
+// Persistent posting lists: singly-linked lists of uint64 payloads whose
+// head pointer lives in an arbitrary caller-owned persistent slot (for
+// example the value word of a skip-list node). Secondary indexes map a
+// column value to the posting list of row IDs carrying that value.
+//
+// Push is crash-atomic: the node is persisted before the head slot is
+// atomically redirected to it.
+
+const (
+	plOffVal  = 0
+	plOffNext = 8
+	plNodeLen = 16
+)
+
+// ListPush prepends val to the list anchored at slot.
+func ListPush(h *nvm.Heap, slot nvm.PPtr, val uint64) error {
+	node, err := h.Alloc(plNodeLen)
+	if err != nil {
+		return err
+	}
+	h.PutU64(node.Add(plOffVal), val)
+	h.PutU64(node.Add(plOffNext), h.U64(slot))
+	h.Persist(node, plNodeLen)
+	h.SetU64(slot, uint64(node))
+	h.Persist(slot, 8)
+	return nil
+}
+
+// ListScan calls fn for every value in the list anchored at slot, in
+// most-recently-pushed-first order. fn returning false stops the scan.
+func ListScan(h *nvm.Heap, slot nvm.PPtr, fn func(val uint64) bool) {
+	cur := nvm.PPtr(h.U64(slot))
+	for !cur.IsNil() {
+		if h.ReadLatencyEnabled() {
+			h.ChargeRead(plNodeLen)
+		}
+		if !fn(h.U64(cur.Add(plOffVal))) {
+			return
+		}
+		cur = nvm.PPtr(h.U64(cur.Add(plOffNext)))
+	}
+}
+
+// ListLen counts the list entries.
+func ListLen(h *nvm.Heap, slot nvm.PPtr) uint64 {
+	var n uint64
+	ListScan(h, slot, func(uint64) bool { n++; return true })
+	return n
+}
+
+// ListBlocks yields every node block of the list anchored at slot.
+func ListBlocks(h *nvm.Heap, slot nvm.PPtr, yield func(nvm.PPtr)) {
+	for cur := nvm.PPtr(h.U64(slot)); !cur.IsNil(); cur = nvm.PPtr(h.U64(cur.Add(plOffNext))) {
+		yield(cur)
+	}
+}

@@ -1,0 +1,240 @@
+package pstruct
+
+import (
+	"bytes"
+	"math/rand"
+
+	"hyrisenv/internal/nvm"
+)
+
+// SkipList is a persistent, ordered map from byte-string keys to uint64
+// values, used as the NVM-resident index structure for the delta
+// partition (dictionary lookup and secondary indexes). Keys are stored as
+// blobs; the list keeps them in lexicographic order, so both point
+// lookups and range scans work.
+//
+// Crash consistency: a node (key blob, value, height, next pointers) is
+// fully written and persisted before being linked. Linking happens bottom
+// level first; the bottom level is the durable ground truth, upper levels
+// are accelerators and remain correct under partial linking — a crash
+// mid-insert leaves either an unreachable node (leaked, scavengeable) or a
+// node reachable at its bottom level (fully inserted).
+//
+// Concurrency: one writer at a time; readers may run concurrently with
+// the writer (next pointers are updated with atomic 8-byte stores).
+type SkipList struct {
+	h    *nvm.Heap
+	root nvm.PPtr // root block: head node ptr
+	head nvm.PPtr
+	rnd  *rand.Rand
+}
+
+const (
+	slMaxHeight = 16
+
+	// node layout: keyBlob u64 | value u64 | height u64 | next[height] u64
+	slOffKey    = 0
+	slOffValue  = 8
+	slOffHeight = 16
+	slOffNext   = 24
+)
+
+// NewSkipList allocates an empty persistent skip list. Its Root must be
+// linked into a reachable structure by the caller.
+func NewSkipList(h *nvm.Heap) (*SkipList, error) {
+	head, err := h.Alloc(slOffNext + 8*slMaxHeight)
+	if err != nil {
+		return nil, err
+	}
+	h.PutU64(head.Add(slOffKey), 0)
+	h.PutU64(head.Add(slOffValue), 0)
+	h.PutU64(head.Add(slOffHeight), slMaxHeight)
+	for i := 0; i < slMaxHeight; i++ {
+		h.PutU64(head.Add(slOffNext+uint64(i)*8), 0)
+	}
+	h.Persist(head, slOffNext+8*slMaxHeight)
+
+	root, err := h.Alloc(8)
+	if err != nil {
+		return nil, err
+	}
+	h.SetU64(root, uint64(head))
+	h.Persist(root, 8)
+	return &SkipList{h: h, root: root, head: head, rnd: rand.New(rand.NewSource(0x5eed))}, nil
+}
+
+// AttachSkipList re-hydrates a skip list from its root (O(1)).
+func AttachSkipList(h *nvm.Heap, root nvm.PPtr) *SkipList {
+	return &SkipList{
+		h:    h,
+		root: root,
+		head: nvm.PPtr(h.U64(root)),
+		rnd:  rand.New(rand.NewSource(0x5eed)),
+	}
+}
+
+// Root returns the persistent root pointer.
+func (s *SkipList) Root() nvm.PPtr { return s.root }
+
+func (s *SkipList) next(node nvm.PPtr, level int) nvm.PPtr {
+	return nvm.PPtr(s.h.U64(node.Add(slOffNext + uint64(level)*8)))
+}
+
+func (s *SkipList) setNext(node nvm.PPtr, level int, to nvm.PPtr) {
+	p := node.Add(slOffNext + uint64(level)*8)
+	s.h.SetU64(p, uint64(to))
+	s.h.Persist(p, 8)
+}
+
+func (s *SkipList) key(node nvm.PPtr) []byte {
+	return ReadBlob(s.h, nvm.PPtr(s.h.GetU64(node.Add(slOffKey))))
+}
+
+func (s *SkipList) height(node nvm.PPtr) int {
+	return int(s.h.GetU64(node.Add(slOffHeight)))
+}
+
+// findPreds fills preds with the rightmost node < key at every level and
+// returns the first node >= key at level 0 (or nil).
+func (s *SkipList) findPreds(key []byte, preds *[slMaxHeight]nvm.PPtr) nvm.PPtr {
+	cur := s.head
+	for level := slMaxHeight - 1; level >= 0; level-- {
+		for {
+			nxt := s.next(cur, level)
+			if nxt.IsNil() || bytes.Compare(s.key(nxt), key) >= 0 {
+				break
+			}
+			cur = nxt
+		}
+		preds[level] = cur
+	}
+	return s.next(cur, 0)
+}
+
+// Get returns the value stored under key.
+func (s *SkipList) Get(key []byte) (val uint64, ok bool) {
+	var preds [slMaxHeight]nvm.PPtr
+	n := s.findPreds(key, &preds)
+	if n.IsNil() || !bytes.Equal(s.key(n), key) {
+		return 0, false
+	}
+	return s.h.U64(n.Add(slOffValue)), true
+}
+
+// ValueSlot returns a handle to the value word of key, for callers that
+// maintain a persistent sub-structure (e.g. a posting list head) inside
+// the slot. ok is false when the key is absent.
+func (s *SkipList) ValueSlot(key []byte) (slot nvm.PPtr, ok bool) {
+	var preds [slMaxHeight]nvm.PPtr
+	n := s.findPreds(key, &preds)
+	if n.IsNil() || !bytes.Equal(s.key(n), key) {
+		return 0, false
+	}
+	return n.Add(slOffValue), true
+}
+
+// Insert stores value under key. If the key already exists its value is
+// overwritten (durably) and existed=true is returned.
+func (s *SkipList) Insert(key []byte, value uint64) (existed bool, err error) {
+	var preds [slMaxHeight]nvm.PPtr
+	n := s.findPreds(key, &preds)
+	if !n.IsNil() && bytes.Equal(s.key(n), key) {
+		vp := n.Add(slOffValue)
+		s.h.SetU64(vp, value)
+		s.h.Persist(vp, 8)
+		return true, nil
+	}
+
+	height := 1
+	for height < slMaxHeight && s.rnd.Intn(4) == 0 {
+		height++
+	}
+	kb, err := WriteBlob(s.h, key)
+	if err != nil {
+		return false, err
+	}
+	node, err := s.h.Alloc(slOffNext + 8*uint64(height))
+	if err != nil {
+		return false, err
+	}
+	s.h.PutU64(node.Add(slOffKey), uint64(kb))
+	s.h.PutU64(node.Add(slOffValue), value)
+	s.h.PutU64(node.Add(slOffHeight), uint64(height))
+	for level := 0; level < height; level++ {
+		s.h.PutU64(node.Add(slOffNext+uint64(level)*8), uint64(s.next(preds[level], level)))
+	}
+	s.h.Persist(node, slOffNext+8*uint64(height))
+
+	// Durable link at level 0 makes the insert atomic; upper levels are
+	// best-effort accelerators.
+	for level := 0; level < height; level++ {
+		s.setNext(preds[level], level, node)
+	}
+	return false, nil
+}
+
+// Len counts the entries (O(n); used by tests and statistics).
+func (s *SkipList) Len() uint64 {
+	var n uint64
+	for cur := s.next(s.head, 0); !cur.IsNil(); cur = s.next(cur, 0) {
+		n++
+	}
+	return n
+}
+
+// Iterator walks the list in key order.
+type Iterator struct {
+	s   *SkipList
+	cur nvm.PPtr
+}
+
+// Seek positions the iterator at the first key >= key.
+func (s *SkipList) Seek(key []byte) *Iterator {
+	var preds [slMaxHeight]nvm.PPtr
+	n := s.findPreds(key, &preds)
+	return &Iterator{s: s, cur: n}
+}
+
+// First positions the iterator at the smallest key.
+func (s *SkipList) First() *Iterator {
+	return &Iterator{s: s, cur: s.next(s.head, 0)}
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iterator) Valid() bool { return !it.cur.IsNil() }
+
+// Key returns the current key (aliasing NVM; do not mutate).
+func (it *Iterator) Key() []byte { return it.s.key(it.cur) }
+
+// Value returns the current value.
+func (it *Iterator) Value() uint64 { return it.s.h.U64(it.cur.Add(slOffValue)) }
+
+// ValueSlot returns the persistent slot holding the current value.
+func (it *Iterator) ValueSlot() nvm.PPtr { return it.cur.Add(slOffValue) }
+
+// Next advances the iterator.
+func (it *Iterator) Next() { it.cur = it.s.next(it.cur, 0) }
+
+// Blocks yields the heap blocks owned by the skip list: its root, head,
+// every node and every key blob.
+func (s *SkipList) Blocks(yield func(nvm.PPtr)) {
+	yield(s.root)
+	yield(s.head)
+	for cur := s.next(s.head, 0); !cur.IsNil(); cur = s.next(cur, 0) {
+		yield(cur)
+		if kb := nvm.PPtr(s.h.GetU64(cur.Add(slOffKey))); !kb.IsNil() {
+			yield(kb)
+		}
+	}
+}
+
+// ValueSlots yields the value-slot pointer of every entry, letting
+// callers that store sub-structures in the slot (posting lists)
+// enumerate them.
+func (s *SkipList) ValueSlots(yield func(slot nvm.PPtr) bool) {
+	for cur := s.next(s.head, 0); !cur.IsNil(); cur = s.next(cur, 0) {
+		if !yield(cur.Add(slOffValue)) {
+			return
+		}
+	}
+}

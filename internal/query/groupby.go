@@ -1,0 +1,106 @@
+package query
+
+import (
+	"sort"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Group is one group-by result row.
+type Group struct {
+	Key   storage.Value
+	Count int
+	Sum   float64 // sum of the aggregate column (int columns are widened)
+}
+
+// GroupBy aggregates all rows visible to tx, grouped by groupCol and
+// summing aggCol (pass aggCol < 0 for count-only). The implementation is
+// dictionary-aware: grouping happens on value IDs per partition and keys
+// are decoded once per group, the way a column store executes GROUP BY.
+// The whole aggregation runs against one partition View, so results are
+// consistent under concurrent merges. Results are ordered by key.
+func GroupBy(tx *txn.Txn, tbl *storage.Table, groupCol, aggCol int) []Group {
+	type acc struct {
+		count int
+		sum   float64
+	}
+	v := tbl.View()
+	byKey := make(map[string]*acc)
+
+	mr := v.MainRows()
+	mainCol := v.MainColumnAt(groupCol)
+	deltaCol := v.DeltaColumnAt(groupCol)
+
+	// Accumulate per (partition, valueID) to avoid decoding per row,
+	// then fold into a per-key map (main and delta dictionaries have
+	// independent IDs).
+	mainAccs := make([]acc, mainCol.DictLen())
+	v.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
+		if !tx.SeesIn(v, tbl, row) {
+			return true
+		}
+		var agg float64
+		if aggCol >= 0 {
+			val := v.Value(aggCol, row)
+			if val.T == storage.TypeInt64 {
+				agg = float64(val.I)
+			} else {
+				agg = val.F
+			}
+		}
+		if row < mr {
+			a := &mainAccs[mainCol.ValueID(row)]
+			a.count++
+			a.sum += agg
+		} else {
+			k := string(deltaCol.DictKey(deltaCol.ValueID(row - mr)))
+			a := byKey[k]
+			if a == nil {
+				a = &acc{}
+				byKey[k] = a
+			}
+			a.count++
+			a.sum += agg
+		}
+		return true
+	})
+	// Fold the main-partition accumulators in by key.
+	for id, a := range mainAccs {
+		if a.count == 0 {
+			continue
+		}
+		k := string(mainCol.DictKey(uint64(id)))
+		if ex := byKey[k]; ex != nil {
+			ex.count += a.count
+			ex.sum += a.sum
+		} else {
+			cp := a
+			byKey[k] = &cp
+		}
+	}
+	typ := tbl.Schema.Cols[groupCol].Type
+
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		a := byKey[k]
+		out[i] = Group{Key: storage.DecodeValue(typ, []byte(k)), Count: a.count, Sum: a.sum}
+	}
+	return out
+}
+
+// TopK returns the k groups with the largest Sum (ties broken by key
+// order), from a GroupBy result.
+func TopK(groups []Group, k int) []Group {
+	sorted := append([]Group(nil), groups...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Sum > sorted[j].Sum })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

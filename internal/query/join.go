@@ -1,0 +1,89 @@
+package query
+
+import (
+	"fmt"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// JoinPair couples a left and a right row ID satisfying an equi-join.
+type JoinPair struct {
+	Left  uint64
+	Right uint64
+}
+
+// HashJoin computes the inner equi-join left.leftCol = right.rightCol
+// over the rows visible to tx, the standard column-store way: the build
+// side hashes *dictionary keys* (so each distinct value is encoded
+// once), the probe side resolves its value IDs through the same
+// dictionary-aware matcher. Both Views are captured once, so the result
+// is consistent under concurrent merges.
+//
+// The join columns must have the same type.
+func HashJoin(tx *txn.Txn, left *storage.Table, leftCol int, right *storage.Table, rightCol int) ([]JoinPair, error) {
+	lt := left.Schema.Cols[leftCol].Type
+	rt := right.Schema.Cols[rightCol].Type
+	if lt != rt {
+		return nil, fmt.Errorf("query: join column types differ (%s vs %s)", lt, rt)
+	}
+	tx.PinEpoch(left)
+	tx.PinEpoch(right)
+	lv, rv := left.View(), right.View()
+
+	// Build phase over the (usually smaller) left side: encoded value
+	// key -> row IDs.
+	build := make(map[string][]uint64)
+	lmr := lv.MainRows()
+	lv.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
+		if !tx.SeesIn(lv, left, row) {
+			return true
+		}
+		var key []byte
+		if row < lmr {
+			mc := lv.MainColumnAt(leftCol)
+			key = mc.DictKey(mc.ValueID(row))
+		} else {
+			dc := lv.DeltaColumnAt(leftCol)
+			key = dc.DictKey(dc.ValueID(row - lmr))
+		}
+		build[string(key)] = append(build[string(key)], row)
+		return true
+	})
+
+	// Probe phase with per-dictionary-ID memoization.
+	var out []JoinPair
+	rmr := rv.MainRows()
+	mainHits := make(map[uint64][]uint64)  // main dict id -> left rows
+	deltaHits := make(map[uint64][]uint64) // delta dict id -> left rows
+	rv.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
+		if !tx.SeesIn(rv, right, row) {
+			return true
+		}
+		var matches []uint64
+		if row < rmr {
+			mc := rv.MainColumnAt(rightCol)
+			id := mc.ValueID(row)
+			m, ok := mainHits[id]
+			if !ok {
+				m = build[string(mc.DictKey(id))]
+				mainHits[id] = m
+			}
+			matches = m
+		} else {
+			dc := rv.DeltaColumnAt(rightCol)
+			id := dc.ValueID(row - rmr)
+			m, ok := deltaHits[id]
+			if !ok {
+				m = build[string(dc.DictKey(id))]
+				deltaHits[id] = m
+			}
+			matches = m
+		}
+		for _, l := range matches {
+			out = append(out, JoinPair{Left: l, Right: row})
+		}
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"testing"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+func joinFixture(t *testing.T, mode txn.Mode, dir string) (*core.Engine, *storage.Table, *storage.Table) {
+	t.Helper()
+	cfg := core.Config{Mode: mode, Dir: dir, NVMHeapSize: 256 << 20}
+	e, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	custSchema, _ := storage.NewSchema(
+		storage.ColumnDef{Name: "c_id", Type: storage.TypeInt64},
+		storage.ColumnDef{Name: "c_name", Type: storage.TypeString},
+	)
+	orderSchema, _ := storage.NewSchema(
+		storage.ColumnDef{Name: "o_id", Type: storage.TypeInt64},
+		storage.ColumnDef{Name: "o_c_id", Type: storage.TypeInt64},
+	)
+	customers, _ := e.CreateTable("customers", custSchema, "c_id")
+	orders, _ := e.CreateTable("orders", orderSchema)
+
+	tx := e.Begin()
+	for c := int64(0); c < 4; c++ {
+		tx.Insert(customers, []storage.Value{storage.Int(c), storage.Str("cust")})
+	}
+	// Orders: customer c gets c orders (0,1,2,3 → total 6).
+	oid := int64(0)
+	for c := int64(0); c < 4; c++ {
+		for k := int64(0); k < c; k++ {
+			tx.Insert(orders, []storage.Value{storage.Int(oid), storage.Int(c)})
+			oid++
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return e, customers, orders
+}
+
+func TestHashJoin(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.ModeNone, txn.ModeNVM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := ""
+			if mode == txn.ModeNVM {
+				dir = t.TempDir()
+			}
+			e, customers, orders := joinFixture(t, mode, dir)
+			// Split customers across main and delta.
+			if _, err := e.Merge("customers"); err != nil {
+				t.Fatal(err)
+			}
+			tx := e.Begin()
+			pairs, err := HashJoin(tx, customers, 0, orders, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != 6 {
+				t.Fatalf("join pairs = %d, want 6", len(pairs))
+			}
+			cv, ov := customers.View(), orders.View()
+			perCust := map[int64]int{}
+			for _, p := range pairs {
+				cid := cv.Value(0, p.Left).I
+				if ov.Value(1, p.Right).I != cid {
+					t.Fatalf("mismatched pair %+v", p)
+				}
+				perCust[cid]++
+			}
+			for c := int64(1); c < 4; c++ {
+				if perCust[c] != int(c) {
+					t.Fatalf("customer %d joined %d orders, want %d", c, perCust[c], c)
+				}
+			}
+			// Uncommitted rows on either side are excluded for others.
+			wr := e.Begin()
+			wr.Insert(orders, []storage.Value{storage.Int(99), storage.Int(3)})
+			rd := e.Begin()
+			pairs, _ = HashJoin(rd, customers, 0, orders, 1)
+			if len(pairs) != 6 {
+				t.Fatalf("uncommitted row leaked into join: %d", len(pairs))
+			}
+			// ...but visible to their owner.
+			pairs, _ = HashJoin(wr, customers, 0, orders, 1)
+			if len(pairs) != 7 {
+				t.Fatalf("own insert missing from join: %d", len(pairs))
+			}
+			wr.Abort()
+		})
+	}
+}
+
+func TestHashJoinTypeMismatch(t *testing.T) {
+	e, customers, _ := joinFixture(t, txn.ModeNone, "")
+	tx := e.Begin()
+	if _, err := HashJoin(tx, customers, 0, customers, 1); err == nil {
+		t.Fatal("int-string join accepted")
+	}
+}

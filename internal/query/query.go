@@ -1,0 +1,210 @@
+// Package query implements the scan/lookup operators used by the
+// examples and benchmarks: predicate scans that exploit dictionary
+// encoding (a predicate is evaluated once per distinct value, not once
+// per row), index-accelerated point lookups, and simple aggregations.
+//
+// Every operator captures one partition View at entry, so its results
+// are consistent even while a merge publishes a new table generation.
+// Row IDs in results are relative to that generation; use them for
+// writes only within the same transaction epoch (the transaction layer
+// rejects cross-merge writes).
+package query
+
+import (
+	"bytes"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Op is a comparison operator.
+type Op int
+
+// Comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Pred is a single-column predicate `col OP val`.
+type Pred struct {
+	Col int
+	Op  Op
+	Val storage.Value
+}
+
+// matches evaluates the operator against an order-preserving key
+// comparison result (cmp = bytes.Compare(rowKey, predKey)).
+func (o Op) matches(cmp int) bool {
+	switch o {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// colMatcher memoizes predicate evaluation per dictionary value ID —
+// the dictionary-encoding fast path: a column predicate is decided once
+// per distinct value.
+type colMatcher struct {
+	pred    Pred
+	key     []byte
+	v       storage.View
+	mainOK  []bool
+	deltaOK map[uint64]int8 // delta dict id -> -1 false / 1 true
+}
+
+func newColMatcher(v storage.View, p Pred) *colMatcher {
+	m := &colMatcher{pred: p, key: p.Val.EncodeKey(nil), v: v, deltaOK: map[uint64]int8{}}
+	mc := v.MainColumnAt(p.Col)
+	m.mainOK = make([]bool, mc.DictLen())
+	for id := uint64(0); id < mc.DictLen(); id++ {
+		m.mainOK[id] = p.Op.matches(bytes.Compare(mc.DictKey(id), m.key))
+	}
+	return m
+}
+
+// match reports whether table row ID `row` satisfies the predicate.
+func (m *colMatcher) match(row uint64) bool {
+	mr := m.v.MainRows()
+	if row < mr {
+		return m.mainOK[m.v.MainColumnAt(m.pred.Col).ValueID(row)]
+	}
+	d := m.v.DeltaColumnAt(m.pred.Col)
+	id := d.ValueID(row - mr)
+	if v, ok := m.deltaOK[id]; ok {
+		return v > 0
+	}
+	ok := m.pred.Op.matches(bytes.Compare(d.DictKey(id), m.key))
+	if ok {
+		m.deltaOK[id] = 1
+	} else {
+		m.deltaOK[id] = -1
+	}
+	return ok
+}
+
+// Select returns the row IDs visible to tx that satisfy all preds.
+// A single equality predicate on an indexed column uses the index;
+// everything else is a dictionary-accelerated scan.
+func Select(tx *txn.Txn, tbl *storage.Table, preds ...Pred) []uint64 {
+	tx.PinEpoch(tbl)
+	v := tbl.View()
+	var out []uint64
+	if len(preds) == 1 && preds[0].Op == Eq && tbl.Indexed(preds[0].Col) {
+		key := preds[0].Val.EncodeKey(nil)
+		if v.LookupRows(preds[0].Col, key, func(row uint64) bool {
+			if tx.SeesIn(v, tbl, row) {
+				out = append(out, row)
+			}
+			return true
+		}) {
+			return out
+		}
+	}
+	matchers := make([]*colMatcher, len(preds))
+	for i, p := range preds {
+		matchers[i] = newColMatcher(v, p)
+	}
+	v.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
+		if !tx.SeesIn(v, tbl, row) {
+			return true
+		}
+		for _, m := range matchers {
+			if !m.match(row) {
+				return true
+			}
+		}
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// SelectRange returns rows visible to tx whose column col falls in
+// [lo, hi) — resolved through the sorted main dictionary and the index
+// when available.
+func SelectRange(tx *txn.Txn, tbl *storage.Table, col int, lo, hi storage.Value) []uint64 {
+	tx.PinEpoch(tbl)
+	loK, hiK := lo.EncodeKey(nil), hi.EncodeKey(nil)
+	v := tbl.View()
+	var out []uint64
+	if v.LookupRowsInRange(col, loK, hiK, func(row uint64) bool {
+		if tx.SeesIn(v, tbl, row) {
+			out = append(out, row)
+		}
+		return true
+	}) {
+		return out
+	}
+	return Select(tx, tbl, Pred{Col: col, Op: Ge, Val: lo}, Pred{Col: col, Op: Lt, Val: hi})
+}
+
+// Count returns the number of rows visible to tx satisfying preds.
+func Count(tx *txn.Txn, tbl *storage.Table, preds ...Pred) int {
+	return len(Select(tx, tbl, preds...))
+}
+
+// SumInt sums an int64 column over the given rows (which must come from
+// the same generation, i.e. the same transaction epoch).
+func SumInt(tbl *storage.Table, col int, rows []uint64) int64 {
+	v := tbl.View()
+	var s int64
+	for _, r := range rows {
+		s += v.Value(col, r).I
+	}
+	return s
+}
+
+// SumFloat sums a float64 column over the given rows.
+func SumFloat(tbl *storage.Table, col int, rows []uint64) float64 {
+	v := tbl.View()
+	var s float64
+	for _, r := range rows {
+		s += v.Value(col, r).F
+	}
+	return s
+}
+
+// Project materializes the given columns of the given rows.
+func Project(tbl *storage.Table, rows []uint64, cols ...int) [][]storage.Value {
+	v := tbl.View()
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]storage.Value, len(cols))
+		for j, c := range cols {
+			vals[j] = v.Value(c, r)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// ScanAll returns all rows visible to tx (a full table scan).
+func ScanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	tx.PinEpoch(tbl)
+	v := tbl.View()
+	var out []uint64
+	v.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
+		if tx.SeesIn(v, tbl, row) {
+			out = append(out, row)
+		}
+		return true
+	})
+	return out
+}

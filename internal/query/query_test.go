@@ -1,0 +1,284 @@
+package query
+
+import (
+	"testing"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+type fixture struct {
+	e   *core.Engine
+	tbl *storage.Table
+}
+
+// fixtures loads the same dataset into a DRAM and an NVM engine, with a
+// merge in the middle so rows span main and delta.
+func fixtures(t *testing.T) map[string]*fixture {
+	t.Helper()
+	out := map[string]*fixture{}
+	for name, cfg := range map[string]core.Config{
+		"none": {Mode: txn.ModeNone},
+		"nvm":  {Mode: txn.ModeNVM, Dir: t.TempDir(), NVMHeapSize: 256 << 20},
+	} {
+		e, err := core.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		sch, _ := storage.NewSchema(
+			storage.ColumnDef{Name: "id", Type: storage.TypeInt64},
+			storage.ColumnDef{Name: "region", Type: storage.TypeString},
+			storage.ColumnDef{Name: "amount", Type: storage.TypeFloat64},
+		)
+		tbl, err := e.CreateTable("sales", sch, "id", "region")
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions := []string{"north", "south", "east", "west"}
+		load := func(from, to int64) {
+			for i := from; i < to; i++ {
+				tx := e.Begin()
+				if _, err := tx.Insert(tbl, []storage.Value{
+					storage.Int(i),
+					storage.Str(regions[i%4]),
+					storage.Float(float64(i)),
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		load(0, 60)
+		if _, err := e.Merge("sales"); err != nil {
+			t.Fatal(err)
+		}
+		load(60, 100) // delta rows
+		out[name] = &fixture{e: e, tbl: tbl}
+	}
+	return out
+}
+
+func TestSelectEqIndexed(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			// id is unique: both a main row and a delta row.
+			for _, want := range []int64{17, 77} {
+				rows := Select(tx, f.tbl, Pred{Col: 0, Op: Eq, Val: storage.Int(want)})
+				if len(rows) != 1 || f.tbl.Value(0, rows[0]).I != want {
+					t.Fatalf("Select id=%d: %v", want, rows)
+				}
+			}
+			// region spans partitions: 25 rows per region.
+			rows := Select(tx, f.tbl, Pred{Col: 1, Op: Eq, Val: storage.Str("north")})
+			if len(rows) != 25 {
+				t.Fatalf("Select region=north: %d rows", len(rows))
+			}
+		})
+	}
+}
+
+func TestSelectScanPredicates(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			cases := []struct {
+				preds []Pred
+				want  int
+			}{
+				{[]Pred{{Col: 2, Op: Lt, Val: storage.Float(10)}}, 10},
+				{[]Pred{{Col: 2, Op: Ge, Val: storage.Float(90)}}, 10},
+				{[]Pred{{Col: 2, Op: Le, Val: storage.Float(0)}}, 1},
+				{[]Pred{{Col: 2, Op: Gt, Val: storage.Float(98)}}, 1},
+				{[]Pred{{Col: 1, Op: Ne, Val: storage.Str("north")}}, 75},
+				// Conjunction across columns and partitions.
+				{[]Pred{
+					{Col: 1, Op: Eq, Val: storage.Str("north")},
+					{Col: 2, Op: Lt, Val: storage.Float(50)},
+				}, 13},
+			}
+			for i, c := range cases {
+				if got := Count(tx, f.tbl, c.preds...); got != c.want {
+					t.Fatalf("case %d: count = %d, want %d", i, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			rows := SelectRange(tx, f.tbl, 0, storage.Int(50), storage.Int(70))
+			if len(rows) != 20 {
+				t.Fatalf("range rows = %d", len(rows))
+			}
+			if got := SumInt(f.tbl, 0, rows); got != (50+69)*20/2 {
+				t.Fatalf("range sum = %d", got)
+			}
+			// Unindexed column falls back to scan.
+			rows = SelectRange(tx, f.tbl, 2, storage.Float(10), storage.Float(12))
+			if len(rows) != 2 {
+				t.Fatalf("unindexed range rows = %d", len(rows))
+			}
+		})
+	}
+}
+
+func TestQuerySeesOwnWrites(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			if _, err := tx.Insert(f.tbl, []storage.Value{
+				storage.Int(1000), storage.Str("north"), storage.Float(0),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rows := Select(tx, f.tbl, Pred{Col: 0, Op: Eq, Val: storage.Int(1000)})
+			if len(rows) != 1 {
+				t.Fatalf("own insert not visible to Select: %v", rows)
+			}
+			// Delete a visible row: it disappears from own queries.
+			victim := Select(tx, f.tbl, Pred{Col: 0, Op: Eq, Val: storage.Int(5)})[0]
+			if err := tx.Delete(f.tbl, victim); err != nil {
+				t.Fatal(err)
+			}
+			if got := Count(tx, f.tbl, Pred{Col: 0, Op: Eq, Val: storage.Int(5)}); got != 0 {
+				t.Fatalf("own delete still visible: %d", got)
+			}
+			// Another txn is unaffected until commit.
+			other := f.e.Begin()
+			if got := Count(other, f.tbl, Pred{Col: 0, Op: Eq, Val: storage.Int(5)}); got != 1 {
+				t.Fatalf("uncommitted delete leaked: %d", got)
+			}
+			tx.Abort()
+		})
+	}
+}
+
+func TestProjectAndAggregates(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			all := ScanAll(tx, f.tbl)
+			if len(all) != 100 {
+				t.Fatalf("ScanAll = %d", len(all))
+			}
+			if got := SumFloat(f.tbl, 2, all); got != 99*100/2 {
+				t.Fatalf("SumFloat = %g", got)
+			}
+			proj := Project(f.tbl, all[:3], 1, 0)
+			if len(proj) != 3 || proj[0][0].T != storage.TypeString || proj[0][1].T != storage.TypeInt64 {
+				t.Fatalf("Project = %v", proj)
+			}
+		})
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			// Group by region (col 1), sum amount (col 2). 100 rows,
+			// 4 regions of 25 rows each; amounts are 0..99.
+			groups := GroupBy(tx, f.tbl, 1, 2)
+			if len(groups) != 4 {
+				t.Fatalf("groups = %d", len(groups))
+			}
+			var total float64
+			var count int
+			for _, g := range groups {
+				if g.Count != 25 {
+					t.Fatalf("group %v count = %d", g.Key, g.Count)
+				}
+				total += g.Sum
+				count += g.Count
+			}
+			if total != 99*100/2 || count != 100 {
+				t.Fatalf("total=%g count=%d", total, count)
+			}
+			// Keys are ordered.
+			for i := 1; i < len(groups); i++ {
+				if groups[i-1].Key.S >= groups[i].Key.S {
+					t.Fatal("groups not key-ordered")
+				}
+			}
+			// Count-only mode.
+			groups = GroupBy(tx, f.tbl, 1, -1)
+			if len(groups) != 4 || groups[0].Sum != 0 {
+				t.Fatalf("count-only groups: %+v", groups[0])
+			}
+			// Group by int column spanning main and delta.
+			idGroups := GroupBy(tx, f.tbl, 0, -1)
+			if len(idGroups) != 100 {
+				t.Fatalf("id groups = %d", len(idGroups))
+			}
+			// TopK by sum.
+			top := TopK(GroupBy(tx, f.tbl, 1, 2), 2)
+			if len(top) != 2 || top[0].Sum < top[1].Sum {
+				t.Fatalf("TopK: %+v", top)
+			}
+		})
+	}
+}
+
+func TestGroupBySeesOwnWrites(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			tx.Insert(f.tbl, []storage.Value{storage.Int(5000), storage.Str("north"), storage.Float(1000)})
+			groups := GroupBy(tx, f.tbl, 1, 2)
+			for _, g := range groups {
+				if g.Key.S == "north" {
+					if g.Count != 26 {
+						t.Fatalf("north count = %d", g.Count)
+					}
+					return
+				}
+			}
+			t.Fatal("north group missing")
+		})
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	for name, f := range fixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := f.e.Begin()
+			rows := ScanAll(tx, f.tbl)
+			// Ascending by amount (float, spans main and delta).
+			OrderBy(f.tbl, rows, 2, false)
+			for i := 1; i < len(rows); i++ {
+				if f.tbl.Value(2, rows[i-1]).F > f.tbl.Value(2, rows[i]).F {
+					t.Fatal("ascending order violated")
+				}
+			}
+			// Descending by region (string).
+			OrderBy(f.tbl, rows, 1, true)
+			for i := 1; i < len(rows); i++ {
+				if f.tbl.Value(1, rows[i-1]).S < f.tbl.Value(1, rows[i]).S {
+					t.Fatal("descending order violated")
+				}
+			}
+			// Top-3 by id descending.
+			rows = ScanAll(tx, f.tbl)
+			top := Limit(OrderBy(f.tbl, rows, 0, true), 0, 3)
+			if len(top) != 3 || f.tbl.Value(0, top[0]).I != 99 || f.tbl.Value(0, top[2]).I != 97 {
+				t.Fatalf("top-3: %v", top)
+			}
+			// Pagination.
+			page := Limit(rows, 98, 10)
+			if len(page) != 2 {
+				t.Fatalf("page len = %d", len(page))
+			}
+			if got := Limit(rows, 200, 10); got != nil {
+				t.Fatal("offset beyond end")
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package query
+
+import (
+	"bytes"
+	"sort"
+
+	"hyrisenv/internal/storage"
+)
+
+// OrderBy sorts row IDs by the given column, exploiting the
+// order-preserving key encoding: rows compare by their encoded
+// dictionary keys, so no value decoding happens during the sort.
+// desc reverses the order. The input slice is sorted in place and
+// returned.
+func OrderBy(tbl *storage.Table, rows []uint64, col int, desc bool) []uint64 {
+	v := tbl.View()
+	mr := v.MainRows()
+	keyOf := func(row uint64) []byte {
+		if row < mr {
+			mc := v.MainColumnAt(col)
+			return mc.DictKey(mc.ValueID(row))
+		}
+		dc := v.DeltaColumnAt(col)
+		return dc.DictKey(dc.ValueID(row - mr))
+	}
+	// Cache keys: DictKey may read NVM blobs; fetch each row's key once.
+	keys := make([][]byte, len(rows))
+	for i, r := range rows {
+		keys[i] = keyOf(r)
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := bytes.Compare(keys[idx[a]], keys[idx[b]])
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	out := make([]uint64, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	copy(rows, out)
+	return rows
+}
+
+// Limit returns at most n rows starting at offset.
+func Limit(rows []uint64, offset, n int) []uint64 {
+	if offset >= len(rows) {
+		return nil
+	}
+	rows = rows[offset:]
+	if n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}

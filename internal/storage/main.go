@@ -1,0 +1,277 @@
+package storage
+
+import (
+	"bytes"
+	"sort"
+
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/pstruct"
+)
+
+// MainColumn is the read-optimized column format: a *sorted* dictionary
+// and a bit-packed attribute vector of value IDs. Main columns are
+// immutable — they are produced wholesale by the delta→main merge — which
+// makes their NVM crash consistency trivial (build, persist, swap one
+// pointer).
+type MainColumn interface {
+	Type() ColType
+	Rows() uint64
+	ValueID(row uint64) uint64
+	Value(row uint64) Value
+	DictLen() uint64
+	DictKey(id uint64) []byte
+	DictValue(id uint64) Value
+	// LookupValueID binary-searches the sorted dictionary for encKey.
+	LookupValueID(encKey []byte) (uint64, bool)
+	// LookupRange returns the half-open dictionary ID range [lo, hi)
+	// whose keys fall in [loKey, hiKey). Range scans exploit the sorted
+	// dictionary: a value-range predicate becomes an ID-range check.
+	LookupRange(loKey, hiKey []byte) (lo, hi uint64)
+	ScanIDs(fn func(row, id uint64) bool)
+}
+
+// --- DRAM backend -----------------------------------------------------------
+
+// VolatileMain is the DRAM main column of the log-based baseline.
+type VolatileMain struct {
+	typ      ColType
+	dictKeys []string // sorted encoded keys
+	packed   []byte
+	bits     uint64
+	rows     uint64
+}
+
+// BuildVolatileMain constructs a main column from per-row encoded keys.
+func BuildVolatileMain(typ ColType, rowKeys [][]byte) *VolatileMain {
+	dict, ids := buildDict(rowKeys)
+	bits := pstruct.BitsFor(maxID(dict))
+	words := (uint64(len(ids))*bits + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	packed := make([]byte, words*8)
+	for i, id := range ids {
+		pstruct.PutBits(packed, uint64(i)*bits, bits, id)
+	}
+	return &VolatileMain{typ: typ, dictKeys: dict, packed: packed, bits: bits, rows: uint64(len(ids))}
+}
+
+var _ MainColumn = (*VolatileMain)(nil)
+
+// Type returns the column type.
+func (m *VolatileMain) Type() ColType { return m.typ }
+
+// Rows returns the row count.
+func (m *VolatileMain) Rows() uint64 { return m.rows }
+
+// ValueID implements MainColumn.
+func (m *VolatileMain) ValueID(row uint64) uint64 {
+	return pstruct.GetBits(m.packed, row*m.bits, m.bits)
+}
+
+// Value implements MainColumn.
+func (m *VolatileMain) Value(row uint64) Value { return m.DictValue(m.ValueID(row)) }
+
+// DictLen implements MainColumn.
+func (m *VolatileMain) DictLen() uint64 { return uint64(len(m.dictKeys)) }
+
+// DictKey implements MainColumn.
+func (m *VolatileMain) DictKey(id uint64) []byte { return []byte(m.dictKeys[id]) }
+
+// DictValue implements MainColumn.
+func (m *VolatileMain) DictValue(id uint64) Value {
+	return DecodeValue(m.typ, []byte(m.dictKeys[id]))
+}
+
+// LookupValueID implements MainColumn.
+func (m *VolatileMain) LookupValueID(encKey []byte) (uint64, bool) {
+	i := sort.SearchStrings(m.dictKeys, string(encKey))
+	if i < len(m.dictKeys) && m.dictKeys[i] == string(encKey) {
+		return uint64(i), true
+	}
+	return 0, false
+}
+
+// LookupRange implements MainColumn.
+func (m *VolatileMain) LookupRange(loKey, hiKey []byte) (uint64, uint64) {
+	lo := sort.SearchStrings(m.dictKeys, string(loKey))
+	hi := sort.SearchStrings(m.dictKeys, string(hiKey))
+	return uint64(lo), uint64(hi)
+}
+
+// ScanIDs implements MainColumn.
+func (m *VolatileMain) ScanIDs(fn func(row, id uint64) bool) {
+	for r := uint64(0); r < m.rows; r++ {
+		if !fn(r, pstruct.GetBits(m.packed, r*m.bits, m.bits)) {
+			return
+		}
+	}
+}
+
+// --- NVM backend -------------------------------------------------------------
+
+// NVM main column root block layout.
+const (
+	nmOffDictVec = 0
+	nmOffBP      = 8
+	nmOffType    = 16
+	nmRootSize   = 24
+)
+
+// NVMMain is the persistent main column of Hyrise-NV: a vector of sorted
+// dictionary blob pointers plus a bit-packed attribute vector, both on
+// NVM. Attach is O(1), so restarting does not touch column data.
+type NVMMain struct {
+	h       *nvm.Heap
+	root    nvm.PPtr
+	typ     ColType
+	dictVec *pstruct.Vector
+	bp      *pstruct.BitPacked
+}
+
+// BuildNVMMain constructs and persists a main column from per-row encoded
+// keys, returning an attachable column.
+func BuildNVMMain(h *nvm.Heap, typ ColType, rowKeys [][]byte) (*NVMMain, error) {
+	dict, ids := buildDict(rowKeys)
+	dictVec, err := pstruct.NewVector(h, 8, 8)
+	if err != nil {
+		return nil, err
+	}
+	ptrs := make([]uint64, len(dict))
+	for i, k := range dict {
+		blob, err := pstruct.WriteBlob(h, []byte(k))
+		if err != nil {
+			return nil, err
+		}
+		ptrs[i] = uint64(blob)
+	}
+	if _, err := dictVec.AppendN(ptrs); err != nil {
+		return nil, err
+	}
+	bp, err := pstruct.BuildBitPacked(h, ids, pstruct.BitsFor(maxID(dict)))
+	if err != nil {
+		return nil, err
+	}
+	root, err := h.Alloc(nmRootSize)
+	if err != nil {
+		return nil, err
+	}
+	h.PutU64(root.Add(nmOffDictVec), uint64(dictVec.Root()))
+	h.PutU64(root.Add(nmOffBP), uint64(bp.Root()))
+	h.PutU64(root.Add(nmOffType), uint64(typ))
+	h.Persist(root, nmRootSize)
+	return &NVMMain{h: h, root: root, typ: typ, dictVec: dictVec, bp: bp}, nil
+}
+
+// AttachNVMMain re-hydrates a persistent main column in O(1).
+func AttachNVMMain(h *nvm.Heap, root nvm.PPtr) *NVMMain {
+	return &NVMMain{
+		h:       h,
+		root:    root,
+		typ:     ColType(h.GetU64(root.Add(nmOffType))),
+		dictVec: pstruct.AttachVector(h, nvm.PPtr(h.GetU64(root.Add(nmOffDictVec)))),
+		bp:      pstruct.AttachBitPacked(h, nvm.PPtr(h.GetU64(root.Add(nmOffBP)))),
+	}
+}
+
+var _ MainColumn = (*NVMMain)(nil)
+
+// Root returns the persistent root pointer of the column.
+func (m *NVMMain) Root() nvm.PPtr { return m.root }
+
+// Type returns the column type.
+func (m *NVMMain) Type() ColType { return m.typ }
+
+// Rows returns the row count.
+func (m *NVMMain) Rows() uint64 { return m.bp.Len() }
+
+// ValueID implements MainColumn.
+func (m *NVMMain) ValueID(row uint64) uint64 { return m.bp.Get(row) }
+
+// Value implements MainColumn.
+func (m *NVMMain) Value(row uint64) Value { return m.DictValue(m.ValueID(row)) }
+
+// DictLen implements MainColumn.
+func (m *NVMMain) DictLen() uint64 { return m.dictVec.Len() }
+
+// DictKey implements MainColumn.
+func (m *NVMMain) DictKey(id uint64) []byte {
+	return pstruct.ReadBlob(m.h, nvm.PPtr(m.dictVec.Get(id)))
+}
+
+// DictValue implements MainColumn.
+func (m *NVMMain) DictValue(id uint64) Value {
+	return DecodeValue(m.typ, m.DictKey(id))
+}
+
+// LookupValueID implements MainColumn.
+func (m *NVMMain) LookupValueID(encKey []byte) (uint64, bool) {
+	n := m.dictVec.Len()
+	i := uint64(sort.Search(int(n), func(i int) bool {
+		return bytes.Compare(m.DictKey(uint64(i)), encKey) >= 0
+	}))
+	if i < n && bytes.Equal(m.DictKey(i), encKey) {
+		return i, true
+	}
+	return 0, false
+}
+
+// LookupRange implements MainColumn.
+func (m *NVMMain) LookupRange(loKey, hiKey []byte) (uint64, uint64) {
+	n := int(m.dictVec.Len())
+	lo := sort.Search(n, func(i int) bool {
+		return bytes.Compare(m.DictKey(uint64(i)), loKey) >= 0
+	})
+	hi := sort.Search(n, func(i int) bool {
+		return bytes.Compare(m.DictKey(uint64(i)), hiKey) >= 0
+	})
+	return uint64(lo), uint64(hi)
+}
+
+// ScanIDs implements MainColumn.
+func (m *NVMMain) ScanIDs(fn func(row, id uint64) bool) { m.bp.Scan(fn) }
+
+// --- shared helpers -----------------------------------------------------------
+
+// buildDict deduplicates and sorts rowKeys, returning the sorted dictionary
+// and the per-row dictionary IDs.
+func buildDict(rowKeys [][]byte) (dict []string, ids []uint64) {
+	set := make(map[string]struct{}, len(rowKeys))
+	for _, k := range rowKeys {
+		set[string(k)] = struct{}{}
+	}
+	dict = make([]string, 0, len(set))
+	for k := range set {
+		dict = append(dict, k)
+	}
+	sort.Strings(dict)
+	idx := make(map[string]uint64, len(dict))
+	for i, k := range dict {
+		idx[k] = uint64(i)
+	}
+	ids = make([]uint64, len(rowKeys))
+	for i, k := range rowKeys {
+		ids[i] = idx[string(k)]
+	}
+	return dict, ids
+}
+
+func maxID(dict []string) uint64 {
+	if len(dict) == 0 {
+		return 0
+	}
+	return uint64(len(dict) - 1)
+}
+
+// Blocks yields the heap blocks owned by the main column.
+func (m *NVMMain) Blocks(yield func(nvm.PPtr)) {
+	yield(m.root)
+	m.dictVec.Blocks(yield)
+	m.dictVec.Scan(func(_, blob uint64) bool {
+		if blob != 0 {
+			yield(nvm.PPtr(blob))
+		}
+		return true
+	})
+	m.bp.Blocks(yield)
+}

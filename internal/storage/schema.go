@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ColumnDef describes one column of a table.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// Schema is the ordered column list of a table.
+type Schema struct {
+	Cols []ColumnDef
+}
+
+// NewSchema builds a schema, validating names and types.
+func NewSchema(cols ...ColumnDef) (Schema, error) {
+	if len(cols) == 0 {
+		return Schema{}, fmt.Errorf("storage: schema needs at least one column")
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("storage: empty column name")
+		}
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Type {
+		case TypeInt64, TypeFloat64, TypeString:
+		default:
+			return Schema{}, fmt.Errorf("storage: column %q has invalid type", c.Name)
+		}
+	}
+	return Schema{Cols: cols}, nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumCols returns the column count.
+func (s Schema) NumCols() int { return len(s.Cols) }
+
+// Validate checks that vals conforms to the schema.
+func (s Schema) Validate(vals []Value) error {
+	if len(vals) != len(s.Cols) {
+		return fmt.Errorf("storage: row has %d values, schema has %d columns", len(vals), len(s.Cols))
+	}
+	for i, v := range vals {
+		if v.T != s.Cols[i].Type {
+			return fmt.Errorf("storage: column %q expects %s, got %s",
+				s.Cols[i].Name, s.Cols[i].Type, v.T)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the schema (used for the NVM catalog and for
+// checkpoints): count u32 | per col: type u8, nameLen u16, name.
+func (s Schema) Marshal() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Cols)))
+	for _, c := range s.Cols {
+		b = append(b, byte(c.Type))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Name)))
+		b = append(b, c.Name...)
+	}
+	return b
+}
+
+// UnmarshalSchema reverses Marshal.
+func UnmarshalSchema(b []byte) (Schema, error) {
+	if len(b) < 4 {
+		return Schema{}, fmt.Errorf("storage: truncated schema")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	cols := make([]ColumnDef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 3 {
+			return Schema{}, fmt.Errorf("storage: truncated schema column %d", i)
+		}
+		t := ColType(b[0])
+		nl := binary.LittleEndian.Uint16(b[1:])
+		b = b[3:]
+		if len(b) < int(nl) {
+			return Schema{}, fmt.Errorf("storage: truncated schema name %d", i)
+		}
+		cols = append(cols, ColumnDef{Name: string(b[:nl]), Type: t})
+		b = b[nl:]
+	}
+	return NewSchema(cols...)
+}

@@ -1,0 +1,508 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyrisenv/internal/index"
+	"hyrisenv/internal/mvcc"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/pstruct"
+)
+
+// Table is a main/delta column-store table with MVCC row state. Rows are
+// addressed by a table-wide row ID: IDs below MainRows() live in the
+// immutable main partition, the rest in the append-only delta.
+//
+// Concurrency model: the complete partition state (columns, MVCC
+// vectors, indexes) lives in an immutable *partitions* value published
+// through an atomic pointer. Readers take a View — a snapshot of that
+// pointer — and every operation through one View is self-consistent even
+// while a merge builds and swaps in a new partition generation
+// (lock-free readers; the superseded generation stays readable). Row IDs
+// are only meaningful relative to a generation; the Epoch counter lets
+// the transaction layer detect stale row IDs across a merge.
+//
+// On the NVM backend the table is anchored at a persistent root block
+// holding the schema and a single pointer to the current partition set;
+// the merge persists the complete new set before swapping that one
+// pointer, which makes it crash-atomic.
+type Table struct {
+	Name   string
+	ID     uint32
+	Schema Schema
+
+	indexMask uint64
+	dictKind  DictIndexKind // NVM delta dictionary index structure
+
+	h    *nvm.Heap // nil on the DRAM backend
+	root nvm.PPtr
+
+	parts atomic.Pointer[partitions]
+	epoch atomic.Uint64
+
+	// writeMu serializes row appends and blocks them during a merge so
+	// column vectors stay aligned and no append lands in a superseded
+	// delta.
+	writeMu sync.Mutex
+}
+
+// partitions is one immutable generation of the table's storage.
+type partitions struct {
+	main      []MainColumn
+	delta     []DeltaColumn
+	mainIdx   []mainIndex
+	deltaIdx  []deltaIndex
+	mainMVCC  *mvcc.Store
+	deltaMVCC *mvcc.Store
+}
+
+// View is a consistent snapshot of one partition generation. All reads
+// made through the same View agree on row addressing and content,
+// regardless of concurrent merges.
+type View struct {
+	t  *Table
+	ps *partitions
+}
+
+// View captures the current partition generation.
+func (t *Table) View() View { return View{t: t, ps: t.parts.Load()} }
+
+// Epoch returns the merge generation counter; it increments on every
+// partition swap. Row IDs obtained under one epoch must not be used for
+// writes under another.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// Table root block: schemaBlob u64 | partitionSet u64 | id u64 | indexMask u64.
+const (
+	trOffSchema    = 0
+	trOffPS        = 8
+	trOffID        = 16
+	trOffIndexMask = 24
+	trRootSize     = 32
+)
+
+// Partition-set block: ncols u64 | mainBegin | mainEnd | deltaBegin |
+// deltaEnd | per column (mainColRoot, deltaColRoot, mainIdxRoot,
+// deltaIdxRoot).
+const (
+	psOffNCols      = 0
+	psOffMainBegin  = 8
+	psOffMainEnd    = 16
+	psOffDeltaBegin = 24
+	psOffDeltaEnd   = 32
+	psOffCols       = 40
+)
+
+func psSize(ncols int) uint64 { return psOffCols + uint64(ncols)*32 }
+
+func (t *Table) psPtr() nvm.PPtr {
+	return nvm.PPtr(t.h.GetU64(t.root.Add(trOffPS)))
+}
+
+// NewVolatileTable creates a DRAM-backed table (log-based baseline) with
+// the given indexed-column bitmask.
+func NewVolatileTable(name string, id uint32, schema Schema, indexMask uint64) *Table {
+	t := &Table{Name: name, ID: id, Schema: schema, indexMask: indexMask}
+	ncols := schema.NumCols()
+	ps := &partitions{
+		mainIdx:  make([]mainIndex, ncols),
+		deltaIdx: make([]deltaIndex, ncols),
+	}
+	for c, col := range schema.Cols {
+		ps.main = append(ps.main, BuildVolatileMain(col.Type, nil))
+		ps.delta = append(ps.delta, NewVolatileDelta(col.Type))
+		if t.Indexed(c) {
+			ps.mainIdx[c] = index.BuildGroupKey(0, 0, nil)
+			ps.deltaIdx[c] = index.NewVolatileDeltaIndex()
+		}
+	}
+	ps.mainMVCC = newVolatileStore()
+	ps.deltaMVCC = newVolatileStore()
+	t.parts.Store(ps)
+	return t
+}
+
+// TableOption customizes table creation.
+type TableOption func(*Table)
+
+// WithHashDictIndex selects the O(1) persistent hash map instead of the
+// skip list for the NVM delta dictionary index.
+func WithHashDictIndex() TableOption {
+	return func(t *Table) { t.dictKind = DictIndexHash }
+}
+
+// CreateNVMTable allocates a persistent table. The caller must link
+// t.Root() into the catalog to make the table durable.
+func CreateNVMTable(h *nvm.Heap, name string, id uint32, schema Schema, indexMask uint64, opts ...TableOption) (*Table, error) {
+	t := &Table{Name: name, ID: id, Schema: schema, indexMask: indexMask, h: h}
+	for _, o := range opts {
+		o(t)
+	}
+	schemaBlob, err := pstruct.WriteBlob(h, schema.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	ps, err := t.buildNVMPartitionSet(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	root, err := h.Alloc(trRootSize)
+	if err != nil {
+		return nil, err
+	}
+	h.PutU64(root.Add(trOffSchema), uint64(schemaBlob))
+	h.PutU64(root.Add(trOffPS), uint64(ps))
+	h.PutU64(root.Add(trOffID), uint64(id))
+	h.PutU64(root.Add(trOffIndexMask), indexMask)
+	h.Persist(root, trRootSize)
+	t.root = root
+	t.parts.Store(t.attachPartitionSet(ps))
+	return t, nil
+}
+
+// OpenNVMTable re-hydrates a persistent table from its root. The work is
+// O(columns), independent of row count — the instant-restart property.
+func OpenNVMTable(h *nvm.Heap, name string, root nvm.PPtr) (*Table, error) {
+	schemaBytes := pstruct.ReadBlob(h, nvm.PPtr(h.GetU64(root.Add(trOffSchema))))
+	schema, err := UnmarshalSchema(schemaBytes)
+	if err != nil {
+		return nil, fmt.Errorf("storage: table %s: %w", name, err)
+	}
+	t := &Table{
+		Name:      name,
+		ID:        uint32(h.GetU64(root.Add(trOffID))),
+		Schema:    schema,
+		indexMask: h.GetU64(root.Add(trOffIndexMask)),
+		h:         h,
+		root:      root,
+	}
+	ps := t.attachPartitionSet(nvm.PPtr(h.GetU64(root.Add(trOffPS))))
+	alignAfterRestart(ps)
+	t.parts.Store(ps)
+	return t, nil
+}
+
+// buildNVMPartitionSet allocates a partition set with the given main
+// columns and MVCC begin stamps (nil = empty main), fresh deltas, and
+// freshly built indexes for indexed columns.
+func (t *Table) buildNVMPartitionSet(mainCols []*NVMMain, mainBegins []uint64) (nvm.PPtr, error) {
+	h := t.h
+	ncols := t.Schema.NumCols()
+	if mainCols == nil {
+		mainCols = make([]*NVMMain, ncols)
+		for i, c := range t.Schema.Cols {
+			mc, err := BuildNVMMain(h, c.Type, nil)
+			if err != nil {
+				return 0, err
+			}
+			mainCols[i] = mc
+		}
+	}
+	mainBegin, err := pstruct.NewVector(h, 8, 10)
+	if err != nil {
+		return 0, err
+	}
+	mainEnd, err := pstruct.NewVector(h, 8, 10)
+	if err != nil {
+		return 0, err
+	}
+	if len(mainBegins) > 0 {
+		if _, err := mainBegin.AppendN(mainBegins); err != nil {
+			return 0, err
+		}
+		ends := make([]uint64, len(mainBegins))
+		for i := range ends {
+			ends[i] = mvcc.Inf
+		}
+		if _, err := mainEnd.AppendN(ends); err != nil {
+			return 0, err
+		}
+	}
+	deltaBegin, err := pstruct.NewVector(h, 8, 10)
+	if err != nil {
+		return 0, err
+	}
+	deltaEnd, err := pstruct.NewVector(h, 8, 10)
+	if err != nil {
+		return 0, err
+	}
+
+	ps, err := h.Alloc(psSize(ncols))
+	if err != nil {
+		return 0, err
+	}
+	h.PutU64(ps.Add(psOffNCols), uint64(ncols))
+	h.PutU64(ps.Add(psOffMainBegin), uint64(mainBegin.Root()))
+	h.PutU64(ps.Add(psOffMainEnd), uint64(mainEnd.Root()))
+	h.PutU64(ps.Add(psOffDeltaBegin), uint64(deltaBegin.Root()))
+	h.PutU64(ps.Add(psOffDeltaEnd), uint64(deltaEnd.Root()))
+	for i := 0; i < ncols; i++ {
+		dc, err := NewNVMDeltaWith(h, t.Schema.Cols[i].Type, t.dictKind)
+		if err != nil {
+			return 0, err
+		}
+		base := ps.Add(psOffCols + uint64(i)*32)
+		h.PutU64(base, uint64(mainCols[i].Root()))
+		h.PutU64(base.Add(8), uint64(dc.Root()))
+		if t.Indexed(i) {
+			gk, err := index.BuildNVMGroupKey(h, mainCols[i].Rows(), mainCols[i].DictLen(), mainCols[i].ValueID)
+			if err != nil {
+				return 0, err
+			}
+			di, err := index.NewNVMDeltaIndex(h)
+			if err != nil {
+				return 0, err
+			}
+			h.PutU64(base.Add(16), uint64(gk.Root()))
+			h.PutU64(base.Add(24), uint64(di.Root()))
+		} else {
+			h.PutU64(base.Add(16), 0)
+			h.PutU64(base.Add(24), 0)
+		}
+	}
+	h.Persist(ps, psSize(ncols))
+	return ps, nil
+}
+
+// attachPartitionSet re-hydrates the in-memory handles from ps.
+func (t *Table) attachPartitionSet(psPtr nvm.PPtr) *partitions {
+	h := t.h
+	ncols := t.Schema.NumCols()
+	ps := &partitions{
+		main:     make([]MainColumn, ncols),
+		delta:    make([]DeltaColumn, ncols),
+		mainIdx:  make([]mainIndex, ncols),
+		deltaIdx: make([]deltaIndex, ncols),
+	}
+	for i := 0; i < ncols; i++ {
+		base := psPtr.Add(psOffCols + uint64(i)*32)
+		ps.main[i] = AttachNVMMain(h, nvm.PPtr(h.GetU64(base)))
+		ps.delta[i] = AttachNVMDelta(h, nvm.PPtr(h.GetU64(base.Add(8))))
+		if t.Indexed(i) {
+			ps.mainIdx[i] = index.AttachNVMGroupKey(h, nvm.PPtr(h.GetU64(base.Add(16))))
+			ps.deltaIdx[i] = index.AttachNVMDeltaIndex(h, nvm.PPtr(h.GetU64(base.Add(24))))
+		}
+	}
+	ps.mainMVCC = mvcc.NewStore(
+		pstruct.AttachVector(h, nvm.PPtr(h.GetU64(psPtr.Add(psOffMainBegin)))),
+		pstruct.AttachVector(h, nvm.PPtr(h.GetU64(psPtr.Add(psOffMainEnd)))),
+	)
+	ps.deltaMVCC = mvcc.NewStore(
+		pstruct.AttachVector(h, nvm.PPtr(h.GetU64(psPtr.Add(psOffDeltaBegin)))),
+		pstruct.AttachVector(h, nvm.PPtr(h.GetU64(psPtr.Add(psOffDeltaEnd)))),
+	)
+	return ps
+}
+
+// alignAfterRestart trims torn multi-structure appends left by a crash:
+// a row append touches every delta column and then the MVCC vectors, so
+// after a crash the prefix lengths can differ by the one in-flight row.
+// Work is O(columns), not O(rows).
+func alignAfterRestart(ps *partitions) {
+	rows := ps.deltaMVCC.Rows()
+	bl, el := ps.deltaMVCC.BeginVec().Len(), ps.deltaMVCC.EndVec().Len()
+	if el < bl {
+		ps.deltaMVCC.BeginVec().Truncate(el)
+		rows = el
+	}
+	for _, d := range ps.delta {
+		if d.Rows() < rows {
+			// A column shorter than the MVCC vectors means the crash hit
+			// between column appends; the row was never made visible
+			// (begin=Inf), but we must drop the MVCC entries to restore
+			// alignment.
+			rows = d.Rows()
+		}
+	}
+	if ps.deltaMVCC.BeginVec().Len() > rows {
+		ps.deltaMVCC.BeginVec().Truncate(rows)
+	}
+	if ps.deltaMVCC.EndVec().Len() > rows {
+		ps.deltaMVCC.EndVec().Truncate(rows)
+	}
+	for _, d := range ps.delta {
+		if d.Rows() > rows {
+			d.Truncate(rows)
+		}
+	}
+	ps.mainMVCC = mvcc.NewStore(ps.mainMVCC.BeginVec(), ps.mainMVCC.EndVec())
+	ps.deltaMVCC = mvcc.NewStore(ps.deltaMVCC.BeginVec(), ps.deltaMVCC.EndVec())
+}
+
+// Root returns the table's persistent root pointer (NVM backend only).
+func (t *Table) Root() nvm.PPtr { return t.root }
+
+// IsNVM reports whether the table uses the persistent backend.
+func (t *Table) IsNVM() bool { return t.h != nil }
+
+// --- View accessors -----------------------------------------------------------
+
+// MainRows returns the number of rows in the main partition.
+func (v View) MainRows() uint64 { return v.ps.mainMVCC.Rows() }
+
+// Rows returns the total row count (main + delta, including dead rows).
+func (v View) Rows() uint64 { return v.ps.mainMVCC.Rows() + v.ps.deltaMVCC.Rows() }
+
+// DeltaRows returns the number of delta rows.
+func (v View) DeltaRows() uint64 { return v.ps.deltaMVCC.Rows() }
+
+// MVCCFor resolves a table row ID to its MVCC store and local row index.
+func (v View) MVCCFor(row uint64) (*mvcc.Store, uint64) {
+	mr := v.ps.mainMVCC.Rows()
+	if row < mr {
+		return v.ps.mainMVCC, row
+	}
+	return v.ps.deltaMVCC, row - mr
+}
+
+// MainMVCC exposes the main partition's MVCC store.
+func (v View) MainMVCC() *mvcc.Store { return v.ps.mainMVCC }
+
+// DeltaMVCC exposes the delta partition's MVCC store.
+func (v View) DeltaMVCC() *mvcc.Store { return v.ps.deltaMVCC }
+
+// MainColumnAt returns main column i.
+func (v View) MainColumnAt(i int) MainColumn { return v.ps.main[i] }
+
+// DeltaColumnAt returns delta column i.
+func (v View) DeltaColumnAt(i int) DeltaColumn { return v.ps.delta[i] }
+
+// Value returns the (possibly dead) value of column col at table row ID
+// row, ignoring visibility — callers check MVCC first.
+func (v View) Value(col int, row uint64) Value {
+	mr := v.ps.mainMVCC.Rows()
+	if row < mr {
+		return v.ps.main[col].Value(row)
+	}
+	return v.ps.delta[col].Value(row - mr)
+}
+
+// Visible reports MVCC visibility of table row ID row.
+func (v View) Visible(row, snapCID, selfTID uint64) bool {
+	s, local := v.MVCCFor(row)
+	return s.Visible(local, snapCID, selfTID)
+}
+
+// ScanVisible calls fn for every row visible at snapCID to selfTID.
+func (v View) ScanVisible(snapCID, selfTID uint64, fn func(row uint64) bool) {
+	mr := v.ps.mainMVCC.Rows()
+	for r := uint64(0); r < mr; r++ {
+		if v.ps.mainMVCC.Visible(r, snapCID, selfTID) && !fn(r) {
+			return
+		}
+	}
+	dr := v.ps.deltaMVCC.Rows()
+	for r := uint64(0); r < dr; r++ {
+		if v.ps.deltaMVCC.Visible(r, snapCID, selfTID) && !fn(mr+r) {
+			return
+		}
+	}
+}
+
+// --- Table-level convenience (single-call consistency) -------------------------
+
+// MainRows returns the main partition row count of the current generation.
+func (t *Table) MainRows() uint64 { return t.View().MainRows() }
+
+// Rows returns the total row count of the current generation.
+func (t *Table) Rows() uint64 { return t.View().Rows() }
+
+// DeltaRows returns the delta row count (the merge trigger metric).
+func (t *Table) DeltaRows() uint64 { return t.View().DeltaRows() }
+
+// MVCCFor resolves a row ID against the current generation.
+func (t *Table) MVCCFor(row uint64) (*mvcc.Store, uint64) { return t.View().MVCCFor(row) }
+
+// MainMVCC exposes the current generation's main MVCC store.
+func (t *Table) MainMVCC() *mvcc.Store { return t.View().MainMVCC() }
+
+// DeltaMVCC exposes the current generation's delta MVCC store.
+func (t *Table) DeltaMVCC() *mvcc.Store { return t.View().DeltaMVCC() }
+
+// MainColumnAt returns main column i of the current generation.
+func (t *Table) MainColumnAt(i int) MainColumn { return t.View().MainColumnAt(i) }
+
+// DeltaColumnAt returns delta column i of the current generation.
+func (t *Table) DeltaColumnAt(i int) DeltaColumn { return t.View().DeltaColumnAt(i) }
+
+// Value reads a cell in the current generation.
+func (t *Table) Value(col int, row uint64) Value { return t.View().Value(col, row) }
+
+// Visible checks MVCC visibility in the current generation.
+func (t *Table) Visible(row, snapCID, selfTID uint64) bool {
+	return t.View().Visible(row, snapCID, selfTID)
+}
+
+// ScanVisible iterates the current generation's visible rows.
+func (t *Table) ScanVisible(snapCID, selfTID uint64, fn func(row uint64) bool) {
+	t.View().ScanVisible(snapCID, selfTID, fn)
+}
+
+// --- Writes ---------------------------------------------------------------------
+
+// AppendRow appends vals as a new delta row owned by transaction owner.
+// The row starts invisible (begin = Inf); the commit protocol stamps it.
+// Indexed columns get their delta-index entries here. It returns the
+// table row ID (relative to the current epoch).
+func (t *Table) AppendRow(vals []Value, owner uint64) (uint64, error) {
+	if err := t.Schema.Validate(vals); err != nil {
+		return 0, err
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	ps := t.parts.Load()
+	localRow := ps.deltaMVCC.Rows()
+	// On a mid-row failure (e.g. the NVM heap filling up) the columns
+	// appended so far must be truncated back, or every later row would
+	// be misaligned across columns.
+	rollback := func(upto int) {
+		for c := 0; c < upto; c++ {
+			if ps.delta[c].Rows() > localRow {
+				ps.delta[c].Truncate(localRow)
+			}
+		}
+	}
+	for i, v := range vals {
+		if _, err := ps.delta[i].Append(v); err != nil {
+			rollback(i)
+			return 0, err
+		}
+		// deltaIdx[i] is nil on a checkpoint-loaded table until
+		// RebuildIndexes runs (log replay happens in between and the
+		// rebuild re-inserts everything); a stale index entry left by a
+		// failed insert is filtered by value verification at lookup.
+		if t.Indexed(i) && ps.deltaIdx[i] != nil {
+			if err := ps.deltaIdx[i].Insert(v.EncodeKey(nil), localRow); err != nil {
+				rollback(i + 1)
+				return 0, err
+			}
+		}
+	}
+	if _, err := ps.deltaMVCC.AppendRow(owner); err != nil {
+		rollback(len(vals))
+		return 0, err
+	}
+	return ps.mainMVCC.Rows() + localRow, nil
+}
+
+// StampBegin durably sets the begin CID of table row ID row.
+func (t *Table) StampBegin(row, cid uint64) {
+	s, local := t.MVCCFor(row)
+	s.SetBegin(local, cid)
+	s.PersistBegin(local)
+}
+
+// StampEnd durably sets the end CID of table row ID row.
+func (t *Table) StampEnd(row, cid uint64) {
+	s, local := t.MVCCFor(row)
+	s.SetEnd(local, cid)
+	s.PersistEnd(local)
+}
+
+// ReleaseOwner clears the write lock of row if held by owner.
+func (t *Table) ReleaseOwner(row, owner uint64) {
+	s, local := t.MVCCFor(row)
+	s.ReleaseRow(local, owner)
+}

@@ -1,0 +1,372 @@
+package storage
+
+import (
+	"testing"
+
+	"hyrisenv/internal/mvcc"
+	"hyrisenv/internal/nvm"
+)
+
+func ordersSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema(
+		ColumnDef{"id", TypeInt64},
+		ColumnDef{"customer", TypeString},
+		ColumnDef{"amount", TypeFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tables builds a table per backend.
+func tables(t *testing.T) map[string]*Table {
+	t.Helper()
+	h, _ := testNVMHeap(t)
+	nt, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Table{
+		"dram": NewVolatileTable("orders", 1, ordersSchema(t), 0),
+		"nvm":  nt,
+	}
+}
+
+// commitRow makes row visible from cid on (bypassing the txn layer).
+func commitRow(t *Table, row, cid uint64) {
+	s, local := t.MVCCFor(row)
+	s.SetBegin(local, cid)
+	s.PersistBegin(local)
+	s.ReleaseRow(local, s.TID(local))
+}
+
+func TestTableAppendAndVisibility(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			row, err := tbl.AppendRow([]Value{Int(1), Str("alice"), Float(9.5)}, 77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.Rows() != 1 || tbl.MainRows() != 0 {
+				t.Fatalf("Rows=%d MainRows=%d", tbl.Rows(), tbl.MainRows())
+			}
+			// Uncommitted: only owner sees it.
+			if tbl.Visible(row, 100, 0) {
+				t.Fatal("uncommitted row visible")
+			}
+			if !tbl.Visible(row, 100, 77) {
+				t.Fatal("owner cannot see own insert")
+			}
+			commitRow(tbl, row, 5)
+			if !tbl.Visible(row, 5, 0) || tbl.Visible(row, 4, 0) {
+				t.Fatal("visibility after commit")
+			}
+			if got := tbl.Value(1, row); got.S != "alice" {
+				t.Fatalf("Value = %v", got)
+			}
+		})
+	}
+}
+
+func TestTableSchemaValidation(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := tbl.AppendRow([]Value{Int(1)}, 1); err == nil {
+				t.Fatal("short row accepted")
+			}
+			if _, err := tbl.AppendRow([]Value{Str("x"), Str("y"), Float(1)}, 1); err == nil {
+				t.Fatal("mistyped row accepted")
+			}
+		})
+	}
+}
+
+func TestTableScanVisible(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(0); i < 10; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i), Str("c"), Float(0)}, 1)
+				if i%2 == 0 {
+					commitRow(tbl, row, 3)
+				}
+			}
+			var visible []uint64
+			tbl.ScanVisible(10, 0, func(row uint64) bool {
+				visible = append(visible, row)
+				return true
+			})
+			if len(visible) != 5 {
+				t.Fatalf("visible rows = %d, want 5", len(visible))
+			}
+		})
+	}
+}
+
+func TestTableMergeCompacts(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			// Commit 10 rows, invalidate 3 of them at CID 6.
+			var rows []uint64
+			for i := int64(0); i < 10; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i % 4), Str("c"), Float(float64(i))}, 1)
+				commitRow(tbl, row, 5)
+				rows = append(rows, row)
+			}
+			for _, r := range rows[:3] {
+				s, local := tbl.MVCCFor(r)
+				s.SetEnd(local, 6)
+				s.PersistEnd(local)
+			}
+			stats, err := tbl.Merge(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.RowsBefore != 10 || stats.RowsAfter != 7 || stats.DeadDropped != 3 {
+				t.Fatalf("stats = %+v", stats)
+			}
+			if tbl.MainRows() != 7 || tbl.Rows() != 7 {
+				t.Fatalf("MainRows=%d Rows=%d", tbl.MainRows(), tbl.Rows())
+			}
+			// Values preserved: rows 3..9 had Int(i%4), Float(i).
+			seen := map[float64]bool{}
+			tbl.ScanVisible(10, 0, func(row uint64) bool {
+				seen[tbl.Value(2, row).F] = true
+				return true
+			})
+			for i := 3; i < 10; i++ {
+				if !seen[float64(i)] {
+					t.Fatalf("row with amount %d lost in merge", i)
+				}
+			}
+			// Table stays writable after merge.
+			row, err := tbl.AppendRow([]Value{Int(9), Str("post"), Float(99)}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			commitRow(tbl, row, 11)
+			if !tbl.Visible(row, 11, 0) {
+				t.Fatal("post-merge insert invisible")
+			}
+			// Merge again including the delta row.
+			stats, err = tbl.Merge(12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.RowsAfter != 8 {
+				t.Fatalf("second merge rows = %d", stats.RowsAfter)
+			}
+		})
+	}
+}
+
+func TestTableMergePreservesBegins(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			r1, _ := tbl.AppendRow([]Value{Int(1), Str("a"), Float(1)}, 1)
+			commitRow(tbl, r1, 5)
+			r2, _ := tbl.AppendRow([]Value{Int(2), Str("b"), Float(2)}, 1)
+			commitRow(tbl, r2, 9)
+			if _, err := tbl.Merge(10); err != nil {
+				t.Fatal(err)
+			}
+			// Begin CIDs preserved: at snapshot 7 only the first row shows.
+			var n int
+			tbl.ScanVisible(7, 0, func(uint64) bool { n++; return true })
+			if n != 1 {
+				t.Fatalf("rows visible at CID 7 after merge = %d, want 1", n)
+			}
+		})
+	}
+}
+
+func TestTableMergeBusy(t *testing.T) {
+	for name, tbl := range tables(t) {
+		t.Run(name, func(t *testing.T) {
+			tbl.AppendRow([]Value{Int(1), Str("a"), Float(1)}, 42) // owned, uncommitted
+			if _, err := tbl.Merge(10); err != ErrMergeBusy {
+				t.Fatalf("err = %v, want ErrMergeBusy", err)
+			}
+		})
+	}
+}
+
+func TestNVMTableSurvivesReopen(t *testing.T) {
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 3, ordersSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	for i := int64(0); i < 50; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i), Str("cust"), Float(float64(i) / 2)}, 1)
+		commitRow(tbl, row, 2)
+	}
+	if _, err := tbl.Merge(3); err != nil {
+		t.Fatal(err)
+	}
+	// More rows after the merge, still in delta.
+	for i := int64(50); i < 60; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i), Str("cust"), Float(float64(i) / 2)}, 1)
+		commitRow(tbl, row, 4)
+	}
+
+	h2 := reopenHeap(t, h, path)
+	root, _, _ := h2.Root("tbl:orders")
+	tbl2, err := OpenNVMTable(h2, "orders", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.ID != 3 {
+		t.Fatalf("ID = %d", tbl2.ID)
+	}
+	if tbl2.MainRows() != 50 || tbl2.Rows() != 60 {
+		t.Fatalf("MainRows=%d Rows=%d", tbl2.MainRows(), tbl2.Rows())
+	}
+	var sum int64
+	tbl2.ScanVisible(100, 0, func(row uint64) bool {
+		sum += tbl2.Value(0, row).I
+		return true
+	})
+	if sum != 59*60/2 {
+		t.Fatalf("sum of ids = %d, want %d", sum, 59*60/2)
+	}
+	// Writable after restart.
+	row, err := tbl2.AppendRow([]Value{Int(60), Str("new"), Float(1)}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitRow(tbl2, row, 5)
+	if !tbl2.Visible(row, 5, 0) {
+		t.Fatal("post-restart insert invisible")
+	}
+}
+
+func TestNVMTableTornRowAppendRepaired(t *testing.T) {
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	for i := int64(0); i < 5; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i), Str("x"), Float(0)}, 1)
+		commitRow(tbl, row, 2)
+	}
+	// Crash in the middle of a row append, at several barrier counts:
+	// each leaves a different torn state (partial columns, partial MVCC).
+	for fail := int64(1); fail <= 10; fail++ {
+		func() {
+			defer func() { recover() }()
+			h.FailAfter(fail)
+			tbl.AppendRow([]Value{Int(99), Str("torn"), Float(9)}, 7)
+			h.FailAfter(0)
+		}()
+		h.FailAfter(0)
+		h2 := reopenHeap(t, h, path)
+		root, _, _ := h2.Root("tbl:orders")
+		tbl2, err := OpenNVMTable(h2, "orders", root)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		// All 5 committed rows intact; torn row invisible.
+		var n int
+		tbl2.ScanVisible(100, 0, func(row uint64) bool {
+			n++
+			if tbl2.Value(1, row).S == "torn" {
+				t.Fatalf("fail=%d: torn row visible", fail)
+			}
+			return true
+		})
+		if n != 5 {
+			t.Fatalf("fail=%d: visible rows = %d, want 5", fail, n)
+		}
+		// Columns re-aligned: appending must work and read back intact.
+		row, err := tbl2.AppendRow([]Value{Int(123), Str("after"), Float(1)}, 3)
+		if err != nil {
+			t.Fatalf("fail=%d: append after repair: %v", fail, err)
+		}
+		commitRow(tbl2, row, 3)
+		if got := tbl2.Value(0, row); got.I != 123 {
+			t.Fatalf("fail=%d: misaligned append: %v", fail, got)
+		}
+		if got := tbl2.Value(1, row); got.S != "after" {
+			t.Fatalf("fail=%d: misaligned append col1: %v", fail, got)
+		}
+		// Undo the extra row for the next iteration by invalidating it.
+		s, local := tbl2.MVCCFor(row)
+		s.SetEnd(local, 3)
+		s.PersistEnd(local)
+		n = 0
+		tbl2.ScanVisible(100, 0, func(uint64) bool { n++; return true })
+		if n != 5 {
+			t.Fatalf("fail=%d: cleanup failed, visible=%d", fail, n)
+		}
+		h = h2
+		tbl = tbl2
+	}
+}
+
+func TestNVMTableMergeCrashSafety(t *testing.T) {
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	for i := int64(0); i < 20; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i), Str("x"), Float(0)}, 1)
+		commitRow(tbl, row, 2)
+	}
+	// Crash at many points during the merge; the table must always come
+	// back with exactly the 20 rows (either pre- or post-merge layout).
+	for fail := int64(1); fail <= 60; fail += 7 {
+		func() {
+			defer func() { recover() }()
+			h.FailAfter(fail)
+			tbl.Merge(5)
+			h.FailAfter(0)
+		}()
+		h.FailAfter(0)
+		h2 := reopenHeap(t, h, path)
+		root, _, _ := h2.Root("tbl:orders")
+		tbl2, err := OpenNVMTable(h2, "orders", root)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		var sum int64
+		var n int
+		tbl2.ScanVisible(100, 0, func(row uint64) bool {
+			n++
+			sum += tbl2.Value(0, row).I
+			return true
+		})
+		if n != 20 || sum != 19*20/2 {
+			t.Fatalf("fail=%d: n=%d sum=%d", fail, n, sum)
+		}
+		h = h2
+		tbl = tbl2
+	}
+}
+
+func TestMVCCForAddressing(t *testing.T) {
+	tbl := NewVolatileTable("t", 1, ordersSchema(t), 0)
+	r, _ := tbl.AppendRow([]Value{Int(1), Str("a"), Float(1)}, 1)
+	commitRow(tbl, r, 1)
+	tbl.Merge(2)
+	r2, _ := tbl.AppendRow([]Value{Int(2), Str("b"), Float(2)}, 1)
+	s, local := tbl.MVCCFor(0)
+	if s != tbl.MainMVCC() || local != 0 {
+		t.Fatal("main row misaddressed")
+	}
+	s, local = tbl.MVCCFor(r2)
+	if s != tbl.DeltaMVCC() || local != 0 {
+		t.Fatal("delta row misaddressed")
+	}
+	if s.Begin(local) != mvcc.Inf {
+		t.Fatal("fresh delta row should be uncommitted")
+	}
+}
+
+var _ = nvm.PPtr(0) // keep import when tests are pruned

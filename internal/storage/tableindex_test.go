@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"testing"
+)
+
+// indexedTables builds tables with column 0 (id) and 1 (customer) indexed.
+func indexedTables(t *testing.T) map[string]*Table {
+	t.Helper()
+	h, _ := testNVMHeap(t)
+	nt, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0b011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Table{
+		"dram": NewVolatileTable("orders", 1, ordersSchema(t), 0b011),
+		"nvm":  nt,
+	}
+}
+
+func lookupVisible(tbl *Table, col int, v Value, cid uint64) []uint64 {
+	var rows []uint64
+	tbl.LookupRows(col, v.EncodeKey(nil), func(r uint64) bool {
+		if tbl.Visible(r, cid, 0) {
+			rows = append(rows, r)
+		}
+		return true
+	})
+	return rows
+}
+
+func TestTableLookupRowsDeltaOnly(t *testing.T) {
+	for name, tbl := range indexedTables(t) {
+		t.Run(name, func(t *testing.T) {
+			if !tbl.Indexed(0) || !tbl.Indexed(1) || tbl.Indexed(2) {
+				t.Fatal("index mask wiring")
+			}
+			for i := int64(0); i < 20; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i % 4), Str("c"), Float(0)}, 1)
+				commitRow(tbl, row, 2)
+			}
+			rows := lookupVisible(tbl, 0, Int(3), 5)
+			if len(rows) != 5 {
+				t.Fatalf("lookup id=3: %v", rows)
+			}
+			for _, r := range rows {
+				if tbl.Value(0, r).I != 3 {
+					t.Fatalf("row %d has wrong value", r)
+				}
+			}
+			if got := lookupVisible(tbl, 0, Int(99), 5); got != nil {
+				t.Fatalf("lookup of absent value: %v", got)
+			}
+			// Unindexed column reports !ok.
+			if ok := tbl.LookupRows(2, Float(0).EncodeKey(nil), func(uint64) bool { return true }); ok {
+				t.Fatal("unindexed column lookup returned ok")
+			}
+		})
+	}
+}
+
+func TestTableLookupRowsAcrossMerge(t *testing.T) {
+	for name, tbl := range indexedTables(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(0); i < 10; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i % 3), Str("x"), Float(0)}, 1)
+				commitRow(tbl, row, 2)
+			}
+			if _, err := tbl.Merge(3); err != nil {
+				t.Fatal(err)
+			}
+			// Post-merge: lookups resolve through the main group-key index.
+			rows := lookupVisible(tbl, 0, Int(1), 5)
+			if len(rows) != 3 {
+				t.Fatalf("post-merge lookup: %v", rows)
+			}
+			// New delta rows found too.
+			row, _ := tbl.AppendRow([]Value{Int(1), Str("y"), Float(0)}, 1)
+			commitRow(tbl, row, 6)
+			rows = lookupVisible(tbl, 0, Int(1), 7)
+			if len(rows) != 4 {
+				t.Fatalf("mixed main+delta lookup: %v", rows)
+			}
+		})
+	}
+}
+
+func TestTableLookupRange(t *testing.T) {
+	for name, tbl := range indexedTables(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(0); i < 10; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i), Str("x"), Float(0)}, 1)
+				commitRow(tbl, row, 2)
+			}
+			tbl.Merge(3) // move into main
+			// Two more in delta.
+			for i := int64(10); i < 12; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i), Str("x"), Float(0)}, 1)
+				commitRow(tbl, row, 4)
+			}
+			var vals []int64
+			tbl.LookupRowsInRange(0, Int(3).EncodeKey(nil), Int(11).EncodeKey(nil), func(r uint64) bool {
+				if tbl.Visible(r, 10, 0) {
+					vals = append(vals, tbl.Value(0, r).I)
+				}
+				return true
+			})
+			if len(vals) != 8 { // 3..10
+				t.Fatalf("range vals = %v", vals)
+			}
+			for _, v := range vals {
+				if v < 3 || v >= 11 {
+					t.Fatalf("out-of-range value %d", v)
+				}
+			}
+		})
+	}
+}
+
+func TestTableIndexSurvivesRestartNVM(t *testing.T) {
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	for i := int64(0); i < 30; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i % 5), Str("c"), Float(0)}, 1)
+		commitRow(tbl, row, 2)
+	}
+	h2 := reopenHeap(t, h, path)
+	root, _, _ := h2.Root("tbl:orders")
+	tbl2, err := OpenNVMTable(h2, "orders", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delta index is usable immediately — no rebuild call.
+	rows := lookupVisible(tbl2, 0, Int(2), 5)
+	if len(rows) != 6 {
+		t.Fatalf("post-restart index lookup: %v", rows)
+	}
+}
+
+func TestTableStaleIndexEntryFiltered(t *testing.T) {
+	// A crash can leave a delta-index entry for a row that the restart
+	// fixup truncates; if the slot is later reused by a different value
+	// the stale entry must not surface.
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	row, _ := tbl.AppendRow([]Value{Int(1), Str("a"), Float(0)}, 1)
+	commitRow(tbl, row, 2)
+	// Crash mid-append of a row with value 777: index entry may be
+	// persisted while the row gets truncated.
+	func() {
+		defer func() { recover() }()
+		h.FailAfter(8)
+		tbl.AppendRow([]Value{Int(777), Str("b"), Float(0)}, 3)
+		h.FailAfter(0)
+	}()
+	h.FailAfter(0)
+	h2 := reopenHeap(t, h, path)
+	root, _, _ := h2.Root("tbl:orders")
+	tbl2, err := OpenNVMTable(h2, "orders", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the slot with a different value.
+	row2, _ := tbl2.AppendRow([]Value{Int(888), Str("c"), Float(0)}, 1)
+	commitRow(tbl2, row2, 3)
+	// 777 must not return row2 (whatever the stale index says).
+	for _, r := range lookupVisible(tbl2, 0, Int(777), 10) {
+		if tbl2.Value(0, r).I != 777 {
+			t.Fatalf("stale index entry surfaced row %d", r)
+		}
+	}
+	got := lookupVisible(tbl2, 0, Int(888), 10)
+	if len(got) != 1 || got[0] != row2 {
+		t.Fatalf("lookup(888) = %v", got)
+	}
+}
+
+func TestRebuildIndexes(t *testing.T) {
+	for name, tbl := range indexedTables(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := int64(0); i < 10; i++ {
+				row, _ := tbl.AppendRow([]Value{Int(i % 2), Str("x"), Float(0)}, 1)
+				commitRow(tbl, row, 2)
+			}
+			tbl.Merge(3)
+			row, _ := tbl.AppendRow([]Value{Int(1), Str("x"), Float(0)}, 1)
+			commitRow(tbl, row, 4)
+			if err := tbl.RebuildIndexes(); err != nil {
+				t.Fatal(err)
+			}
+			rows := lookupVisible(tbl, 0, Int(1), 10)
+			if len(rows) != 6 {
+				t.Fatalf("post-rebuild lookup: %v", rows)
+			}
+		})
+	}
+}
+
+func TestHashDictTableCrashRepair(t *testing.T) {
+	// The torn-row-append repair must hold with the hash dictionary
+	// index as well.
+	h, path := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0b001, WithHashDictIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetRoot("tbl:orders", tbl.Root(), 0)
+	for i := int64(0); i < 5; i++ {
+		row, _ := tbl.AppendRow([]Value{Int(i), Str("x"), Float(0)}, 1)
+		commitRow(tbl, row, 2)
+	}
+	for fail := int64(1); fail <= 8; fail++ {
+		func() {
+			defer func() { recover() }()
+			h.FailAfter(fail)
+			tbl.AppendRow([]Value{Int(99), Str("torn"), Float(9)}, 7)
+			h.FailAfter(0)
+		}()
+		h.FailAfter(0)
+		h2 := reopenHeap(t, h, path)
+		root, _, _ := h2.Root("tbl:orders")
+		tbl2, err := OpenNVMTable(h2, "orders", root)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		var n int
+		tbl2.ScanVisible(100, 0, func(uint64) bool { n++; return true })
+		if n != 5 {
+			t.Fatalf("fail=%d: visible=%d", fail, n)
+		}
+		if _, err := tbl2.Check(); err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		h, tbl = h2, tbl2
+	}
+}

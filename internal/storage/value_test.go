@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKeyOrderPreservingInt(t *testing.T) {
+	vals := []int64{math.MinInt64, -1000, -1, 0, 1, 42, 1000, math.MaxInt64}
+	var prev []byte
+	for i, v := range vals {
+		enc := Int(v).EncodeKey(nil)
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("encoding of %d not greater than predecessor", v)
+		}
+		prev = enc
+	}
+}
+
+func TestEncodeKeyOrderPreservingFloat(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1.5, -0.0001, 0, 0.0001, 1.5, 1e300, math.Inf(1)}
+	var prev []byte
+	for i, v := range vals {
+		enc := Float(v).EncodeKey(nil)
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("encoding of %g not greater than predecessor", v)
+		}
+		prev = enc
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Value{
+		Int(0), Int(-5), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-3.25), Float(1e-300), Float(math.Inf(1)),
+		Str(""), Str("hello"), Str("snowman ☃"),
+	}
+	for _, v := range cases {
+		got := DecodeValue(v.T, v.EncodeKey(nil))
+		if !got.Equal(v) {
+			t.Fatalf("round trip of %v gave %v", v, got)
+		}
+	}
+}
+
+func TestEncodeIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := Int(a).EncodeKey(nil), Int(b).EncodeKey(nil)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeFloatProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := Float(a).EncodeKey(nil), Float(b).EncodeKey(nil)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeStringSortOrder(t *testing.T) {
+	strs := []string{"b", "", "abc", "ab", "z", "aa"}
+	enc := make([]string, len(strs))
+	for i, s := range strs {
+		enc[i] = string(Str(s).EncodeKey(nil))
+	}
+	sort.Strings(strs)
+	sort.Strings(enc)
+	for i := range strs {
+		if enc[i] != strs[i] {
+			t.Fatalf("string encoding does not sort naturally: %q vs %q", enc[i], strs[i])
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Int(-7).String() != "-7" || Str("x").String() != "x" || Float(1.5).String() != "1.5" {
+		t.Fatal("Value.String formatting")
+	}
+	if TypeInt64.String() != "BIGINT" || TypeString.String() != "VARCHAR" || TypeFloat64.String() != "DOUBLE" {
+		t.Fatal("ColType.String formatting")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(1).Equal(Int(1)) || Int(1).Equal(Int(2)) || Int(1).Equal(Str("1")) {
+		t.Fatal("Int equality")
+	}
+	if !Float(math.NaN()).Equal(Float(math.NaN())) {
+		t.Fatal("NaN should equal NaN for storage purposes")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s, err := NewSchema(
+		ColumnDef{"id", TypeInt64},
+		ColumnDef{"name", TypeString},
+		ColumnDef{"price", TypeFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ColIndex("name") != 1 || s.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex")
+	}
+	if s.NumCols() != 3 {
+		t.Fatal("NumCols")
+	}
+	if err := s.Validate([]Value{Int(1), Str("a"), Float(2)}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := s.Validate([]Value{Int(1), Str("a")}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := s.Validate([]Value{Int(1), Int(2), Float(3)}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewSchema(ColumnDef{"", TypeInt64}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewSchema(ColumnDef{"a", TypeInt64}, ColumnDef{"a", TypeString}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := NewSchema(ColumnDef{"a", ColType(99)}); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestSchemaMarshalRoundTrip(t *testing.T) {
+	s, _ := NewSchema(
+		ColumnDef{"id", TypeInt64},
+		ColumnDef{"payload", TypeString},
+	)
+	got, err := UnmarshalSchema(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCols() != 2 || got.Cols[0] != s.Cols[0] || got.Cols[1] != s.Cols[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalSchema([]byte{1, 2}); err == nil {
+		t.Fatal("truncated schema accepted")
+	}
+	if _, err := UnmarshalSchema([]byte{2, 0, 0, 0, 1, 5, 0}); err == nil {
+		t.Fatal("truncated column accepted")
+	}
+}

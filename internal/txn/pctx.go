@@ -1,0 +1,296 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hyrisenv/internal/mvcc"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+)
+
+// Persistent transaction contexts (ModeNVM).
+//
+// During execution every write appends a {kind, table, row} entry to the
+// transaction's NVM-resident context, a chain of fixed-size blocks
+// registered in a persistent directory. At commit the context receives
+// the CID before any row stamp is persisted; the global lastCID is
+// persisted after all stamps. Restart therefore classifies every context
+// unambiguously:
+//
+//	cid == 0            — never reached commit; nothing stamped.
+//	0 < cid <= lastCID  — durably committed; stamps are all persisted.
+//	cid > lastCID       — commit was in flight; stamps may be partial
+//	                      and are reset (begin→Inf for inserts,
+//	                      end→Inf for invalidations).
+//
+// Undo touches only the rows listed in live contexts, so restart cost is
+// proportional to in-flight writes — the size-independence the paper
+// demonstrates.
+
+const (
+	txnSlots = 256
+
+	// Commit root block: lastCID u64 | slot[txnSlots] u64.
+	crOffLastCID = 0
+	crOffSlots   = 8
+	crSize       = 8 + txnSlots*8
+
+	// Context block: cid u64 | count u64 | next u64 | entries.
+	pcOffCID     = 0
+	pcOffCount   = 8
+	pcOffNext    = 16
+	pcOffEntries = 24
+	pcBlockSize  = 512
+	pcEntriesMax = (pcBlockSize - pcOffEntries) / 16
+
+	kindInsertEntry     = 1
+	kindInvalidateEntry = 2
+)
+
+// ErrTooManyTxns is returned when all persistent context slots are taken.
+var ErrTooManyTxns = errors.New("txn: too many concurrent writing transactions")
+
+// commitRootName is the heap root anchoring the commit state.
+const commitRootName = "txn:commitroot"
+
+type pctxHandle struct {
+	head      nvm.PPtr
+	tail      nvm.PPtr
+	tailCount uint64
+	slot      int
+}
+
+type slotPool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+func (p *slotPool) get() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0, false
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return s, true
+}
+
+func (p *slotPool) put(s int) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// TableResolver maps persistent table IDs to open tables during restart.
+type TableResolver func(tableID uint32) *storage.Table
+
+// NVMRecoveryStats reports the (tiny) amount of restart work performed.
+type NVMRecoveryStats struct {
+	LiveContexts  int // contexts found in the directory
+	CommittedDone int // contexts that were already durably committed
+	RolledBack    int // in-flight transactions undone
+	EntriesUndone int // row stamps reset
+}
+
+// OpenNVMManager creates or re-attaches the ModeNVM transaction manager
+// on heap h. On re-attach it runs the in-flight transaction fixup —
+// the *only* data-dependent work of a Hyrise-NV restart.
+func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoveryStats, error) {
+	var stats NVMRecoveryStats
+	m := &Manager{mode: ModeNVM, h: h}
+	m.nextTID.Store(1)
+
+	root, _, ok := h.Root(commitRootName)
+	if !ok {
+		var err error
+		root, err = h.Alloc(crSize)
+		if err != nil {
+			return nil, stats, err
+		}
+		for i := 0; i < txnSlots+1; i++ {
+			h.PutU64(root.Add(uint64(i)*8), 0)
+		}
+		h.Persist(root, crSize)
+		if err := h.SetRoot(commitRootName, root, 0); err != nil {
+			return nil, stats, err
+		}
+	}
+	m.pRoot = root
+	lastCID := h.U64(root.Add(crOffLastCID))
+	m.lastCID.Store(lastCID)
+
+	// Restart fixup: resolve every live context.
+	m.slots = &slotPool{}
+	for i := 0; i < txnSlots; i++ {
+		slotP := root.Add(crOffSlots + uint64(i)*8)
+		head := nvm.PPtr(h.U64(slotP))
+		if !head.IsNil() {
+			stats.LiveContexts++
+			cid := h.U64(head.Add(pcOffCID))
+			committed := cid != 0 && cid <= lastCID
+			if committed {
+				stats.CommittedDone++
+			} else {
+				stats.RolledBack++
+				n, err := m.undoContext(head, resolve)
+				if err != nil {
+					return nil, stats, err
+				}
+				stats.EntriesUndone += n
+			}
+			h.SetU64(slotP, 0)
+			h.Persist(slotP, 8)
+			m.freeChain(head)
+		}
+		m.slots.free = append(m.slots.free, i)
+	}
+	return m, stats, nil
+}
+
+// undoContext resets the row stamps listed in the context chain.
+func (m *Manager) undoContext(head nvm.PPtr, resolve TableResolver) (int, error) {
+	h := m.h
+	undone := 0
+	for blk := head; !blk.IsNil(); blk = nvm.PPtr(h.U64(blk.Add(pcOffNext))) {
+		count := h.U64(blk.Add(pcOffCount))
+		if count > pcEntriesMax {
+			return undone, fmt.Errorf("txn: corrupt context block (count %d)", count)
+		}
+		for e := uint64(0); e < count; e++ {
+			meta := h.U64(blk.Add(pcOffEntries + e*16))
+			row := h.U64(blk.Add(pcOffEntries + e*16 + 8))
+			kind := meta >> 32
+			tableID := uint32(meta)
+			tbl := resolve(tableID)
+			if tbl == nil {
+				return undone, fmt.Errorf("txn: context references unknown table %d", tableID)
+			}
+			if row >= tbl.Rows() {
+				// The row append itself was torn away by the table-level
+				// restart fixup; nothing to undo.
+				continue
+			}
+			switch kind {
+			case kindInsertEntry:
+				tbl.StampBegin(row, mvcc.Inf)
+			case kindInvalidateEntry:
+				tbl.StampEnd(row, mvcc.Inf)
+			default:
+				return undone, fmt.Errorf("txn: corrupt context entry kind %d", kind)
+			}
+			undone++
+		}
+	}
+	return undone, nil
+}
+
+func (m *Manager) freeChain(head nvm.PPtr) {
+	h := m.h
+	for !head.IsNil() {
+		next := nvm.PPtr(h.U64(head.Add(pcOffNext)))
+		h.Free(head)
+		head = next
+	}
+}
+
+// newPctxBlock allocates and persists an empty context block.
+func (m *Manager) newPctxBlock() (nvm.PPtr, error) {
+	blk, err := m.h.Alloc(pcBlockSize)
+	if err != nil {
+		return 0, err
+	}
+	m.h.PutU64(blk.Add(pcOffCID), 0)
+	m.h.PutU64(blk.Add(pcOffCount), 0)
+	m.h.PutU64(blk.Add(pcOffNext), 0)
+	m.h.Persist(blk, pcOffEntries)
+	return blk, nil
+}
+
+// pctxRecord appends op to t's persistent context, creating and
+// registering the context on the first write.
+func (m *Manager) pctxRecord(t *Txn, op writeOp) error {
+	h := m.h
+	if t.pctx.head.IsNil() {
+		blk, err := m.newPctxBlock()
+		if err != nil {
+			return err
+		}
+		slot, ok := m.slots.get()
+		if !ok {
+			h.Free(blk)
+			return ErrTooManyTxns
+		}
+		slotP := m.pRoot.Add(crOffSlots + uint64(slot)*8)
+		h.SetU64(slotP, uint64(blk))
+		h.Persist(slotP, 8)
+		t.pctx = pctxHandle{head: blk, tail: blk, tailCount: 0, slot: slot}
+	}
+	if t.pctx.tailCount == pcEntriesMax {
+		blk, err := m.newPctxBlock()
+		if err != nil {
+			return err
+		}
+		nextP := t.pctx.tail.Add(pcOffNext)
+		h.SetU64(nextP, uint64(blk))
+		h.Persist(nextP, 8)
+		t.pctx.tail = blk
+		t.pctx.tailCount = 0
+	}
+	var kind uint64
+	switch op.kind {
+	case writeInsert:
+		kind = kindInsertEntry
+	case writeInvalidate:
+		kind = kindInvalidateEntry
+	}
+	e := t.pctx.tail.Add(pcOffEntries + t.pctx.tailCount*16)
+	h.PutU64(e, kind<<32|uint64(op.table.ID))
+	h.PutU64(e.Add(8), op.row)
+	h.Persist(e, 16)
+	t.pctx.tailCount++
+	cp := t.pctx.tail.Add(pcOffCount)
+	h.SetU64(cp, t.pctx.tailCount)
+	h.Persist(cp, 8)
+	return nil
+}
+
+// pctxSetCID durably marks the context as committing with cid.
+func (m *Manager) pctxSetCID(t *Txn, cid uint64) {
+	if t.pctx.head.IsNil() {
+		return
+	}
+	p := t.pctx.head.Add(pcOffCID)
+	m.h.SetU64(p, cid)
+	m.h.Persist(p, 8)
+}
+
+// releasePctx unregisters and recycles t's persistent context.
+func (m *Manager) releasePctx(t *Txn) {
+	if m.mode != ModeNVM || t.pctx.head.IsNil() {
+		return
+	}
+	slotP := m.pRoot.Add(crOffSlots + uint64(t.pctx.slot)*8)
+	m.h.SetU64(slotP, 0)
+	m.h.Persist(slotP, 8)
+	m.freeChain(t.pctx.head)
+	m.slots.put(t.pctx.slot)
+	t.pctx = pctxHandle{}
+}
+
+// Blocks yields the heap blocks owned by the transaction manager: the
+// commit root and every live context chain (ModeNVM).
+func (m *Manager) Blocks(yield func(nvm.PPtr)) {
+	if m.mode != ModeNVM {
+		return
+	}
+	yield(m.pRoot)
+	for i := 0; i < txnSlots; i++ {
+		blk := nvm.PPtr(m.h.U64(m.pRoot.Add(crOffSlots + uint64(i)*8)))
+		for ; !blk.IsNil(); blk = nvm.PPtr(m.h.U64(blk.Add(pcOffNext))) {
+			yield(blk)
+		}
+	}
+}

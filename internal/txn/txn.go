@@ -1,0 +1,482 @@
+// Package txn implements transactions over the main/delta column store
+// with three durability modes:
+//
+//   - ModeNone: MVCC only, no durability (the DRAM-only reference point).
+//   - ModeLog:  redo-only write-ahead logging with group commit plus
+//     binary checkpoints — the conventional engine whose ~53 s restart
+//     the paper measures.
+//   - ModeNVM:  the Hyrise-NV protocol. All table state already lives on
+//     NVM; a commit becomes durable by (1) having persisted the dirty-row
+//     list in a persistent transaction context during execution,
+//     (2) stamping and persisting the begin/end CIDs of the dirty rows,
+//     and (3) persisting the advanced global last-committed CID. Restart
+//     undoes stamps of contexts whose CID never made it behind the
+//     persisted last CID — work proportional to in-flight writes, never
+//     to data size.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyrisenv/internal/mvcc"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/wal"
+)
+
+// Mode selects the durability mechanism.
+type Mode int
+
+// Durability modes.
+const (
+	ModeNone Mode = iota
+	ModeLog
+	ModeNVM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeLog:
+		return "log"
+	case ModeNVM:
+		return "nvm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the transaction layer.
+var (
+	ErrConflict    = errors.New("txn: write-write conflict")
+	ErrNotActive   = errors.New("txn: transaction is not active")
+	ErrRowNotFound = errors.New("txn: row not visible or already dead")
+	ErrReadOnly    = errors.New("txn: transaction is read-only")
+	// ErrEpochChanged means a merge rewrote the table's physical row IDs
+	// between this transaction's read and its write; the transaction
+	// must restart (its row IDs are stale).
+	ErrEpochChanged = errors.New("txn: table merged since this transaction read it")
+)
+
+// Manager allocates transaction IDs and commit IDs and runs the commit
+// protocol for its durability mode.
+type Manager struct {
+	mode Mode
+
+	lastCID atomic.Uint64
+	nextTID atomic.Uint64
+
+	// commitMu serializes CID assignment, stamp publication and the
+	// advance of lastCID, giving commits a total order.
+	commitMu sync.Mutex
+
+	// ModeLog.
+	logMu sync.Mutex
+	logw  *wal.Writer
+
+	// ModeNVM.
+	h     *nvm.Heap
+	pRoot nvm.PPtr // persistent commit root (lastCID + context directory)
+	slots *slotPool
+}
+
+// NewManager creates a manager in ModeNone or ModeLog; for ModeNVM use
+// NewNVMManager. In ModeLog the WAL writer may be attached later with
+// SetLogWriter (the engine rotates writers at checkpoints).
+func NewManager(mode Mode, lastCID uint64) *Manager {
+	m := &Manager{mode: mode}
+	m.lastCID.Store(lastCID)
+	m.nextTID.Store(1)
+	return m
+}
+
+// Mode returns the durability mode.
+func (m *Manager) Mode() Mode { return m.mode }
+
+// LastCID returns the latest committed CID (the snapshot horizon).
+func (m *Manager) LastCID() uint64 { return m.lastCID.Load() }
+
+// BlockCommits runs fn with the commit protocol blocked: no transaction
+// can assign a CID or publish stamps while fn runs. The engine uses this
+// to quiesce commits around checkpoints and merges.
+func (m *Manager) BlockCommits(fn func()) {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	fn()
+}
+
+// SetLogWriter attaches or replaces the WAL writer (ModeLog).
+func (m *Manager) SetLogWriter(w *wal.Writer) {
+	m.logMu.Lock()
+	m.logw = w
+	m.logMu.Unlock()
+}
+
+// LogWriter returns the current WAL writer (ModeLog).
+func (m *Manager) LogWriter() *wal.Writer {
+	m.logMu.Lock()
+	defer m.logMu.Unlock()
+	return m.logw
+}
+
+// LogDDL durably logs a create-table record (ModeLog; no-op otherwise).
+func (m *Manager) LogDDL(tableID uint32, name string, sch storage.Schema, indexMask uint64) error {
+	if m.mode != ModeLog {
+		return nil
+	}
+	w := m.LogWriter()
+	if w == nil {
+		return errors.New("txn: ModeLog manager has no log writer")
+	}
+	lsn, err := w.Append(wal.EncodeCreateTable(tableID, name, sch, indexMask))
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(lsn)
+}
+
+// writeKind discriminates write-set entries.
+type writeKind uint8
+
+const (
+	writeInsert writeKind = iota + 1
+	writeInvalidate
+)
+
+type writeOp struct {
+	kind  writeKind
+	table *storage.Table
+	row   uint64 // table row ID
+	vals  []storage.Value
+}
+
+// Status of a transaction.
+type Status int
+
+// Transaction states.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// Txn is a single transaction. A Txn is not safe for concurrent use.
+type Txn struct {
+	m        *Manager
+	tid      uint64
+	snapCID  uint64
+	status   Status
+	readOnly bool
+
+	writes      []writeOp
+	invalidated map[rowRef]bool
+	epochs      map[*storage.Table]uint64
+
+	// ModeNVM: persistent context.
+	pctx pctxHandle
+}
+
+type rowRef struct {
+	t   *storage.Table
+	row uint64
+}
+
+// Begin starts a transaction with a snapshot at the current commit
+// horizon.
+func (m *Manager) Begin() *Txn {
+	return &Txn{
+		m:       m,
+		tid:     m.nextTID.Add(1),
+		snapCID: m.lastCID.Load(),
+		status:  StatusActive,
+	}
+}
+
+// BeginAt starts a read-only transaction at a historical snapshot —
+// time travel, which the insert-only MVCC supports for free as long as
+// the versions have not been merged away. cid is clamped to the current
+// commit horizon.
+func (m *Manager) BeginAt(cid uint64) *Txn {
+	if last := m.lastCID.Load(); cid > last {
+		cid = last
+	}
+	return &Txn{
+		m:        m,
+		tid:      m.nextTID.Add(1),
+		snapCID:  cid,
+		status:   StatusActive,
+		readOnly: true,
+	}
+}
+
+// TID returns the transient transaction ID.
+func (t *Txn) TID() uint64 { return t.tid }
+
+// SnapshotCID returns the CID this transaction reads at.
+func (t *Txn) SnapshotCID() uint64 { return t.snapCID }
+
+// Status returns the transaction state.
+func (t *Txn) Status() Status { return t.status }
+
+// Sees reports whether the transaction sees the given row, combining
+// MVCC visibility with the transaction's own pending invalidations.
+func (t *Txn) Sees(tbl *storage.Table, row uint64) bool {
+	if t.invalidated[rowRef{tbl, row}] {
+		return false
+	}
+	return tbl.Visible(row, t.snapCID, t.tid)
+}
+
+// PinEpoch records the table's merge epoch the first time this
+// transaction touches it; later writes verify the epoch so that row IDs
+// obtained before a merge can never address the wrong row after it.
+// The query layer pins automatically.
+func (t *Txn) PinEpoch(tbl *storage.Table) {
+	if t.epochs == nil {
+		t.epochs = make(map[*storage.Table]uint64)
+	}
+	if _, ok := t.epochs[tbl]; !ok {
+		t.epochs[tbl] = tbl.Epoch()
+	}
+}
+
+// checkEpoch verifies that tbl has not been merged since this
+// transaction first touched it.
+func (t *Txn) checkEpoch(tbl *storage.Table) error {
+	t.PinEpoch(tbl)
+	if t.epochs[tbl] != tbl.Epoch() {
+		return ErrEpochChanged
+	}
+	return nil
+}
+
+// SeesIn is Sees evaluated against an explicit partition View, letting
+// multi-step readers (the query layer) stay on one generation while a
+// merge publishes a new one.
+func (t *Txn) SeesIn(v storage.View, tbl *storage.Table, row uint64) bool {
+	if t.invalidated[rowRef{tbl, row}] {
+		return false
+	}
+	return v.Visible(row, t.snapCID, t.tid)
+}
+
+// Insert appends a new row. The row is invisible to other transactions
+// until commit.
+func (t *Txn) Insert(tbl *storage.Table, vals []storage.Value) (uint64, error) {
+	if t.status != StatusActive {
+		return 0, ErrNotActive
+	}
+	if t.readOnly {
+		return 0, ErrReadOnly
+	}
+	if err := t.checkEpoch(tbl); err != nil {
+		return 0, err
+	}
+	row, err := tbl.AppendRow(vals, t.tid)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.record(writeOp{kind: writeInsert, table: tbl, row: row, vals: vals}); err != nil {
+		return 0, err
+	}
+	return row, nil
+}
+
+// Delete invalidates a visible row. It fails with ErrConflict when
+// another live transaction owns the row, and ErrRowNotFound when the row
+// is not visible to this transaction.
+func (t *Txn) Delete(tbl *storage.Table, row uint64) error {
+	if t.status != StatusActive {
+		return ErrNotActive
+	}
+	if t.readOnly {
+		return ErrReadOnly
+	}
+	if err := t.checkEpoch(tbl); err != nil {
+		return err
+	}
+	if !t.Sees(tbl, row) {
+		return ErrRowNotFound
+	}
+	s, local := tbl.MVCCFor(row)
+	ownInsert := s.TID(local) == t.tid && s.Begin(local) == mvcc.Inf
+	if !ownInsert {
+		if !s.ClaimRow(local, t.tid) {
+			return ErrConflict
+		}
+		// Re-check under the row lock: someone may have committed an
+		// invalidation between our visibility check and the claim.
+		if s.End(local) != mvcc.Inf {
+			s.ReleaseRow(local, t.tid)
+			return ErrConflict
+		}
+	}
+	if t.invalidated == nil {
+		t.invalidated = make(map[rowRef]bool)
+	}
+	t.invalidated[rowRef{tbl, row}] = true
+	return t.record(writeOp{kind: writeInvalidate, table: tbl, row: row})
+}
+
+// Update replaces a visible row with new values: it invalidates the old
+// version and inserts the new one (insert-only MVCC).
+func (t *Txn) Update(tbl *storage.Table, row uint64, vals []storage.Value) (uint64, error) {
+	if err := t.Delete(tbl, row); err != nil {
+		return 0, err
+	}
+	return t.Insert(tbl, vals)
+}
+
+// record adds op to the write set and, in ModeNVM, to the persistent
+// transaction context.
+func (t *Txn) record(op writeOp) error {
+	t.writes = append(t.writes, op)
+	if t.m.mode == ModeNVM {
+		return t.m.pctxRecord(t, op)
+	}
+	return nil
+}
+
+// Commit makes the transaction's effects visible and durable (per mode).
+// After Commit returns nil the transaction is durably committed under
+// the mode's guarantees.
+func (t *Txn) Commit() error {
+	if t.status != StatusActive {
+		return ErrNotActive
+	}
+	if len(t.writes) == 0 {
+		t.status = StatusCommitted
+		t.m.releasePctx(t)
+		return nil
+	}
+	switch t.m.mode {
+	case ModeNone:
+		return t.commitVolatile()
+	case ModeLog:
+		return t.commitLog()
+	case ModeNVM:
+		return t.commitNVM()
+	default:
+		return fmt.Errorf("txn: unknown mode %d", t.m.mode)
+	}
+}
+
+// stampLocked writes begin/end CIDs for the write set (persist per mode
+// is handled by the vector backends) and releases row locks.
+func (t *Txn) stampLocked(cid uint64, persist bool) {
+	for _, op := range t.writes {
+		s, local := op.table.MVCCFor(op.row)
+		switch op.kind {
+		case writeInsert:
+			s.SetBegin(local, cid)
+			if persist {
+				s.PersistBegin(local)
+			}
+		case writeInvalidate:
+			s.SetEnd(local, cid)
+			if persist {
+				s.PersistEnd(local)
+			}
+		}
+	}
+	for _, op := range t.writes {
+		s, local := op.table.MVCCFor(op.row)
+		s.ReleaseRow(local, t.tid)
+	}
+}
+
+func (t *Txn) commitVolatile() error {
+	m := t.m
+	m.commitMu.Lock()
+	cid := m.lastCID.Load() + 1
+	t.stampLocked(cid, false)
+	m.lastCID.Store(cid)
+	m.commitMu.Unlock()
+	t.status = StatusCommitted
+	return nil
+}
+
+func (t *Txn) commitLog() error {
+	m := t.m
+	w := m.LogWriter()
+	if w == nil {
+		return errors.New("txn: ModeLog manager has no log writer")
+	}
+	// Build the redo batch outside the commit lock.
+	var recs []byte
+	for _, op := range t.writes {
+		switch op.kind {
+		case writeInsert:
+			recs = append(recs, wal.EncodeInsert(t.tid, op.table.ID, op.row, op.vals)...)
+		case writeInvalidate:
+			recs = append(recs, wal.EncodeInvalidate(t.tid, op.table.ID, op.row)...)
+		}
+	}
+
+	m.commitMu.Lock()
+	cid := m.lastCID.Load() + 1
+	recs = append(recs, wal.EncodeCommit(t.tid, cid)...)
+	lsn, err := w.Append(recs)
+	if err != nil {
+		m.commitMu.Unlock()
+		return err
+	}
+	t.stampLocked(cid, false)
+	m.lastCID.Store(cid)
+	m.commitMu.Unlock()
+
+	// Group commit: block until the batch containing our records is
+	// synced. Effects are already visible to other transactions (early
+	// lock release); the caller is only told "committed" once durable.
+	if err := w.WaitDurable(lsn); err != nil {
+		return err
+	}
+	t.status = StatusCommitted
+	return nil
+}
+
+func (t *Txn) commitNVM() error {
+	m := t.m
+	m.commitMu.Lock()
+	cid := m.lastCID.Load() + 1
+
+	// (1) Durably record the commit CID in the persistent context. From
+	// this moment recovery can tell this transaction was committing.
+	m.pctxSetCID(t, cid)
+
+	// (2) Stamp and persist the dirty rows' begin/end CIDs.
+	t.stampLocked(cid, true)
+
+	// (3) Durably advance the global commit horizon; the transaction is
+	// committed exactly when this persist completes.
+	m.h.SetU64(m.pRoot.Add(crOffLastCID), cid)
+	m.h.Persist(m.pRoot.Add(crOffLastCID), 8)
+	m.lastCID.Store(cid)
+	m.commitMu.Unlock()
+
+	// The context is no longer needed; recycle it.
+	m.releasePctx(t)
+	t.status = StatusCommitted
+	return nil
+}
+
+// Abort rolls the transaction back: inserted rows stay permanently
+// invisible (begin = Inf), claimed rows are released, and in ModeNVM the
+// persistent context is discarded.
+func (t *Txn) Abort() error {
+	if t.status != StatusActive {
+		return ErrNotActive
+	}
+	for _, op := range t.writes {
+		s, local := op.table.MVCCFor(op.row)
+		s.ReleaseRow(local, t.tid)
+	}
+	t.m.releasePctx(t)
+	t.status = StatusAborted
+	return nil
+}

@@ -1,0 +1,669 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hyrisenv/internal/disk"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/wal"
+)
+
+func testSchema(t *testing.T) storage.Schema {
+	t.Helper()
+	s, err := storage.NewSchema(
+		storage.ColumnDef{Name: "k", Type: storage.TypeInt64},
+		storage.ColumnDef{Name: "v", Type: storage.TypeString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+type env struct {
+	mode Mode
+	mgr  *Manager
+	tbl  *storage.Table
+	h    *nvm.Heap
+}
+
+// envs builds a manager+table per durability mode.
+func envs(t *testing.T) map[string]*env {
+	t.Helper()
+	out := map[string]*env{}
+
+	out["none"] = &env{
+		mode: ModeNone,
+		mgr:  NewManager(ModeNone, 0),
+		tbl:  storage.NewVolatileTable("t", 1, testSchema(t), 0),
+	}
+
+	logMgr, err := wal.NewManager(t.TempDir(), disk.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := logMgr.WriteCheckpoint(nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	lm := NewManager(ModeLog, 0)
+	lm.SetLogWriter(w)
+	out["log"] = &env{
+		mode: ModeLog,
+		mgr:  lm,
+		tbl:  storage.NewVolatileTable("t", 1, testSchema(t), 0),
+	}
+
+	h, err := nvm.Create(filepath.Join(t.TempDir(), "h.nvm"), 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	ntbl, err := storage.CreateNVMTable(h, "t", 1, testSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, _, err := OpenNVMManager(h, func(uint32) *storage.Table { return ntbl })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["nvm"] = &env{mode: ModeNVM, mgr: nm, tbl: ntbl, h: h}
+	return out
+}
+
+func TestCommitVisibilityAllModes(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := e.mgr.Begin()
+			row, err := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("a")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Invisible to a concurrent reader before commit.
+			rd := e.mgr.Begin()
+			if rd.Sees(e.tbl, row) {
+				t.Fatal("uncommitted insert visible to other txn")
+			}
+			if !tx.Sees(e.tbl, row) {
+				t.Fatal("own insert invisible")
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if tx.Status() != StatusCommitted {
+				t.Fatal("status not committed")
+			}
+			// Old snapshot still doesn't see it; a fresh one does.
+			if rd.Sees(e.tbl, row) {
+				t.Fatal("commit leaked into older snapshot")
+			}
+			rd2 := e.mgr.Begin()
+			if !rd2.Sees(e.tbl, row) {
+				t.Fatal("committed row invisible to new txn")
+			}
+		})
+	}
+}
+
+func TestDeleteAndUpdateAllModes(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := e.mgr.Begin()
+			row, _ := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("a")})
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			up := e.mgr.Begin()
+			newRow, err := up.Update(e.tbl, row, []storage.Value{storage.Int(1), storage.Str("b")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Within the updater: old invisible, new visible.
+			if up.Sees(e.tbl, row) || !up.Sees(e.tbl, newRow) {
+				t.Fatal("update visibility within txn")
+			}
+			// Concurrent reader still sees the old version.
+			rd := e.mgr.Begin()
+			if !rd.Sees(e.tbl, row) || rd.Sees(e.tbl, newRow) {
+				t.Fatal("update leaked before commit")
+			}
+			if err := up.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			rd2 := e.mgr.Begin()
+			if rd2.Sees(e.tbl, row) || !rd2.Sees(e.tbl, newRow) {
+				t.Fatal("update visibility after commit")
+			}
+			if got := e.tbl.Value(1, newRow); got.S != "b" {
+				t.Fatalf("updated value = %v", got)
+			}
+
+			del := e.mgr.Begin()
+			if err := del.Delete(e.tbl, newRow); err != nil {
+				t.Fatal(err)
+			}
+			if err := del.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			rd3 := e.mgr.Begin()
+			if rd3.Sees(e.tbl, newRow) {
+				t.Fatal("deleted row visible")
+			}
+		})
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := e.mgr.Begin()
+			row, _ := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("a")})
+			tx.Commit()
+
+			a, b := e.mgr.Begin(), e.mgr.Begin()
+			if err := a.Delete(e.tbl, row); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Delete(e.tbl, row); !errors.Is(err, ErrConflict) {
+				t.Fatalf("second deleter got %v, want ErrConflict", err)
+			}
+			// After a aborts, b can retry.
+			a.Abort()
+			if err := b.Delete(e.tbl, row); err != nil {
+				t.Fatalf("retry after abort: %v", err)
+			}
+			b.Commit()
+		})
+	}
+}
+
+func TestDeleteOfCommittedDeadRowConflicts(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := e.mgr.Begin()
+			row, _ := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("a")})
+			tx.Commit()
+			// Snapshot taken before the delete commits.
+			old := e.mgr.Begin()
+			d := e.mgr.Begin()
+			d.Delete(e.tbl, row)
+			d.Commit()
+			// old still *sees* the row but must not be able to delete it.
+			if !old.Sees(e.tbl, row) {
+				t.Fatal("snapshot lost the row")
+			}
+			if err := old.Delete(e.tbl, row); !errors.Is(err, ErrConflict) {
+				t.Fatalf("delete of dead row got %v, want ErrConflict", err)
+			}
+		})
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			tx := e.mgr.Begin()
+			row, _ := tx.Insert(e.tbl, []storage.Value{storage.Int(9), storage.Str("x")})
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			rd := e.mgr.Begin()
+			if rd.Sees(e.tbl, row) {
+				t.Fatal("aborted insert visible")
+			}
+			// Operations after abort fail.
+			if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("y")}); !errors.Is(err, ErrNotActive) {
+				t.Fatalf("insert after abort: %v", err)
+			}
+			if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+				t.Fatalf("commit after abort: %v", err)
+			}
+		})
+	}
+}
+
+func TestReadOnlyCommit(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			before := e.mgr.LastCID()
+			tx := e.mgr.Begin()
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if e.mgr.LastCID() != before {
+				t.Fatal("read-only commit consumed a CID")
+			}
+		})
+	}
+}
+
+func TestDeleteInvisibleRow(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			other := e.mgr.Begin()
+			row, _ := other.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("a")})
+			tx := e.mgr.Begin()
+			if err := tx.Delete(e.tbl, row); !errors.Is(err, ErrRowNotFound) {
+				t.Fatalf("delete of invisible row: %v", err)
+			}
+			other.Abort()
+		})
+	}
+}
+
+func TestConcurrentCommitsAllocateDistinctCIDs(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			const n = 32
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					tx := e.mgr.Begin()
+					if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("c")}); err != nil {
+						errs <- err
+						return
+					}
+					errs <- tx.Commit()
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			rd := e.mgr.Begin()
+			var count int
+			e.tbl.ScanVisible(rd.SnapshotCID(), 0, func(uint64) bool { count++; return true })
+			if count != n {
+				t.Fatalf("visible rows = %d, want %d", count, n)
+			}
+			if e.mgr.LastCID() != uint64(n) {
+				t.Fatalf("LastCID = %d, want %d", e.mgr.LastCID(), n)
+			}
+		})
+	}
+}
+
+// --- NVM crash tests: the paper's core claim ---------------------------------
+
+type nvmCrashEnv struct {
+	dir  string
+	path string
+	h    *nvm.Heap
+	tbl  *storage.Table
+	mgr  *Manager
+}
+
+func newNVMCrashEnv(t *testing.T) *nvmCrashEnv {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.nvm")
+	h, err := nvm.Create(path, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := storage.CreateNVMTable(h, "t", 1, testSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRoot("tbl:t", tbl.Root(), 0); err != nil {
+		t.Fatal(err)
+	}
+	e := &nvmCrashEnv{dir: dir, path: path, h: h, tbl: tbl}
+	e.openMgr(t)
+	t.Cleanup(func() { e.h.Close() })
+	return e
+}
+
+func (e *nvmCrashEnv) openMgr(t *testing.T) {
+	t.Helper()
+	mgr, _, err := OpenNVMManager(e.h, func(id uint32) *storage.Table {
+		if id == 1 {
+			return e.tbl
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mgr = mgr
+}
+
+// restart simulates a power failure + restart.
+func (e *nvmCrashEnv) restart(t *testing.T) NVMRecoveryStats {
+	t.Helper()
+	if err := e.h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := nvm.Open(e.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.h = h
+	root, _, ok := h.Root("tbl:t")
+	if !ok {
+		t.Fatal("table root lost")
+	}
+	tbl, err := storage.OpenNVMTable(h, "t", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.tbl = tbl
+	mgr, stats, err := OpenNVMManager(h, func(id uint32) *storage.Table {
+		if id == 1 {
+			return tbl
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mgr = mgr
+	return stats
+}
+
+func (e *nvmCrashEnv) countVisible() int {
+	rd := e.mgr.Begin()
+	var n int
+	e.tbl.ScanVisible(rd.SnapshotCID(), 0, func(uint64) bool { n++; return true })
+	return n
+}
+
+func TestNVMCommittedSurvivesRestart(t *testing.T) {
+	e := newNVMCrashEnv(t)
+	for i := 0; i < 20; i++ {
+		tx := e.mgr.Begin()
+		if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("a")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.restart(t)
+	if stats.LiveContexts != 0 {
+		t.Fatalf("live contexts after clean commits: %+v", stats)
+	}
+	if got := e.countVisible(); got != 20 {
+		t.Fatalf("visible = %d, want 20", got)
+	}
+	if e.mgr.LastCID() != 20 {
+		t.Fatalf("LastCID = %d", e.mgr.LastCID())
+	}
+	// New transactions work after restart.
+	tx := e.mgr.Begin()
+	if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(99), storage.Str("post")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.countVisible(); got != 21 {
+		t.Fatalf("visible after post-restart commit = %d", got)
+	}
+}
+
+func TestNVMUncommittedInvisibleAfterRestart(t *testing.T) {
+	e := newNVMCrashEnv(t)
+	tx := e.mgr.Begin()
+	tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("pre")})
+	tx.Commit()
+
+	// In-flight transaction at "power failure": never committed.
+	fly := e.mgr.Begin()
+	fly.Insert(e.tbl, []storage.Value{storage.Int(2), storage.Str("fly")})
+
+	stats := e.restart(t)
+	if stats.LiveContexts != 1 || stats.RolledBack != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got := e.countVisible(); got != 1 {
+		t.Fatalf("visible = %d, want 1", got)
+	}
+}
+
+// TestNVMCommitAtomicityUnderCrash is the exhaustive crash test: a
+// multi-operation transaction is cut by a simulated power failure at
+// every persist barrier of its execution and commit; after restart its
+// effects must be all-or-nothing.
+func TestNVMCommitAtomicityUnderCrash(t *testing.T) {
+	for fail := int64(1); fail <= 80; fail++ {
+		fail := fail
+		t.Run(fmt.Sprintf("barrier%02d", fail), func(t *testing.T) {
+			e := newNVMCrashEnv(t)
+			// Base state: one committed row that a crashing txn deletes.
+			base := e.mgr.Begin()
+			baseRow, _ := base.Insert(e.tbl, []storage.Value{storage.Int(0), storage.Str("base")})
+			if err := base.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			completed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil && !errors.Is(r.(error), nvm.ErrSimulatedCrash) {
+						panic(r)
+					}
+				}()
+				e.h.FailAfter(fail)
+				tx := e.mgr.Begin()
+				if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(1), storage.Str("n1")}); err != nil {
+					return
+				}
+				if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(2), storage.Str("n2")}); err != nil {
+					return
+				}
+				if err := tx.Delete(e.tbl, baseRow); err != nil {
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					return
+				}
+				completed = true
+			}()
+			e.h.FailAfter(0)
+
+			e.restart(t)
+			rd := e.mgr.Begin()
+			var vals []string
+			e.tbl.ScanVisible(rd.SnapshotCID(), 0, func(row uint64) bool {
+				vals = append(vals, e.tbl.Value(1, row).S)
+				return true
+			})
+			if completed {
+				// The txn committed before the barrier hit: all effects.
+				if len(vals) != 2 || vals[0] != "n1" || vals[1] != "n2" {
+					t.Fatalf("committed txn effects wrong: %v", vals)
+				}
+			} else {
+				// Atomicity: either nothing (base intact) or everything.
+				switch len(vals) {
+				case 1:
+					if vals[0] != "base" {
+						t.Fatalf("partial effects: %v", vals)
+					}
+				case 2:
+					if vals[0] != "n1" || vals[1] != "n2" {
+						t.Fatalf("partial effects: %v", vals)
+					}
+				default:
+					t.Fatalf("partial effects: %v", vals)
+				}
+			}
+			// Engine stays writable.
+			tx := e.mgr.Begin()
+			if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(7), storage.Str("post")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNVMPctxChaining(t *testing.T) {
+	e := newNVMCrashEnv(t)
+	tx := e.mgr.Begin()
+	// More writes than one context block holds (30).
+	const n = pcEntriesMax*2 + 7
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("c")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.countVisible(); got != n {
+		t.Fatalf("visible = %d, want %d", got, n)
+	}
+	// Crash an equally large in-flight txn: all entries must be undone.
+	fly := e.mgr.Begin()
+	for i := 0; i < n; i++ {
+		fly.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("fly")})
+	}
+	stats := e.restart(t)
+	if stats.RolledBack != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got := e.countVisible(); got != n {
+		t.Fatalf("visible after rollback = %d, want %d", got, n)
+	}
+}
+
+func TestNVMSlotExhaustion(t *testing.T) {
+	e := newNVMCrashEnv(t)
+	txns := make([]*Txn, 0, txnSlots)
+	for i := 0; i < txnSlots; i++ {
+		tx := e.mgr.Begin()
+		if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("s")}); err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, tx)
+	}
+	over := e.mgr.Begin()
+	if _, err := over.Insert(e.tbl, []storage.Value{storage.Int(-1), storage.Str("over")}); !errors.Is(err, ErrTooManyTxns) {
+		t.Fatalf("slot exhaustion: %v", err)
+	}
+	// Releasing one slot unblocks.
+	txns[0].Abort()
+	again := e.mgr.Begin()
+	if _, err := again.Insert(e.tbl, []storage.Value{storage.Int(-2), storage.Str("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txns[1:] {
+		tx.Abort()
+	}
+	again.Abort()
+}
+
+// --- Log mode durability -------------------------------------------------------
+
+func TestLogModeCommitSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	lm, err := wal.NewManager(dir, disk.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewVolatileTable("t", 1, testSchema(t), 0)
+	w, _, err := lm.WriteCheckpoint([]*storage.Table{tbl}, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ModeLog, 0)
+	m.SetLogWriter(w)
+	if err := m.LogDDL(1, "t", testSchema(t), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	row, _ := tx.Insert(tbl, []storage.Value{storage.Int(5), storage.Str("dur")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	fly := m.Begin() // never committed: must vanish at recovery
+	fly.Insert(tbl, []storage.Value{storage.Int(6), storage.Str("fly")})
+	w.Flush()
+	w.Close()
+
+	res, err := lm.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Tables[1]
+	if got == nil {
+		t.Fatal("table lost")
+	}
+	if !got.Visible(row, res.LastCID, 0) {
+		t.Fatal("committed row lost")
+	}
+	var n int
+	got.ScanVisible(res.LastCID, 0, func(uint64) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("visible = %d, want 1", n)
+	}
+}
+
+func TestTimeTravelQueries(t *testing.T) {
+	for name, e := range envs(t) {
+		t.Run(name, func(t *testing.T) {
+			// Build three versions of history.
+			var rows []uint64
+			for i := 0; i < 3; i++ {
+				tx := e.mgr.Begin()
+				row, _ := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("v")})
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				rows = append(rows, row)
+			}
+			// Delete the first row at CID 4.
+			d := e.mgr.Begin()
+			if err := d.Delete(e.tbl, rows[0]); err != nil {
+				t.Fatal(err)
+			}
+			d.Commit()
+
+			count := func(tx *Txn) int {
+				n := 0
+				e.tbl.ScanVisible(tx.SnapshotCID(), 0, func(uint64) bool { n++; return true })
+				return n
+			}
+			// As of CID 1: one row. CID 3: three rows. CID 4: two rows.
+			if got := count(e.mgr.BeginAt(1)); got != 1 {
+				t.Fatalf("as-of 1: %d", got)
+			}
+			if got := count(e.mgr.BeginAt(3)); got != 3 {
+				t.Fatalf("as-of 3: %d", got)
+			}
+			if got := count(e.mgr.BeginAt(4)); got != 2 {
+				t.Fatalf("as-of 4: %d", got)
+			}
+			// Future CIDs clamp to the horizon.
+			if got := count(e.mgr.BeginAt(999)); got != 2 {
+				t.Fatalf("as-of future: %d", got)
+			}
+			// Read-only enforcement.
+			ro := e.mgr.BeginAt(3)
+			if _, err := ro.Insert(e.tbl, []storage.Value{storage.Int(9), storage.Str("x")}); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("insert on read-only txn: %v", err)
+			}
+			if err := ro.Delete(e.tbl, rows[1]); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("delete on read-only txn: %v", err)
+			}
+		})
+	}
+}

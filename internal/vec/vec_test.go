@@ -1,0 +1,128 @@
+package vec
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestVolatileAppendGet(t *testing.T) {
+	v := NewVolatile(2)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		idx, err := v.Append(i * 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("index %d, want %d", idx, i)
+		}
+	}
+	if v.Len() != n {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		if v.Get(i) != i*2 {
+			t.Fatalf("Get(%d) = %d", i, v.Get(i))
+		}
+	}
+}
+
+func TestVolatileAppendN(t *testing.T) {
+	v := NewVolatile(2)
+	batch := make([]uint64, 777)
+	for i := range batch {
+		batch[i] = uint64(i)
+	}
+	first, err := v.AppendN(batch)
+	if err != nil || first != 0 {
+		t.Fatalf("first=%d err=%v", first, err)
+	}
+	first, _ = v.AppendN([]uint64{9, 8})
+	if first != 777 || v.Len() != 779 {
+		t.Fatalf("first=%d len=%d", first, v.Len())
+	}
+	if v.Get(777) != 9 || v.Get(778) != 8 {
+		t.Fatal("second batch corrupted")
+	}
+}
+
+func TestVolatileSetScan(t *testing.T) {
+	v := NewVolatile(3)
+	for i := 0; i < 20; i++ {
+		v.Append(1)
+	}
+	v.Set(5, 100)
+	v.SetNoPersist(6, 200)
+	v.PersistAt(6)
+	var sum uint64
+	v.Scan(func(_, val uint64) bool { sum += val; return true })
+	if sum != 18+300 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestVolatileOutOfRange(t *testing.T) {
+	v := NewVolatile(3)
+	v.Append(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	v.Get(1)
+}
+
+func TestVolatileConcurrentReadersWithWriter(t *testing.T) {
+	v := NewVolatile(4)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := v.Len()
+				for i := uint64(0); i < n; i++ {
+					if got := v.Get(i); got != i {
+						t.Errorf("Get(%d) = %d during concurrent append", i, got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := uint64(0); i < 50000; i++ {
+		v.Append(i)
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestVolatileMatchesSliceProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		v := NewVolatile(2)
+		for _, x := range vals {
+			v.Append(x)
+		}
+		if v.Len() != uint64(len(vals)) {
+			return false
+		}
+		ok := true
+		v.Scan(func(i, x uint64) bool {
+			if x != vals[i] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package hyrisenv
+
+import (
+	"hyrisenv/internal/query"
+	"hyrisenv/internal/txn"
+)
+
+// Tx is a transaction. It reads a consistent snapshot taken at Begin and
+// buffers writes that become atomically visible — and durable, per the
+// database's mode — at Commit. A Tx is not safe for concurrent use.
+type Tx struct {
+	tx *txn.Txn
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin()} }
+
+// Insert appends a row and returns its physical row ID.
+func (tx *Tx) Insert(t *Table, vals ...Value) (uint64, error) {
+	return tx.tx.Insert(t.t, vals)
+}
+
+// Delete invalidates the row (it stays visible to older snapshots).
+func (tx *Tx) Delete(t *Table, row uint64) error {
+	return tx.tx.Delete(t.t, row)
+}
+
+// Update replaces the row with new values and returns the new version's
+// row ID (insert-only MVCC: the old version is invalidated).
+func (tx *Tx) Update(t *Table, row uint64, vals ...Value) (uint64, error) {
+	return tx.tx.Update(t.t, row, vals)
+}
+
+// Commit makes the transaction's effects visible and durable.
+func (tx *Tx) Commit() error { return tx.tx.Commit() }
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort() error { return tx.tx.Abort() }
+
+// Sees reports whether the transaction sees the given physical row.
+func (tx *Tx) Sees(t *Table, row uint64) bool { return tx.tx.Sees(t.t, row) }
+
+// Op is a predicate comparison operator.
+type Op = query.Op
+
+// Predicate operators.
+const (
+	Eq = query.Eq
+	Ne = query.Ne
+	Lt = query.Lt
+	Le = query.Le
+	Gt = query.Gt
+	Ge = query.Ge
+)
+
+// Pred is a single-column predicate for Select.
+type Pred struct {
+	Col string
+	Op  Op
+	Val Value
+}
+
+func (tx *Tx) preds(t *Table, ps []Pred) []query.Pred {
+	out := make([]query.Pred, len(ps))
+	for i, p := range ps {
+		out[i] = query.Pred{Col: t.t.Schema.ColIndex(p.Col), Op: p.Op, Val: p.Val}
+	}
+	return out
+}
+
+// Select returns the row IDs satisfying all predicates, using secondary
+// indexes where available.
+func (tx *Tx) Select(t *Table, preds ...Pred) []uint64 {
+	return query.Select(tx.tx, t.t, tx.preds(t, preds)...)
+}
+
+// SelectRange returns rows whose named column falls in [lo, hi).
+func (tx *Tx) SelectRange(t *Table, col string, lo, hi Value) []uint64 {
+	return query.SelectRange(tx.tx, t.t, t.t.Schema.ColIndex(col), lo, hi)
+}
+
+// Count returns the number of rows satisfying all predicates.
+func (tx *Tx) Count(t *Table, preds ...Pred) int {
+	return query.Count(tx.tx, t.t, tx.preds(t, preds)...)
+}
+
+// ScanAll returns every visible row ID.
+func (tx *Tx) ScanAll(t *Table) []uint64 {
+	return query.ScanAll(tx.tx, t.t)
+}
+
+// Row materializes all columns of a row.
+func (tx *Tx) Row(t *Table, row uint64) []Value {
+	cols := make([]int, t.t.Schema.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return query.Project(t.t, []uint64{row}, cols...)[0]
+}
+
+// Group is one GROUP BY result row.
+type Group = query.Group
+
+// GroupBy aggregates all visible rows grouped by column groupCol,
+// summing aggCol ("" = count only). Results are ordered by group key.
+func (tx *Tx) GroupBy(t *Table, groupCol, aggCol string) []Group {
+	agg := -1
+	if aggCol != "" {
+		agg = t.t.Schema.ColIndex(aggCol)
+	}
+	return query.GroupBy(tx.tx, t.t, t.t.Schema.ColIndex(groupCol), agg)
+}
+
+// TopK returns the k groups with the largest Sum.
+func TopK(groups []Group, k int) []Group { return query.TopK(groups, k) }
+
+// BeginAt starts a read-only transaction reading the database as of a
+// historical commit ID — time travel over the insert-only MVCC versions
+// (available until a merge compacts the history away). Write operations
+// on the returned Tx fail.
+func (db *DB) BeginAt(cid uint64) *Tx { return &Tx{tx: db.eng.Manager().BeginAt(cid)} }
+
+// LastCommitID returns the current commit horizon, usable with BeginAt.
+func (db *DB) LastCommitID() uint64 { return db.eng.Manager().LastCID() }
+
+// JoinPair couples row IDs of an equi-join result.
+type JoinPair = query.JoinPair
+
+// Join computes the inner equi-join left.leftCol = right.rightCol over
+// the rows visible to the transaction.
+func (tx *Tx) Join(left *Table, leftCol string, right *Table, rightCol string) ([]JoinPair, error) {
+	return query.HashJoin(tx.tx,
+		left.t, left.t.Schema.ColIndex(leftCol),
+		right.t, right.t.Schema.ColIndex(rightCol))
+}
+
+// OrderBy sorts the row IDs by the named column (in place) using the
+// order-preserving dictionary encoding; desc reverses.
+func (tx *Tx) OrderBy(t *Table, rows []uint64, col string, desc bool) []uint64 {
+	return query.OrderBy(t.t, rows, t.t.Schema.ColIndex(col), desc)
+}
+
+// Limit returns at most n of rows starting at offset.
+func Limit(rows []uint64, offset, n int) []uint64 { return query.Limit(rows, offset, n) }
