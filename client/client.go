@@ -1,0 +1,666 @@
+// Package client is the Go client for a hyrisenv database served over
+// TCP by hyrise-nvd (or hyrisenv.DB.Serve). It speaks the internal/wire
+// protocol and provides:
+//
+//   - Dial: a pooled client. Connections are created lazily up to the
+//     pool size, health-checked with a ping when they have been idle,
+//     and re-dialed transparently when the server restarts.
+//   - Auto-commit reads (Select, Count, ScanAll, Row, SelectRange): each
+//     runs in a fresh read-only snapshot on the server; because they are
+//     idempotent the client retries them once on a fresh connection
+//     after a network failure — which is what makes a server restart
+//     nearly invisible to read traffic.
+//   - Begin/BeginAt: a typed Tx mirroring hyrisenv.Tx, pinned to one
+//     pooled connection for its lifetime.
+//
+// Every request-path method has a context-accepting variant; the
+// context deadline is propagated to the server in the frame header, so
+// an expired request comes back as a structured error
+// (context.DeadlineExceeded), not a hung connection.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hyrisenv"
+	"hyrisenv/internal/wire"
+)
+
+// Errors mapped from server error frames. Request errors leave the
+// connection usable; only network failures discard it.
+var (
+	ErrConflict     = hyrisenvError("write-write conflict")
+	ErrNotActive    = hyrisenvError("transaction is not active")
+	ErrRowNotFound  = hyrisenvError("row not visible or already dead")
+	ErrEpochChanged = hyrisenvError("table merged since this transaction read it")
+	ErrReadOnly     = hyrisenvError("transaction is read-only")
+	ErrNoSuchTable  = hyrisenvError("no such table")
+	ErrTableExists  = hyrisenvError("table already exists")
+	ErrNoSuchTxn    = hyrisenvError("no such transaction on this connection")
+	ErrBadColumn    = hyrisenvError("unknown column")
+	ErrShuttingDown = hyrisenvError("server is shutting down")
+	ErrClosed       = hyrisenvError("client is closed")
+	ErrTxDone       = hyrisenvError("transaction already finished")
+)
+
+func hyrisenvError(msg string) error { return errors.New("client: " + msg) }
+
+// ServerError carries an error frame the client has no sentinel for.
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error %d: %s", e.Code, e.Msg)
+}
+
+func errFromResp(e wire.ErrorResp) error {
+	var sentinel error
+	switch e.Code {
+	case wire.CodeConflict:
+		sentinel = ErrConflict
+	case wire.CodeNotActive:
+		sentinel = ErrNotActive
+	case wire.CodeRowNotFound:
+		sentinel = ErrRowNotFound
+	case wire.CodeEpochChanged:
+		sentinel = ErrEpochChanged
+	case wire.CodeReadOnly:
+		sentinel = ErrReadOnly
+	case wire.CodeNoSuchTable:
+		sentinel = ErrNoSuchTable
+	case wire.CodeTableExists:
+		sentinel = ErrTableExists
+	case wire.CodeNoSuchTxn:
+		sentinel = ErrNoSuchTxn
+	case wire.CodeBadColumn:
+		sentinel = ErrBadColumn
+	case wire.CodeShuttingDown:
+		sentinel = ErrShuttingDown
+	case wire.CodeDeadline:
+		// Deadline errors surface as the standard context error so
+		// callers can use one errors.Is check for local and remote
+		// expiry.
+		return fmt.Errorf("%w (server: %s)", context.DeadlineExceeded, e.Msg)
+	default:
+		return &ServerError{Code: e.Code, Msg: e.Msg}
+	}
+	return fmt.Errorf("%w: %s", sentinel, e.Msg)
+}
+
+// Options tunes Dial. The zero value picks sensible defaults.
+type Options struct {
+	// PoolSize caps pooled connections (default 4). A Tx pins one
+	// connection for its lifetime, so size the pool for the expected
+	// write concurrency.
+	PoolSize int
+	// DialTimeout bounds establishing one TCP connection + handshake
+	// (default 5 s).
+	DialTimeout time.Duration
+	// RequestTimeout is the default per-request deadline applied by the
+	// non-context methods (default 30 s; negative disables).
+	RequestTimeout time.Duration
+	// HealthCheckAfter pings a pooled connection that has been idle
+	// longer than this before reuse (default 30 s; negative disables).
+	HealthCheckAfter time.Duration
+	// MaxFrame bounds response payloads (default wire.DefaultMaxPayload).
+	MaxFrame uint32
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.PoolSize <= 0 {
+		out.PoolSize = 4
+	}
+	if out.DialTimeout == 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.RequestTimeout == 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.HealthCheckAfter == 0 {
+		out.HealthCheckAfter = 30 * time.Second
+	}
+	if out.MaxFrame == 0 {
+		out.MaxFrame = wire.DefaultMaxPayload
+	}
+	return out
+}
+
+// Client is a pooled connection to one server. It is safe for
+// concurrent use.
+type Client struct {
+	addr string
+	opts Options
+	mode hyrisenv.Mode
+
+	sem chan struct{} // capacity = PoolSize; one token per live checkout
+
+	mu     sync.Mutex
+	idle   []*wconn
+	closed bool
+}
+
+// Dial connects to a hyrise-nvd server and verifies the protocol
+// handshake on one connection (which is then pooled).
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		opts: opts.withDefaults(),
+	}
+	c.sem = make(chan struct{}, c.opts.PoolSize)
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
+	defer cancel()
+	wc, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mode = hyrisenv.Mode(wc.serverMode)
+	c.mu.Lock()
+	c.idle = append(c.idle, wc)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Mode reports the durability mode of the serving engine, learned in
+// the handshake.
+func (c *Client) Mode() hyrisenv.Mode { return c.mode }
+
+// Addr returns the server address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes all pooled connections. In-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, wc := range idle {
+		wc.close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals.
+
+// wconn is one established, handshaken connection.
+type wconn struct {
+	nc         net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	reqID      uint64
+	serverMode uint8
+	maxFrame   uint32
+	lastUsed   time.Time
+	broken     bool
+}
+
+func (w *wconn) close() {
+	w.broken = true
+	w.nc.Close()
+}
+
+// dial establishes and handshakes one connection (no pool accounting).
+func (c *Client) dial(ctx context.Context) (*wconn, error) {
+	d := net.Dialer{}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	wc := &wconn{
+		nc:       nc,
+		br:       bufio.NewReader(nc),
+		bw:       bufio.NewWriter(nc),
+		maxFrame: c.opts.MaxFrame,
+		lastUsed: time.Now(),
+	}
+	f, err := wc.roundTrip(ctx, wire.TypeHello, wire.Hello{Version: wire.Version}.Encode())
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if f.Type != wire.TypeHelloOK {
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply %s", f.Type)
+	}
+	ok, err := wire.DecodeHelloOK(f.Payload)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if ok.Version != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", ok.Version, wire.Version)
+	}
+	wc.serverMode = ok.Mode
+	return wc, nil
+}
+
+// acquire checks a connection out of the pool, dialing a new one if no
+// idle connection is available. Blocks when PoolSize connections are
+// already checked out.
+func (c *Client) acquire(ctx context.Context) (*wconn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	// Token held from here on; every return path must either hand the
+	// conn to the caller or release the token.
+	for {
+		c.mu.Lock()
+		var wc *wconn
+		if n := len(c.idle); n > 0 {
+			wc = c.idle[n-1]
+			c.idle = c.idle[:n-1]
+		}
+		c.mu.Unlock()
+		if wc == nil {
+			break
+		}
+		if h := c.opts.HealthCheckAfter; h > 0 && time.Since(wc.lastUsed) > h {
+			// Bound the health check tightly: a dead server must not eat
+			// the whole request deadline before we try a fresh dial.
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := wc.roundTrip(pctx, wire.TypePing, nil)
+			cancel()
+			if err != nil {
+				wc.close() // stale pooled conn (e.g. server restarted); try the next
+				continue
+			}
+		}
+		return wc, nil
+	}
+	wc, err := c.dial(ctx)
+	if err != nil {
+		<-c.sem
+		return nil, err
+	}
+	return wc, nil
+}
+
+// release returns a checked-out connection to the pool.
+func (c *Client) release(wc *wconn) {
+	defer func() { <-c.sem }()
+	if wc.broken {
+		wc.nc.Close()
+		return
+	}
+	wc.lastUsed = time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		wc.close()
+		return
+	}
+	c.idle = append(c.idle, wc)
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request and reads its response, applying the
+// context deadline both locally (socket deadlines) and remotely (frame
+// header timeout). Any network failure marks the connection broken.
+func (w *wconn) roundTrip(ctx context.Context, t wire.Type, payload []byte) (wire.Frame, error) {
+	if w.broken {
+		return wire.Frame{}, net.ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Frame{}, err
+	}
+	w.reqID++
+	f := wire.Frame{Type: t, ReqID: w.reqID, Payload: payload}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return wire.Frame{}, context.DeadlineExceeded
+		}
+		if ms := remain.Milliseconds(); ms > 0 {
+			f.TimeoutMs = uint32(min(ms, int64(^uint32(0))))
+		} else {
+			f.TimeoutMs = 1
+		}
+		w.nc.SetDeadline(dl) //nolint:errcheck
+	} else {
+		w.nc.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	if err := wire.WriteFrame(w.bw, f); err != nil {
+		w.broken = true
+		return wire.Frame{}, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.broken = true
+		return wire.Frame{}, err
+	}
+	for {
+		resp, err := wire.ReadFrame(w.br, w.maxFrame)
+		if err != nil {
+			w.broken = true
+			if ne := (net.Error)(nil); errors.As(err, &ne) && ne.Timeout() && ctx.Err() != nil {
+				return wire.Frame{}, ctx.Err()
+			}
+			return wire.Frame{}, err
+		}
+		if resp.ReqID != f.ReqID {
+			// A response for a request we gave up on earlier; the
+			// protocol is strictly serial per connection, so skip it.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// do runs one request on a pooled connection. Idempotent requests
+// (retriable=true) are retried once on a fresh connection after a
+// network error — the reconnect path that rides out a server restart.
+func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable bool) (wire.Frame, error) {
+	var lastErr error
+	attempts := 1
+	if retriable {
+		attempts = 2
+	}
+	for i := 0; i < attempts; i++ {
+		wc, err := c.acquire(ctx)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		f, err := wc.roundTrip(ctx, t, payload)
+		c.release(wc)
+		if err == nil {
+			if f.Type == wire.TypeError {
+				e, derr := wire.DecodeErrorResp(f.Payload)
+				if derr != nil {
+					return wire.Frame{}, derr
+				}
+				return wire.Frame{}, errFromResp(e)
+			}
+			return f, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return wire.Frame{}, err
+		}
+		// A network failure usually means the server went away; every
+		// pooled connection is equally dead, so drop them all and let
+		// the retry dial fresh.
+		c.purgeIdle()
+	}
+	return wire.Frame{}, lastErr
+}
+
+// purgeIdle closes every idle pooled connection.
+func (c *Client) purgeIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, wc := range idle {
+		wc.close()
+	}
+}
+
+// reqCtx builds the default context for the non-context methods.
+func (c *Client) reqCtx() (context.Context, context.CancelFunc) {
+	if c.opts.RequestTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level API.
+
+// Ping checks server liveness over one pooled connection.
+func (c *Client) Ping() error {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.PingContext(ctx)
+}
+
+// PingContext is Ping with a caller-supplied context.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.do(ctx, wire.TypePing, nil, true)
+	return err
+}
+
+// CreateTable creates a table on the server; indexed names columns to
+// maintain secondary indexes on.
+func (c *Client) CreateTable(name string, cols []hyrisenv.Column, indexed ...string) error {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.CreateTableContext(ctx, name, cols, indexed...)
+}
+
+// CreateTableContext is CreateTable with a caller-supplied context.
+func (c *Client) CreateTableContext(ctx context.Context, name string, cols []hyrisenv.Column, indexed ...string) error {
+	req := wire.CreateTableReq{Name: name, Indexed: indexed}
+	for _, col := range cols {
+		req.Cols = append(req.Cols, wire.ColumnDef{Name: col.Name, Type: uint8(col.Type)})
+	}
+	_, err := c.do(ctx, wire.TypeCreateTable, req.Encode(), false)
+	return err
+}
+
+// TableStat describes one table on the server.
+type TableStat struct {
+	Name      string
+	ID        uint32
+	MainRows  uint64
+	DeltaRows uint64
+	Rows      uint64
+}
+
+// Tables lists the server catalog.
+func (c *Client) Tables() ([]TableStat, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.TablesContext(ctx)
+}
+
+// TablesContext is Tables with a caller-supplied context.
+func (c *Client) TablesContext(ctx context.Context) ([]TableStat, error) {
+	f, err := c.do(ctx, wire.TypeTables, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeTablesResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TableStat, len(resp.Tables))
+	for i, t := range resp.Tables {
+		out[i] = TableStat(t)
+	}
+	return out, nil
+}
+
+// Stats reports the server's recovery and NVM statistics.
+type Stats struct {
+	Mode           hyrisenv.Mode
+	Uptime         time.Duration
+	Recovery       time.Duration // cost of the server's last engine open
+	TablesOpened   int
+	CheckpointLoad time.Duration
+	LogReplay      time.Duration
+	IndexRebuild   time.Duration
+	ReplayRecords  int
+	RolledBack     int
+	EntriesUndone  int
+	NVMFlushes     uint64
+	NVMFences      uint64
+	NVMBytesUsed   uint64
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (Stats, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.StatsContext(ctx)
+}
+
+// StatsContext is Stats with a caller-supplied context.
+func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
+	f, err := c.do(ctx, wire.TypeStats, nil, true)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := wire.DecodeStatsResp(f.Payload)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Mode:           hyrisenv.Mode(resp.Mode),
+		Uptime:         resp.Uptime,
+		Recovery:       resp.Recovery,
+		TablesOpened:   int(resp.TablesOpened),
+		CheckpointLoad: resp.CheckpointLoad,
+		LogReplay:      resp.LogReplay,
+		IndexRebuild:   resp.IndexRebuild,
+		ReplayRecords:  int(resp.ReplayRecords),
+		RolledBack:     int(resp.RolledBack),
+		EntriesUndone:  int(resp.EntriesUndone),
+		NVMFlushes:     resp.NVMFlushes,
+		NVMFences:      resp.NVMFences,
+		NVMBytesUsed:   resp.NVMBytesUsed,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Auto-commit reads. Each runs in a fresh read-only snapshot server-side
+// and is retried once on a new connection after a network failure.
+
+func wirePreds(preds []hyrisenv.Pred) []wire.Pred {
+	out := make([]wire.Pred, len(preds))
+	for i, p := range preds {
+		out[i] = wire.Pred{Col: p.Col, Op: uint8(p.Op), Val: p.Val}
+	}
+	return out
+}
+
+// Select returns the row IDs satisfying all predicates.
+func (c *Client) Select(table string, preds ...hyrisenv.Pred) ([]uint64, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.SelectContext(ctx, table, preds...)
+}
+
+// SelectContext is Select with a caller-supplied context.
+func (c *Client) SelectContext(ctx context.Context, table string, preds ...hyrisenv.Pred) ([]uint64, error) {
+	return c.selectTxn(ctx, 0, table, preds, true)
+}
+
+func (c *Client) selectTxn(ctx context.Context, txid uint64, table string, preds []hyrisenv.Pred, retriable bool) ([]uint64, error) {
+	req := wire.SelectReq{Txn: txid, Table: table, Preds: wirePreds(preds)}
+	f, err := c.do(ctx, wire.TypeSelect, req.Encode(), retriable)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowIDsResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// ScanAll returns every visible row ID.
+func (c *Client) ScanAll(table string) ([]uint64, error) {
+	return c.Select(table)
+}
+
+// ScanAllContext is ScanAll with a caller-supplied context.
+func (c *Client) ScanAllContext(ctx context.Context, table string) ([]uint64, error) {
+	return c.SelectContext(ctx, table)
+}
+
+// Count returns the number of rows satisfying all predicates.
+func (c *Client) Count(table string, preds ...hyrisenv.Pred) (int, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.CountContext(ctx, table, preds...)
+}
+
+// CountContext is Count with a caller-supplied context.
+func (c *Client) CountContext(ctx context.Context, table string, preds ...hyrisenv.Pred) (int, error) {
+	return c.countTxn(ctx, 0, table, preds, true)
+}
+
+func (c *Client) countTxn(ctx context.Context, txid uint64, table string, preds []hyrisenv.Pred, retriable bool) (int, error) {
+	req := wire.SelectReq{Txn: txid, Table: table, Preds: wirePreds(preds)}
+	f, err := c.do(ctx, wire.TypeCount, req.Encode(), retriable)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.DecodeCountResp(f.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// SelectRange returns rows whose named column falls in [lo, hi).
+func (c *Client) SelectRange(table, col string, lo, hi hyrisenv.Value) ([]uint64, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.SelectRangeContext(ctx, table, col, lo, hi)
+}
+
+// SelectRangeContext is SelectRange with a caller-supplied context.
+func (c *Client) SelectRangeContext(ctx context.Context, table, col string, lo, hi hyrisenv.Value) ([]uint64, error) {
+	return c.rangeTxn(ctx, 0, table, col, lo, hi, true)
+}
+
+func (c *Client) rangeTxn(ctx context.Context, txid uint64, table, col string, lo, hi hyrisenv.Value, retriable bool) ([]uint64, error) {
+	req := wire.RangeReq{Txn: txid, Table: table, Col: col, Lo: lo, Hi: hi}
+	f, err := c.do(ctx, wire.TypeRange, req.Encode(), retriable)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowIDsResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// Row materializes all columns of a row.
+func (c *Client) Row(table string, row uint64) ([]hyrisenv.Value, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.RowContext(ctx, table, row)
+}
+
+// RowContext is Row with a caller-supplied context.
+func (c *Client) RowContext(ctx context.Context, table string, row uint64) ([]hyrisenv.Value, error) {
+	return c.rowTxn(ctx, 0, table, row, true)
+}
+
+func (c *Client) rowTxn(ctx context.Context, txid uint64, table string, row uint64, retriable bool) ([]hyrisenv.Value, error) {
+	req := wire.RowReq{Txn: txid, Table: table, Row: row}
+	f, err := c.do(ctx, wire.TypeGetRow, req.Encode(), retriable)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vals, nil
+}

@@ -1,0 +1,163 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hyrisenv"
+	"hyrisenv/client"
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/server"
+	"hyrisenv/internal/txn"
+)
+
+func startVolatile(t *testing.T) (*core.Engine, *server.Server) {
+	t.Helper()
+	eng, err := core.Open(core.Config{Mode: txn.ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen(eng, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return eng, srv
+}
+
+var cols = []hyrisenv.Column{
+	{Name: "id", Type: hyrisenv.Int64},
+	{Name: "v", Type: hyrisenv.String},
+}
+
+// TestRetryOnReconnect checks the idempotent-read retry: after the
+// server is replaced behind the same address, the next auto-commit read
+// succeeds on its first call — the stale pooled connections are purged
+// and redialed inside the client.
+func TestRetryOnReconnect(t *testing.T) {
+	eng, srv := startVolatile(t)
+	c, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Count("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace the server behind the same address (new engine: volatile
+	// data is gone, which is fine — we only care about transport).
+	addr := srv.Addr()
+	srv.Close()
+	eng2, err := core.Open(core.Config{Mode: txn.ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := server.Listen(eng2, addr, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv2.Close()
+		eng2.Close()
+	})
+	_ = eng
+
+	// The pooled connection is dead, but Ping is idempotent: one call,
+	// internal retry, success.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after server swap: %v", err)
+	}
+	// Reads against the new (empty) server map to a clean table error,
+	// proving the request reached the replacement server.
+	if _, err := c.Count("t"); !errors.Is(err, client.ErrNoSuchTable) {
+		t.Fatalf("count after swap: got %v, want ErrNoSuchTable", err)
+	}
+}
+
+// TestWritesAreNotRetried checks that non-idempotent requests surface
+// the transport error instead of being silently replayed.
+func TestWritesAreNotRetried(t *testing.T) {
+	_, srv := startVolatile(t)
+	c, err := client.Dial(srv.Addr(), client.Options{RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // server gone mid-transaction
+	if _, err := tx.Insert("t", hyrisenv.Int(1), hyrisenv.Str("x")); err == nil {
+		t.Fatal("insert against dead server succeeded")
+	}
+	// The Tx is finished; further use reports it cleanly.
+	if _, err := tx.Insert("t", hyrisenv.Int(2), hyrisenv.Str("y")); !errors.Is(err, client.ErrTxDone) {
+		t.Fatalf("insert on broken tx: got %v, want ErrTxDone", err)
+	}
+}
+
+// TestPoolBlocksAtCapacity checks that acquiring beyond PoolSize blocks
+// until a connection frees, honouring the caller's context.
+func TestPoolBlocksAtCapacity(t *testing.T) {
+	_, srv := startVolatile(t)
+	c, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin() // pins the only connection
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.BeginContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second begin at capacity: got %v, want DeadlineExceeded", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Connection released: the pool serves again.
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientClose checks Close is terminal and idempotent.
+func TestClientClose(t *testing.T) {
+	_, srv := startVolatile(t)
+	c, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("ping after close: got %v, want ErrClosed", err)
+	}
+}

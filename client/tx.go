@@ -1,0 +1,287 @@
+package client
+
+import (
+	"context"
+
+	"hyrisenv"
+	"hyrisenv/internal/wire"
+)
+
+// Tx is a server-side transaction pinned to one pooled connection (the
+// server scopes transaction handles to the connection that began them).
+// Like hyrisenv.Tx it is not safe for concurrent use. Commit and Abort
+// return the connection to the pool; a network failure mid-transaction
+// breaks the Tx (the server aborts it when the connection drops).
+type Tx struct {
+	c    *Client
+	wc   *wconn
+	id   uint64
+	snap uint64
+	done bool
+}
+
+// Begin starts a read-write transaction.
+func (c *Client) Begin() (*Tx, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.BeginContext(ctx)
+}
+
+// BeginContext is Begin with a caller-supplied context.
+func (c *Client) BeginContext(ctx context.Context) (*Tx, error) {
+	return c.begin(ctx, wire.BeginReq{})
+}
+
+// BeginAt starts a read-only transaction at a historical commit ID
+// (time travel).
+func (c *Client) BeginAt(cid uint64) (*Tx, error) {
+	ctx, cancel := c.reqCtx()
+	defer cancel()
+	return c.BeginAtContext(ctx, cid)
+}
+
+// BeginAtContext is BeginAt with a caller-supplied context.
+func (c *Client) BeginAtContext(ctx context.Context, cid uint64) (*Tx, error) {
+	return c.begin(ctx, wire.BeginReq{ReadOnly: true, AtCID: cid})
+}
+
+func (c *Client) begin(ctx context.Context, req wire.BeginReq) (*Tx, error) {
+	wc, err := c.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	f, err := wc.roundTrip(ctx, wire.TypeBegin, req.Encode())
+	if err != nil {
+		c.release(wc)
+		return nil, err
+	}
+	if f.Type == wire.TypeError {
+		c.release(wc)
+		e, derr := wire.DecodeErrorResp(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, errFromResp(e)
+	}
+	ok, err := wire.DecodeBeginOK(f.Payload)
+	if err != nil {
+		wc.broken = true
+		c.release(wc)
+		return nil, err
+	}
+	return &Tx{c: c, wc: wc, id: ok.Txn, snap: ok.SnapshotCID}, nil
+}
+
+// SnapshotCID returns the commit ID this transaction reads at.
+func (tx *Tx) SnapshotCID() uint64 { return tx.snap }
+
+// roundTrip runs one request on the pinned connection and decodes error
+// frames. A network failure finishes the Tx and releases the (broken)
+// connection.
+func (tx *Tx) roundTrip(ctx context.Context, t wire.Type, payload []byte) (wire.Frame, error) {
+	if tx.done {
+		return wire.Frame{}, ErrTxDone
+	}
+	f, err := tx.wc.roundTrip(ctx, t, payload)
+	if err != nil {
+		tx.finish()
+		return wire.Frame{}, err
+	}
+	if f.Type == wire.TypeError {
+		e, derr := wire.DecodeErrorResp(f.Payload)
+		if derr != nil {
+			tx.finish()
+			return wire.Frame{}, derr
+		}
+		return wire.Frame{}, errFromResp(e) // request-level error: Tx stays usable
+	}
+	return f, nil
+}
+
+// finish releases the pinned connection back to the pool exactly once.
+func (tx *Tx) finish() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.c.release(tx.wc)
+}
+
+// Commit makes the transaction's effects visible and durable.
+func (tx *Tx) Commit() error {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.CommitContext(ctx)
+}
+
+// CommitContext is Commit with a caller-supplied context.
+func (tx *Tx) CommitContext(ctx context.Context) error {
+	_, err := tx.roundTrip(ctx, wire.TypeCommit, wire.TxnReq{Txn: tx.id}.Encode())
+	tx.finish()
+	return err
+}
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort() error {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.AbortContext(ctx)
+}
+
+// AbortContext is Abort with a caller-supplied context.
+func (tx *Tx) AbortContext(ctx context.Context) error {
+	_, err := tx.roundTrip(ctx, wire.TypeAbort, wire.TxnReq{Txn: tx.id}.Encode())
+	tx.finish()
+	return err
+}
+
+// Insert appends a row and returns its physical row ID.
+func (tx *Tx) Insert(table string, vals ...hyrisenv.Value) (uint64, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.InsertContext(ctx, table, vals...)
+}
+
+// InsertContext is Insert with a caller-supplied context.
+func (tx *Tx) InsertContext(ctx context.Context, table string, vals ...hyrisenv.Value) (uint64, error) {
+	req := wire.InsertReq{Txn: tx.id, Table: table, Vals: vals}
+	f, err := tx.roundTrip(ctx, wire.TypeInsert, req.Encode())
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.DecodeRowIDResp(f.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Row, nil
+}
+
+// Update replaces the row with new values and returns the new version's
+// row ID.
+func (tx *Tx) Update(table string, row uint64, vals ...hyrisenv.Value) (uint64, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.UpdateContext(ctx, table, row, vals...)
+}
+
+// UpdateContext is Update with a caller-supplied context.
+func (tx *Tx) UpdateContext(ctx context.Context, table string, row uint64, vals ...hyrisenv.Value) (uint64, error) {
+	req := wire.UpdateReq{Txn: tx.id, Table: table, Row: row, Vals: vals}
+	f, err := tx.roundTrip(ctx, wire.TypeUpdate, req.Encode())
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.DecodeRowIDResp(f.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Row, nil
+}
+
+// Delete invalidates the row.
+func (tx *Tx) Delete(table string, row uint64) error {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.DeleteContext(ctx, table, row)
+}
+
+// DeleteContext is Delete with a caller-supplied context.
+func (tx *Tx) DeleteContext(ctx context.Context, table string, row uint64) error {
+	req := wire.DeleteReq{Txn: tx.id, Table: table, Row: row}
+	_, err := tx.roundTrip(ctx, wire.TypeDelete, req.Encode())
+	return err
+}
+
+// Select returns the row IDs satisfying all predicates, evaluated in
+// this transaction's snapshot.
+func (tx *Tx) Select(table string, preds ...hyrisenv.Pred) ([]uint64, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.SelectContext(ctx, table, preds...)
+}
+
+// SelectContext is Select with a caller-supplied context.
+func (tx *Tx) SelectContext(ctx context.Context, table string, preds ...hyrisenv.Pred) ([]uint64, error) {
+	req := wire.SelectReq{Txn: tx.id, Table: table, Preds: wirePreds(preds)}
+	f, err := tx.roundTrip(ctx, wire.TypeSelect, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowIDsResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// ScanAll returns every row ID visible to this transaction.
+func (tx *Tx) ScanAll(table string) ([]uint64, error) { return tx.Select(table) }
+
+// ScanAllContext is ScanAll with a caller-supplied context.
+func (tx *Tx) ScanAllContext(ctx context.Context, table string) ([]uint64, error) {
+	return tx.SelectContext(ctx, table)
+}
+
+// Count returns the number of rows satisfying all predicates in this
+// transaction's snapshot.
+func (tx *Tx) Count(table string, preds ...hyrisenv.Pred) (int, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.CountContext(ctx, table, preds...)
+}
+
+// CountContext is Count with a caller-supplied context.
+func (tx *Tx) CountContext(ctx context.Context, table string, preds ...hyrisenv.Pred) (int, error) {
+	req := wire.SelectReq{Txn: tx.id, Table: table, Preds: wirePreds(preds)}
+	f, err := tx.roundTrip(ctx, wire.TypeCount, req.Encode())
+	if err != nil {
+		return 0, err
+	}
+	resp, err := wire.DecodeCountResp(f.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// SelectRange returns rows whose named column falls in [lo, hi).
+func (tx *Tx) SelectRange(table, col string, lo, hi hyrisenv.Value) ([]uint64, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.SelectRangeContext(ctx, table, col, lo, hi)
+}
+
+// SelectRangeContext is SelectRange with a caller-supplied context.
+func (tx *Tx) SelectRangeContext(ctx context.Context, table, col string, lo, hi hyrisenv.Value) ([]uint64, error) {
+	req := wire.RangeReq{Txn: tx.id, Table: table, Col: col, Lo: lo, Hi: hi}
+	f, err := tx.roundTrip(ctx, wire.TypeRange, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowIDsResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// Row materializes all columns of a row as seen by this transaction.
+func (tx *Tx) Row(table string, row uint64) ([]hyrisenv.Value, error) {
+	ctx, cancel := tx.c.reqCtx()
+	defer cancel()
+	return tx.RowContext(ctx, table, row)
+}
+
+// RowContext is Row with a caller-supplied context.
+func (tx *Tx) RowContext(ctx context.Context, table string, row uint64) ([]hyrisenv.Value, error) {
+	req := wire.RowReq{Txn: tx.id, Table: table, Row: row}
+	f, err := tx.roundTrip(ctx, wire.TypeGetRow, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRowResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vals, nil
+}

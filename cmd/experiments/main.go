@@ -23,7 +23,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e8) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e8, a1..a6, m1, net) or 'all'")
 	full := flag.Bool("full", false, "use the larger FullScale sweeps")
 	ssd := flag.Bool("ssd", false, "model a 2016-era SSD for the log device (default: raw file speed)")
 	out := flag.String("out", "", "also write the report to this file")
@@ -84,6 +84,7 @@ func main() {
 		{"a5", func() (*bench.Report, error) { return bench.A5DictIndex(workDir, scale.E3Rows) }},
 		{"a6", func() (*bench.Report, error) { return bench.A6CheckpointCompression(workDir, scale.E2Rows) }},
 		{"m1", func() (*bench.Report, error) { return bench.M1RecoveryModel(workDir, scale.E1Sizes, model) }},
+		{"net", func() (*bench.Report, error) { return bench.NetRestart(workDir, scale.E1Sizes, model) }},
 	}
 	for _, ex := range experiments {
 		if !want(ex.id) {

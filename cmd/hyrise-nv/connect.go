@@ -1,0 +1,215 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrisenv"
+	"hyrisenv/client"
+	"hyrisenv/internal/workload"
+)
+
+// runConnect implements `hyrise-nv connect <load|run|scan|stats|watch>`:
+// the same load/query tooling as the embedded subcommands, but executed
+// over the wire against a running hyrise-nvd.
+func runConnect(args []string) {
+	if len(args) < 1 {
+		connectUsage()
+	}
+	sub := args[0]
+	switch sub {
+	case "load", "run", "scan", "stats", "watch":
+	default:
+		connectUsage() // reject unknown subcommands before dialing
+	}
+	fs := flag.NewFlagSet("connect "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4466", "hyrise-nvd address")
+	rows := fs.Int("rows", 100000, "dataset rows (load)")
+	ops := fs.Int("ops", 20000, "operations (run)")
+	threads := fs.Int("threads", 8, "concurrent workers / pool size")
+	table := fs.String("table", "orders", "table name")
+	fs.Parse(args[1:])
+
+	c, err := client.Dial(*addr, client.Options{PoolSize: *threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch sub {
+	case "load":
+		connectLoad(c, *table, *rows, *threads)
+	case "run":
+		connectRun(c, *table, *ops, *threads)
+	case "scan":
+		start := time.Now()
+		n, err := c.Count(*table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d visible rows in %s\n", n, time.Since(start).Round(time.Microsecond))
+	case "stats":
+		connectStats(c)
+	case "watch":
+		connectWatch(c, *table)
+	}
+}
+
+func connectUsage() {
+	fmt.Fprintln(os.Stderr, `usage: hyrise-nv connect <load|run|scan|stats|watch> [-addr host:port] [flags]
+run "hyrise-nv connect <sub> -h" for the flags of each subcommand`)
+	os.Exit(2)
+}
+
+// connectLoad creates the orders table and streams rows in over
+// concurrent pooled connections.
+func connectLoad(c *client.Client, table string, rows, threads int) {
+	sch := workload.Schema()
+	cols := make([]hyrisenv.Column, sch.NumCols())
+	for i, cd := range sch.Cols {
+		cols[i] = hyrisenv.Column{Name: cd.Name, Type: cd.Type}
+	}
+	if err := c.CreateTable(table, cols, "id", "customer"); err != nil &&
+		!errors.Is(err, client.ErrTableExists) {
+		log.Fatal(err)
+	}
+
+	spec := workload.DefaultSpec(rows)
+	start := time.Now()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				lo := int(next.Add(int64(spec.Batch))) - spec.Batch
+				if lo >= rows {
+					return
+				}
+				hi := lo + spec.Batch
+				if hi > rows {
+					hi = rows
+				}
+				tx, err := c.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := lo; i < hi; i++ {
+					if _, err := tx.Insert(table, spec.Row(rng, i)...); err != nil {
+						tx.Abort() //nolint:errcheck
+						errCh <- err
+						return
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(spec.Seed + int64(w))
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	default:
+	}
+	fmt.Printf("loaded %d rows over the wire in %s (%d workers)\n",
+		rows, time.Since(start).Round(time.Millisecond), threads)
+}
+
+// connectRun drives a read-mostly point-lookup/update mix through the
+// pool and reports client-observed throughput.
+func connectRun(c *client.Client, table string, ops, threads int) {
+	ids, err := c.ScanAll(table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(ids) == 0 {
+		log.Fatalf("table %q is empty — run `hyrise-nv connect load` first", table)
+	}
+	start := time.Now()
+	var done, failed atomic.Int64
+	var wg sync.WaitGroup
+	per := ops / threads
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				row := ids[rng.Intn(len(ids))]
+				if _, err := c.Row(table, row); err != nil {
+					failed.Add(1)
+					continue
+				}
+				done.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	fmt.Printf("%d ops in %s: %.0f ops/s (%d failed)\n",
+		done.Load(), el.Round(time.Millisecond), float64(done.Load())/el.Seconds(), failed.Load())
+}
+
+func connectStats(c *client.Client) {
+	tables, err := c.Tables()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Printf("table %-12s id=%d main=%d delta=%d total=%d\n",
+			t.Name, t.ID, t.MainRows, t.DeltaRows, t.Rows)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server mode=%s uptime=%s last recovery=%s (%d tables",
+		st.Mode, st.Uptime.Round(time.Second), st.Recovery.Round(time.Microsecond), st.TablesOpened)
+	switch st.Mode {
+	case hyrisenv.LogBased:
+		fmt.Printf(", replay=%d records in %s, index rebuild=%s",
+			st.ReplayRecords, st.LogReplay.Round(time.Microsecond), st.IndexRebuild.Round(time.Microsecond))
+	case hyrisenv.NVM:
+		fmt.Printf(", rolled back %d in-flight, %d stamps undone", st.RolledBack, st.EntriesUndone)
+	}
+	fmt.Println(")")
+	if st.NVMBytesUsed > 0 {
+		fmt.Printf("nvm heap: %s used, %d flushes, %d fences\n",
+			byteCount(st.NVMBytesUsed), st.NVMFlushes, st.NVMFences)
+	}
+}
+
+// connectWatch polls the server once per 50 ms and reports gaps — point
+// it at a daemon, `kill -USR1` the daemon, restart it, and read off the
+// client-observed downtime.
+func connectWatch(c *client.Client, table string) {
+	fmt.Println("watching (ctrl-c to stop); kill/restart the daemon to measure client-observed downtime")
+	var downSince time.Time
+	for {
+		_, err := c.Count(table)
+		switch {
+		case err == nil && !downSince.IsZero():
+			fmt.Printf("recovered: client-observed downtime %s\n",
+				time.Since(downSince).Round(time.Millisecond))
+			downSince = time.Time{}
+		case err != nil && downSince.IsZero():
+			downSince = time.Now()
+			fmt.Printf("server unreachable (%v)\n", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

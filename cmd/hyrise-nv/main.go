@@ -35,6 +35,12 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "connect" {
+		// Network mode: the same tooling, over the wire against a
+		// running hyrise-nvd (no -dir; the daemon owns the data).
+		runConnect(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "database directory")
 	modeName := fs.String("mode", "nvm", "durability mode: nvm or log")
@@ -231,8 +237,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hyrise-nv <load|run|crash|recover|merge|verify|import|export|stats> [flags]
-run "hyrise-nv <cmd> -h" for the flags of each command`)
+	fmt.Fprintln(os.Stderr, `usage: hyrise-nv <load|run|crash|recover|merge|verify|import|export|stats|connect> [flags]
+run "hyrise-nv <cmd> -h" for the flags of each command;
+"hyrise-nv connect" drives a running hyrise-nvd over TCP`)
 	os.Exit(2)
 }
 

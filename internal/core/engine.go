@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyrisenv/internal/disk"
@@ -95,7 +96,10 @@ type Engine struct {
 	nextTableID uint32
 
 	recovery RecoveryStats
-	closed   bool
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Errors returned by the engine.
@@ -269,7 +273,7 @@ func (e *Engine) CreateTable(name string, schema storage.Schema, indexedCols ...
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	if _, exists := e.tables[name]; exists {
@@ -385,25 +389,35 @@ func (e *Engine) Merge(name string) (storage.MergeStats, error) {
 
 // Close shuts the engine down. In every mode all committed data is
 // already durable; Close only releases resources.
+//
+// Close is idempotent and safe under concurrent callers: the release
+// runs exactly once and every caller observes the same result, so a
+// server's graceful shutdown racing a signal handler (both paths ending
+// in Close) cannot double-unmap the heap or double-close the WAL.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return nil
-	}
-	e.closed = true
-	if e.cfg.Mode == txn.ModeLog {
-		if w := e.mgr.LogWriter(); w != nil {
-			if err := w.Close(); err != nil {
-				return err
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.closed.Store(true)
+		if e.cfg.Mode == txn.ModeLog {
+			if w := e.mgr.LogWriter(); w != nil {
+				if err := w.Close(); err != nil {
+					e.closeErr = err
+					// Fall through: still release the heap if present.
+				}
 			}
 		}
-	}
-	if e.h != nil {
-		return e.h.Close()
-	}
-	return nil
+		if e.h != nil {
+			if err := e.h.Close(); err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
+		}
+	})
+	return e.closeErr
 }
+
+// Closed reports whether Close has begun.
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // Scavenge reclaims NVM blocks that are no longer reachable from any
 // table or transaction context: storage superseded by merges and blocks

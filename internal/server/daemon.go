@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/disk"
+	"hyrisenv/internal/txn"
+)
+
+// DaemonConfig configures RunDaemon — the shared body of the
+// hyrise-nvd command, also driven directly by the integration tests
+// (which re-exec the test binary as a daemon child).
+type DaemonConfig struct {
+	Addr        string   // listen address, e.g. "127.0.0.1:0"
+	Dir         string   // data directory
+	Mode        txn.Mode // durability mode
+	NVMHeapSize uint64   // simulated NVM device size (ModeNVM)
+	DiskModel   disk.Model
+	Server      Config
+
+	// DrainTimeout bounds the graceful drain on SIGTERM/SIGINT before
+	// stragglers are force-closed. Default 5 s.
+	DrainTimeout time.Duration
+
+	// Ready, when non-nil, receives one "LISTENING <addr>" line once the
+	// server accepts connections — how tests and scripts learn the bound
+	// port when Addr uses port 0.
+	Ready io.Writer
+
+	// Logf receives daemon lifecycle messages (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// RunDaemon opens the engine, serves it on cfg.Addr and blocks until a
+// shutdown signal arrives:
+//
+//   - SIGTERM / SIGINT: graceful drain — stop accepting, finish
+//     in-flight requests (bounded by DrainTimeout), abort open
+//     transactions, then close the engine. This is the path whose safety
+//     depends on Engine.Close being idempotent: a second signal during
+//     the drain force-exits through the same Close.
+//   - SIGUSR1: simulated power failure — the process exits immediately
+//     with no drain and no Close, exactly like `hyrise-nv crash`. Under
+//     ModeNVM the next start recovers instantly; under ModeLog it
+//     replays the log.
+func RunDaemon(cfg DaemonConfig) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+
+	start := time.Now()
+	eng, err := core.Open(core.Config{
+		Mode:        cfg.Mode,
+		Dir:         cfg.Dir,
+		NVMHeapSize: cfg.NVMHeapSize,
+		DiskModel:   cfg.DiskModel,
+	})
+	if err != nil {
+		return fmt.Errorf("open engine: %w", err)
+	}
+	rs := eng.RecoveryStats()
+	logf("engine open in %s (mode=%s, %d tables, replay=%d records, rolled back=%d in-flight)",
+		time.Since(start).Round(time.Microsecond), cfg.Mode, rs.TablesOpened,
+		rs.ReplayRecords, rs.NVM.RolledBack)
+
+	srv, err := Listen(eng, cfg.Addr, cfg.Server)
+	if err != nil {
+		eng.Close() //nolint:errcheck — already failing
+		return fmt.Errorf("listen: %w", err)
+	}
+	logf("serving on %s", srv.Addr())
+	if cfg.Ready != nil {
+		fmt.Fprintf(cfg.Ready, "LISTENING %s\n", srv.Addr())
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT, syscall.SIGUSR1)
+	defer signal.Stop(sigc)
+
+	sig := <-sigc
+	if sig == syscall.SIGUSR1 {
+		logf("SIGUSR1: simulating power failure (no drain, no close)")
+		os.Exit(2)
+	}
+
+	logf("%s: draining connections (timeout %s)", sig, cfg.DrainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	go func() {
+		// A second SIGTERM/SIGINT cuts the drain short; Engine.Close
+		// being idempotent makes this race harmless.
+		if s := <-sigc; s != syscall.SIGUSR1 {
+			cancel()
+		} else {
+			os.Exit(2)
+		}
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		logf("drain incomplete: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("close engine: %w", err)
+	}
+	logf("shut down cleanly")
+	return nil
+}

@@ -1,0 +1,684 @@
+// Package server implements the hyrisenv network front end: a concurrent
+// TCP server that multiplexes many client connections onto one storage
+// engine using the internal/wire protocol.
+//
+// Each accepted connection gets its own goroutine and its own
+// transaction registry; transaction handles are connection-scoped, so a
+// dropped connection aborts everything it left open. Errors are
+// reported per request as structured wire.TypeError frames — a failed
+// request never tears down the connection. Shutdown drains gracefully:
+// the listener closes, in-flight requests finish (bounded by the drain
+// context), remaining open transactions are aborted, and only then does
+// the caller close the engine.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/query"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+	"hyrisenv/internal/wire"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// MaxConns caps concurrently served connections; further accepts are
+	// refused with a CodeShuttingDown error frame. Default 1024.
+	MaxConns int
+	// MaxFrame bounds request/response payloads in bytes. Default
+	// wire.DefaultMaxPayload.
+	MaxFrame uint32
+	// IdleTimeout disconnects a client that sends no request for this
+	// long. Default 5 minutes; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response frame. Default 30 s;
+	// negative disables.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxConns == 0 {
+		out.MaxConns = 1024
+	}
+	if out.MaxFrame == 0 {
+		out.MaxFrame = wire.DefaultMaxPayload
+	}
+	if out.IdleTimeout == 0 {
+		out.IdleTimeout = 5 * time.Minute
+	}
+	if out.WriteTimeout == 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	return out
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng   *core.Engine
+	cfg   Config
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+	done     chan struct{} // closed when Serve's accept loop exits
+
+	nConns atomic.Int64
+}
+
+// New wraps an already-open engine. The caller retains ownership of the
+// engine: the server never closes it (see Shutdown).
+func New(eng *core.Engine, cfg Config) *Server {
+	return &Server{
+		eng:   eng,
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+		conns: map[*conn]struct{}{},
+		done:  make(chan struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:4466"; port 0 picks a free port)
+// and starts serving in a background goroutine. Use Addr for the bound
+// address and Shutdown/Close to stop.
+func Listen(eng *core.Engine, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := New(eng, cfg)
+	s.mu.Lock()
+	s.ln = ln // visible to Addr before the accept goroutine runs
+	s.mu.Unlock()
+	go s.Serve(ln) //nolint:errcheck — the accept-loop error after Close is expected
+	return s, nil
+}
+
+// Addr returns the listener address ("" before Serve/Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Engine returns the served engine.
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// Serve accepts connections on ln until the listener closes. It returns
+// the accept error (net.ErrClosed after Shutdown/Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer close(s.done)
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if n := s.nConns.Add(1); int(n) > s.cfg.MaxConns {
+			s.nConns.Add(-1)
+			s.refuse(nc, wire.CodeShuttingDown,
+				fmt.Sprintf("server at connection limit (%d)", s.cfg.MaxConns))
+			continue
+		}
+		c := &conn{srv: s, nc: nc, txns: map[uint64]*txn.Txn{}}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.nConns.Add(-1)
+			s.refuse(nc, wire.CodeShuttingDown, "server is shutting down")
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// refuse sends a best-effort error frame and closes the raw connection.
+func (s *Server) refuse(nc net.Conn, code uint16, msg string) {
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	wire.WriteFrame(nc, wire.Frame{                      //nolint:errcheck — best effort
+		Type:    wire.TypeError,
+		Payload: wire.ErrorResp{Code: code, Msg: msg}.Encode(),
+	})
+	nc.Close()
+}
+
+// NumConns reports the live connection count.
+func (s *Server) NumConns() int { return int(s.nConns.Load()) }
+
+// Shutdown drains the server: it stops accepting, lets in-flight
+// requests finish until ctx expires, then force-closes stragglers and
+// aborts every transaction still open. The engine is left open — the
+// caller (who owns it) closes it after Shutdown returns, which is what
+// makes "drain, then DB.Close" safe to race with a second signal.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+		<-s.done // accept loop has exited; no new conns will register
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.NumConns() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			for _, c := range conns {
+				c.close()
+			}
+			// Even on the force path, wait for the handler goroutines to
+			// run their deferred transaction aborts: the caller closes
+			// the engine right after Shutdown returns, and an abort must
+			// not race the heap unmap. Handlers exit promptly once their
+			// sockets are closed.
+			for s.NumConns() > 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close force-closes the listener and every connection without
+// draining; open transactions are aborted.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: Shutdown skips straight to force-close
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.nConns.Add(-1)
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection handling.
+
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	// txns is the connection-scoped transaction registry; it is only
+	// touched by the connection's serve goroutine, except at close.
+	txns    map[uint64]*txn.Txn
+	nextTxn uint64
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+}
+
+// beginDrain asks the connection to stop after the current request.
+func (c *conn) beginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	// Wake a blocked read so an idle connection notices the drain.
+	c.nc.SetReadDeadline(time.Now()) //nolint:errcheck
+}
+
+func (c *conn) isDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+func (c *conn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+// serve runs the connection's request loop: handshake, then strictly
+// sequential request/response until EOF, error, or drain.
+func (c *conn) serve() {
+	defer func() {
+		c.close()
+		// Abort whatever the client left open so row locks are released.
+		for id, t := range c.txns {
+			if t.Status() == txn.StatusActive {
+				t.Abort() //nolint:errcheck — already tearing down
+			}
+			delete(c.txns, id)
+		}
+		c.srv.dropConn(c)
+	}()
+
+	if err := c.handshake(); err != nil {
+		c.srv.logf("server: handshake with %s failed: %v", c.nc.RemoteAddr(), err)
+		return
+	}
+	for {
+		if c.isDraining() {
+			return
+		}
+		f, err := c.readRequest()
+		if err != nil {
+			if !isExpectedNetErr(err) && !c.isDraining() {
+				c.srv.logf("server: read from %s: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := c.handle(f); err != nil {
+			c.srv.logf("server: write to %s: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (c *conn) readRequest() (wire.Frame, error) {
+	if t := c.srv.cfg.IdleTimeout; t > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(t)) //nolint:errcheck
+	} else {
+		c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	}
+	return wire.ReadFrame(c.nc, c.srv.cfg.MaxFrame)
+}
+
+func (c *conn) handshake() error {
+	f, err := c.readRequest()
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TypeHello {
+		c.reply(f.ReqID, wire.TypeError, wire.ErrorResp{ //nolint:errcheck
+			Code: wire.CodeBadRequest, Msg: "expected hello"}.Encode())
+		return fmt.Errorf("first frame is %s, not hello", f.Type)
+	}
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return err
+	}
+	if h.Version != wire.Version {
+		c.reply(f.ReqID, wire.TypeError, wire.ErrorResp{ //nolint:errcheck
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("protocol version %d not supported (server speaks %d)", h.Version, wire.Version),
+		}.Encode())
+		return fmt.Errorf("client version %d unsupported", h.Version)
+	}
+	return c.reply(f.ReqID, wire.TypeHelloOK, wire.HelloOK{
+		Version:    wire.Version,
+		Mode:       uint8(c.srv.eng.Mode()),
+		MaxPayload: c.srv.cfg.MaxFrame,
+	}.Encode())
+}
+
+func (c *conn) reply(reqID uint64, t wire.Type, payload []byte) error {
+	if len(payload) > int(c.srv.cfg.MaxFrame) {
+		payload = wire.ErrorResp{
+			Code: wire.CodeTooLarge,
+			Msg:  fmt.Sprintf("response exceeds frame limit (%d bytes)", c.srv.cfg.MaxFrame),
+		}.Encode()
+		t = wire.TypeError
+	}
+	if w := c.srv.cfg.WriteTimeout; w > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(w)) //nolint:errcheck
+	}
+	return wire.WriteFrame(c.nc, wire.Frame{Type: t, ReqID: reqID, Payload: payload})
+}
+
+func (c *conn) replyErr(reqID uint64, code uint16, msg string) error {
+	return c.reply(reqID, wire.TypeError, wire.ErrorResp{Code: code, Msg: msg}.Encode())
+}
+
+// handle dispatches one request frame and writes exactly one response.
+// The returned error is a connection-level write failure; request-level
+// failures become TypeError frames.
+func (c *conn) handle(f wire.Frame) error {
+	// Per-request deadline: the client stamps its timeout into the frame
+	// header; a request that cannot start before its deadline gets a
+	// structured CodeDeadline reply instead of a hung connection.
+	ctx := context.Background()
+	if f.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(f.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	t, payload, code, msg := c.dispatch(ctx, f)
+	if code != 0 {
+		return c.replyErr(f.ReqID, code, msg)
+	}
+	if err := ctx.Err(); err != nil {
+		// The work finished but past its deadline: the client has given
+		// up; report the deadline rather than a result it won't use.
+		return c.replyErr(f.ReqID, wire.CodeDeadline, "request deadline exceeded")
+	}
+	return c.reply(f.ReqID, t, payload)
+}
+
+// dispatch executes the request. A non-zero code means "reply with this
+// error".
+func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload []byte, code uint16, msg string) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, wire.CodeDeadline, "request deadline exceeded"
+	}
+	switch f.Type {
+	case wire.TypePing:
+		return wire.TypePong, nil, 0, ""
+
+	case wire.TypeBegin:
+		req, err := wire.DecodeBeginReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		var tx *txn.Txn
+		if req.ReadOnly {
+			tx = c.srv.eng.Manager().BeginAt(req.AtCID)
+		} else {
+			tx = c.srv.eng.Begin()
+		}
+		c.nextTxn++
+		id := c.nextTxn
+		c.txns[id] = tx
+		return wire.TypeBeginOK, wire.BeginOK{Txn: id, SnapshotCID: tx.SnapshotCID()}.Encode(), 0, ""
+
+	case wire.TypeCommit, wire.TypeAbort:
+		req, err := wire.DecodeTxnReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, ok := c.txns[req.Txn]
+		if !ok {
+			return 0, nil, wire.CodeNoSuchTxn, fmt.Sprintf("no transaction %d on this connection", req.Txn)
+		}
+		delete(c.txns, req.Txn)
+		if f.Type == wire.TypeCommit {
+			err = tx.Commit()
+		} else {
+			err = tx.Abort()
+		}
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
+		return wire.TypeOK, nil, 0, ""
+
+	case wire.TypeInsert:
+		req, err := wire.DecodeInsertReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.writeTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		row, err := tx.Insert(tbl, req.Vals)
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
+		return wire.TypeRowID, wire.RowIDResp{Row: row}.Encode(), 0, ""
+
+	case wire.TypeUpdate:
+		req, err := wire.DecodeUpdateReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.writeTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		row, err := tx.Update(tbl, req.Row, req.Vals)
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
+		return wire.TypeRowID, wire.RowIDResp{Row: row}.Encode(), 0, ""
+
+	case wire.TypeDelete:
+		req, err := wire.DecodeDeleteReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.writeTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		if err := tx.Delete(tbl, req.Row); err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
+		return wire.TypeOK, nil, 0, ""
+
+	case wire.TypeGetRow:
+		req, err := wire.DecodeRowReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.readTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		if !tx.Sees(tbl, req.Row) {
+			return 0, nil, wire.CodeRowNotFound, fmt.Sprintf("row %d not visible", req.Row)
+		}
+		cols := make([]int, tbl.Schema.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+		vals := query.Project(tbl, []uint64{req.Row}, cols...)[0]
+		return wire.TypeRow, wire.RowResp{Vals: vals}.Encode(), 0, ""
+
+	case wire.TypeSelect, wire.TypeCount:
+		req, err := wire.DecodeSelectReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.readTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		preds := make([]query.Pred, len(req.Preds))
+		for i, p := range req.Preds {
+			ci := tbl.Schema.ColIndex(p.Col)
+			if ci < 0 {
+				return 0, nil, wire.CodeBadColumn, fmt.Sprintf("no column %q in table %q", p.Col, req.Table)
+			}
+			preds[i] = query.Pred{Col: ci, Op: query.Op(p.Op), Val: p.Val}
+		}
+		if f.Type == wire.TypeCount {
+			n := query.Count(tx, tbl, preds...)
+			return wire.TypeCountOK, wire.CountResp{N: uint64(n)}.Encode(), 0, ""
+		}
+		rows := query.Select(tx, tbl, preds...)
+		return wire.TypeRowIDs, wire.RowIDsResp{Rows: rows}.Encode(), 0, ""
+
+	case wire.TypeRange:
+		req, err := wire.DecodeRangeReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		tx, tbl, code, msg := c.readTxnTable(req.Txn, req.Table)
+		if code != 0 {
+			return 0, nil, code, msg
+		}
+		ci := tbl.Schema.ColIndex(req.Col)
+		if ci < 0 {
+			return 0, nil, wire.CodeBadColumn, fmt.Sprintf("no column %q in table %q", req.Col, req.Table)
+		}
+		rows := query.SelectRange(tx, tbl, ci, req.Lo, req.Hi)
+		return wire.TypeRowIDs, wire.RowIDsResp{Rows: rows}.Encode(), 0, ""
+
+	case wire.TypeCreateTable:
+		req, err := wire.DecodeCreateTableReq(f.Payload)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		defs := make([]storage.ColumnDef, len(req.Cols))
+		for i, cd := range req.Cols {
+			defs[i] = storage.ColumnDef{Name: cd.Name, Type: storage.ColType(cd.Type)}
+		}
+		sch, err := storage.NewSchema(defs...)
+		if err != nil {
+			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		if _, err := c.srv.eng.CreateTable(req.Name, sch, req.Indexed...); err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
+		return wire.TypeOK, nil, 0, ""
+
+	case wire.TypeTables:
+		var resp wire.TablesResp
+		for _, t := range c.srv.eng.Tables() {
+			resp.Tables = append(resp.Tables, wire.TableStat{
+				Name: t.Name, ID: t.ID,
+				MainRows: t.MainRows(), DeltaRows: t.DeltaRows(), Rows: t.Rows(),
+			})
+		}
+		return wire.TypeTablesOK, resp.Encode(), 0, ""
+
+	case wire.TypeStats:
+		rs := c.srv.eng.RecoveryStats()
+		resp := wire.StatsResp{
+			Mode:           uint8(c.srv.eng.Mode()),
+			Uptime:         time.Since(c.srv.start),
+			Recovery:       rs.Total,
+			TablesOpened:   uint32(rs.TablesOpened),
+			CheckpointLoad: rs.CheckpointLoad,
+			LogReplay:      rs.LogReplay,
+			IndexRebuild:   rs.IndexRebuild,
+			ReplayRecords:  uint32(rs.ReplayRecords),
+			RolledBack:     uint32(rs.NVM.RolledBack),
+			EntriesUndone:  uint32(rs.NVM.EntriesUndone),
+		}
+		if h := c.srv.eng.Heap(); h != nil {
+			hs := h.Stats()
+			resp.NVMFlushes, resp.NVMFences, resp.NVMBytesUsed = hs.Flushes, hs.Fences, hs.BytesUsed
+		}
+		return wire.TypeStatsOK, resp.Encode(), 0, ""
+
+	default:
+		return 0, nil, wire.CodeBadRequest, fmt.Sprintf("unexpected frame type %s", f.Type)
+	}
+}
+
+// writeTxnTable resolves an explicit transaction handle and table for a
+// write request.
+func (c *conn) writeTxnTable(txid uint64, table string) (*txn.Txn, *storage.Table, uint16, string) {
+	if txid == 0 {
+		return nil, nil, wire.CodeBadRequest, "writes require an explicit transaction (Begin first)"
+	}
+	tx, ok := c.txns[txid]
+	if !ok {
+		return nil, nil, wire.CodeNoSuchTxn, fmt.Sprintf("no transaction %d on this connection", txid)
+	}
+	tbl, err := c.srv.eng.Table(table)
+	if err != nil {
+		return nil, nil, wire.CodeNoSuchTable, err.Error()
+	}
+	return tx, tbl, 0, ""
+}
+
+// readTxnTable resolves the transaction for a read. Txn 0 gets a fresh
+// read-only snapshot at the current horizon — the auto-commit read path
+// that makes the request idempotent for client-side retries.
+func (c *conn) readTxnTable(txid uint64, table string) (*txn.Txn, *storage.Table, uint16, string) {
+	var tx *txn.Txn
+	if txid == 0 {
+		mgr := c.srv.eng.Manager()
+		tx = mgr.BeginAt(mgr.LastCID())
+	} else {
+		var ok bool
+		tx, ok = c.txns[txid]
+		if !ok {
+			return nil, nil, wire.CodeNoSuchTxn, fmt.Sprintf("no transaction %d on this connection", txid)
+		}
+	}
+	tbl, err := c.srv.eng.Table(table)
+	if err != nil {
+		return nil, nil, wire.CodeNoSuchTable, err.Error()
+	}
+	return tx, tbl, 0, ""
+}
+
+// errCode maps engine errors to protocol error codes.
+func errCode(err error) uint16 {
+	switch {
+	case errors.Is(err, txn.ErrConflict):
+		return wire.CodeConflict
+	case errors.Is(err, txn.ErrNotActive):
+		return wire.CodeNotActive
+	case errors.Is(err, txn.ErrRowNotFound):
+		return wire.CodeRowNotFound
+	case errors.Is(err, txn.ErrEpochChanged):
+		return wire.CodeEpochChanged
+	case errors.Is(err, txn.ErrReadOnly):
+		return wire.CodeReadOnly
+	case errors.Is(err, core.ErrNoSuchTable):
+		return wire.CodeNoSuchTable
+	case errors.Is(err, core.ErrTableExists):
+		return wire.CodeTableExists
+	case errors.Is(err, core.ErrClosed):
+		return wire.CodeShuttingDown
+	case errors.Is(err, core.ErrBadTableName):
+		return wire.CodeBadRequest
+	default:
+		return wire.CodeInternal
+	}
+}
+
+func isExpectedNetErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true // routine client hangup or our own close
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"hyrisenv/internal/storage"
+)
+
+// FuzzDecodeFrame asserts the decoder's safety contract: arbitrary
+// bytes never panic, never over-consume, and anything that decodes
+// re-encodes to a frame the decoder accepts again. The payload codecs
+// are chained behind the frame decode so corrupt payloads of every
+// message type are exercised too.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with valid frames of several types so the fuzzer starts from
+	// the interesting part of the input space.
+	seed := [][]byte{
+		AppendFrame(nil, Frame{Type: TypePing, ReqID: 1}),
+		AppendFrame(nil, Frame{Type: TypeHello, ReqID: 2, Payload: Hello{Version: Version}.Encode()}),
+		AppendFrame(nil, Frame{Type: TypeInsert, ReqID: 3, TimeoutMs: 250, Payload: InsertReq{
+			Txn: 9, Table: "orders",
+			Vals: []storage.Value{storage.Int(1), storage.Str("alice"), storage.Float(2.5)},
+		}.Encode()}),
+		AppendFrame(nil, Frame{Type: TypeSelect, ReqID: 4, Payload: SelectReq{
+			Table: "orders",
+			Preds: []Pred{{Col: "id", Op: 2, Val: storage.Int(5)}},
+		}.Encode()}),
+		AppendFrame(nil, Frame{Type: TypeCreateTable, ReqID: 5, Payload: CreateTableReq{
+			Name: "t", Cols: []ColumnDef{{Name: "id", Type: 1}}, Indexed: []string{"id"},
+		}.Encode()}),
+		AppendFrame(nil, Frame{Type: TypeError, ReqID: 6, Payload: ErrorResp{Code: CodeConflict, Msg: "x"}.Encode()}),
+		{0x48, 0x4e, 0x56, 0x31}, // bare magic
+		bytes.Repeat([]byte{0xff}, HeaderSize+4),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeFrame(data, 1<<20)
+		if err != nil {
+			return // rejected without panicking: contract satisfied
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+
+		// Whatever decoded must survive a re-encode/re-decode cycle.
+		re := AppendFrame(nil, frame)
+		frame2, _, err := DecodeFrame(re, 1<<20)
+		if err != nil {
+			t.Fatalf("re-decode of valid frame failed: %v", err)
+		}
+		if frame2.Type != frame.Type || frame2.ReqID != frame.ReqID ||
+			frame2.TimeoutMs != frame.TimeoutMs || !bytes.Equal(frame2.Payload, frame.Payload) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", frame2, frame)
+		}
+
+		// Chain the payload codecs: they may reject, but must not panic
+		// or accept trailing garbage silently.
+		p := frame.Payload
+		switch frame.Type {
+		case TypeHello:
+			DecodeHello(p) //nolint:errcheck
+		case TypeHelloOK:
+			DecodeHelloOK(p) //nolint:errcheck
+		case TypeBegin:
+			DecodeBeginReq(p) //nolint:errcheck
+		case TypeBeginOK:
+			DecodeBeginOK(p) //nolint:errcheck
+		case TypeCommit, TypeAbort:
+			DecodeTxnReq(p) //nolint:errcheck
+		case TypeInsert:
+			DecodeInsertReq(p) //nolint:errcheck
+		case TypeUpdate:
+			DecodeUpdateReq(p) //nolint:errcheck
+		case TypeDelete:
+			DecodeDeleteReq(p) //nolint:errcheck
+		case TypeRowID:
+			DecodeRowIDResp(p) //nolint:errcheck
+		case TypeGetRow:
+			DecodeRowReq(p) //nolint:errcheck
+		case TypeRow:
+			DecodeRowResp(p) //nolint:errcheck
+		case TypeSelect, TypeCount:
+			DecodeSelectReq(p) //nolint:errcheck
+		case TypeRange:
+			DecodeRangeReq(p) //nolint:errcheck
+		case TypeRowIDs:
+			DecodeRowIDsResp(p) //nolint:errcheck
+		case TypeCountOK:
+			DecodeCountResp(p) //nolint:errcheck
+		case TypeCreateTable:
+			DecodeCreateTableReq(p) //nolint:errcheck
+		case TypeTablesOK:
+			DecodeTablesResp(p) //nolint:errcheck
+		case TypeStatsOK:
+			DecodeStatsResp(p) //nolint:errcheck
+		case TypeError:
+			DecodeErrorResp(p) //nolint:errcheck
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hyrisenv/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Type: TypeSelect, ReqID: 0xdeadbeefcafe, TimeoutMs: 1500, Payload: []byte("hello payload")}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.ReqID != f.ReqID || got.TimeoutMs != f.TimeoutMs || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+
+	// DecodeFrame agrees with ReadFrame and reports consumed length.
+	enc := AppendFrame(nil, f)
+	df, n, err := DecodeFrame(append(enc, 0xff), 0) // trailing garbage must be ignored
+	if err != nil || n != len(enc) {
+		t.Fatalf("DecodeFrame: n=%d err=%v", n, err)
+	}
+	if df.ReqID != f.ReqID || !bytes.Equal(df.Payload, f.Payload) {
+		t.Fatalf("DecodeFrame mismatch: %+v", df)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TypePing, ReqID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil || got.Type != TypePing || got.ReqID != 7 || len(got.Payload) != 0 {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	enc := AppendFrame(nil, Frame{Type: TypeInsert, ReqID: 1, Payload: []byte("abcdef")})
+
+	// Truncations at every length must fail with ErrTruncated, not panic.
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeFrame(enc[:i], 0); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated at %d: got %v", i, err)
+		}
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+
+	// Unknown type.
+	bad = append([]byte(nil), enc...)
+	bad[4] = 0xEE
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: got %v", err)
+	}
+
+	// Flipped payload byte breaks the checksum.
+	bad = append([]byte(nil), enc...)
+	bad[HeaderSize] ^= 0x01
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum: got %v", err)
+	}
+
+	// Oversized payload is refused before allocation.
+	big := AppendFrame(nil, Frame{Type: TypeInsert, ReqID: 1, Payload: make([]byte, 1024)})
+	if _, _, err := DecodeFrame(big, 512); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("too large: got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(big), 512); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("too large (reader): got %v", err)
+	}
+}
+
+func vals(vs ...storage.Value) []storage.Value { return vs }
+
+func TestMessageRoundTrips(t *testing.T) {
+	row := vals(storage.Int(42), storage.Str("alice"), storage.Float(9.5))
+
+	check := func(name string, enc []byte, dec func([]byte) (any, error), want any) {
+		t.Helper()
+		got, err := dec(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: got %+v want %+v", name, got, want)
+		}
+		// Every codec must reject trailing garbage (catches silent
+		// payload confusion between message types).
+		if _, err := dec(append(append([]byte{}, enc...), 0x00)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", name)
+		}
+	}
+
+	check("hello", Hello{Version: 3}.Encode(),
+		func(b []byte) (any, error) { return DecodeHello(b) }, Hello{Version: 3})
+	check("hello-ok", HelloOK{Version: 1, Mode: 2, MaxPayload: 1 << 20}.Encode(),
+		func(b []byte) (any, error) { return DecodeHelloOK(b) }, HelloOK{Version: 1, Mode: 2, MaxPayload: 1 << 20})
+	check("begin", BeginReq{ReadOnly: true, AtCID: 99}.Encode(),
+		func(b []byte) (any, error) { return DecodeBeginReq(b) }, BeginReq{ReadOnly: true, AtCID: 99})
+	check("begin-ok", BeginOK{Txn: 5, SnapshotCID: 77}.Encode(),
+		func(b []byte) (any, error) { return DecodeBeginOK(b) }, BeginOK{Txn: 5, SnapshotCID: 77})
+	check("txn", TxnReq{Txn: 12}.Encode(),
+		func(b []byte) (any, error) { return DecodeTxnReq(b) }, TxnReq{Txn: 12})
+	check("insert", InsertReq{Txn: 1, Table: "orders", Vals: row}.Encode(),
+		func(b []byte) (any, error) { return DecodeInsertReq(b) }, InsertReq{Txn: 1, Table: "orders", Vals: row})
+	check("update", UpdateReq{Txn: 1, Table: "orders", Row: 9, Vals: row}.Encode(),
+		func(b []byte) (any, error) { return DecodeUpdateReq(b) }, UpdateReq{Txn: 1, Table: "orders", Row: 9, Vals: row})
+	check("delete", DeleteReq{Txn: 1, Table: "orders", Row: 9}.Encode(),
+		func(b []byte) (any, error) { return DecodeDeleteReq(b) }, DeleteReq{Txn: 1, Table: "orders", Row: 9})
+	check("row-id", RowIDResp{Row: 123}.Encode(),
+		func(b []byte) (any, error) { return DecodeRowIDResp(b) }, RowIDResp{Row: 123})
+	check("get-row", RowReq{Txn: 2, Table: "t", Row: 3}.Encode(),
+		func(b []byte) (any, error) { return DecodeRowReq(b) }, RowReq{Txn: 2, Table: "t", Row: 3})
+	check("row", RowResp{Vals: row}.Encode(),
+		func(b []byte) (any, error) { return DecodeRowResp(b) }, RowResp{Vals: row})
+	sel := SelectReq{Txn: 4, Table: "orders", Preds: []Pred{
+		{Col: "customer", Op: 0, Val: storage.Int(17)},
+		{Col: "region", Op: 3, Val: storage.Str("eu")},
+	}}
+	check("select", sel.Encode(),
+		func(b []byte) (any, error) { return DecodeSelectReq(b) }, sel)
+	check("range", RangeReq{Txn: 4, Table: "t", Col: "id", Lo: storage.Int(1), Hi: storage.Int(10)}.Encode(),
+		func(b []byte) (any, error) { return DecodeRangeReq(b) },
+		RangeReq{Txn: 4, Table: "t", Col: "id", Lo: storage.Int(1), Hi: storage.Int(10)})
+	check("row-ids", RowIDsResp{Rows: []uint64{1, 5, 9}}.Encode(),
+		func(b []byte) (any, error) { return DecodeRowIDsResp(b) }, RowIDsResp{Rows: []uint64{1, 5, 9}})
+	check("count", CountResp{N: 321}.Encode(),
+		func(b []byte) (any, error) { return DecodeCountResp(b) }, CountResp{N: 321})
+	ct := CreateTableReq{
+		Name:    "orders",
+		Cols:    []ColumnDef{{Name: "id", Type: 1}, {Name: "who", Type: 3}},
+		Indexed: []string{"id"},
+	}
+	check("create-table", ct.Encode(),
+		func(b []byte) (any, error) { return DecodeCreateTableReq(b) }, ct)
+	tl := TablesResp{Tables: []TableStat{{Name: "a", ID: 1, MainRows: 10, DeltaRows: 2, Rows: 12}}}
+	check("tables", tl.Encode(),
+		func(b []byte) (any, error) { return DecodeTablesResp(b) }, tl)
+	st := StatsResp{
+		Mode: 2, Uptime: time.Minute, Recovery: 42 * time.Millisecond, TablesOpened: 3,
+		CheckpointLoad: time.Millisecond, LogReplay: 2 * time.Millisecond,
+		IndexRebuild: 3 * time.Millisecond, ReplayRecords: 100,
+		RolledBack: 1, EntriesUndone: 5, NVMFlushes: 9, NVMFences: 8, NVMBytesUsed: 7,
+	}
+	check("stats", st.Encode(),
+		func(b []byte) (any, error) { return DecodeStatsResp(b) }, st)
+	check("error", ErrorResp{Code: CodeConflict, Msg: "boom"}.Encode(),
+		func(b []byte) (any, error) { return DecodeErrorResp(b) }, ErrorResp{Code: CodeConflict, Msg: "boom"})
+}
+
+func TestMessageDecodersRejectCorruptInput(t *testing.T) {
+	// Every decoder must reject truncations of a valid encoding at every
+	// length without panicking. (Empty payloads are valid for some
+	// messages only when the encoding itself is empty.)
+	msgs := map[string][]byte{
+		"hello":        Hello{Version: 1}.Encode(),
+		"insert":       InsertReq{Txn: 1, Table: "orders", Vals: vals(storage.Int(1), storage.Str("x"))}.Encode(),
+		"select":       SelectReq{Txn: 1, Table: "t", Preds: []Pred{{Col: "c", Op: 1, Val: storage.Int(3)}}}.Encode(),
+		"create-table": CreateTableReq{Name: "t", Cols: []ColumnDef{{Name: "c", Type: 1}}, Indexed: []string{"c"}}.Encode(),
+		"tables":       TablesResp{Tables: []TableStat{{Name: "t", ID: 1, Rows: 2}}}.Encode(),
+		"stats":        StatsResp{Mode: 1}.Encode(),
+		"row-ids":      RowIDsResp{Rows: []uint64{1, 2, 3}}.Encode(),
+	}
+	decs := map[string]func([]byte) error{
+		"hello":        func(b []byte) error { _, err := DecodeHello(b); return err },
+		"insert":       func(b []byte) error { _, err := DecodeInsertReq(b); return err },
+		"select":       func(b []byte) error { _, err := DecodeSelectReq(b); return err },
+		"create-table": func(b []byte) error { _, err := DecodeCreateTableReq(b); return err },
+		"tables":       func(b []byte) error { _, err := DecodeTablesResp(b); return err },
+		"stats":        func(b []byte) error { _, err := DecodeStatsResp(b); return err },
+		"row-ids":      func(b []byte) error { _, err := DecodeRowIDsResp(b); return err },
+	}
+	for name, enc := range msgs {
+		for i := 0; i < len(enc); i++ {
+			if err := decs[name](enc[:i]); err == nil {
+				t.Fatalf("%s: truncation at %d accepted", name, i)
+			}
+		}
+	}
+
+	// Absurd element counts with tiny bodies must be rejected cheaply,
+	// not allocated.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeRowIDsResp(huge); err == nil {
+		t.Fatal("row-ids: absurd count accepted")
+	}
+	if _, err := DecodeTablesResp(huge); err == nil {
+		t.Fatal("tables: absurd count accepted")
+	}
+}
