@@ -1,0 +1,34 @@
+# Development gates. `make check` runs the same checks as CI's test and
+# nvmcheck jobs, so a clean local run means a clean PR.
+
+GO ?= go
+
+.PHONY: check fmt vet nvmcheck test race fuzz-smoke
+
+check: fmt vet nvmcheck race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own static-analysis suite (see internal/analysis): runs its
+# unit tests first so a broken analyzer cannot vacuously pass the repo.
+nvmcheck:
+	$(GO) test ./internal/analysis/...
+	$(GO) run ./cmd/nvmcheck ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Same smoke CI runs: 30s per wire fuzzer.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzDecodeFrame' -fuzztime 30s
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzReadFrame' -fuzztime 30s

@@ -89,7 +89,13 @@ func errFromResp(e wire.ErrorResp) error {
 		// callers can use one errors.Is check for local and remote
 		// expiry.
 		return fmt.Errorf("%w (server: %s)", context.DeadlineExceeded, e.Msg)
+	case wire.CodeInternal, wire.CodeBadRequest, wire.CodeTooLarge:
+		// No sentinel: these indicate a bug (ours or the server's), not
+		// a condition callers branch on. Listed explicitly so the switch
+		// stays exhaustive and a new code cannot silently land here.
+		return &ServerError{Code: e.Code, Msg: e.Msg}
 	default:
+		// Unknown code from a newer server.
 		return &ServerError{Code: e.Code, Msg: e.Msg}
 	}
 	return fmt.Errorf("%w: %s", sentinel, e.Msg)

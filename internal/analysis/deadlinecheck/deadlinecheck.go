@@ -1,0 +1,128 @@
+// Package deadlinecheck enforces that every network I/O operation in
+// the server and client packages happens under a configured deadline. A
+// read or write on a net.Conn with no deadline can block forever; one
+// wedged connection then pins a session goroutine (server) or the
+// caller (client) indefinitely.
+//
+// Within each function of a package named "server" or "client", the
+// analyzer finds I/O sites:
+//
+//   - Read/Write/ReadFull calls whose receiver or argument is a
+//     net.Conn (or a type that embeds one, e.g. *bufio.Reader over a
+//     conn is matched via wire.ReadFrame/WriteFrame below);
+//   - wire.ReadFrame / wire.WriteFrame calls — the protocol's only
+//     transport entry points;
+//   - Flush on a bufio.Writer — the point where buffered writes hit
+//     the socket.
+//
+// Each I/O site must be preceded, earlier in the same function body, by
+// a SetDeadline / SetReadDeadline / SetWriteDeadline call. Functions
+// whose connections are governed by a deadline established by their
+// caller carry //nvmcheck:ignore deadlinecheck <reason>.
+package deadlinecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyrisenv/internal/analysis"
+)
+
+// Analyzer is the deadlinecheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlinecheck",
+	Doc:  "net.Conn reads and writes in server and client must run under a configured deadline",
+	Run:  run,
+}
+
+var deadlineSetters = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func run(pass *analysis.Pass) error {
+	name := pass.Pkg.Name()
+	if name != "server" && name != "client" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isNetConn reports whether t is net.Conn, implements it, or is a
+// pointer to such a type.
+func isNetConn(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if analysis.NamedFrom(t, "net", "Conn") {
+		return true
+	}
+	// Structural check: has SetDeadline(time.Time) error — the
+	// distinguishing method of net.Conn among io types.
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		if m, _, _ := types.LookupFieldOrMethod(typ, true, nil, "SetDeadline"); m != nil {
+			if _, ok := m.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	type ioSite struct {
+		pos  token.Pos
+		what string
+	}
+	var sites []ioSite
+	firstSetter := token.NoPos
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, pkgName := analysis.CalleeName(pass.Info, call)
+		recv := analysis.ReceiverType(pass.Info, call)
+
+		switch {
+		case deadlineSetters[name]:
+			if !firstSetter.IsValid() || call.Pos() < firstSetter {
+				firstSetter = call.Pos()
+			}
+		case (name == "ReadFrame" || name == "WriteFrame") && pkgName == "wire":
+			sites = append(sites, ioSite{call.Pos(), "wire." + name})
+		case name == "Read" || name == "Write":
+			if recv != nil && isNetConn(pass, recv) {
+				sites = append(sites, ioSite{call.Pos(), "conn." + name})
+			}
+		case name == "ReadFull" && pkgName == "io":
+			if len(call.Args) > 0 && isNetConn(pass, pass.Info.TypeOf(call.Args[0])) {
+				sites = append(sites, ioSite{call.Pos(), "io.ReadFull on conn"})
+			}
+		case name == "Flush":
+			if recv != nil && analysis.NamedFrom(recv, "bufio", "Writer") {
+				sites = append(sites, ioSite{call.Pos(), "bufio Flush"})
+			}
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if firstSetter.IsValid() && firstSetter < s.pos {
+			continue
+		}
+		pass.Reportf(s.pos,
+			"%s without a preceding deadline in %s; call SetDeadline/SetReadDeadline/SetWriteDeadline first (or annotate with //nvmcheck:ignore deadlinecheck <reason> if the caller sets it)",
+			s.what, fn.Name.Name)
+	}
+}

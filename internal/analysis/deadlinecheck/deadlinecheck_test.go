@@ -1,0 +1,13 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/deadlinecheck"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{deadlinecheck.Analyzer}, "./server")
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe matches one `// want "regexp" "regexp"` expectation comment.
+// Both interpreted and raw (backquoted) string literals are accepted.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Fixture loads the packages matched by patterns inside root (the
+// testdata module directory), runs the analyzers, and compares the
+// diagnostics against `// want "regexp"` comments in the fixture
+// sources — the analysistest contract:
+//
+//   - every diagnostic must be matched by a want-expectation on the
+//     same line of the same file;
+//   - every expectation must be matched by exactly one diagnostic.
+//
+// A line may carry several quoted regexps when it produces several
+// diagnostics. Suppression comments are honored exactly as in a real
+// run, so fixtures can cover //nvmcheck:ignore behavior too.
+func Fixture(t *testing.T, root string, analyzers []*Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture packages: %v", err)
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type expectation struct {
+		pos token.Position
+		re  *regexp.Regexp
+		hit bool
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					args := wantArgRe.FindAllString(m[1], -1)
+					if len(args) == 0 {
+						t.Errorf("%s: malformed want comment %q", pos, c.Text)
+						continue
+					}
+					for _, a := range args {
+						var pat string
+						if a[0] == '`' {
+							pat = a[1 : len(a)-1]
+						} else {
+							var err error
+							pat, err = strconv.Unquote(a)
+							if err != nil {
+								t.Errorf("%s: bad want pattern %s: %v", pos, a, err)
+								continue
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							continue
+						}
+						wants = append(wants, &expectation{pos: pos, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	byLine := map[string][]*expectation{}
+	for _, w := range wants {
+		k := key(w.pos.Filename, w.pos.Line)
+		byLine[k] = append(byLine[k], w)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range byLine[key(d.Pos.Filename, d.Pos.Line)] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+		}
+	}
+}
+
+// FixtureDir returns the conventional fixture-module root for analyzer
+// packages living under internal/analysis/<name>: ../testdata/src.
+func FixtureDir() string { return filepath.Join("..", "testdata", "src") }

@@ -1,0 +1,274 @@
+// Package persistcheck enforces the NVM crash-consistency discipline:
+// every mutation of NVM-resident state must be made durable with a
+// persist barrier before it is published.
+//
+// Within each function body, in source order, the analyzer tracks:
+//
+//   - writes: Heap.SetU64 / Heap.PutU64 / Heap.PutU32, any SetNoPersist
+//     call, builtin copy/clear into a []byte obtained from Heap.Bytes,
+//     and known byte-slice mutators (PutBits) applied to such a slice;
+//   - persist barriers: Persist, PersistBytes, PersistAt, PersistRange,
+//     PersistBegin, PersistEnd — any of them clears the dirty state
+//     (the checker does not model address ranges);
+//   - publish points: Heap.SetRoot and Heap.CasU64, and every return —
+//     except returns whose results include a non-nil error value. An
+//     error return aborts construction: the written block was never
+//     linked to a root, so nothing durable references it and the
+//     scavenger reclaims it on restart.
+//
+// Reaching a publish point with unpersisted writes is reported. A
+// function whose contract is "the caller persists" — group-commit
+// batching, write helpers — is annotated
+//
+//	//nvm:nopersist <reason>
+//
+// in its doc comment; the reason is mandatory. The annotation waives
+// the at-return obligation but not the at-publish one: durably
+// publishing a root or CAS-ing a word while writes are still pending is
+// a bug under any contract.
+//
+// The analysis is intraprocedural and ordered by source position, an
+// approximation of dominance: branchy persist protocols may need an
+// annotation even when every path is in fact covered. The package
+// implementing the heap itself (package nvm) is exempt — it is the
+// trusted base layer that defines the barrier primitives.
+package persistcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hyrisenv/internal/analysis"
+)
+
+// Analyzer is the persistcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "persistcheck",
+	Doc:  "NVM writes must be persisted before a publish point (SetRoot, CasU64, return)",
+	Run:  run,
+}
+
+// nopersistPrefix is the function-level suppression marker.
+const nopersistPrefix = "//nvm:nopersist"
+
+var persistNames = map[string]bool{
+	"Persist": true, "PersistBytes": true, "PersistAt": true,
+	"PersistRange": true, "PersistBegin": true, "PersistEnd": true,
+}
+
+var heapWriteNames = map[string]bool{
+	"SetU64": true, "PutU64": true, "PutU32": true,
+}
+
+// sliceMutators are package-level functions known to write through a
+// []byte argument (bit-packing helpers).
+var sliceMutators = map[string]bool{
+	"PutBits": true, "SetBits": true,
+}
+
+type eventKind int
+
+const (
+	evWrite eventKind = iota
+	evPersist
+	evPublish
+	evReturn
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+	what string // for reports: the write or publish call
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "nvm" {
+		return nil // the heap implementation is the trusted base layer
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// nopersist reports whether fn carries a //nvm:nopersist annotation and
+// whether it has the mandatory reason.
+func nopersist(fn *ast.FuncDecl) (annotated, reasoned bool) {
+	if fn.Doc == nil {
+		return false, false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, nopersistPrefix); ok {
+			return true, strings.TrimSpace(rest) != ""
+		}
+	}
+	return false, false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	annotated, reasoned := nopersist(fn)
+	if annotated && !reasoned {
+		pass.Reportf(fn.Pos(), "//nvm:nopersist on %s must carry a reason", fn.Name.Name)
+	}
+
+	tainted := nvmSlices(pass, fn)
+	var events []event
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures have their own contract; skip
+		case *ast.ReturnStmt:
+			if !isErrorReturn(pass, n) {
+				events = append(events, event{pos: n.Pos(), kind: evReturn})
+			}
+		case *ast.CallExpr:
+			classifyCall(pass, n, tainted, &events)
+		}
+		return true
+	})
+	// Falling off the end of the body is a return too.
+	events = append(events, event{pos: fn.Body.Rbrace, kind: evReturn})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var dirty *event
+	reportedReturn := false
+	for i := range events {
+		ev := &events[i]
+		switch ev.kind {
+		case evWrite:
+			dirty = ev
+		case evPersist:
+			dirty = nil
+		case evPublish:
+			if dirty != nil {
+				pass.Reportf(ev.pos,
+					"%s publishes while the %s at %s is not persisted",
+					ev.what, dirty.what, pass.Fset.Position(dirty.pos))
+				dirty = nil
+			}
+		case evReturn:
+			if dirty != nil && !annotated && !reportedReturn {
+				pass.Reportf(ev.pos,
+					"function %s returns with unpersisted NVM write (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
+					fn.Name.Name, dirty.what, pass.Fset.Position(dirty.pos))
+				reportedReturn = true
+			}
+		}
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorReturn reports whether ret propagates a (possibly) non-nil
+// error — an abort path on which nothing written becomes reachable.
+// `return nil` / `return x, nil` do not qualify: they are the success
+// path and keep the return-obligation.
+func isErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := pass.Info.TypeOf(res)
+		if t != nil && types.Implements(t, errorIface) {
+			return true
+		}
+	}
+	return false
+}
+
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]bool, events *[]event) {
+	name, pkgName := analysis.CalleeName(pass.Info, call)
+	recv := analysis.ReceiverType(pass.Info, call)
+	onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+
+	switch {
+	case persistNames[name]:
+		*events = append(*events, event{pos: call.Pos(), kind: evPersist})
+	case onHeap && heapWriteNames[name]:
+		*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: "Heap." + name})
+	case name == "SetNoPersist":
+		*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: "SetNoPersist"})
+	case onHeap && (name == "SetRoot" || name == "CasU64"):
+		*events = append(*events, event{pos: call.Pos(), kind: evPublish, what: "Heap." + name})
+	case (name == "copy" || name == "clear") && pkgName == "" && len(call.Args) > 0:
+		if isNVMSlice(pass, call.Args[0], tainted) {
+			*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: name + " into Heap.Bytes"})
+		}
+	case sliceMutators[name]:
+		for _, a := range call.Args {
+			if isNVMSlice(pass, a, tainted) {
+				*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: name + " into Heap.Bytes"})
+				break
+			}
+		}
+	}
+}
+
+// nvmSlices returns the objects of local variables assigned (anywhere in
+// fn) from a Heap.Bytes call — byte slices aliasing the NVM mapping.
+func nvmSlices(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isBytesCall(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					tainted[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// isBytesCall reports whether e is a direct Heap.Bytes(...) call (or a
+// slice expression of one).
+func isBytesCall(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return isBytesCall(pass, e.X)
+	case *ast.CallExpr:
+		name, _ := analysis.CalleeName(pass.Info, e)
+		recv := analysis.ReceiverType(pass.Info, e)
+		return name == "Bytes" && recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+	}
+	return false
+}
+
+// isNVMSlice reports whether e denotes bytes of the NVM mapping: a
+// direct Heap.Bytes call, a slice of one, or a variable assigned from
+// one in this function.
+func isNVMSlice(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	if isBytesCall(pass, e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return isNVMSlice(pass, e.X, tainted)
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil {
+			return tainted[obj]
+		}
+	}
+	return false
+}

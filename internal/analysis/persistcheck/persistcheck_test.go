@@ -1,0 +1,13 @@
+package persistcheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/persistcheck"
+)
+
+func TestPersistCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{persistcheck.Analyzer}, "./persist")
+}

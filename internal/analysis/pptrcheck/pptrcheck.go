@@ -1,0 +1,244 @@
+// Package pptrcheck enforces that NVM offsets (nvm.PPtr) are the only
+// currency used to reference NVM-resident data. Virtual addresses are
+// not stable: the heap file may be mapped at a different base address on
+// every Open, so anything derived from the mapping is invalidated by a
+// remap.
+//
+// The analyzer reports:
+//
+//   - conversions of nvm.PPtr to uintptr or unsafe.Pointer — the
+//     offset must never be laundered into an address;
+//   - package-level variables whose type contains nvm.PPtr — durable
+//     offsets cached in volatile globals dangle across restarts and, in
+//     tests that reopen heaps, across remaps;
+//   - a []byte obtained from Heap.Bytes that is still used after a
+//     Close or Open call in the same function — the slice aliases the
+//     old mapping.
+//
+// Package nvm itself is exempt: it is the trusted base layer and has to
+// touch the mapping directly.
+package pptrcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hyrisenv/internal/analysis"
+)
+
+// Analyzer is the pptrcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "pptrcheck",
+	Doc:  "nvm.PPtr offsets must not be converted to addresses, cached in globals, or aliased across heap remaps",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "nvm" {
+		return nil // the heap implementation is the trusted base layer
+	}
+	for _, file := range pass.Files {
+		checkGlobals(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkConversion(pass, call)
+			}
+			if fn, ok := n.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkRemapAliasing(pass, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPPtr reports whether t is (or points to) nvm.PPtr.
+func isPPtr(t types.Type) bool {
+	return t != nil && analysis.NamedFrom(t, "nvm", "PPtr")
+}
+
+// containsPPtr reports whether t embeds nvm.PPtr anywhere in its
+// structure (fields, elements, map keys/values).
+func containsPPtr(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isPPtr(t) {
+		return true
+	}
+	switch t := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsPPtr(t.Elem(), seen)
+	case *types.Slice:
+		return containsPPtr(t.Elem(), seen)
+	case *types.Array:
+		return containsPPtr(t.Elem(), seen)
+	case *types.Map:
+		return containsPPtr(t.Key(), seen) || containsPPtr(t.Elem(), seen)
+	case *types.Chan:
+		return containsPPtr(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsPPtr(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkConversion flags PPtr → uintptr / unsafe.Pointer conversions.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := pass.Info.TypeOf(call.Args[0])
+	if !isPPtr(src) {
+		return
+	}
+	basic, isBasic := dst.Underlying().(*types.Basic)
+	switch {
+	case isBasic && basic.Kind() == types.Uintptr:
+		pass.Reportf(call.Pos(), "nvm.PPtr converted to uintptr; offsets are not addresses — index through Heap.Bytes instead")
+	case isBasic && basic.Kind() == types.UnsafePointer:
+		pass.Reportf(call.Pos(), "nvm.PPtr converted to unsafe.Pointer; offsets are not addresses — index through Heap.Bytes instead")
+	}
+}
+
+// checkGlobals flags package-level variables whose type contains
+// nvm.PPtr.
+func checkGlobals(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				if containsPPtr(obj.Type(), map[types.Type]bool{}) {
+					pass.Reportf(name.Pos(),
+						"package-level var %s holds nvm.PPtr; durable offsets must not be cached in volatile globals — resolve them from a root at startup",
+						name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkRemapAliasing flags uses of a Heap.Bytes-derived slice after a
+// Close/Open call on a heap in the same function. The check is
+// position-ordered, like persistcheck: taint := Bytes(...), then any
+// Close/Open invalidates all taints from that point on.
+func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
+	type taint struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var taints []taint
+	var remaps []token.Pos
+
+	// Pass 1: collect Bytes-derived slice variables and every remap.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isBytesCall(pass, rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil {
+						taints = append(taints, taint{obj: obj, pos: n.Pos()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name, pkgName := analysis.CalleeName(pass.Info, n)
+			if name != "Close" && name != "Open" && name != "Create" {
+				return true
+			}
+			recv := analysis.ReceiverType(pass.Info, n)
+			onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+			if onHeap || (pkgName == "nvm" && (name == "Open" || name == "Create")) {
+				remaps = append(remaps, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(remaps) == 0 || len(taints) == 0 {
+		return
+	}
+	sort.Slice(remaps, func(i, j int) bool { return remaps[i] < remaps[j] })
+
+	// For each tainted slice, the invalidation point is the first remap
+	// positioned after its derivation; any use beyond that point aliases
+	// a dead mapping.
+	cut := map[types.Object]token.Pos{}
+	for _, t := range taints {
+		for _, r := range remaps {
+			if r > t.pos {
+				if c, ok := cut[t.obj]; !ok || r < c {
+					cut[t.obj] = r
+				}
+				break
+			}
+		}
+	}
+	if len(cut) == 0 {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		c, ok := cut[obj]
+		if !ok || id.Pos() <= c {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"%s aliases the NVM mapping from Heap.Bytes but is used after the remap at %s; re-derive it from the reopened heap",
+			id.Name, pass.Fset.Position(c))
+		return true
+	})
+}
+
+func isBytesCall(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return isBytesCall(pass, e.X)
+	case *ast.CallExpr:
+		name, _ := analysis.CalleeName(pass.Info, e)
+		recv := analysis.ReceiverType(pass.Info, e)
+		return name == "Bytes" && recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+	}
+	return false
+}

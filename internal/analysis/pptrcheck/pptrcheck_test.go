@@ -1,0 +1,13 @@
+package pptrcheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/pptrcheck"
+)
+
+func TestPPtrCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{pptrcheck.Analyzer}, "./pptr")
+}

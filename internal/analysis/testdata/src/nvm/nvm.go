@@ -1,0 +1,46 @@
+// Package nvm is a fixture stub of the real NVM heap. The analyzers
+// match it by package name and method names, so only signatures matter;
+// bodies are inert.
+package nvm
+
+// PPtr is a persistent offset into the heap file.
+type PPtr uint64
+
+// Add offsets p by n bytes.
+func (p PPtr) Add(n uint64) PPtr { return p + PPtr(n) }
+
+// Heap stands in for the mmap-backed NVM heap.
+type Heap struct{ buf []byte }
+
+// Bytes returns the n bytes at p as a slice aliasing the mapping.
+func (h *Heap) Bytes(p PPtr, n uint64) []byte { return h.buf[p : uint64(p)+n] }
+
+// U64 reads the word at p.
+func (h *Heap) U64(p PPtr) uint64 { return 0 }
+
+// SetU64 atomically stores v at p.
+func (h *Heap) SetU64(p PPtr, v uint64) {}
+
+// PutU64 stores v at p without atomicity.
+func (h *Heap) PutU64(p PPtr, v uint64) {}
+
+// PutU32 stores v at p without atomicity.
+func (h *Heap) PutU32(p PPtr, v uint32) {}
+
+// CasU64 compare-and-swaps the word at p.
+func (h *Heap) CasU64(p PPtr, old, new uint64) bool { return false }
+
+// Persist flushes the n bytes at p.
+func (h *Heap) Persist(p PPtr, n uint64) {}
+
+// PersistBytes flushes the cache lines covering b.
+func (h *Heap) PersistBytes(b []byte) {}
+
+// SetRoot durably publishes p in root slot slot.
+func (h *Heap) SetRoot(slot uint32, p PPtr) {}
+
+// Close unmaps the heap.
+func (h *Heap) Close() error { return nil }
+
+// Open maps the heap file at path.
+func Open(path string) (*Heap, error) { return &Heap{}, nil }

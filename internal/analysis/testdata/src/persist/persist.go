@@ -1,0 +1,104 @@
+// Package persist exercises the persistcheck analyzer.
+package persist
+
+import (
+	"errors"
+
+	"fix/nvm"
+)
+
+var errBoom = errors.New("boom")
+
+var src = make([]byte, 16)
+
+// publishDirty reproduces the publish-before-persist bug: the root is
+// durably published while the block contents are still in the cache.
+func publishDirty(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the Heap\.SetU64 at .* is not persisted`
+}
+
+// publishClean is the corrected protocol: persist, then publish.
+func publishClean(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Persist(p, 8)
+	h.SetRoot(0, p)
+}
+
+// casDirty publishes through CAS with an unpersisted write pending.
+func casDirty(h *nvm.Heap, p, q nvm.PPtr) {
+	h.PutU64(q, 7)
+	h.CasU64(p, 0, uint64(q)) // want `Heap\.CasU64 publishes while the Heap\.PutU64 at .* is not persisted`
+}
+
+// returnDirty leaks an unpersisted write out of the function.
+func returnDirty(h *nvm.Heap, p nvm.PPtr) {
+	h.PutU64(p, 2)
+} // want `function returnDirty returns with unpersisted NVM write`
+
+// returnDirtyExplicit does the same through an explicit return.
+func returnDirtyExplicit(h *nvm.Heap, p nvm.PPtr) uint64 {
+	h.PutU32(p, 3)
+	return 0 // want `function returnDirtyExplicit returns with unpersisted NVM write`
+}
+
+// abortOnError must not be flagged: the error return aborts the
+// construction, so the written block never becomes reachable.
+func abortOnError(h *nvm.Heap, p nvm.PPtr) error {
+	h.PutU64(p, 4)
+	if p == 0 {
+		return errBoom
+	}
+	h.Persist(p, 8)
+	return nil
+}
+
+// copyDirty writes through a Heap.Bytes alias without a barrier.
+func copyDirty(h *nvm.Heap, p nvm.PPtr) {
+	b := h.Bytes(p, 16)
+	copy(b, src)
+} // want `function copyDirty returns with unpersisted NVM write`
+
+// copyClean persists the written alias before returning.
+func copyClean(h *nvm.Heap, p nvm.PPtr) {
+	b := h.Bytes(p, 16)
+	copy(b, src)
+	h.PersistBytes(b)
+}
+
+// vec is a stand-in for the pstruct vectors with a deferred-persist
+// write path.
+type vec struct{ h *nvm.Heap }
+
+// SetNoPersist is the stub write; it is itself inert.
+//
+//nvm:nopersist stub body, nothing written
+func (v *vec) SetNoPersist(i, val uint64) {}
+
+// PersistAt is the matching barrier stub.
+func (v *vec) PersistAt(i uint64) {}
+
+// stampNoPersist defers the persist without declaring it.
+func stampNoPersist(v *vec) {
+	v.SetNoPersist(0, 1)
+} // want `function stampNoPersist returns with unpersisted NVM write`
+
+// stampBatched declares the deferred persist with a reason.
+//
+//nvm:nopersist commit batches stamps and persists once per group
+func stampBatched(v *vec) {
+	v.SetNoPersist(0, 1)
+}
+
+// stampUnreasoned carries the annotation without the mandatory reason.
+//
+//nvm:nopersist
+func stampUnreasoned(v *vec) { // want `//nvm:nopersist on stampUnreasoned must carry a reason`
+	v.SetNoPersist(0, 1)
+}
+
+// stampSuppressed shows the generic line suppression with a reason.
+func stampSuppressed(v *vec) {
+	v.SetNoPersist(0, 1)
+	//nvmcheck:ignore persistcheck fixture: caller persists the batch
+}

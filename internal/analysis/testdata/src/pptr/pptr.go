@@ -1,0 +1,60 @@
+// Package pptr exercises the pptrcheck analyzer.
+package pptr
+
+import "fix/nvm"
+
+// cachedRoot caches a durable offset in a volatile global; it dangles
+// after a restart.
+var cachedRoot nvm.PPtr // want `package-level var cachedRoot holds nvm\.PPtr`
+
+// rootTable embeds offsets one level down; still flagged.
+var rootTable struct { // want `package-level var rootTable holds nvm\.PPtr`
+	roots []nvm.PPtr
+}
+
+// counter is an ordinary global and must not be flagged.
+var counter uint64
+
+// launder converts an offset to an address-sized integer.
+func launder(p nvm.PPtr) uintptr {
+	return uintptr(p) // want `nvm\.PPtr converted to uintptr`
+}
+
+// arithmetic on offsets as offsets is fine.
+func advance(p nvm.PPtr) nvm.PPtr {
+	return p.Add(8)
+}
+
+// staleAlias keeps a Heap.Bytes slice across Close; the mapping is gone.
+func staleAlias(h *nvm.Heap, p nvm.PPtr) byte {
+	b := h.Bytes(p, 8)
+	h.Close()
+	return b[0] // want `b aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+}
+
+// freshAlias re-derives the slice after the remap; not flagged.
+func freshAlias(h *nvm.Heap, p nvm.PPtr) byte {
+	h.Close()
+	h2, _ := nvm.Open("heap")
+	b := h2.Bytes(p, 8)
+	return b[0]
+}
+
+// reopenAlias derives the slice from one heap generation and reads it
+// in the next.
+func reopenAlias(p nvm.PPtr) byte {
+	h, _ := nvm.Open("heap")
+	b := h.Bytes(p, 8)
+	h.Close()
+	h2, _ := nvm.Open("heap")
+	_ = h2
+	return b[0] // want `b aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+}
+
+// suppressedAlias documents a deliberate exception.
+func suppressedAlias(h *nvm.Heap, p nvm.PPtr) byte {
+	b := h.Bytes(p, 8)
+	h.Close()
+	//nvmcheck:ignore pptrcheck fixture: heap object kept alive by test harness
+	return b[0]
+}

@@ -1,0 +1,56 @@
+// Package server exercises the deadlinecheck analyzer; the package name
+// puts it in the analyzer's scope.
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+
+	"fix/wire"
+)
+
+// readNoDeadline blocks forever on a wedged peer.
+func readNoDeadline(c net.Conn, buf []byte) {
+	c.Read(buf) // want `conn\.Read without a preceding deadline`
+}
+
+// writeNoDeadline likewise on the write side.
+func writeNoDeadline(c net.Conn, buf []byte) {
+	c.Write(buf) // want `conn\.Write without a preceding deadline`
+}
+
+// readWithDeadline is the required shape.
+func readWithDeadline(c net.Conn, buf []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Read(buf)
+}
+
+// frameNoDeadline reaches the socket through the protocol codec.
+func frameNoDeadline(c net.Conn) {
+	wire.ReadFrame(c) // want `wire\.ReadFrame without a preceding deadline`
+}
+
+// frameWithDeadline covers both codec directions under one deadline.
+func frameWithDeadline(c net.Conn) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	f, _ := wire.ReadFrame(c)
+	wire.WriteFrame(c, f)
+}
+
+// flushNoDeadline hits the socket when the buffer drains.
+func flushNoDeadline(w *bufio.Writer) {
+	w.Flush() // want `bufio Flush without a preceding deadline`
+}
+
+// plainReader is ordinary io and out of scope.
+func plainReader(r io.Reader, buf []byte) {
+	r.Read(buf)
+}
+
+// callerDeadline documents a connection governed by the caller.
+func callerDeadline(c net.Conn) {
+	//nvmcheck:ignore deadlinecheck fixture: session loop sets the deadline per request
+	wire.ReadFrame(c)
+}

@@ -1,0 +1,13 @@
+package wirecodecheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/wirecodecheck"
+)
+
+func TestWireCodeCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{wirecodecheck.Analyzer}, "./wirecode")
+}

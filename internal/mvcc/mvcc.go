@@ -118,9 +118,13 @@ func (s *Store) ReleaseRow(row, owner uint64) {
 
 // SetBegin stamps the begin CID of row without persisting (commit batches
 // stamps and persists once).
+//
+//nvm:nopersist commit batches stamps and persists via PersistBegin/PersistEnd
 func (s *Store) SetBegin(row, cid uint64) { s.begin.SetNoPersist(row, cid) }
 
 // SetEnd stamps the end CID of row without persisting.
+//
+//nvm:nopersist commit batches stamps and persists via PersistBegin/PersistEnd
 func (s *Store) SetEnd(row, cid uint64) { s.end.SetNoPersist(row, cid) }
 
 // PersistBegin persists the begin stamp of row.

@@ -438,6 +438,11 @@ func (h *Heap) Alloc(n uint64) (PPtr, error) {
 			h.Persist(headOff, 8)
 			p := PPtr(head)
 			h.SetU64(p+8, blockReserved)
+			// The stamp must be durable before the caller can activate
+			// the block: a crash after the (persisted) list pop but
+			// before the stamp would leave the block durably Free yet on
+			// no free list, invisible to Scavenge's reserved-sweep.
+			h.Persist(p+8, 8)
 			payload := p + blockHeaderSize
 			clear(h.Bytes(payload, sizeClasses[c]))
 			return payload, nil
@@ -465,6 +470,10 @@ func (h *Heap) allocLargeLocked(want uint64) (PPtr, bool) {
 			h.SetU64(prevSlot, uint64(next))
 			h.Persist(prevSlot, 8)
 			h.SetU64(cur+8, blockReserved)
+			// Same ordering as the class free lists: the Reserved stamp
+			// must be durable before the block can be activated, or a
+			// crash strands it off-list in Free state.
+			h.Persist(cur+8, 8)
 			clear(h.Bytes(payload, size))
 			return payload, true
 		}

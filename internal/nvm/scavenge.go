@@ -1,12 +1,19 @@
 package nvm
 
-// Scavenge reclaims blocks that were reserved but never activated — the
-// only form of leak the reserve/activate allocation discipline permits
-// (a crash between Alloc and the persist of the activating link).
+// Scavenge reclaims blocks that a crash stranded outside both the live
+// object graph and the allocator's free lists — the only forms of leak
+// the reserve/activate allocation discipline permits:
+//
+//   - a block in Reserved state that is not durably reachable: the
+//     crash hit between Alloc and the persist of the activating link;
+//   - a block in Free state that is on no free list: the crash hit
+//     inside Alloc's free-list pop, after the head unlink became
+//     durable but before the Reserved stamp did.
 //
 // reachable must yield the payload pointer of every block that is
 // durably reachable from the heap's roots. Scavenge walks the arena,
-// and every block in Reserved state that was not yielded is freed.
+// and every block in either stranded state that was not yielded is
+// freed (re-linked for the Free case).
 //
 // Scavenge is an *offline* maintenance operation: it scans the whole
 // arena (O(heap size)) and must not run concurrently with allocation.
@@ -14,6 +21,7 @@ package nvm
 func (h *Heap) Scavenge(reachable func(yield func(PPtr))) (reclaimed int) {
 	live := make(map[PPtr]struct{})
 	reachable(func(p PPtr) { live[p] = struct{}{} })
+	onList := h.freeListed()
 
 	end := PPtr(h.u64(hdrArenaNext))
 	p := PPtr(arenaStart)
@@ -27,7 +35,9 @@ func (h *Heap) Scavenge(reachable func(yield func(PPtr))) (reclaimed int) {
 			payloadSize = tag - uint64(numClasses)
 		}
 		payload := p + blockHeaderSize
-		if state == blockReserved {
+		stranded := state == blockReserved ||
+			(state == blockFree && !onList[payload])
+		if stranded {
 			if _, ok := live[payload]; !ok {
 				h.Free(payload)
 				reclaimed++
@@ -36,4 +46,27 @@ func (h *Heap) Scavenge(reachable func(yield func(PPtr))) (reclaimed int) {
 		p = payload.Add(payloadSize)
 	}
 	return reclaimed
+}
+
+// freeListed returns the payload pointers of every block currently
+// linked on a free list (class lists and the large list). Cycles —
+// which only a corrupted heap can contain — terminate the walk of the
+// affected list.
+func (h *Heap) freeListed() map[PPtr]bool {
+	on := map[PPtr]bool{}
+	walk := func(headOff PPtr) {
+		for cur := PPtr(h.U64(headOff)); !cur.IsNil(); {
+			payload := cur + blockHeaderSize
+			if on[payload] {
+				return
+			}
+			on[payload] = true
+			cur = PPtr(h.U64(payload)) // next link lives in payload
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		walk(PPtr(hdrFreeLists + uint64(c)*8))
+	}
+	walk(PPtr(hdrLargeFree))
+	return on
 }

@@ -1,0 +1,121 @@
+package nvm
+
+import "testing"
+
+// tornPop forges the durable state a crash leaves when it hits Alloc's
+// free-list pop after the head unlink persisted but before the Reserved
+// stamp did: the head block is off the list yet still stamped Free.
+// The mmap simulation never loses unflushed stores, so the state is
+// constructed directly instead of via crash injection.
+func tornPop(h *Heap, headOff PPtr) PPtr {
+	head := PPtr(h.U64(headOff))
+	payload := head + blockHeaderSize
+	next := h.U64(payload)
+	h.SetU64(headOff, next)
+	h.Persist(headOff, 8)
+	return payload
+}
+
+func TestScavengeReclaimsTornFreeListPop(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(p)
+
+	c := classFor(64)
+	victim := tornPop(h, PPtr(hdrFreeLists+uint64(c)*8))
+	if victim != p {
+		t.Fatalf("forged pop got %d, want %d", victim, p)
+	}
+	if got := h.U64(victim - blockHeaderSize + 8); got != blockFree {
+		t.Fatalf("victim state = %#x, want blockFree", got)
+	}
+
+	// Nothing references the block and it is on no free list: before the
+	// free-state sweep this was a permanent leak.
+	n := h.Scavenge(func(yield func(PPtr)) {})
+	if n != 1 {
+		t.Fatalf("Scavenge reclaimed %d, want 1", n)
+	}
+	again, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != victim {
+		t.Fatalf("reclaimed block not reused: got %d want %d", again, victim)
+	}
+}
+
+func TestScavengeReclaimsTornLargePop(t *testing.T) {
+	h, _ := testHeap(t, 4<<20)
+	const want = 40000 // beyond the largest size class
+	p, err := h.Alloc(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(p)
+
+	victim := tornPop(h, PPtr(hdrLargeFree))
+	if victim != p {
+		t.Fatalf("forged pop got %d, want %d", victim, p)
+	}
+
+	n := h.Scavenge(func(yield func(PPtr)) {})
+	if n != 1 {
+		t.Fatalf("Scavenge reclaimed %d, want 1", n)
+	}
+	again, err := h.Alloc(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != victim {
+		t.Fatalf("reclaimed block not reused: got %d want %d", again, victim)
+	}
+}
+
+func TestScavengeKeepsLinkedFreeBlocks(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(p) // properly linked: not stranded
+
+	if n := h.Scavenge(func(yield func(PPtr)) {}); n != 0 {
+		t.Fatalf("Scavenge reclaimed %d blocks from an intact free list", n)
+	}
+	again, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != p {
+		t.Fatalf("free-list block lost: got %d want %d", again, p)
+	}
+}
+
+// TestAllocPersistsReservedStamp pins the ordering fix in Alloc's
+// free-list path: the Reserved stamp must be flushed before Alloc
+// returns, not deferred to the caller's activation persist.
+func TestAllocPersistsReservedStamp(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(p)
+
+	before := h.Stats().Flushes
+	q, err := h.Alloc(64) // free-list hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("expected free-list reuse of %d, got %d", p, q)
+	}
+	// Two persists: the head unlink and the Reserved stamp.
+	if got := h.Stats().Flushes - before; got < 2 {
+		t.Fatalf("free-list Alloc issued %d flushes, want >= 2 (head pop + Reserved stamp)", got)
+	}
+}

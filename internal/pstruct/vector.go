@@ -169,6 +169,10 @@ func (v *Vector) AppendN(vals []uint64) (first uint64, err error) {
 	return first, nil
 }
 
+// writeElem stores one element at p without a barrier; Append/AppendN
+// persist the written span once per segment before advancing the length.
+//
+//nvm:nopersist write helper; callers persist the whole span before setLen
 func (v *Vector) writeElem(p nvm.PPtr, val uint64) {
 	if v.elemSize == 8 {
 		v.h.SetU64(p, val)

@@ -603,6 +603,15 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		}
 		return wire.TypeStatsOK, resp.Encode(), 0, ""
 
+	case wire.TypeHello, wire.TypeHelloOK, wire.TypePong, wire.TypeBeginOK,
+		wire.TypeOK, wire.TypeRowID, wire.TypeRow, wire.TypeRowIDs,
+		wire.TypeCountOK, wire.TypeTablesOK, wire.TypeStatsOK, wire.TypeError:
+		// Response-only frames (and a second Hello after the handshake)
+		// are never valid requests. Listing them explicitly keeps this
+		// switch exhaustive over wire.Type, so adding an opcode forces a
+		// decision here instead of silently hitting the generic arm.
+		return 0, nil, wire.CodeBadRequest, fmt.Sprintf("frame type %s is not a request", f.Type)
+
 	default:
 		return 0, nil, wire.CodeBadRequest, fmt.Sprintf("unexpected frame type %s", f.Type)
 	}

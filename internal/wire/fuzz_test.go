@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"hyrisenv/internal/storage"
@@ -101,4 +102,59 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeErrorResp(p) //nolint:errcheck
 		}
 	})
+}
+
+// FuzzReadFrame covers the streaming reader: arbitrary byte streams —
+// including short reads at every boundary — must never panic, and any
+// frame ReadFrame accepts must agree with the in-place decoder.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: TypePing, ReqID: 1}), 1)
+	f.Add(AppendFrame(nil, Frame{Type: TypeError, ReqID: 2,
+		Payload: ErrorResp{Code: CodeInternal, Msg: "boom"}.Encode()}), 3)
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize*2), 2)
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk int) {
+		if chunk < 1 {
+			chunk = 1
+		}
+		frame, err := ReadFrame(iotest(data, chunk), 1<<20)
+		if err != nil {
+			return // rejected without panicking: contract satisfied
+		}
+		ref, _, err := DecodeFrame(data, 1<<20)
+		if err != nil {
+			t.Fatalf("ReadFrame accepted what DecodeFrame rejects: %v", err)
+		}
+		if frame.Type != ref.Type || frame.ReqID != ref.ReqID ||
+			frame.TimeoutMs != ref.TimeoutMs || !bytes.Equal(frame.Payload, ref.Payload) {
+			t.Fatalf("stream/in-place mismatch: %+v vs %+v", frame, ref)
+		}
+	})
+}
+
+// iotest returns a reader delivering data in chunk-sized pieces so the
+// fuzzer exercises short reads on every header and payload boundary.
+func iotest(data []byte, chunk int) io.Reader {
+	return &chunkReader{data: data, chunk: chunk}
+}
+
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
 }
