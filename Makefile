@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck test race fuzz-smoke
+.PHONY: check fmt vet nvmcheck test race fuzz-smoke crashmatrix
 
 check: fmt vet nvmcheck race
 
@@ -27,6 +27,24 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Crash-point enumeration (see internal/crashtest). Pass 1 cuts power at
+# every persist barrier of the standard workload under four crash
+# behaviors (pure loss + three tear seeds), fscking and verifying each
+# recovered heap in-process. Pass 2 keeps a bounded sweep's directories
+# on disk and re-checks every surviving heap with the external
+# `hyrise-nv fsck`.
+CRASHMATRIX_DIR ?= $(CURDIR)/.crashmatrix
+crashmatrix:
+	CRASHMATRIX_FULL=1 $(GO) test ./internal/crashtest -run 'TestCrashMatrix$$' -v -timeout 30m
+	rm -rf $(CRASHMATRIX_DIR)
+	CRASHMATRIX_KEEP=$(CRASHMATRIX_DIR) $(GO) test ./internal/crashtest -run 'TestCrashMatrix$$' -v
+	$(GO) build -o bin/hyrise-nv ./cmd/hyrise-nv
+	@fails=0; \
+	for d in $(CRASHMATRIX_DIR)/b*; do \
+		bin/hyrise-nv fsck "$$d" >/dev/null || { echo "external fsck failed: $$d" >&2; fails=1; }; \
+	done; \
+	[ "$$fails" -eq 0 ] && echo "crashmatrix: every surviving heap passes hyrise-nv fsck"
 
 # Same smoke CI runs: 30s per wire fuzzer.
 fuzz-smoke:

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"hyrisenv"
+	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/wire"
 )
 
@@ -406,11 +407,21 @@ func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable 
 		}
 		// A network failure usually means the server went away; every
 		// pooled connection is equally dead, so drop them all and let
-		// the retry dial fresh.
+		// the retry dial fresh — after a jittered backoff, so a fleet of
+		// clients doesn't hammer a restarting server in lockstep.
 		c.purgeIdle()
+		if i+1 < attempts {
+			if serr := backoff.Sleep(ctx, reconnectBackoff, i); serr != nil {
+				return wire.Frame{}, lastErr
+			}
+		}
 	}
 	return wire.Frame{}, lastErr
 }
+
+// reconnectBackoff paces retries after network failures: capped
+// exponential with jitter (see internal/backoff).
+var reconnectBackoff = backoff.Policy{Base: 2 * time.Millisecond, Max: 100 * time.Millisecond}
 
 // purgeIdle closes every idle pooled connection.
 func (c *Client) purgeIdle() {

@@ -54,6 +54,11 @@ func main() {
 	output := fs.String("o", "", "output CSV file (export; default stdout)")
 	indexed := fs.String("indexed", "", "comma-separated columns to index (import into new table)")
 	fs.Parse(os.Args[2:])
+	if *dir == "" && fs.NArg() > 0 {
+		// fsck (and friends) also accept the database directory as a
+		// positional argument: hyrise-nv fsck /path/to/db
+		*dir = fs.Arg(0)
+	}
 	if *dir == "" {
 		log.Fatal("-dir is required")
 	}
@@ -221,6 +226,39 @@ func main() {
 				name, tr.MainRows, tr.DeltaRows, tr.VisibleRows, tr.DeadRows, tr.DictEntries, tr.IndexedCols)
 		}
 
+	case "fsck":
+		// Offline integrity check of an NVM heap: allocator walk with
+		// reachability, deep structural walk of every persistent object,
+		// MVCC stamp invariants, plus the logical Table.Check. Never
+		// creates a heap — fsck of a missing database is an error.
+		if mode != txn.ModeNVM {
+			log.Fatal("fsck applies to -mode nvm databases only")
+		}
+		heapPath := *dir + "/heap.nvm"
+		if _, err := os.Stat(heapPath); err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		e := open()
+		defer e.Close()
+		rep, err := e.Fsck()
+		if rep != nil && rep.Heap != nil {
+			h := rep.Heap
+			fmt.Printf("heap: %d blocks (%d reserved, %d free), %s arena used\n",
+				h.Blocks, h.Reserved, h.Free, byteCount(h.ArenaBytes))
+			if h.StrandedFree > 0 || h.StrandedReserved > 0 {
+				fmt.Printf("heap: %d stranded free, %d stranded reserved (crash leaks; scavenge reclaims)\n",
+					h.StrandedFree, h.StrandedReserved)
+			}
+		}
+		if err != nil {
+			log.Fatalf("FSCK FAILED: %v", err)
+		}
+		for name, tr := range rep.Tables.Tables {
+			fmt.Printf("table %-12s OK: main=%d delta=%d visible=%d dead=%d dict=%d indexedCols=%d\n",
+				name, tr.MainRows, tr.DeltaRows, tr.VisibleRows, tr.DeadRows, tr.DictEntries, tr.IndexedCols)
+		}
+		fmt.Println("fsck: clean")
+
 	case "merge":
 		e := open()
 		defer e.Close()
@@ -237,7 +275,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hyrise-nv <load|run|crash|recover|merge|verify|import|export|stats|connect> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hyrise-nv <load|run|crash|recover|merge|verify|fsck|import|export|stats|connect> [flags]
 run "hyrise-nv <cmd> -h" for the flags of each command;
 "hyrise-nv connect" drives a running hyrise-nvd over TCP`)
 	os.Exit(2)

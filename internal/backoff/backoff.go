@@ -1,0 +1,72 @@
+// Package backoff implements capped exponential backoff with jitter for
+// retry and reconnect loops. A fixed retry interval hammers a downed or
+// restarting server at a constant rate and synchronizes independent
+// clients into thundering herds; exponential growth spaces retries out,
+// the cap keeps recovery detection prompt, and jitter decorrelates
+// clients that failed at the same instant.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Defaults used when a Policy field is zero.
+const (
+	DefaultBase = 2 * time.Millisecond
+	DefaultMax  = 250 * time.Millisecond
+)
+
+// Policy describes a backoff schedule: attempt n waits a uniformly
+// jittered duration in [d/2, d], where d = min(Max, Base<<n). The zero
+// value is usable and applies the defaults.
+type Policy struct {
+	Base time.Duration // delay before the first retry (attempt 0)
+	Max  time.Duration // cap on the un-jittered delay
+}
+
+func (p Policy) bounds() (base, max time.Duration) {
+	base, max = p.Base, p.Max
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if max < base {
+		max = base
+	}
+	return base, max
+}
+
+// Delay returns the jittered wait before retry attempt n (0-based).
+func (p Policy) Delay(attempt int) time.Duration {
+	base, max := p.bounds()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := max
+	// base<<attempt, saturating at max without overflowing.
+	if attempt < 62 && base<<attempt > 0 && base<<attempt < max {
+		d = base << attempt
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Sleep waits Delay(attempt), or until the context is done, in which
+// case it returns the context's error.
+func Sleep(ctx context.Context, p Policy, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayBounds(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+	for attempt := 0; attempt < 70; attempt++ {
+		unjittered := 2 * time.Millisecond << attempt
+		if attempt >= 62 || unjittered <= 0 || unjittered > p.Max {
+			unjittered = p.Max
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(attempt)
+			if d < unjittered/2 || d > unjittered {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, unjittered/2, unjittered)
+			}
+		}
+	}
+}
+
+func TestDelayGrowsThenCaps(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 8 * time.Millisecond}
+	// Attempt 10 is far past the cap: always in [4ms, 8ms].
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(10); d < 4*time.Millisecond || d > 8*time.Millisecond {
+			t.Fatalf("capped delay %v outside [4ms, 8ms]", d)
+		}
+	}
+	// Attempt 0 stays at base scale: [0.5ms, 1ms].
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(0); d < 500*time.Microsecond || d > time.Millisecond {
+			t.Fatalf("first delay %v outside [0.5ms, 1ms]", d)
+		}
+	}
+}
+
+func TestDelayJitters(t *testing.T) {
+	p := Policy{Base: 64 * time.Millisecond, Max: 64 * time.Millisecond}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[p.Delay(0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("no jitter: every delay identical")
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay(0)
+	if d < DefaultBase/2 || d > DefaultBase {
+		t.Fatalf("zero-policy first delay %v outside [%v, %v]", d, DefaultBase/2, DefaultBase)
+	}
+	if d = p.Delay(1000); d > DefaultMax {
+		t.Fatalf("zero-policy capped delay %v above %v", d, DefaultMax)
+	}
+}
+
+func TestNegativeAttemptClamped(t *testing.T) {
+	p := Policy{Base: 4 * time.Millisecond, Max: 40 * time.Millisecond}
+	if d := p.Delay(-3); d < 2*time.Millisecond || d > 4*time.Millisecond {
+		t.Fatalf("negative attempt delay %v outside base range", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{Base: time.Hour, Max: time.Hour}
+	start := time.Now()
+	if err := Sleep(ctx, p, 0); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored the cancelled context")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: time.Millisecond}
+	if err := Sleep(context.Background(), p, 0); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	NVMHeapSize uint64
 	// NVMLatency injects emulated NVM latencies (ModeNVM).
 	NVMLatency nvm.LatencyModel
+	// NVMShadow enables the pessimistic crash model on the heap
+	// (ModeNVM): stores survive a simulated crash only if a persist
+	// barrier covered them. Crash testing only — the optimistic model
+	// remains the benchmark default. See nvm.WithShadow.
+	NVMShadow bool
 	// DiskModel shapes the log/checkpoint device (ModeLog).
 	DiskModel disk.Model
 	// MergeThresholdRows, when non-zero, lets Maintain auto-merge tables
@@ -199,9 +204,13 @@ func (e *Engine) openNVM() error {
 		return err
 	}
 	path := filepath.Join(e.cfg.Dir, "heap.nvm")
-	h, err := nvm.Open(path, nvm.WithLatency(e.cfg.NVMLatency))
+	opts := []nvm.Option{nvm.WithLatency(e.cfg.NVMLatency)}
+	if e.cfg.NVMShadow {
+		opts = append(opts, nvm.WithShadow())
+	}
+	h, err := nvm.Open(path, opts...)
 	if errors.Is(err, fs.ErrNotExist) {
-		h, err = nvm.Create(path, e.cfg.NVMHeapSize, nvm.WithLatency(e.cfg.NVMLatency))
+		h, err = nvm.Create(path, e.cfg.NVMHeapSize, opts...)
 	}
 	if err != nil {
 		return err
@@ -431,14 +440,19 @@ func (e *Engine) Scavenge() (reclaimed int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.mgr.BlockCommits(func() {
-		reclaimed = e.h.Scavenge(func(yield func(nvm.PPtr)) {
-			for _, t := range e.tables {
-				t.Blocks(yield)
-			}
-			e.mgr.Blocks(yield)
-		})
+		reclaimed = e.h.Scavenge(e.reachableLocked)
 	})
 	return reclaimed, nil
+}
+
+// reachableLocked yields every heap block durably reachable from the
+// engine's roots (tables and transaction contexts). Caller holds e.mu
+// and has quiesced commits.
+func (e *Engine) reachableLocked(yield func(nvm.PPtr)) {
+	for _, t := range e.tables {
+		t.Blocks(yield)
+	}
+	e.mgr.Blocks(yield)
 }
 
 // CheckReport aggregates per-table consistency results.
@@ -457,6 +471,48 @@ func (e *Engine) Check() (CheckReport, error) {
 		rep.Tables[t.Name] = tr
 	}
 	return rep, nil
+}
+
+// FsckReport is the result of a full database fsck.
+type FsckReport struct {
+	Heap   *nvm.FsckReport
+	Tables CheckReport
+}
+
+// Fsck runs the full consistency suite over the NVM database: the heap
+// allocator walk (with reachability from every table and transaction
+// context), the deep structural walk of every table's persistent
+// representation (vectors, blobs, skip lists, hash chains, posting
+// lists, MVCC stamps), and the logical Table.Check. It is the
+// everything-must-hold predicate the crash matrix asserts after every
+// enumerated crash point. ModeNVM only; offline (no concurrent
+// transactions).
+func (e *Engine) Fsck() (*FsckReport, error) {
+	if e.cfg.Mode != txn.ModeNVM {
+		return nil, ErrWrongMode
+	}
+	rep := &FsckReport{Tables: CheckReport{Tables: map[string]storage.CheckReport{}}}
+	var errs []error
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mgr.BlockCommits(func() {
+		rep.Heap = e.h.Fsck(e.reachableLocked)
+		if err := rep.Heap.Err(); err != nil {
+			errs = append(errs, err)
+		}
+		lastCID := e.mgr.LastCID()
+		for _, t := range e.tables {
+			if err := t.FsckNVM(lastCID); err != nil {
+				errs = append(errs, err)
+			}
+			tr, err := t.Check()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("table %s: %w", t.Name, err))
+			}
+			rep.Tables.Tables[t.Name] = tr
+		}
+	})
+	return rep, errors.Join(errs...)
 }
 
 // Maintain runs due background maintenance synchronously:

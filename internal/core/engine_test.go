@@ -273,8 +273,23 @@ func TestEngineLogCheckpointTruncatesReplay(t *testing.T) {
 }
 
 func TestEngineNVMCrashMidCommit(t *testing.T) {
+	testEngineNVMCrashMidCommit(t, false)
+}
+
+// The shadow variant loses every unpersisted cache line at the crash, so
+// the commit protocol is held to real-hardware guarantees. Runs on every
+// `go test`, including -short.
+func TestEngineNVMCrashMidCommitShadow(t *testing.T) {
+	testEngineNVMCrashMidCommit(t, true)
+}
+
+func testEngineNVMCrashMidCommit(t *testing.T, shadow bool) {
 	dir := t.TempDir()
-	e := openEngine(t, txn.ModeNVM, dir)
+	e, err := Open(Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 256 << 20, NVMShadow: shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
 	tbl, _ := e.CreateTable("orders", ordersSchema(t), "id")
 	insertOrders(t, e, tbl, 10)
 

@@ -179,13 +179,28 @@ func TestBankTransferInvariant(t *testing.T) {
 // money-conservation invariant every time — the randomized counterpart
 // of the exhaustive per-barrier test in the txn package.
 func TestCrashStormPreservesInvariants(t *testing.T) {
+	runCrashStorm(t, 40, false)
+}
+
+// TestCrashStormPreservesInvariantsShadow runs the same storm under the
+// pessimistic shadow crash model: unpersisted lines are genuinely lost at
+// every simulated power cut. Deliberately not gated on -short, so the
+// pessimistic model exercises the commit protocol on every `go test`.
+func TestCrashStormPreservesInvariantsShadow(t *testing.T) {
+	runCrashStorm(t, 12, true)
+}
+
+func runCrashStorm(t *testing.T, rounds int, shadow bool) {
 	const (
 		accounts = 20
 		initial  = 100
-		rounds   = 40
 	)
 	dir := t.TempDir()
-	e := openEngine(t, txn.ModeNVM, dir)
+	cfg := Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 256 << 20, NVMShadow: shadow}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tbl := setupAccounts(t, e, accounts, initial)
 	rng := rand.New(rand.NewSource(0xC4A5))
 
@@ -218,8 +233,7 @@ func TestCrashStormPreservesInvariants(t *testing.T) {
 		if err := e.Close(); err != nil {
 			t.Fatal(err)
 		}
-		var err error
-		e, err = Open(Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 256 << 20})
+		e, err = Open(cfg)
 		if err != nil {
 			t.Fatalf("round %d: reopen: %v", round, err)
 		}
@@ -238,13 +252,28 @@ func TestCrashStormPreservesInvariants(t *testing.T) {
 // TestCrashDuringMergeStorm crashes at random points inside merges and
 // verifies the table is always intact afterwards.
 func TestCrashDuringMergeStorm(t *testing.T) {
+	runMergeCrashStorm(t, 15, false)
+}
+
+// TestCrashDuringMergeStormShadow is the same storm under the
+// pessimistic shadow crash model (runs on every `go test`, including
+// -short).
+func TestCrashDuringMergeStormShadow(t *testing.T) {
+	runMergeCrashStorm(t, 8, true)
+}
+
+func runMergeCrashStorm(t *testing.T, rounds int, shadow bool) {
 	const accounts, initial = 30, 50
 	dir := t.TempDir()
-	e := openEngine(t, txn.ModeNVM, dir)
+	cfg := Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 256 << 20, NVMShadow: shadow}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tbl := setupAccounts(t, e, accounts, initial)
 	rng := rand.New(rand.NewSource(77))
 
-	for round := 0; round < 15; round++ {
+	for round := 0; round < rounds; round++ {
 		// A little churn so the merge has dead versions to drop.
 		for i := 0; i < 10; i++ {
 			a, b := int64(rng.Intn(accounts)), int64(rng.Intn(accounts))
@@ -267,8 +296,7 @@ func TestCrashDuringMergeStorm(t *testing.T) {
 		if err := e.Close(); err != nil {
 			t.Fatal(err)
 		}
-		var err error
-		e, err = Open(Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 256 << 20})
+		e, err = Open(cfg)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

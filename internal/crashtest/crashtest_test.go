@@ -1,0 +1,115 @@
+package crashtest
+
+import (
+	"os"
+	"testing"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/pstruct"
+)
+
+// sweepConfig builds the matrix configuration for the standard sweep:
+// bounded by default so `go test ./...` stays fast, exhaustive (every
+// barrier, four tear behaviors) with CRASHMATRIX_FULL=1, and keeping the
+// per-point directories when CRASHMATRIX_KEEP names a parent directory.
+func sweepConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := Config{Shadow: true}
+	if os.Getenv("CRASHMATRIX_FULL") != "" {
+		cfg.TearSeeds = []int64{0, 1, 2, 3}
+	} else {
+		cfg.MaxBarriers = 24
+		cfg.TearSeeds = []int64{0, 0x5eed}
+	}
+	if keep := os.Getenv("CRASHMATRIX_KEEP"); keep != "" {
+		if err := os.MkdirAll(keep, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Dir = keep
+		cfg.Keep = true
+	} else {
+		cfg.Dir = t.TempDir()
+	}
+	return cfg
+}
+
+func reportFailures(t *testing.T, res *Result) {
+	t.Helper()
+	for _, f := range res.Failures {
+		t.Errorf("crash point failed: %s", f)
+	}
+	t.Logf("crash matrix: %d barriers, %d points exercised, %d failures",
+		res.Barriers, res.Points, len(res.Failures))
+}
+
+// TestCrashMatrix is the headline robustness test: the standard workload
+// is crashed at (a sample of, or with CRASHMATRIX_FULL=1 every one of)
+// its persist barriers under the pessimistic shadow model, with pure-loss
+// and tearing crash behaviors, and every resulting heap must recover,
+// pass the full fsck and agree with the application's crash-time
+// knowledge.
+func TestCrashMatrix(t *testing.T) {
+	res, err := Run(sweepConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFailures(t, res)
+}
+
+// smallWorkload is a minimal workload for the detection-power test:
+// enough transactions to exercise the append protocol, small enough that
+// an exhaustive barrier sweep stays cheap.
+func smallWorkload(e *core.Engine, rec *Recorder) error {
+	sch, err := ordersSchema()
+	if err != nil {
+		return err
+	}
+	tbl, err := e.CreateTable("orders", sch, "customer")
+	if err != nil {
+		return err
+	}
+	for id := int64(0); id < 4; id++ {
+		if err := insertTxn(e, tbl, rec, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestBrokenProtocolCaughtOnlyByShadow demonstrates the detection power
+// the pessimistic model adds: with the element persist deliberately
+// removed from Vector.Append (a classic missing-barrier bug), the
+// optimistic model — where every store survives a crash — reports every
+// crash point clean, while the shadow model loses the unpersisted
+// element and the fsck/verification pass catches the corruption.
+func TestBrokenProtocolCaughtOnlyByShadow(t *testing.T) {
+	pstruct.SetBrokenSkipElemPersist(true)
+	defer pstruct.SetBrokenSkipElemPersist(false)
+
+	optimistic, err := Run(Config{
+		Dir:      t.TempDir(),
+		Shadow:   false,
+		Workload: smallWorkload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(optimistic.Failures) != 0 {
+		t.Fatalf("optimistic model caught the broken protocol, which it should be unable to: %v",
+			optimistic.Failures)
+	}
+
+	shadow, err := Run(Config{
+		Dir:      t.TempDir(),
+		Shadow:   true,
+		Workload: smallWorkload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shadow.Failures) == 0 {
+		t.Fatalf("shadow model missed the broken protocol across all %d points", shadow.Points)
+	}
+	t.Logf("broken protocol: optimistic 0/%d points flagged, shadow %d/%d points flagged",
+		optimistic.Points, len(shadow.Failures), shadow.Points)
+}

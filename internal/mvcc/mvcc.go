@@ -16,6 +16,9 @@
 package mvcc
 
 import (
+	"errors"
+	"fmt"
+
 	"hyrisenv/internal/vec"
 )
 
@@ -147,4 +150,45 @@ func (s *Store) Visible(row, snapCID, selfTID uint64) bool {
 	}
 	e := s.End(row)
 	return e == Inf || e > snapCID
+}
+
+// Check verifies the durable MVCC invariants that must hold at every
+// crash point once recovery has run: the begin/end vectors are
+// structurally sound (NVM backend), and every stamp is either Inf or a
+// real commit ID in [1, lastCID]. A committed invalidation of a row
+// whose insert never committed (begin = Inf, end < Inf) is impossible,
+// as is end < begin — recovery undoes in-flight stamps before anything
+// else runs.
+func (s *Store) Check(lastCID uint64) error {
+	var errs []error
+	type structural interface{ Check() error }
+	if c, ok := s.begin.(structural); ok {
+		if err := c.Check(); err != nil {
+			errs = append(errs, fmt.Errorf("begin vector: %w", err))
+			return errors.Join(errs...) // element reads may be unsafe
+		}
+	}
+	if c, ok := s.end.(structural); ok {
+		if err := c.Check(); err != nil {
+			errs = append(errs, fmt.Errorf("end vector: %w", err))
+			return errors.Join(errs...)
+		}
+	}
+	rows := s.Rows()
+	for r := uint64(0); r < rows; r++ {
+		b, e := s.begin.Get(r), s.end.Get(r)
+		if b != Inf && (b == 0 || b > lastCID) {
+			errs = append(errs, fmt.Errorf("row %d: begin stamp %d outside [1, %d]", r, b, lastCID))
+		}
+		if e != Inf && (e == 0 || e > lastCID) {
+			errs = append(errs, fmt.Errorf("row %d: end stamp %d outside [1, %d]", r, e, lastCID))
+		}
+		if b == Inf && e != Inf {
+			errs = append(errs, fmt.Errorf("row %d: invalidated (end %d) but never committed", r, e))
+		}
+		if b != Inf && e != Inf && e < b {
+			errs = append(errs, fmt.Errorf("row %d: end %d before begin %d", r, e, b))
+		}
+	}
+	return errors.Join(errs...)
 }

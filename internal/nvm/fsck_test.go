@@ -1,0 +1,142 @@
+package nvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFsckCleanHeap(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	var ptrs []PPtr
+	for i := 0; i < 10; i++ {
+		p, err := h.Alloc(uint64(16 << i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Free a couple so the free lists are exercised.
+	h.Free(ptrs[0])
+	h.Free(ptrs[3])
+	live := ptrs[1:3]
+	live = append(live, ptrs[4:]...)
+	if err := h.SetRoot("anchor", live[0], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := h.Fsck(func(yield func(PPtr)) {
+		for _, p := range live {
+			yield(p)
+		}
+	})
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean heap flagged: %v", err)
+	}
+	if r.Blocks != 10 || r.Reserved != 8 || r.Free != 2 {
+		t.Fatalf("miscounted: %+v", r)
+	}
+	if r.StrandedReserved != 0 || r.StrandedFree != 0 {
+		t.Fatalf("phantom strands: %+v", r)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(h *Heap, p PPtr)
+		want    string
+	}{
+		{
+			name:    "invalid block state",
+			corrupt: func(h *Heap, p PPtr) { h.SetU64(p-blockHeaderSize+8, 0xbad) },
+			want:    "invalid state",
+		},
+		{
+			name:    "garbage size tag",
+			corrupt: func(h *Heap, p PPtr) { h.SetU64(p-blockHeaderSize, ^uint64(0)) },
+			want:    "invalid size tag",
+		},
+		{
+			name: "free list links a reserved block",
+			corrupt: func(h *Heap, p PPtr) {
+				c := classFor(64)
+				h.SetU64(p, h.U64(PPtr(hdrFreeLists+uint64(c)*8)))
+				h.SetU64(PPtr(hdrFreeLists+uint64(c)*8), uint64(p-blockHeaderSize))
+			},
+			want: "want Free",
+		},
+		{
+			name: "root points into the void",
+			corrupt: func(h *Heap, p PPtr) {
+				if err := h.SetRoot("bogus", p.Add(8), 0); err != nil {
+					panic(err)
+				}
+			},
+			want: "not a block payload",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, _ := testHeap(t, 1<<20)
+			p, err := h.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(h, p)
+			r := h.Fsck(nil)
+			if r.Clean() {
+				t.Fatal("corruption not flagged")
+			}
+			if err := r.Err(); !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("issue %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFsckStrandedCounts(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	a, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b is Reserved but not reachable: a crash leak, counted, not flagged.
+	r := h.Fsck(func(yield func(PPtr)) { yield(a) })
+	if err := r.Err(); err != nil {
+		t.Fatalf("stranded blocks must not be violations: %v", err)
+	}
+	if r.StrandedReserved != 1 {
+		t.Fatalf("StrandedReserved = %d, want 1 (block %d)", r.StrandedReserved, b)
+	}
+}
+
+func TestCheckBlock(t *testing.T) {
+	h, _ := testHeap(t, 1<<20)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckBlock(p, 64); err != nil {
+		t.Fatalf("valid block flagged: %v", err)
+	}
+	if err := h.CheckBlock(p, 65); err == nil {
+		t.Fatal("undersized block not flagged")
+	}
+	if err := h.CheckBlock(0, 8); err == nil {
+		t.Fatal("nil pointer not flagged")
+	}
+	if err := h.CheckBlock(p.Add(4), 8); err == nil {
+		t.Fatal("unaligned pointer not flagged")
+	}
+	if err := h.CheckBlock(PPtr(h.Size()+1024), 8); err == nil {
+		t.Fatal("out-of-arena pointer not flagged")
+	}
+	h.Free(p)
+	if err := h.CheckBlock(p, 8); err == nil {
+		t.Fatal("freed block not flagged")
+	}
+}

@@ -19,12 +19,24 @@
 // persists that store. Blocks reserved at the moment of a crash are leaked
 // and can be reclaimed by an offline Scavenge; the restart path never scans
 // the heap.
+//
+// Two crash models are available. The default *optimistic* model is the
+// benchmark configuration: simulated crashes (FailAfter) cut execution at
+// a persist barrier but every store issued so far survives, because the
+// mapping is shared with the backing file. The *pessimistic* model
+// (WithShadow) additionally tracks which cache lines have actually been
+// covered by a persist barrier and, on a simulated crash, discards — or
+// adversarially tears — everything that has not, so recovery sees exactly
+// what real hardware would guarantee. The pessimistic model is strictly
+// for crash testing; it doubles memory use and adds a copy per barrier,
+// so the optimistic model remains the default for benchmarks.
 package nvm
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -148,6 +160,17 @@ type Heap struct {
 	failAfter atomic.Int64
 
 	rootMu sync.Mutex
+
+	// Pessimistic crash model (WithShadow). shadow mirrors the *durable
+	// image* of the heap: a write reaches it only when a persist barrier
+	// covering its cache line completes. On a simulated crash the dirty
+	// lines (mem != shadow) are reverted to — or torn against — the
+	// shadow before the panic unwinds. See shadow.go.
+	shadowOn bool
+	shadowMu sync.Mutex
+	shadow   []byte
+	tearRnd  *rand.Rand
+	crashed  bool
 }
 
 // Option configures a Heap at Create/Open time.
@@ -242,12 +265,27 @@ func mapHeap(f *os.File, size uint64, opts []Option) (*Heap, error) {
 	for _, o := range opts {
 		o(h)
 	}
+	if h.shadowOn {
+		h.shadow = make([]byte, size)
+		// The file contents at map time ARE the durable image. Only the
+		// used prefix needs copying: bytes at or beyond arenaNext have
+		// never been written (the file is created zero-filled and the
+		// arena grows before any store lands), so mem and shadow already
+		// agree there. On Create the header is still zero, so nothing is
+		// copied and the header persist publishes it.
+		used := binary.LittleEndian.Uint64(mem[hdrArenaNext:])
+		if used = alignUp(used, 4096); used > size {
+			used = size
+		}
+		copy(h.shadow[:used], mem[:used])
+	}
 	return h, nil
 }
 
 // Close unmaps the heap. Data durability does not depend on a clean close.
 func (h *Heap) Close() error {
 	if h.mem != nil {
+		h.restoreCrashImage()
 		if err := syscall.Munmap(h.mem); err != nil {
 			return fmt.Errorf("nvm: munmap: %w", err)
 		}
@@ -322,6 +360,12 @@ func alignUp(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
 // analog of clflush-per-line followed by sfence. Under the latency model it
 // charges WriteNS per 64-byte line plus FenceNS. It also drives the
 // fail-point countdown used by crash tests.
+//
+// In pessimistic shadow mode the flushed lines are published to the
+// durable image only after the fence's crash check passes: a crash AT
+// this barrier loses (or tears) the very lines it was flushing, which is
+// what real hardware guarantees — clflush completion is only ordered by
+// the fence, and power can fail before it.
 func (h *Heap) Persist(p PPtr, n uint64) {
 	if n == 0 {
 		h.Fence()
@@ -335,6 +379,9 @@ func (h *Heap) Persist(p PPtr, n uint64) {
 		spin(h.lat.WriteNS * int64(lines))
 	}
 	h.Fence()
+	if h.shadow != nil {
+		h.publish(first, last+CacheLineSize)
+	}
 }
 
 // PersistBytes persists a slice previously obtained from Bytes.
@@ -348,7 +395,9 @@ func (h *Heap) PersistBytes(b []byte) {
 }
 
 // Fence issues a store fence (sfence analog): it orders prior persists
-// before subsequent ones. Under the latency model it charges FenceNS.
+// before subsequent ones. Under the latency model it charges FenceNS. A
+// bare fence publishes nothing in shadow mode: sfence orders flushes, it
+// does not flush anything itself.
 func (h *Heap) Fence() {
 	h.fences.Add(1)
 	if h.lat.FenceNS > 0 {
@@ -356,6 +405,7 @@ func (h *Heap) Fence() {
 	}
 	if n := h.failAfter.Load(); n > 0 {
 		if h.failAfter.Add(-1) == 0 {
+			h.applyCrash()
 			panic(ErrSimulatedCrash)
 		}
 	}
@@ -491,12 +541,17 @@ func (h *Heap) bump(payload uint64, classTag uint64) (PPtr, error) {
 	if next+total > h.size {
 		return nil1(), ErrOutOfMemory
 	}
-	h.putU64(hdrArenaNext, next+total)
-	h.Persist(hdrArenaNext, 8)
+	// Initialize the header before advancing the watermark: a crash
+	// between the two barriers then leaves the header bytes harmlessly
+	// beyond the durable watermark (the next bump overwrites them),
+	// whereas the reverse order would expose an uninitialized block to
+	// every post-crash arena walk.
 	p := PPtr(next)
 	h.SetU64(p, classTag)
 	h.SetU64(p+8, blockReserved)
 	h.Persist(p, blockHeaderSize)
+	h.putU64(hdrArenaNext, next+total)
+	h.Persist(hdrArenaNext, 8)
 	return p + blockHeaderSize, nil
 }
 

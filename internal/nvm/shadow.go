@@ -1,0 +1,160 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Pessimistic crash model.
+//
+// The optimistic simulation (the default) lets every store survive a
+// simulated crash because the mapping is file-backed; it can therefore
+// never catch a missing persist barrier dynamically. Shadow mode closes
+// that gap: a second, volatile buffer mirrors the *durable image* of the
+// heap — the bytes real NVM would be guaranteed to hold after a power
+// failure. Stores land in the mapping as usual, but reach the shadow
+// only when a Persist barrier covering their cache line completes. When
+// the fail-point fires, every dirty line (mapping != shadow) is reverted
+// to the shadow — simulating total loss of the CPU caches — or, with a
+// tear seed, mixed with it at 8-byte granularity, simulating the
+// partial-writeback tearing real hardware permits between fences
+// (individual aligned 8-byte stores are failure-atomic on x86; anything
+// wider, or any group of stores, is not).
+
+// WithShadow enables the pessimistic crash model on the heap. Strictly a
+// crash-testing facility: it doubles memory use and adds a copy at every
+// persist barrier. The optimistic model remains the benchmark default.
+func WithShadow() Option {
+	return func(h *Heap) { h.shadowOn = true }
+}
+
+// ShadowEnabled reports whether the pessimistic crash model is active.
+func (h *Heap) ShadowEnabled() bool { return h.shadow != nil }
+
+// SetTearSeed selects the crash behavior for dirty cache lines. Seed 0
+// (the default) reverts whole lines — the pure-loss model. A non-zero
+// seed seeds a deterministic RNG that tears each dirty line at aligned
+// 8-byte word granularity: every word independently keeps the new value
+// or reverts to the durable one, enumerating the partial-writeback
+// states real hardware can expose.
+func (h *Heap) SetTearSeed(seed int64) {
+	h.shadowMu.Lock()
+	defer h.shadowMu.Unlock()
+	if seed == 0 {
+		h.tearRnd = nil
+	} else {
+		h.tearRnd = rand.New(rand.NewSource(seed))
+	}
+}
+
+// Crashed reports whether a simulated crash has been applied to this
+// mapping; after that the heap must be closed and reopened.
+func (h *Heap) Crashed() bool {
+	h.shadowMu.Lock()
+	defer h.shadowMu.Unlock()
+	return h.crashed
+}
+
+// DirtyLines counts cache lines whose mapped contents differ from the
+// durable image — writes not yet covered by a persist barrier. Only
+// meaningful in shadow mode (0 otherwise).
+func (h *Heap) DirtyLines() uint64 {
+	if h.shadow == nil {
+		return 0
+	}
+	h.shadowMu.Lock()
+	defer h.shadowMu.Unlock()
+	var n uint64
+	bound := h.scanBound()
+	for off := uint64(0); off < bound; off += CacheLineSize {
+		if !bytes.Equal(h.mem[off:off+CacheLineSize], h.shadow[off:off+CacheLineSize]) {
+			n++
+		}
+	}
+	return n
+}
+
+// publish copies the flushed line range [first, end) into the durable
+// image. Called from Persist after the fence's crash check passed.
+func (h *Heap) publish(first, end uint64) {
+	if end > h.size {
+		end = h.size
+	}
+	h.shadowMu.Lock()
+	if !h.crashed {
+		copy(h.shadow[first:end], h.mem[first:end])
+	}
+	h.shadowMu.Unlock()
+}
+
+// applyCrash makes the mapping equal to what real NVM would hold after a
+// power failure at this instant, then lets the ErrSimulatedCrash panic
+// unwind. No-op in optimistic mode. Idempotent; once applied, later
+// publishes are suppressed so post-"power-loss" stores cannot leak into
+// the durable image.
+func (h *Heap) applyCrash() {
+	if h.shadow == nil {
+		return
+	}
+	h.shadowMu.Lock()
+	defer h.shadowMu.Unlock()
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	bound := h.scanBound()
+	for off := uint64(0); off < bound; off += CacheLineSize {
+		m := h.mem[off : off+CacheLineSize]
+		s := h.shadow[off : off+CacheLineSize]
+		if bytes.Equal(m, s) {
+			continue
+		}
+		if h.tearRnd == nil {
+			copy(m, s) // pure loss: the whole line never left the cache
+			continue
+		}
+		// Tear: each aligned 8-byte word of the dirty line independently
+		// made it back to NVM or did not.
+		for w := 0; w < CacheLineSize; w += 8 {
+			if h.tearRnd.Intn(2) == 0 {
+				copy(m[w:w+8], s[w:w+8])
+			}
+		}
+	}
+}
+
+// restoreCrashImage re-copies the frozen durable image over the mapping
+// just before Close munmaps it. After applyCrash, stores made while the
+// panic unwinds (or by stragglers) still land in the file-backed mapping
+// directly; without this, those post-"power-loss" bytes would reach the
+// backing file. No-op unless a crash was applied.
+func (h *Heap) restoreCrashImage() {
+	if h.shadow == nil {
+		return
+	}
+	h.shadowMu.Lock()
+	defer h.shadowMu.Unlock()
+	if !h.crashed {
+		return
+	}
+	bound := h.scanBound()
+	copy(h.mem[:bound], h.shadow[:bound])
+}
+
+// scanBound returns the exclusive upper bound of bytes any store can
+// have touched: the current (possibly not yet durable) arena watermark,
+// line-aligned and clamped to the heap. Everything beyond it is
+// untouched zeros in both buffers. Caller holds shadowMu or tolerates a
+// racing watermark read.
+func (h *Heap) scanBound() uint64 {
+	// blockHeaderSize of slack: bump initializes the next block's header
+	// just beyond the watermark before advancing it.
+	bound := h.u64(hdrArenaNext) + blockHeaderSize
+	if bound < arenaStart {
+		bound = arenaStart
+	}
+	if bound = alignUp(bound, CacheLineSize); bound > h.size {
+		bound = h.size
+	}
+	return bound
+}

@@ -1,0 +1,224 @@
+package pstruct
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"hyrisenv/internal/nvm"
+)
+
+// Structural checkers ("fsck") for the persistent containers. Each Check
+// walks the structure it is given and verifies the invariants its
+// persistence protocol promises to hold at *every* crash point: all
+// pointers land on Reserved blocks of sufficient size, lengths cover
+// only linked storage, ordered structures are ordered, and linked
+// structures are acyclic. They are read-only and return every violation
+// found (joined), not just the first.
+
+// Check verifies the vector's persistent invariants: sane element size
+// and base, every segment the length implies is durably linked, and each
+// segment block is large enough for its capacity.
+func (v *Vector) Check() error {
+	var errs []error
+	if v.elemSize != 4 && v.elemSize != 8 {
+		errs = append(errs, fmt.Errorf("vector %d: invalid element size %d", v.root, v.elemSize))
+	}
+	if v.baseLog == 0 || v.baseLog > 30 {
+		errs = append(errs, fmt.Errorf("vector %d: invalid baseLog %d", v.root, v.baseLog))
+	}
+	if err := v.h.CheckBlock(v.root, vecRootSize); err != nil {
+		errs = append(errs, fmt.Errorf("vector %d: root: %w", v.root, err))
+		return errors.Join(errs...)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	n := v.Len()
+	lastSeg := -1
+	if n > 0 {
+		lastSeg, _ = v.locate(n - 1)
+	}
+	for k := 0; k < vecMaxSegs; k++ {
+		seg := nvm.PPtr(v.h.GetU64(v.root.Add(vecOffSegs + uint64(k)*8)))
+		if seg.IsNil() {
+			if k <= lastSeg {
+				errs = append(errs, fmt.Errorf("vector %d: length %d needs segment %d, which is nil", v.root, n, k))
+			}
+			continue
+		}
+		if err := v.h.CheckBlock(seg, v.segCap(k)*v.elemSize); err != nil {
+			errs = append(errs, fmt.Errorf("vector %d: segment %d: %w", v.root, k, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// checkBlob verifies that p points at a complete, in-bounds blob.
+func checkBlob(h *nvm.Heap, p nvm.PPtr) error {
+	if p.IsNil() {
+		return errors.New("nil blob pointer")
+	}
+	if err := h.CheckBlock(p, 4); err != nil {
+		return err
+	}
+	return h.CheckBlock(p, 4+uint64(h.GetU32(p)))
+}
+
+// Check verifies the skip list's persistent invariants: the level-0
+// chain is acyclic and strictly sorted, node heights are in range, every
+// upper level is a sorted subsequence of level 0, and every node and key
+// blob is a valid Reserved block.
+func (s *SkipList) Check() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("skiplist %d: "+format, append([]any{s.root}, args...)...))
+	}
+	if err := s.h.CheckBlock(s.root, 8); err != nil {
+		fail("root: %w", err)
+		return errors.Join(errs...)
+	}
+	if err := s.h.CheckBlock(s.head, slOffNext+8*slMaxHeight); err != nil {
+		fail("head: %w", err)
+		return errors.Join(errs...)
+	}
+	// Level 0: the durable ground truth.
+	level0 := make(map[nvm.PPtr]bool)
+	var prevKey []byte
+	havePrev := false
+	for cur := s.next(s.head, 0); !cur.IsNil(); cur = s.next(cur, 0) {
+		if level0[cur] {
+			fail("level 0 contains a cycle at node %d", cur)
+			return errors.Join(errs...)
+		}
+		level0[cur] = true
+		if err := s.h.CheckBlock(cur, slOffNext+8); err != nil {
+			fail("node %d: %w", cur, err)
+			return errors.Join(errs...) // cannot trust its next pointers
+		}
+		hgt := s.h.GetU64(cur.Add(slOffHeight))
+		if hgt < 1 || hgt > slMaxHeight {
+			fail("node %d: height %d outside [1, %d]", cur, hgt, slMaxHeight)
+			return errors.Join(errs...)
+		}
+		if err := s.h.CheckBlock(cur, slOffNext+8*hgt); err != nil {
+			fail("node %d: block smaller than height %d: %w", cur, hgt, err)
+			return errors.Join(errs...)
+		}
+		kb := nvm.PPtr(s.h.GetU64(cur.Add(slOffKey)))
+		if err := checkBlob(s.h, kb); err != nil {
+			fail("node %d: key blob: %w", cur, err)
+			continue
+		}
+		key := ReadBlob(s.h, kb)
+		if havePrev && bytes.Compare(prevKey, key) >= 0 {
+			fail("level 0 not strictly sorted at node %d (%q after %q)", cur, key, prevKey)
+		}
+		prevKey, havePrev = key, true
+	}
+	// Upper levels: accelerators, each a sorted subsequence of level 0.
+	for level := 1; level < slMaxHeight; level++ {
+		seen := make(map[nvm.PPtr]bool)
+		var prev []byte
+		have := false
+		for cur := s.next(s.head, level); !cur.IsNil(); cur = s.next(cur, level) {
+			if seen[cur] {
+				fail("level %d contains a cycle at node %d", level, cur)
+				break
+			}
+			seen[cur] = true
+			if !level0[cur] {
+				fail("level %d links node %d that is not on level 0", level, cur)
+				break
+			}
+			if hgt := s.h.GetU64(cur.Add(slOffHeight)); hgt <= uint64(level) {
+				fail("level %d links node %d of height %d", level, cur, hgt)
+				break
+			}
+			key := s.key(cur)
+			if have && bytes.Compare(prev, key) >= 0 {
+				fail("level %d not strictly sorted at node %d", level, cur)
+				break
+			}
+			prev, have = key, true
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Check verifies the hash map's persistent invariants: every chain is
+// acyclic, every node and key blob is a valid Reserved block, and every
+// key hashes to the bucket holding it.
+func (p *PHash) Check() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("phash %d: "+format, append([]any{p.root}, args...)...))
+	}
+	if err := p.h.CheckBlock(p.root, phOffHeads+p.buckets*8); err != nil {
+		fail("root: %w", err)
+		return errors.Join(errs...)
+	}
+	if got := uint64(1) << p.h.GetU64(p.root.Add(phOffBucketsLog)); got != p.buckets {
+		fail("bucket count %d disagrees with root %d", p.buckets, got)
+		return errors.Join(errs...)
+	}
+	for b := uint64(0); b < p.buckets; b++ {
+		seen := make(map[nvm.PPtr]bool)
+		for cur := nvm.PPtr(p.h.U64(p.root.Add(phOffHeads + b*8))); !cur.IsNil(); cur = nvm.PPtr(p.h.U64(cur.Add(phnOffNext))) {
+			if seen[cur] {
+				fail("bucket %d contains a cycle at node %d", b, cur)
+				break
+			}
+			seen[cur] = true
+			if err := p.h.CheckBlock(cur, phnSize); err != nil {
+				fail("bucket %d: node %d: %w", b, cur, err)
+				break
+			}
+			kb := nvm.PPtr(p.h.GetU64(cur.Add(phnOffKey)))
+			if err := checkBlob(p.h, kb); err != nil {
+				fail("bucket %d: node %d: key blob: %w", b, cur, err)
+				break
+			}
+			if got := p.bucketSlot(ReadBlob(p.h, kb)); got != p.root.Add(phOffHeads+b*8) {
+				fail("bucket %d: node %d: key hashes to a different bucket", b, cur)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ListCheck verifies the posting list anchored at slot: acyclic, every
+// node a valid Reserved block.
+func ListCheck(h *nvm.Heap, slot nvm.PPtr) error {
+	seen := make(map[nvm.PPtr]bool)
+	for cur := nvm.PPtr(h.U64(slot)); !cur.IsNil(); cur = nvm.PPtr(h.U64(cur.Add(plOffNext))) {
+		if seen[cur] {
+			return fmt.Errorf("posting list at slot %d contains a cycle at node %d", slot, cur)
+		}
+		seen[cur] = true
+		if err := h.CheckBlock(cur, plNodeLen); err != nil {
+			return fmt.Errorf("posting list at slot %d: node: %w", slot, err)
+		}
+	}
+	return nil
+}
+
+// Check verifies the bit-packed vector's persistent invariants.
+func (b *BitPacked) Check() error {
+	var errs []error
+	if err := b.h.CheckBlock(b.root, bpRootSize); err != nil {
+		return fmt.Errorf("bitpacked %d: root: %w", b.root, err)
+	}
+	if b.bits == 0 || b.bits > 64 {
+		errs = append(errs, fmt.Errorf("bitpacked %d: invalid width %d", b.root, b.bits))
+	} else {
+		words := (b.n*b.bits + 63) / 64
+		if words == 0 {
+			words = 1
+		}
+		if err := b.h.CheckBlock(b.data, words*8); err != nil {
+			errs = append(errs, fmt.Errorf("bitpacked %d: data: %w", b.root, err))
+		}
+	}
+	return errors.Join(errs...)
+}

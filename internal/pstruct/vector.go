@@ -12,6 +12,7 @@ package pstruct
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"hyrisenv/internal/nvm"
 )
@@ -137,10 +138,25 @@ func (v *Vector) Append(val uint64) (uint64, error) {
 	}
 	p := v.segs[k].Add(off * v.elemSize)
 	v.writeElem(p, val)
-	v.h.Persist(p, v.elemSize)
+	if !brokenSkipElemPersist.Load() {
+		v.h.Persist(p, v.elemSize)
+	}
 	v.setLen(i + 1)
 	return i, nil
 }
+
+// brokenSkipElemPersist, when set, makes Append skip the element persist
+// before advancing the length — a deliberately broken protocol. Crash
+// tests use it to demonstrate detection power: the optimistic crash
+// model cannot tell the difference (every store survives anyway), while
+// the pessimistic shadow model loses the unpersisted element and the
+// fsck/verification pass catches the corruption. Never set outside
+// tests.
+var brokenSkipElemPersist atomic.Bool
+
+// SetBrokenSkipElemPersist toggles the deliberately broken append
+// protocol. Test hook only.
+func SetBrokenSkipElemPersist(on bool) { brokenSkipElemPersist.Store(on) }
 
 // AppendN appends vals with one persist per touched region and a single
 // length advance — the bulk-load fast path.

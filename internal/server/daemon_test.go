@@ -18,6 +18,7 @@ import (
 
 	"hyrisenv"
 	"hyrisenv/client"
+	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/server"
 	"hyrisenv/internal/txn"
@@ -251,13 +252,14 @@ func measureDaemonKill(t *testing.T, mode string, size int, readBW int64) time.D
 	startDaemon(t, dir, mode, d.addr, readBW)
 
 	deadline := time.Now().Add(60 * time.Second)
-	for recoveredAt.Load() == 0 {
+	pol := backoff.Policy{Base: 2 * time.Millisecond, Max: 25 * time.Millisecond}
+	for i := 0; recoveredAt.Load() == 0; i++ {
 		if time.Now().After(deadline) {
 			close(stop)
 			wg.Wait()
 			t.Fatal("no worker observed recovery")
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(pol.Delay(i))
 	}
 	close(stop)
 	wg.Wait()

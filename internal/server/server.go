@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
@@ -210,9 +211,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			// run their deferred transaction aborts: the caller closes
 			// the engine right after Shutdown returns, and an abort must
 			// not race the heap unmap. Handlers exit promptly once their
-			// sockets are closed.
-			for s.NumConns() > 0 {
-				time.Sleep(2 * time.Millisecond)
+			// sockets are closed, so start with short waits and back off
+			// if they don't.
+			pol := backoff.Policy{Base: time.Millisecond, Max: 20 * time.Millisecond}
+			for i := 0; s.NumConns() > 0; i++ {
+				time.Sleep(pol.Delay(i))
 			}
 			return ctx.Err()
 		case <-tick.C:

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"hyrisenv/internal/index"
+	"hyrisenv/internal/mvcc"
+	"hyrisenv/internal/nvm"
+)
+
+// Deep structural fsck of an NVM-resident table: where Check verifies
+// logical consistency (row counts, dictionary order, stamp sanity,
+// visibility census, index agreement) through the normal read paths,
+// FsckNVM walks the *persistent representation* — root blocks, partition
+// set, every vector segment, dictionary blob, skip-list node, hash
+// chain, posting list and bit-packed payload — and verifies that each
+// pointer lands on a Reserved heap block of sufficient size and that
+// each structure's own invariants hold. Together with nvm.Heap.Fsck and
+// mvcc.Store.Check this is the full "fsck" the crash matrix runs after
+// every enumerated crash point.
+
+// checkBlobPtr verifies p points at a complete, in-bounds blob.
+func checkBlobPtr(h *nvm.Heap, p nvm.PPtr) error {
+	if err := h.CheckBlock(p, 4); err != nil {
+		return err
+	}
+	return h.CheckBlock(p, 4+uint64(h.GetU32(p)))
+}
+
+// Check verifies the persistent representation of the main column.
+func (m *NVMMain) Check() error {
+	var errs []error
+	if err := m.h.CheckBlock(m.root, nmRootSize); err != nil {
+		return fmt.Errorf("main column %d: root: %w", m.root, err)
+	}
+	if err := m.dictVec.Check(); err != nil {
+		errs = append(errs, fmt.Errorf("main column %d: dictionary vector: %w", m.root, err))
+	} else {
+		m.dictVec.Scan(func(id, blob uint64) bool {
+			if err := checkBlobPtr(m.h, nvm.PPtr(blob)); err != nil {
+				errs = append(errs, fmt.Errorf("main column %d: dictionary blob %d: %w", m.root, id, err))
+				return false
+			}
+			return true
+		})
+	}
+	if err := m.bp.Check(); err != nil {
+		errs = append(errs, fmt.Errorf("main column %d: attribute vector: %w", m.root, err))
+	}
+	return errors.Join(errs...)
+}
+
+// Check verifies the persistent representation of the delta column.
+func (d *NVMDelta) Check() error {
+	var errs []error
+	if err := d.h.CheckBlock(d.root, ndRootSize); err != nil {
+		return fmt.Errorf("delta column %d: root: %w", d.root, err)
+	}
+	if err := d.dictVec.Check(); err != nil {
+		errs = append(errs, fmt.Errorf("delta column %d: dictionary vector: %w", d.root, err))
+	} else {
+		d.dictVec.Scan(func(id, blob uint64) bool {
+			if err := checkBlobPtr(d.h, nvm.PPtr(blob)); err != nil {
+				errs = append(errs, fmt.Errorf("delta column %d: dictionary blob %d: %w", d.root, id, err))
+				return false
+			}
+			return true
+		})
+	}
+	if err := d.av.Check(); err != nil {
+		errs = append(errs, fmt.Errorf("delta column %d: attribute vector: %w", d.root, err))
+	}
+	type structural interface{ Check() error }
+	if c, ok := d.idx.(structural); ok {
+		if err := c.Check(); err != nil {
+			errs = append(errs, fmt.Errorf("delta column %d: dictionary index: %w", d.root, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FsckNVM walks the table's persistent representation. lastCID bounds
+// the MVCC stamp checks (the manager's recovered last-committed CID).
+// Volatile tables have no persistent representation; the walk is a
+// no-op for them.
+func (t *Table) FsckNVM(lastCID uint64) error {
+	if t.h == nil {
+		return nil
+	}
+	h := t.h
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("table %s: "+format, append([]any{t.Name}, args...)...))
+	}
+	if err := h.CheckBlock(t.root, trRootSize); err != nil {
+		fail("root: %w", err)
+		return errors.Join(errs...)
+	}
+	if sb := nvm.PPtr(h.GetU64(t.root.Add(trOffSchema))); sb.IsNil() {
+		fail("schema blob pointer is nil")
+	} else if err := checkBlobPtr(h, sb); err != nil {
+		fail("schema blob: %w", err)
+	}
+	ncols := t.Schema.NumCols()
+	pp := t.psPtr()
+	if err := h.CheckBlock(pp, psSize(ncols)); err != nil {
+		fail("partition set: %w", err)
+		return errors.Join(errs...)
+	}
+	if got := h.GetU64(pp.Add(psOffNCols)); got != uint64(ncols) {
+		fail("partition set records %d columns, schema has %d", got, ncols)
+		return errors.Join(errs...)
+	}
+
+	// MVCC vectors: structural + stamp invariants.
+	ps := t.parts.Load()
+	for _, part := range []struct {
+		name  string
+		store *mvcc.Store
+	}{{"main", ps.mainMVCC}, {"delta", ps.deltaMVCC}} {
+		if err := part.store.Check(lastCID); err != nil {
+			fail("%s MVCC: %w", part.name, err)
+		}
+	}
+
+	for c := 0; c < ncols; c++ {
+		if m, ok := ps.main[c].(*NVMMain); ok {
+			if err := m.Check(); err != nil {
+				fail("column %d: %w", c, err)
+			}
+		}
+		if d, ok := ps.delta[c].(*NVMDelta); ok {
+			if err := d.Check(); err != nil {
+				fail("column %d: %w", c, err)
+			}
+		}
+		if !t.Indexed(c) {
+			continue
+		}
+		if gk, ok := ps.mainIdx[c].(*index.NVMGroupKey); ok {
+			if err := gk.Check(ps.main[c].Rows(), ps.main[c].DictLen()); err != nil {
+				fail("column %d: %w", c, err)
+			}
+		}
+		if di, ok := ps.deltaIdx[c].(*index.NVMDeltaIndex); ok {
+			if err := di.Check(); err != nil {
+				fail("column %d: %w", c, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

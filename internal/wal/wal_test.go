@@ -362,6 +362,65 @@ func TestOpenLogForAppendTruncatesTornTail(t *testing.T) {
 	}
 }
 
+// TestOpenLogForAppendTruncatesMidLengthPrefixTear covers the nastier
+// torn-tail shape: the crash cut the tail record inside its 8-byte
+// length+CRC header, so the log ends with 1..7 bytes that are the real
+// beginning of a record — not trailing garbage. Recovery must stop at
+// the last whole record, report validBytes excluding the partial header,
+// and OpenLogForAppend must truncate it so subsequent appends produce a
+// log that replays cleanly.
+func TestOpenLogForAppendTruncatesMidLengthPrefixTear(t *testing.T) {
+	next := EncodeCommit(2, 2)
+	for cut := 1; cut < 8 && cut < len(next); cut++ {
+		dir := t.TempDir()
+		m, _ := NewManager(dir, disk.Model{})
+		w, seq, err := m.WriteCheckpoint(nil, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(EncodeCreateTable(1, "t", testSchema(t), 0))
+		lsn, _ := w.Append(EncodeCommit(1, 1))
+		w.WaitDurable(lsn)
+		w.Close()
+		intact, err := os.Stat(filepath.Join(dir, "wal-000001.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The torn tail: the first cut bytes of a real record's frame,
+		// severed inside the length prefix.
+		f, _ := os.OpenFile(filepath.Join(dir, "wal-000001.log"), os.O_APPEND|os.O_WRONLY, 0)
+		f.Write(next[:cut])
+		f.Close()
+
+		res, err := m.Recover()
+		if err != nil {
+			t.Fatalf("cut=%d: recover: %v", cut, err)
+		}
+		if res.LastCID != 1 {
+			t.Fatalf("cut=%d: LastCID = %d, want 1", cut, res.LastCID)
+		}
+		if res.ValidLogBytes != uint64(intact.Size()) {
+			t.Fatalf("cut=%d: ValidLogBytes = %d, want %d (partial header must not count)",
+				cut, res.ValidLogBytes, intact.Size())
+		}
+		w2, err := m.OpenLogForAppend(seq, res.ValidLogBytes)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		lsn, _ = w2.Append(EncodeCommit(2, 2))
+		w2.WaitDurable(lsn)
+		w2.Close()
+
+		res2, err := m.Recover()
+		if err != nil {
+			t.Fatalf("cut=%d: recover after repair: %v", cut, err)
+		}
+		if res2.LastCID != 2 {
+			t.Fatalf("cut=%d: LastCID after repair = %d, want 2", cut, res2.LastCID)
+		}
+	}
+}
+
 func TestReplayRowMismatchDetected(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := NewManager(dir, disk.Model{})
