@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck test race fuzz-smoke crashmatrix
+.PHONY: check fmt vet nvmcheck test race fuzz-smoke crashmatrix benchscan
 
 check: fmt vet nvmcheck race
 
@@ -45,6 +45,15 @@ crashmatrix:
 		bin/hyrise-nv fsck "$$d" >/dev/null || { echo "external fsck failed: $$d" >&2; fails=1; }; \
 	done; \
 	[ "$$fails" -eq 0 ] && echo "crashmatrix: every surviving heap passes hyrise-nv fsck"
+
+# Morsel-parallel scan benchmarks (internal/exec) at Parallelism
+# 1/2/4/8 over the 1M-row table, recorded to BENCH_scan.json for the
+# perf trajectory. The rows/s metric is in each benchmark's Extra map.
+benchscan:
+	$(GO) test ./internal/exec -run '^$$' -bench 'ScanPredicate|ScanSelect|GroupByParallel' \
+		-benchtime 3x -timeout 30m | tee BENCH_scan.txt
+	$(GO) run ./cmd/benchjson -in BENCH_scan.txt -out BENCH_scan.json
+	rm -f BENCH_scan.txt
 
 # Same smoke CI runs: 30s per wire fuzzer.
 fuzz-smoke:

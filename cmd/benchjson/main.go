@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// record, so benchmark runs (e.g. `make benchscan` → BENCH_scan.json)
+// can be tracked as a perf trajectory across commits.
+//
+// Usage:
+//
+//	go test ./internal/exec -bench . | benchjson -out BENCH_scan.json
+//	benchjson -in bench.txt -out BENCH_scan.json
+//
+// Each "BenchmarkName-N  iters  v1 unit1  v2 unit2 ..." line becomes
+// {"name": ..., "iterations": ..., "metrics": {unit: value, ...}};
+// goos/goarch/cpu/pkg header lines are captured as environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Env     map[string]string `json:"env"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	in := flag.String("in", "", "benchmark text to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	rep := report{Env: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+":"); ok {
+				rep.Env[k] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		log.Fatal("benchjson: no Benchmark lines in input")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}

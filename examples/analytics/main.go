@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "hyrisenv-analytics-*")
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +77,10 @@ func main() {
 	report := func(label string) float64 {
 		start := time.Now()
 		rd := db.Begin()
-		byRegion := rd.GroupBy(sales, "region", "revenue")
+		byRegion, err := rd.GroupByContext(ctx, sales, "region", "revenue")
+		if err != nil {
+			log.Fatal(err)
+		}
 		elapsed := time.Since(start)
 		var total float64
 		fmt.Printf("%s (query took %s):\n", label, elapsed.Round(time.Microsecond))
@@ -104,7 +109,11 @@ func main() {
 	}
 
 	rd := db.Begin()
-	top := hyrisenv.TopK(rd.GroupBy(sales, "product", "revenue"), 2)
+	byProduct, err := rd.GroupByContext(ctx, sales, "product", "revenue")
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := hyrisenv.TopK(byProduct, 2)
 	fmt.Println("top products:")
 	for _, g := range top {
 		fmt.Printf("  %-7s %12.2f\n", g.Key.S, g.Sum)

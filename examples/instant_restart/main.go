@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -110,7 +111,11 @@ func measure(dir string, mode hyrisenv.Mode, rows int) time.Duration {
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := db2.Begin().Count(tbl2, hyrisenv.Pred{Col: "customer", Op: hyrisenv.Eq, Val: hyrisenv.Str("customer-000042")})
+	n, err := db2.Begin().CountContext(context.Background(), tbl2,
+		hyrisenv.Pred{Col: "customer", Op: hyrisenv.Eq, Val: hyrisenv.Str("customer-000042")})
+	if err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 
 	rs := db2.RecoveryStats()

@@ -6,13 +6,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
@@ -65,8 +65,14 @@ func main() {
 		tx := e.Begin()
 		orders, _ := e.Table("orders")
 		lines, _ := e.Table("orderlines")
-		orderRows := query.ScanAll(tx, orders)
-		lineRows := query.ScanAll(tx, lines)
+		orderRows, err := e.Exec().ScanAll(context.Background(), tx, orders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lineRows, err := e.Exec().ScanAll(context.Background(), tx, lines)
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Every order's o_lines column must match its actual line count.
 		var wantLines int64
 		for _, r := range orderRows {

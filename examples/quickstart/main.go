@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "hyrisenv-quickstart-*")
 	if err != nil {
 		log.Fatal(err)
@@ -53,33 +55,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Indexed point query.
+	// Indexed point query. Read methods take a context and report
+	// errors (an unknown column, a cancelled query) explicitly.
 	rd := db.Begin()
 	fmt.Println("alice's orders:")
-	for _, row := range rd.Select(orders, hyrisenv.Pred{Col: "customer", Op: hyrisenv.Eq, Val: hyrisenv.Str("alice")}) {
-		vals := rd.Row(orders, row)
+	alice, err := rd.SelectContext(ctx, orders, hyrisenv.Pred{Col: "customer", Op: hyrisenv.Eq, Val: hyrisenv.Str("alice")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range alice {
+		vals, err := rd.RowContext(ctx, orders, row)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  order %v: %v\n", vals[0], vals[2])
 	}
 
 	// Range query through the sorted dictionary.
-	rows := rd.SelectRange(orders, "id", hyrisenv.Int(2), hyrisenv.Int(5))
+	rows, err := rd.SelectRangeContext(ctx, orders, "id", hyrisenv.Int(2), hyrisenv.Int(5))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("orders with 2 <= id < 5: %d\n", len(rows))
 
 	// Snapshot isolation: rd keeps seeing the old state while a writer
 	// updates and deletes.
 	wr := db.Begin()
-	target := wr.Select(orders, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(1)})[0]
+	targets, err := wr.SelectContext(ctx, orders, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := targets[0]
 	if _, err := wr.Update(orders, target, hyrisenv.Int(1), hyrisenv.Str("alice"), hyrisenv.Float(999)); err != nil {
 		log.Fatal(err)
 	}
 	if err := wr.Commit(); err != nil {
 		log.Fatal(err)
 	}
-	old := rd.Row(orders, target)
+	old, err := rd.RowContext(ctx, orders, target)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fresh := db.Begin()
-	newRow := fresh.Select(orders, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(1)})[0]
+	newRows, err := fresh.SelectContext(ctx, orders, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	freshVals, err := fresh.RowContext(ctx, orders, newRows[0])
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("old snapshot sees amount %v; new snapshot sees %v\n",
-		old[2], fresh.Row(orders, newRow)[2])
+		old[2], freshVals[2])
 
 	// Merge the delta into a compressed main partition.
 	if err := db.Merge("orders"); err != nil {
@@ -87,6 +114,9 @@ func main() {
 	}
 	fmt.Printf("after merge: %d rows in main, %d in delta\n", orders.MainRows(), orders.DeltaRows())
 
-	count := db.Begin().Count(orders)
+	count, err := db.Begin().CountContext(ctx, orders)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("total visible orders: %d\n", count)
 }

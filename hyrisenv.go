@@ -140,6 +140,12 @@ type Config struct {
 	// CompressCheckpoints flate-compresses binary checkpoints (LogBased
 	// mode) — smaller checkpoint I/O at some CPU cost.
 	CompressCheckpoints bool
+	// Parallelism sets the degree of morsel parallelism for query
+	// execution (scans, counts, GROUP BY, join build): 0 = one worker
+	// per schedulable core (GOMAXPROCS), 1 = serial execution (the
+	// historical behavior). Every read path — embedded Tx methods and
+	// the network server's handlers — shares this executor.
+	Parallelism int
 }
 
 // RecoveryStats describes what the last Open had to do to reach a
@@ -203,6 +209,7 @@ func Open(cfg Config) (*DB, error) {
 		CheckpointLogBytes:  cfg.CheckpointLogBytes,
 		HashDictIndex:       cfg.HashDictIndex,
 		CompressCheckpoints: cfg.CompressCheckpoints,
+		Parallelism:         cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -31,6 +31,7 @@ type Scale struct {
 	E3Ops   int
 	E7Sizes []int
 	E8Rows  int
+	E9Rows  int
 }
 
 // QuickScale is the fast default.
@@ -40,6 +41,7 @@ var QuickScale = Scale{
 	E3Rows: 10000, E3Ops: 8000,
 	E7Sizes: []int{2000, 10000, 30000},
 	E8Rows:  50000,
+	E9Rows:  100000,
 }
 
 // FullScale stretches the sweeps.
@@ -49,6 +51,7 @@ var FullScale = Scale{
 	E3Rows: 20000, E3Ops: 20000,
 	E7Sizes: []int{5000, 20000, 50000, 100000},
 	E8Rows:  100000,
+	E9Rows:  400000,
 }
 
 // heapFor sizes the simulated NVM device for n rows of the orders

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hyrisenv/internal/disk"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/nvm"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
@@ -66,6 +67,10 @@ type Config struct {
 	// CompressCheckpoints flate-compresses binary checkpoints (ModeLog);
 	// worthwhile when the disk, not the CPU, bounds recovery.
 	CompressCheckpoints bool
+	// Parallelism sets the degree of morsel parallelism of the shared
+	// query executor: 0 = one worker per schedulable core (GOMAXPROCS),
+	// 1 = strictly serial scans.
+	Parallelism int
 }
 
 // RecoveryStats records what (re)opening the engine had to do — the
@@ -91,6 +96,7 @@ type RecoveryStats struct {
 type Engine struct {
 	cfg Config
 	mgr *txn.Manager
+	ex  *exec.Executor
 
 	h  *nvm.Heap    // ModeNVM
 	lm *wal.Manager // ModeLog
@@ -125,6 +131,7 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:         cfg,
+		ex:          exec.New(cfg.Parallelism),
 		tables:      map[string]*storage.Table{},
 		byID:        map[uint32]*storage.Table{},
 		nextTableID: 1,
@@ -261,6 +268,10 @@ func (e *Engine) Heap() *nvm.Heap { return e.h }
 
 // Manager exposes the transaction manager.
 func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Exec returns the engine's shared query executor; every read path —
+// the embedded Tx API and the network server alike — runs through it.
+func (e *Engine) Exec() *exec.Executor { return e.ex }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() *txn.Txn { return e.mgr.Begin() }

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"sort"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Group is one group-by result row.
+type Group struct {
+	Key   storage.Value
+	Count int
+	Sum   float64 // sum of the aggregate column (int columns are widened)
+}
+
+// acc is one partial aggregate.
+type acc struct {
+	count int
+	sum   float64
+}
+
+// groupState is one worker's partial aggregation: a dense array per
+// main-dictionary ID (grouping on value IDs, the column-store way) and
+// a map keyed by encoded value for delta rows, whose dictionary is
+// unsorted and unbounded.
+type groupState struct {
+	mainAccs []acc
+	byKey    map[string]*acc
+}
+
+// GroupBy aggregates all rows visible to tx, grouped by groupCol and
+// summing aggCol (pass aggCol < 0 for count-only). Each worker
+// accumulates partial aggregates over the morsels it claims — grouping
+// on main-partition value IDs so keys are decoded once per group — and
+// the partials are merged and sorted by key, so the result ordering is
+// deterministic. (Float64 sums are merged in worker order; as with any
+// parallel floating-point reduction the low bits can differ from a
+// serial run.)
+func (e *Executor) GroupBy(ctx context.Context, tx *txn.Txn, tbl *storage.Table, groupCol, aggCol int) ([]Group, error) {
+	if err := checkCol(tbl, groupCol); err != nil {
+		return nil, err
+	}
+	if aggCol >= 0 {
+		if err := checkCol(tbl, aggCol); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tx.PinEpoch(tbl)
+	v := tbl.View()
+	mr := v.MainRows()
+	total := mr + v.DeltaRows()
+	mainCol := v.MainColumnAt(groupCol)
+	deltaCol := v.DeltaColumnAt(groupCol)
+
+	states := make([]*groupState, e.par)
+	err := e.forEachMorsel(ctx, total, func(worker, slot int, lo, hi uint64) error {
+		st := states[worker]
+		if st == nil {
+			st = &groupState{
+				mainAccs: make([]acc, mainCol.DictLen()),
+				byKey:    map[string]*acc{},
+			}
+			states[worker] = st
+		}
+		for r := lo; r < hi; r++ {
+			if !tx.SeesIn(v, tbl, r) {
+				continue
+			}
+			var agg float64
+			if aggCol >= 0 {
+				val := v.Value(aggCol, r)
+				if val.T == storage.TypeInt64 {
+					agg = float64(val.I)
+				} else {
+					agg = val.F
+				}
+			}
+			if r < mr {
+				a := &st.mainAccs[mainCol.ValueID(r)]
+				a.count++
+				a.sum += agg
+			} else {
+				k := string(deltaCol.DictKey(deltaCol.ValueID(r - mr)))
+				a := st.byKey[k]
+				if a == nil {
+					a = &acc{}
+					st.byKey[k] = a
+				}
+				a.count++
+				a.sum += agg
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge worker partials in worker order, then fold the dense
+	// main-partition accumulators in by decoded key.
+	byKey := map[string]*acc{}
+	var mainAccs []acc
+	if mainCol.DictLen() > 0 {
+		mainAccs = make([]acc, mainCol.DictLen())
+	}
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		for id, a := range st.mainAccs {
+			mainAccs[id].count += a.count
+			mainAccs[id].sum += a.sum
+		}
+		for k, a := range st.byKey {
+			if ex := byKey[k]; ex != nil {
+				ex.count += a.count
+				ex.sum += a.sum
+			} else {
+				cp := *a
+				byKey[k] = &cp
+			}
+		}
+	}
+	for id, a := range mainAccs {
+		if a.count == 0 {
+			continue
+		}
+		k := string(mainCol.DictKey(uint64(id)))
+		if ex := byKey[k]; ex != nil {
+			ex.count += a.count
+			ex.sum += a.sum
+		} else {
+			cp := a
+			byKey[k] = &cp
+		}
+	}
+
+	typ := tbl.Schema.Cols[groupCol].Type
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		a := byKey[k]
+		out[i] = Group{Key: storage.DecodeValue(typ, []byte(k)), Count: a.count, Sum: a.sum}
+	}
+	return out, nil
+}
+
+// TopK returns the k groups with the largest Sum (ties broken by key
+// order), from a GroupBy result.
+func TopK(groups []Group, k int) []Group {
+	sorted := append([]Group(nil), groups...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Sum > sorted[j].Sum })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// JoinPair couples a left and a right row ID satisfying an equi-join.
+type JoinPair struct {
+	Left  uint64
+	Right uint64
+}
+
+// HashJoin computes the inner equi-join left.leftCol = right.rightCol
+// over the rows visible to tx, the standard column-store way: the build
+// side hashes *dictionary keys* (so each distinct value is encoded
+// once), the probe side resolves its value IDs through per-dictionary
+// memo tables. The build side is scanned morsel-parallel — each morsel
+// produces a partial table and the partials are merged in morsel order,
+// so build rows stay in ascending order per key and the final pair list
+// is identical to a serial join. Both Views are captured once, so the
+// result is consistent under concurrent merges.
+//
+// The join columns must have the same type.
+func (e *Executor) HashJoin(ctx context.Context, tx *txn.Txn, left *storage.Table, leftCol int, right *storage.Table, rightCol int) ([]JoinPair, error) {
+	if err := checkCol(left, leftCol); err != nil {
+		return nil, err
+	}
+	if err := checkCol(right, rightCol); err != nil {
+		return nil, err
+	}
+	lt := left.Schema.Cols[leftCol].Type
+	rt := right.Schema.Cols[rightCol].Type
+	if lt != rt {
+		return nil, fmt.Errorf("%w: join column types differ (%s vs %s)", ErrBadValue, lt, rt)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tx.PinEpoch(left)
+	tx.PinEpoch(right)
+	lv, rv := left.View(), right.View()
+
+	// Build phase over the (usually smaller) left side: encoded value
+	// key -> row IDs, one partial table per morsel.
+	lmr := lv.MainRows()
+	ltotal := lmr + lv.DeltaRows()
+	parts := make([]map[string][]uint64, (ltotal+MorselRows-1)/MorselRows)
+	err := e.forEachMorsel(ctx, ltotal, func(worker, slot int, lo, hi uint64) error {
+		part := map[string][]uint64{}
+		for r := lo; r < hi; r++ {
+			if !tx.SeesIn(lv, left, r) {
+				continue
+			}
+			var key []byte
+			if r < lmr {
+				mc := lv.MainColumnAt(leftCol)
+				key = mc.DictKey(mc.ValueID(r))
+			} else {
+				dc := lv.DeltaColumnAt(leftCol)
+				key = dc.DictKey(dc.ValueID(r - lmr))
+			}
+			part[string(key)] = append(part[string(key)], r)
+		}
+		parts[slot] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	build := map[string][]uint64{}
+	for _, part := range parts {
+		for k, rows := range part {
+			build[k] = append(build[k], rows...)
+		}
+	}
+
+	// Probe phase with per-dictionary-ID memoization. The probe emits
+	// pairs in right-row order, so it stays serial to keep the output
+	// deterministic; the memo tables make it one map hit per distinct
+	// value, not per row.
+	var out []JoinPair
+	rmr := rv.MainRows()
+	rtotal := rmr + rv.DeltaRows()
+	mainHits := make(map[uint64][]uint64)  // main dict id -> left rows
+	deltaHits := make(map[uint64][]uint64) // delta dict id -> left rows
+	for r := uint64(0); r < rtotal; r++ {
+		if r%MorselRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !tx.SeesIn(rv, right, r) {
+			continue
+		}
+		var matches []uint64
+		if r < rmr {
+			mc := rv.MainColumnAt(rightCol)
+			id := mc.ValueID(r)
+			m, ok := mainHits[id]
+			if !ok {
+				m = build[string(mc.DictKey(id))]
+				mainHits[id] = m
+			}
+			matches = m
+		} else {
+			dc := rv.DeltaColumnAt(rightCol)
+			id := dc.ValueID(r - rmr)
+			m, ok := deltaHits[id]
+			if !ok {
+				m = build[string(dc.DictKey(id))]
+				deltaHits[id] = m
+			}
+			matches = m
+		}
+		for _, l := range matches {
+			out = append(out, JoinPair{Left: l, Right: r})
+		}
+	}
+	return out, nil
+}

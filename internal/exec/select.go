@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Op is a comparison operator.
+type Op int
+
+// Comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Pred is a single-column predicate `col OP val`.
+type Pred struct {
+	Col int
+	Op  Op
+	Val storage.Value
+}
+
+// matches evaluates the operator against an order-preserving key
+// comparison result (cmp = bytes.Compare(rowKey, predKey)).
+func (o Op) matches(cmp int) bool {
+	switch o {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// colMatcher memoizes predicate evaluation per dictionary value ID —
+// the dictionary-encoding fast path: a column predicate is decided once
+// per distinct value, not once per row. The main-partition table is
+// immutable after construction and shared across workers; the delta
+// memo map is written during matching, so every worker clones its own.
+type colMatcher struct {
+	pred    Pred
+	key     []byte
+	v       storage.View
+	mainOK  []bool
+	deltaOK map[uint64]int8 // delta dict id -> -1 false / 1 true
+}
+
+func newColMatcher(v storage.View, p Pred) *colMatcher {
+	m := &colMatcher{pred: p, key: p.Val.EncodeKey(nil), v: v, deltaOK: map[uint64]int8{}}
+	mc := v.MainColumnAt(p.Col)
+	m.mainOK = make([]bool, mc.DictLen())
+	for id := uint64(0); id < mc.DictLen(); id++ {
+		m.mainOK[id] = p.Op.matches(bytes.Compare(mc.DictKey(id), m.key))
+	}
+	return m
+}
+
+// clone shares the immutable main-partition table and gives the worker
+// its own delta memo.
+func (m *colMatcher) clone() *colMatcher {
+	cp := *m
+	cp.deltaOK = map[uint64]int8{}
+	return &cp
+}
+
+// match reports whether table row ID `row` satisfies the predicate.
+func (m *colMatcher) match(row uint64) bool {
+	mr := m.v.MainRows()
+	if row < mr {
+		return m.mainOK[m.v.MainColumnAt(m.pred.Col).ValueID(row)]
+	}
+	d := m.v.DeltaColumnAt(m.pred.Col)
+	id := d.ValueID(row - mr)
+	if v, ok := m.deltaOK[id]; ok {
+		return v > 0
+	}
+	ok := m.pred.Op.matches(bytes.Compare(d.DictKey(id), m.key))
+	if ok {
+		m.deltaOK[id] = 1
+	} else {
+		m.deltaOK[id] = -1
+	}
+	return ok
+}
+
+// matcherPool lazily clones one matcher set per worker.
+type matcherPool struct {
+	base []*colMatcher
+	per  [][]*colMatcher
+}
+
+func newMatcherPool(v storage.View, preds []Pred, workers int) *matcherPool {
+	p := &matcherPool{base: make([]*colMatcher, len(preds)), per: make([][]*colMatcher, workers)}
+	for i, pd := range preds {
+		p.base[i] = newColMatcher(v, pd)
+	}
+	return p
+}
+
+func (p *matcherPool) forWorker(w int) []*colMatcher {
+	if p.per[w] == nil {
+		ms := make([]*colMatcher, len(p.base))
+		for i, m := range p.base {
+			ms[i] = m.clone()
+		}
+		p.per[w] = ms
+	}
+	return p.per[w]
+}
+
+// Select returns the row IDs visible to tx that satisfy all preds, in
+// ascending row-ID order. A single equality predicate on an indexed
+// column uses the index; everything else is a morsel-parallel
+// dictionary-accelerated scan.
+func (e *Executor) Select(ctx context.Context, tx *txn.Txn, tbl *storage.Table, preds ...Pred) ([]uint64, error) {
+	for _, p := range preds {
+		if err := checkColValue(tbl, p.Col, p.Val); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tx.PinEpoch(tbl)
+	v := tbl.View()
+	if len(preds) == 1 && preds[0].Op == Eq && tbl.Indexed(preds[0].Col) {
+		// Index point lookup: already sub-linear, stays serial.
+		key := preds[0].Val.EncodeKey(nil)
+		var out []uint64
+		if v.LookupRows(preds[0].Col, key, func(row uint64) bool {
+			if tx.SeesIn(v, tbl, row) {
+				out = append(out, row)
+			}
+			return true
+		}) {
+			return out, nil
+		}
+	}
+	slots, err := e.selectSlots(ctx, tx, tbl, v, preds)
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, s := range slots {
+		n += len(s)
+	}
+	out := make([]uint64, 0, n)
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// selectSlots runs the parallel filtered scan, returning matching row
+// IDs grouped by morsel slot (ascending within and across slots).
+func (e *Executor) selectSlots(ctx context.Context, tx *txn.Txn, tbl *storage.Table, v storage.View, preds []Pred) ([][]uint64, error) {
+	total := v.MainRows() + v.DeltaRows()
+	slots := make([][]uint64, (total+MorselRows-1)/MorselRows)
+	pool := newMatcherPool(v, preds, e.par)
+	err := e.forEachMorsel(ctx, total, func(worker, slot int, lo, hi uint64) error {
+		ms := pool.forWorker(worker)
+		var rows []uint64
+	scan:
+		for r := lo; r < hi; r++ {
+			if !tx.SeesIn(v, tbl, r) {
+				continue
+			}
+			for _, m := range ms {
+				if !m.match(r) {
+					continue scan
+				}
+			}
+			rows = append(rows, r)
+		}
+		slots[slot] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slots, nil
+}
+
+// Count returns the number of rows visible to tx satisfying preds.
+func (e *Executor) Count(ctx context.Context, tx *txn.Txn, tbl *storage.Table, preds ...Pred) (int, error) {
+	for _, p := range preds {
+		if err := checkColValue(tbl, p.Col, p.Val); err != nil {
+			return 0, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	tx.PinEpoch(tbl)
+	v := tbl.View()
+	total := v.MainRows() + v.DeltaRows()
+	counts := make([]int, (total+MorselRows-1)/MorselRows)
+	pool := newMatcherPool(v, preds, e.par)
+	err := e.forEachMorsel(ctx, total, func(worker, slot int, lo, hi uint64) error {
+		ms := pool.forWorker(worker)
+		n := 0
+	scan:
+		for r := lo; r < hi; r++ {
+			if !tx.SeesIn(v, tbl, r) {
+				continue
+			}
+			for _, m := range ms {
+				if !m.match(r) {
+					continue scan
+				}
+			}
+			n++
+		}
+		counts[slot] = n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// ScanAll returns every row visible to tx — Select with no predicates.
+func (e *Executor) ScanAll(ctx context.Context, tx *txn.Txn, tbl *storage.Table) ([]uint64, error) {
+	return e.Select(ctx, tx, tbl)
+}
+
+// SelectRange returns rows visible to tx whose column col falls in
+// [lo, hi) — resolved through the index when available, otherwise a
+// morsel-parallel scan of the equivalent Ge/Lt predicate pair.
+func (e *Executor) SelectRange(ctx context.Context, tx *txn.Txn, tbl *storage.Table, col int, lo, hi storage.Value) ([]uint64, error) {
+	if err := checkColValue(tbl, col, lo); err != nil {
+		return nil, err
+	}
+	if err := checkColValue(tbl, col, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tx.PinEpoch(tbl)
+	loK, hiK := lo.EncodeKey(nil), hi.EncodeKey(nil)
+	v := tbl.View()
+	var out []uint64
+	if v.LookupRowsInRange(col, loK, hiK, func(row uint64) bool {
+		if tx.SeesIn(v, tbl, row) {
+			out = append(out, row)
+		}
+		return true
+	}) {
+		return out, nil
+	}
+	return e.Select(ctx, tx, tbl, Pred{Col: col, Op: Ge, Val: lo}, Pred{Col: col, Op: Lt, Val: hi})
+}

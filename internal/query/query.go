@@ -1,163 +1,110 @@
-// Package query implements the scan/lookup operators used by the
-// examples and benchmarks: predicate scans that exploit dictionary
-// encoding (a predicate is evaluated once per distinct value, not once
-// per row), index-accelerated point lookups, and simple aggregations.
+// Package query is the serial compatibility surface over the shared
+// morsel-parallel executor in internal/exec. The operator
+// implementations (predicate scans, range scans, counts, GROUP BY, hash
+// join) live in exec — one code path for the embedded Tx API, these
+// wrappers and the network server — and the functions here delegate to
+// exec.Serial, preserving the historical single-threaded semantics and
+// signatures for existing internal callers.
 //
 // Every operator captures one partition View at entry, so its results
 // are consistent even while a merge publishes a new table generation.
 // Row IDs in results are relative to that generation; use them for
 // writes only within the same transaction epoch (the transaction layer
 // rejects cross-merge writes).
+//
+// Deprecated: new code should use an exec.Executor directly (or the
+// context-aware Tx methods of the public API), which adds cancellation,
+// parallelism and explicit errors instead of panics on misuse.
 package query
 
 import (
-	"bytes"
+	"context"
 
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
 
 // Op is a comparison operator.
-type Op int
+type Op = exec.Op
 
 // Comparison operators.
 const (
-	Eq Op = iota
-	Ne
-	Lt
-	Le
-	Gt
-	Ge
+	Eq = exec.Eq
+	Ne = exec.Ne
+	Lt = exec.Lt
+	Le = exec.Le
+	Gt = exec.Gt
+	Ge = exec.Ge
 )
 
 // Pred is a single-column predicate `col OP val`.
-type Pred struct {
-	Col int
-	Op  Op
-	Val storage.Value
-}
+type Pred = exec.Pred
 
-// matches evaluates the operator against an order-preserving key
-// comparison result (cmp = bytes.Compare(rowKey, predKey)).
-func (o Op) matches(cmp int) bool {
-	switch o {
-	case Eq:
-		return cmp == 0
-	case Ne:
-		return cmp != 0
-	case Lt:
-		return cmp < 0
-	case Le:
-		return cmp <= 0
-	case Gt:
-		return cmp > 0
-	case Ge:
-		return cmp >= 0
-	default:
-		return false
-	}
-}
+// Group is one group-by result row.
+type Group = exec.Group
 
-// colMatcher memoizes predicate evaluation per dictionary value ID —
-// the dictionary-encoding fast path: a column predicate is decided once
-// per distinct value.
-type colMatcher struct {
-	pred    Pred
-	key     []byte
-	v       storage.View
-	mainOK  []bool
-	deltaOK map[uint64]int8 // delta dict id -> -1 false / 1 true
-}
+// JoinPair couples a left and a right row ID satisfying an equi-join.
+type JoinPair = exec.JoinPair
 
-func newColMatcher(v storage.View, p Pred) *colMatcher {
-	m := &colMatcher{pred: p, key: p.Val.EncodeKey(nil), v: v, deltaOK: map[uint64]int8{}}
-	mc := v.MainColumnAt(p.Col)
-	m.mainOK = make([]bool, mc.DictLen())
-	for id := uint64(0); id < mc.DictLen(); id++ {
-		m.mainOK[id] = p.Op.matches(bytes.Compare(mc.DictKey(id), m.key))
+// must preserves the historical contract of this package: the serial
+// operators had no error returns, and misuse (an out-of-range column
+// index, a predicate value of the wrong type) was a programming error.
+// The executor reports such misuse as an error; with a background
+// context that is the only error class, so surface it as a panic.
+func must(err error) {
+	if err != nil {
+		panic("query: " + err.Error())
 	}
-	return m
-}
-
-// match reports whether table row ID `row` satisfies the predicate.
-func (m *colMatcher) match(row uint64) bool {
-	mr := m.v.MainRows()
-	if row < mr {
-		return m.mainOK[m.v.MainColumnAt(m.pred.Col).ValueID(row)]
-	}
-	d := m.v.DeltaColumnAt(m.pred.Col)
-	id := d.ValueID(row - mr)
-	if v, ok := m.deltaOK[id]; ok {
-		return v > 0
-	}
-	ok := m.pred.Op.matches(bytes.Compare(d.DictKey(id), m.key))
-	if ok {
-		m.deltaOK[id] = 1
-	} else {
-		m.deltaOK[id] = -1
-	}
-	return ok
 }
 
 // Select returns the row IDs visible to tx that satisfy all preds.
 // A single equality predicate on an indexed column uses the index;
 // everything else is a dictionary-accelerated scan.
 func Select(tx *txn.Txn, tbl *storage.Table, preds ...Pred) []uint64 {
-	tx.PinEpoch(tbl)
-	v := tbl.View()
-	var out []uint64
-	if len(preds) == 1 && preds[0].Op == Eq && tbl.Indexed(preds[0].Col) {
-		key := preds[0].Val.EncodeKey(nil)
-		if v.LookupRows(preds[0].Col, key, func(row uint64) bool {
-			if tx.SeesIn(v, tbl, row) {
-				out = append(out, row)
-			}
-			return true
-		}) {
-			return out
-		}
-	}
-	matchers := make([]*colMatcher, len(preds))
-	for i, p := range preds {
-		matchers[i] = newColMatcher(v, p)
-	}
-	v.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
-		if !tx.SeesIn(v, tbl, row) {
-			return true
-		}
-		for _, m := range matchers {
-			if !m.match(row) {
-				return true
-			}
-		}
-		out = append(out, row)
-		return true
-	})
-	return out
+	rows, err := exec.Serial.Select(context.Background(), tx, tbl, preds...)
+	must(err)
+	return rows
 }
 
 // SelectRange returns rows visible to tx whose column col falls in
 // [lo, hi) — resolved through the sorted main dictionary and the index
 // when available.
 func SelectRange(tx *txn.Txn, tbl *storage.Table, col int, lo, hi storage.Value) []uint64 {
-	tx.PinEpoch(tbl)
-	loK, hiK := lo.EncodeKey(nil), hi.EncodeKey(nil)
-	v := tbl.View()
-	var out []uint64
-	if v.LookupRowsInRange(col, loK, hiK, func(row uint64) bool {
-		if tx.SeesIn(v, tbl, row) {
-			out = append(out, row)
-		}
-		return true
-	}) {
-		return out
-	}
-	return Select(tx, tbl, Pred{Col: col, Op: Ge, Val: lo}, Pred{Col: col, Op: Lt, Val: hi})
+	rows, err := exec.Serial.SelectRange(context.Background(), tx, tbl, col, lo, hi)
+	must(err)
+	return rows
 }
 
 // Count returns the number of rows visible to tx satisfying preds.
 func Count(tx *txn.Txn, tbl *storage.Table, preds ...Pred) int {
-	return len(Select(tx, tbl, preds...))
+	n, err := exec.Serial.Count(context.Background(), tx, tbl, preds...)
+	must(err)
+	return n
+}
+
+// ScanAll returns all rows visible to tx — Select with no predicates.
+func ScanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	return Select(tx, tbl)
+}
+
+// GroupBy aggregates all rows visible to tx, grouped by groupCol and
+// summing aggCol (pass aggCol < 0 for count-only). Results are ordered
+// by group key.
+func GroupBy(tx *txn.Txn, tbl *storage.Table, groupCol, aggCol int) []Group {
+	groups, err := exec.Serial.GroupBy(context.Background(), tx, tbl, groupCol, aggCol)
+	must(err)
+	return groups
+}
+
+// TopK returns the k groups with the largest Sum (ties broken by key
+// order), from a GroupBy result.
+func TopK(groups []Group, k int) []Group { return exec.TopK(groups, k) }
+
+// HashJoin computes the inner equi-join left.leftCol = right.rightCol
+// over the rows visible to tx. The join columns must have the same type.
+func HashJoin(tx *txn.Txn, left *storage.Table, leftCol int, right *storage.Table, rightCol int) ([]JoinPair, error) {
+	return exec.Serial.HashJoin(context.Background(), tx, left, leftCol, right, rightCol)
 }
 
 // SumInt sums an int64 column over the given rows (which must come from
@@ -192,19 +139,5 @@ func Project(tbl *storage.Table, rows []uint64, cols ...int) [][]storage.Value {
 		}
 		out[i] = vals
 	}
-	return out
-}
-
-// ScanAll returns all rows visible to tx (a full table scan).
-func ScanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
-	tx.PinEpoch(tbl)
-	v := tbl.View()
-	var out []uint64
-	v.ScanVisible(tx.SnapshotCID(), tx.TID(), func(row uint64) bool {
-		if tx.SeesIn(v, tbl, row) {
-			out = append(out, row)
-		}
-		return true
-	})
 	return out
 }

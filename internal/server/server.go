@@ -25,6 +25,7 @@ import (
 
 	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/core"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
@@ -527,19 +528,25 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if code != 0 {
 			return 0, nil, code, msg
 		}
-		preds := make([]query.Pred, len(req.Preds))
+		preds := make([]exec.Pred, len(req.Preds))
 		for i, p := range req.Preds {
 			ci := tbl.Schema.ColIndex(p.Col)
 			if ci < 0 {
 				return 0, nil, wire.CodeBadColumn, fmt.Sprintf("no column %q in table %q", p.Col, req.Table)
 			}
-			preds[i] = query.Pred{Col: ci, Op: query.Op(p.Op), Val: p.Val}
+			preds[i] = exec.Pred{Col: ci, Op: exec.Op(p.Op), Val: p.Val}
 		}
 		if f.Type == wire.TypeCount {
-			n := query.Count(tx, tbl, preds...)
+			n, err := c.srv.eng.Exec().Count(ctx, tx, tbl, preds...)
+			if err != nil {
+				return 0, nil, errCode(err), err.Error()
+			}
 			return wire.TypeCountOK, wire.CountResp{N: uint64(n)}.Encode(), 0, ""
 		}
-		rows := query.Select(tx, tbl, preds...)
+		rows, err := c.srv.eng.Exec().Select(ctx, tx, tbl, preds...)
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
 		return wire.TypeRowIDs, wire.RowIDsResp{Rows: rows}.Encode(), 0, ""
 
 	case wire.TypeRange:
@@ -555,7 +562,10 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if ci < 0 {
 			return 0, nil, wire.CodeBadColumn, fmt.Sprintf("no column %q in table %q", req.Col, req.Table)
 		}
-		rows := query.SelectRange(tx, tbl, ci, req.Lo, req.Hi)
+		rows, err := c.srv.eng.Exec().SelectRange(ctx, tx, tbl, ci, req.Lo, req.Hi)
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
+		}
 		return wire.TypeRowIDs, wire.RowIDsResp{Rows: rows}.Encode(), 0, ""
 
 	case wire.TypeCreateTable:
@@ -662,6 +672,12 @@ func (c *conn) readTxnTable(txid uint64, table string) (*txn.Txn, *storage.Table
 // errCode maps engine errors to protocol error codes.
 func errCode(err error) uint16 {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return wire.CodeDeadline
+	case errors.Is(err, exec.ErrBadColumn):
+		return wire.CodeBadColumn
+	case errors.Is(err, exec.ErrBadValue):
+		return wire.CodeBadRequest
 	case errors.Is(err, txn.ErrConflict):
 		return wire.CodeConflict
 	case errors.Is(err, txn.ErrNotActive):

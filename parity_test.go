@@ -1,0 +1,348 @@
+package hyrisenv_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hyrisenv"
+	"hyrisenv/client"
+	"hyrisenv/internal/exec"
+)
+
+// TestQueryParity is the executor's end-to-end contract: for randomized
+// predicates over a randomized table, serial execution (Parallelism=1),
+// morsel-parallel execution, and execution through the network server
+// return identical results — while concurrent writers keep committing.
+// All three paths read the same BeginAt snapshot, so any divergence is
+// an executor bug, not timing.
+func TestQueryParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+
+	db, err := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.Volatile, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	cats := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	tbl, err := db.CreateTable("events", []hyrisenv.Column{
+		{Name: "id", Type: hyrisenv.Int64},
+		{Name: "cat", Type: hyrisenv.String},
+		{Name: "num", Type: hyrisenv.Float64},
+	}, "id", "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Randomized load: inserts with occasional updates and deletes, a
+	// merge partway through so rows span main and delta.
+	const seedRows = 6000
+	nextID := int64(0)
+	insertBatch := func(tx *hyrisenv.Tx, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := tx.Insert(tbl,
+				hyrisenv.Int(nextID),
+				hyrisenv.Str(cats[rng.Intn(len(cats))]),
+				hyrisenv.Float(math.Floor(rng.Float64()*100000)/100),
+			); err != nil {
+				t.Fatal(err)
+			}
+			nextID++
+		}
+	}
+	for done := 0; done < seedRows; done += 500 {
+		tx := db.Begin()
+		insertBatch(tx, 500)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if done == seedRows/2 {
+			if err := db.Merge("events"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mut := db.Begin()
+	for i := 0; i < 300; i++ {
+		rows, err := mut.SelectContext(context.Background(), tbl,
+			hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(rng.Int63n(seedRows))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if i%3 == 0 {
+			if err := mut.Delete(tbl, rows[0]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := mut.Update(tbl, rows[0],
+				hyrisenv.Int(rng.Int63n(seedRows)),
+				hyrisenv.Str(cats[rng.Intn(len(cats))]),
+				hyrisenv.Float(float64(rng.Intn(1000))),
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := mut.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The network path: same engine, served over TCP.
+	srv, err := db.Serve("127.0.0.1:0", hyrisenv.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Concurrent writers keep committing while the parity queries run;
+	// snapshot isolation must keep all three paths agreeing anyway.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(w)))
+			id := int64(1_000_000 * (w + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin()
+				for i := 0; i < 20; i++ {
+					if _, err := tx.Insert(tbl,
+						hyrisenv.Int(id),
+						hyrisenv.Str(cats[wrng.Intn(len(cats))]),
+						hyrisenv.Float(float64(wrng.Intn(1000))),
+					); err != nil {
+						t.Error(err)
+						return
+					}
+					id++
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	serial := exec.New(1)
+	ctx := context.Background()
+	cols := []string{"id", "cat", "num"}
+	ops := []hyrisenv.Op{hyrisenv.Eq, hyrisenv.Ne, hyrisenv.Lt, hyrisenv.Le, hyrisenv.Gt, hyrisenv.Ge}
+	randPred := func() hyrisenv.Pred {
+		ci := rng.Intn(len(cols))
+		var v hyrisenv.Value
+		switch ci {
+		case 0:
+			v = hyrisenv.Int(rng.Int63n(seedRows))
+		case 1:
+			v = hyrisenv.Str(cats[rng.Intn(len(cats))])
+		default:
+			v = hyrisenv.Float(float64(rng.Intn(1000)))
+		}
+		return hyrisenv.Pred{Col: cols[ci], Op: ops[rng.Intn(len(ops))], Val: v}
+	}
+	toExec := func(ps []hyrisenv.Pred) []exec.Pred {
+		out := make([]exec.Pred, len(ps))
+		for i, p := range ps {
+			ci := 0
+			for j, name := range cols {
+				if name == p.Col {
+					ci = j
+				}
+			}
+			out[i] = exec.Pred{Col: ci, Op: p.Op, Val: p.Val}
+		}
+		return out
+	}
+	eqRows := func(label string, a, b []uint64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", label, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: row[%d] %d vs %d", label, i, a[i], b[i])
+			}
+		}
+	}
+
+	for iter := 0; iter < 40; iter++ {
+		// All three paths pin the same commit horizon.
+		cid := db.LastCommitID()
+		local := db.BeginAt(cid)      // parallel: the db's par=4 executor
+		remote, err := c.BeginAt(cid) // network: the server's handlers
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("iter %d (cid %d)", iter, cid)
+
+		preds := []hyrisenv.Pred{randPred()}
+		if rng.Intn(2) == 0 {
+			preds = append(preds, randPred())
+		}
+
+		serRows, err := serial.Select(ctx, local.Internal(), tbl.Internal(), toExec(preds)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRows, err := local.SelectContext(ctx, tbl, preds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netRows, err := remote.SelectContext(ctx, "events", preds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqRows(label+" select serial/parallel", serRows, parRows)
+		eqRows(label+" select parallel/network", parRows, netRows)
+
+		serN, err := serial.Count(ctx, local.Internal(), tbl.Internal(), toExec(preds)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parN, err := local.CountContext(ctx, tbl, preds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netN, err := remote.CountContext(ctx, "events", preds...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serN != parN || parN != netN || parN != len(parRows) {
+			t.Fatalf("%s count: serial %d parallel %d network %d (select %d)",
+				label, serN, parN, netN, len(parRows))
+		}
+
+		lo, hi := rng.Int63n(seedRows), rng.Int63n(seedRows)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		serRows, err = serial.SelectRange(ctx, local.Internal(), tbl.Internal(), 0, hyrisenv.Int(lo), hyrisenv.Int(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRows, err = local.SelectRangeContext(ctx, tbl, "id", hyrisenv.Int(lo), hyrisenv.Int(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		netRows, err = remote.SelectRangeContext(ctx, "events", "id", hyrisenv.Int(lo), hyrisenv.Int(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqRows(label+" range serial/parallel", serRows, parRows)
+		eqRows(label+" range parallel/network", parRows, netRows)
+
+		// GroupBy parity (serial vs parallel; the wire protocol has no
+		// aggregate op). Counts are exact; float sums may differ at ulp
+		// scale across merge orders, so compare with a relative epsilon.
+		serG, err := serial.GroupBy(ctx, local.Internal(), tbl.Internal(), 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parG, err := local.GroupByContext(ctx, tbl, "cat", "num")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serG) != len(parG) {
+			t.Fatalf("%s groupby: %d vs %d groups", label, len(serG), len(parG))
+		}
+		for i := range serG {
+			s, p := serG[i], parG[i]
+			if s.Key != p.Key || s.Count != p.Count {
+				t.Fatalf("%s groupby[%d]: %+v vs %+v", label, i, s, p)
+			}
+			if diff := math.Abs(s.Sum - p.Sum); diff > 1e-6*math.Max(1, math.Abs(s.Sum)) {
+				t.Fatalf("%s groupby[%d] sum: %g vs %g", label, i, s.Sum, p.Sum)
+			}
+		}
+
+		if err := remote.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryParityNVM reruns a compact serial-vs-parallel parity check
+// on the NVM engine (quiescent: the simulated NVM heap is written with
+// plain stores, so the parity-under-writers half stays on the volatile
+// engine where vectors are atomic).
+func TestQueryParityNVM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db, err := hyrisenv.Open(hyrisenv.Config{
+		Mode: hyrisenv.NVM, Dir: t.TempDir(), NVMHeapSize: 256 << 20, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cats := []string{"x", "y", "z"}
+	tbl, err := db.CreateTable("events", []hyrisenv.Column{
+		{Name: "id", Type: hyrisenv.Int64},
+		{Name: "cat", Type: hyrisenv.String},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for done := 0; done < 3000; done += 500 {
+		tx := db.Begin()
+		for i := 0; i < 500; i++ {
+			if _, err := tx.Insert(tbl,
+				hyrisenv.Int(int64(done+i)), hyrisenv.Str(cats[rng.Intn(len(cats))])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if done == 1500 {
+			if err := db.Merge("events"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	serial := exec.New(1)
+	ctx := context.Background()
+	tx := db.Begin()
+	for iter := 0; iter < 10; iter++ {
+		pred := hyrisenv.Pred{Col: "cat", Op: hyrisenv.Ne, Val: hyrisenv.Str(cats[rng.Intn(len(cats))])}
+		want, err := serial.Select(ctx, tx.Internal(), tbl.Internal(),
+			exec.Pred{Col: 1, Op: pred.Op, Val: pred.Val})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tx.SelectContext(ctx, tbl, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d vs %d rows", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d row[%d]: %d vs %d", iter, i, got[i], want[i])
+			}
+		}
+	}
+}

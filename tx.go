@@ -1,19 +1,56 @@
 package hyrisenv
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/query"
 	"hyrisenv/internal/txn"
 )
 
+// ErrNoSuchColumn is returned by read methods naming a column the
+// table's schema does not have.
+var ErrNoSuchColumn = errors.New("hyrisenv: no such column")
+
+// ErrNoSuchRow is returned by RowContext for a physical row ID outside
+// the table.
+var ErrNoSuchRow = errors.New("hyrisenv: no such row")
+
 // Tx is a transaction. It reads a consistent snapshot taken at Begin and
 // buffers writes that become atomically visible — and durable, per the
 // database's mode — at Commit. A Tx is not safe for concurrent use.
+//
+// Read methods come in pairs: a context-aware canonical form
+// (SelectContext, CountContext, ...) that returns (result, error) and
+// cancels in-flight parallel scans when the context is cancelled, and a
+// deprecated legacy form (Select, Count, ...) kept for source
+// compatibility that swallows the error. The surface mirrors the
+// network client's Tx, so code moves between embedded and remote use
+// without reshaping.
 type Tx struct {
 	tx *txn.Txn
+	ex *exec.Executor
 }
 
 // Begin starts a transaction.
-func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin()} }
+func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin(), ex: db.eng.Exec()} }
+
+// BeginAt starts a read-only transaction reading the database as of a
+// historical commit ID — time travel over the insert-only MVCC versions
+// (available until a merge compacts the history away). Write operations
+// on the returned Tx fail.
+func (db *DB) BeginAt(cid uint64) *Tx {
+	return &Tx{tx: db.eng.Manager().BeginAt(cid), ex: db.eng.Exec()}
+}
+
+// LastCommitID returns the current commit horizon, usable with BeginAt.
+func (db *DB) LastCommitID() uint64 { return db.eng.Manager().LastCID() }
+
+// Internal exposes the transaction-layer handle to the sibling
+// benchmark, experiment and test code inside this module.
+func (tx *Tx) Internal() *txn.Txn { return tx.tx }
 
 // Insert appends a row and returns its physical row ID.
 func (tx *Tx) Insert(t *Table, vals ...Value) (uint64, error) {
@@ -41,16 +78,16 @@ func (tx *Tx) Abort() error { return tx.tx.Abort() }
 func (tx *Tx) Sees(t *Table, row uint64) bool { return tx.tx.Sees(t.t, row) }
 
 // Op is a predicate comparison operator.
-type Op = query.Op
+type Op = exec.Op
 
 // Predicate operators.
 const (
-	Eq = query.Eq
-	Ne = query.Ne
-	Lt = query.Lt
-	Le = query.Le
-	Gt = query.Gt
-	Ge = query.Ge
+	Eq = exec.Eq
+	Ne = exec.Ne
+	Lt = exec.Lt
+	Le = exec.Le
+	Gt = exec.Gt
+	Ge = exec.Ge
 )
 
 // Pred is a single-column predicate for Select.
@@ -60,84 +97,194 @@ type Pred struct {
 	Val Value
 }
 
-func (tx *Tx) preds(t *Table, ps []Pred) []query.Pred {
-	out := make([]query.Pred, len(ps))
-	for i, p := range ps {
-		out[i] = query.Pred{Col: t.t.Schema.ColIndex(p.Col), Op: p.Op, Val: p.Val}
+// colIndex resolves a column name against t's schema.
+func (t *Table) colIndex(name string) (int, error) {
+	ci := t.t.Schema.ColIndex(name)
+	if ci < 0 {
+		return 0, fmt.Errorf("%w: column %q in table %q", ErrNoSuchColumn, name, t.t.Name)
 	}
-	return out
+	return ci, nil
 }
 
-// Select returns the row IDs satisfying all predicates, using secondary
-// indexes where available.
-func (tx *Tx) Select(t *Table, preds ...Pred) []uint64 {
-	return query.Select(tx.tx, t.t, tx.preds(t, preds)...)
+// preds resolves predicate column names.
+func (t *Table) preds(ps []Pred) ([]exec.Pred, error) {
+	out := make([]exec.Pred, len(ps))
+	for i, p := range ps {
+		ci, err := t.colIndex(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = exec.Pred{Col: ci, Op: p.Op, Val: p.Val}
+	}
+	return out, nil
 }
 
-// SelectRange returns rows whose named column falls in [lo, hi).
-func (tx *Tx) SelectRange(t *Table, col string, lo, hi Value) []uint64 {
-	return query.SelectRange(tx.tx, t.t, t.t.Schema.ColIndex(col), lo, hi)
+// --- Canonical context-aware read API ----------------------------------------
+
+// SelectContext returns the row IDs satisfying all predicates, using
+// secondary indexes where available; other scans run morsel-parallel on
+// the database's executor (Config.Parallelism) and stop early when ctx
+// is cancelled.
+func (tx *Tx) SelectContext(ctx context.Context, t *Table, preds ...Pred) ([]uint64, error) {
+	qp, err := t.preds(preds)
+	if err != nil {
+		return nil, err
+	}
+	return tx.ex.Select(ctx, tx.tx, t.t, qp...)
 }
 
-// Count returns the number of rows satisfying all predicates.
-func (tx *Tx) Count(t *Table, preds ...Pred) int {
-	return query.Count(tx.tx, t.t, tx.preds(t, preds)...)
+// SelectRangeContext returns rows whose named column falls in [lo, hi).
+func (tx *Tx) SelectRangeContext(ctx context.Context, t *Table, col string, lo, hi Value) ([]uint64, error) {
+	ci, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	return tx.ex.SelectRange(ctx, tx.tx, t.t, ci, lo, hi)
 }
 
-// ScanAll returns every visible row ID.
-func (tx *Tx) ScanAll(t *Table) []uint64 {
-	return query.ScanAll(tx.tx, t.t)
+// CountContext returns the number of rows satisfying all predicates.
+func (tx *Tx) CountContext(ctx context.Context, t *Table, preds ...Pred) (int, error) {
+	qp, err := t.preds(preds)
+	if err != nil {
+		return 0, err
+	}
+	return tx.ex.Count(ctx, tx.tx, t.t, qp...)
 }
 
-// Row materializes all columns of a row.
-func (tx *Tx) Row(t *Table, row uint64) []Value {
+// ScanAllContext returns every visible row ID — SelectContext with no
+// predicates.
+func (tx *Tx) ScanAllContext(ctx context.Context, t *Table) ([]uint64, error) {
+	return tx.SelectContext(ctx, t)
+}
+
+// GroupByContext aggregates all visible rows grouped by column
+// groupCol, summing aggCol ("" = count only). Results are ordered by
+// group key.
+func (tx *Tx) GroupByContext(ctx context.Context, t *Table, groupCol, aggCol string) ([]Group, error) {
+	gi, err := t.colIndex(groupCol)
+	if err != nil {
+		return nil, err
+	}
+	agg := -1
+	if aggCol != "" {
+		if agg, err = t.colIndex(aggCol); err != nil {
+			return nil, err
+		}
+	}
+	return tx.ex.GroupBy(ctx, tx.tx, t.t, gi, agg)
+}
+
+// JoinContext computes the inner equi-join left.leftCol =
+// right.rightCol over the rows visible to the transaction. The build
+// side runs morsel-parallel.
+func (tx *Tx) JoinContext(ctx context.Context, left *Table, leftCol string, right *Table, rightCol string) ([]JoinPair, error) {
+	li, err := left.colIndex(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.colIndex(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	return tx.ex.HashJoin(ctx, tx.tx, left.t, li, right.t, ri)
+}
+
+// RowContext materializes all columns of a physical row.
+func (tx *Tx) RowContext(ctx context.Context, t *Table, row uint64) ([]Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if row >= t.t.Rows() {
+		return nil, fmt.Errorf("%w: row %d of table %q (%d rows)", ErrNoSuchRow, row, t.t.Name, t.t.Rows())
+	}
 	cols := make([]int, t.t.Schema.NumCols())
 	for i := range cols {
 		cols[i] = i
 	}
-	return query.Project(t.t, []uint64{row}, cols...)[0]
+	return query.Project(t.t, []uint64{row}, cols...)[0], nil
+}
+
+// --- Deprecated legacy read API ----------------------------------------------
+
+// Select returns the row IDs satisfying all predicates, or nil on an
+// unknown column.
+//
+// Deprecated: use SelectContext, which reports errors and honors
+// cancellation.
+func (tx *Tx) Select(t *Table, preds ...Pred) []uint64 {
+	rows, _ := tx.SelectContext(context.Background(), t, preds...)
+	return rows
+}
+
+// SelectRange returns rows whose named column falls in [lo, hi), or nil
+// on an unknown column.
+//
+// Deprecated: use SelectRangeContext.
+func (tx *Tx) SelectRange(t *Table, col string, lo, hi Value) []uint64 {
+	rows, _ := tx.SelectRangeContext(context.Background(), t, col, lo, hi)
+	return rows
+}
+
+// Count returns the number of rows satisfying all predicates, or 0 on
+// an unknown column.
+//
+// Deprecated: use CountContext.
+func (tx *Tx) Count(t *Table, preds ...Pred) int {
+	n, _ := tx.CountContext(context.Background(), t, preds...)
+	return n
+}
+
+// ScanAll returns every visible row ID.
+//
+// Deprecated: use ScanAllContext.
+func (tx *Tx) ScanAll(t *Table) []uint64 {
+	rows, _ := tx.ScanAllContext(context.Background(), t)
+	return rows
+}
+
+// Row materializes all columns of a row, or nil for a row ID outside
+// the table.
+//
+// Deprecated: use RowContext.
+func (tx *Tx) Row(t *Table, row uint64) []Value {
+	vals, _ := tx.RowContext(context.Background(), t, row)
+	return vals
 }
 
 // Group is one GROUP BY result row.
-type Group = query.Group
+type Group = exec.Group
 
 // GroupBy aggregates all visible rows grouped by column groupCol,
-// summing aggCol ("" = count only). Results are ordered by group key.
+// summing aggCol ("" = count only), or returns nil on an unknown
+// column. Results are ordered by group key.
+//
+// Deprecated: use GroupByContext.
 func (tx *Tx) GroupBy(t *Table, groupCol, aggCol string) []Group {
-	agg := -1
-	if aggCol != "" {
-		agg = t.t.Schema.ColIndex(aggCol)
-	}
-	return query.GroupBy(tx.tx, t.t, t.t.Schema.ColIndex(groupCol), agg)
+	groups, _ := tx.GroupByContext(context.Background(), t, groupCol, aggCol)
+	return groups
 }
 
 // TopK returns the k groups with the largest Sum.
-func TopK(groups []Group, k int) []Group { return query.TopK(groups, k) }
-
-// BeginAt starts a read-only transaction reading the database as of a
-// historical commit ID — time travel over the insert-only MVCC versions
-// (available until a merge compacts the history away). Write operations
-// on the returned Tx fail.
-func (db *DB) BeginAt(cid uint64) *Tx { return &Tx{tx: db.eng.Manager().BeginAt(cid)} }
-
-// LastCommitID returns the current commit horizon, usable with BeginAt.
-func (db *DB) LastCommitID() uint64 { return db.eng.Manager().LastCID() }
+func TopK(groups []Group, k int) []Group { return exec.TopK(groups, k) }
 
 // JoinPair couples row IDs of an equi-join result.
-type JoinPair = query.JoinPair
+type JoinPair = exec.JoinPair
 
 // Join computes the inner equi-join left.leftCol = right.rightCol over
 // the rows visible to the transaction.
 func (tx *Tx) Join(left *Table, leftCol string, right *Table, rightCol string) ([]JoinPair, error) {
-	return query.HashJoin(tx.tx,
-		left.t, left.t.Schema.ColIndex(leftCol),
-		right.t, right.t.Schema.ColIndex(rightCol))
+	return tx.JoinContext(context.Background(), left, leftCol, right, rightCol)
 }
 
 // OrderBy sorts the row IDs by the named column (in place) using the
-// order-preserving dictionary encoding; desc reverses.
+// order-preserving dictionary encoding; desc reverses. It returns nil
+// for an unknown column.
 func (tx *Tx) OrderBy(t *Table, rows []uint64, col string, desc bool) []uint64 {
-	return query.OrderBy(t.t, rows, t.t.Schema.ColIndex(col), desc)
+	ci, err := t.colIndex(col)
+	if err != nil {
+		return nil
+	}
+	return query.OrderBy(t.t, rows, ci, desc)
 }
 
 // Limit returns at most n of rows starting at offset.
