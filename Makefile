@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck test race fuzz-smoke crashmatrix benchscan
+.PHONY: check fmt vet nvmcheck nvmcheck-stats test race fuzz-smoke crashmatrix benchscan
 
 check: fmt vet nvmcheck race
 
@@ -17,10 +17,18 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own static-analysis suite (see internal/analysis): runs its
-# unit tests first so a broken analyzer cannot vacuously pass the repo.
+# unit tests first (under -race — the driver runs analyzers on packages
+# concurrently) so a broken analyzer cannot vacuously pass the repo,
+# then the suite itself, then the suppression self-check that rejects
+# reasonless //nvmcheck:ignore comments anywhere, fixtures included.
 nvmcheck:
-	$(GO) test ./internal/analysis/...
+	$(GO) test -race ./internal/analysis/...
 	$(GO) run ./cmd/nvmcheck ./...
+	$(GO) run ./cmd/nvmcheck -selfcheck ./...
+
+# Per-analyzer finding and suppression counts, to keep waiver debt visible.
+nvmcheck-stats:
+	$(GO) run ./cmd/nvmcheck -stats ./...
 
 test:
 	$(GO) test ./...

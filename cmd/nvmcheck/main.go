@@ -1,10 +1,11 @@
-// Command nvmcheck runs the repo's static-analysis suite: four
-// analyzers that enforce the NVM crash-consistency discipline and the
-// network-protocol hygiene rules at compile time.
+// Command nvmcheck runs the repo's static-analysis suite: six analyzers
+// that enforce the NVM crash-consistency discipline, the concurrency
+// discipline around it, and the network-protocol hygiene rules at
+// compile time.
 //
 // Usage:
 //
-//	go run ./cmd/nvmcheck [packages]
+//	go run ./cmd/nvmcheck [-l] [-stats] [-selfcheck] [packages]
 //
 // With no arguments it checks ./... . Diagnostics print one per line as
 // file:line:col: message [analyzer]; the exit status is 1 when any
@@ -15,7 +16,14 @@
 //
 // persistcheck additionally honors a function-level
 // //nvm:nopersist <reason> annotation for functions whose contract is
-// that the caller persists.
+// that the caller persists — and reports the annotation itself when the
+// flow analysis proves it unnecessary.
+//
+// -stats prints a per-analyzer table of raised findings and reasoned
+// suppressions, so suppression debt stays visible. -selfcheck scans
+// every package — including the analysis framework, which the regular
+// run exempts — for //nvmcheck:ignore comments lacking the mandatory
+// reason, and fails if any exist.
 package main
 
 import (
@@ -25,15 +33,20 @@ import (
 
 	"hyrisenv/internal/analysis"
 	"hyrisenv/internal/analysis/deadlinecheck"
+	"hyrisenv/internal/analysis/lockcheck"
 	"hyrisenv/internal/analysis/persistcheck"
 	"hyrisenv/internal/analysis/pptrcheck"
+	"hyrisenv/internal/analysis/sharecheck"
 	"hyrisenv/internal/analysis/wirecodecheck"
 )
 
 // Suite is the full analyzer suite, in the order findings are most
-// useful to read: durability first, then aliasing, then protocol.
+// useful to read: durability first, then concurrency, then aliasing,
+// then protocol.
 var Suite = []*analysis.Analyzer{
 	persistcheck.Analyzer,
+	lockcheck.Analyzer,
+	sharecheck.Analyzer,
 	pptrcheck.Analyzer,
 	wirecodecheck.Analyzer,
 	deadlinecheck.Analyzer,
@@ -41,8 +54,10 @@ var Suite = []*analysis.Analyzer{
 
 func main() {
 	list := flag.Bool("l", false, "list the analyzers in the suite and exit")
+	stats := flag.Bool("stats", false, "print per-analyzer finding and suppression counts")
+	selfcheck := flag.Bool("selfcheck", false, "fail on //nvmcheck:ignore comments without a reason, everywhere (including the analysis framework)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [-stats] [-selfcheck] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +75,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nvmcheck:", err)
 		os.Exit(2)
 	}
+
+	if *selfcheck {
+		diags := analysis.ReasonlessSuppressions(pkgs)
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "nvmcheck: %d reasonless suppression(s)\n", len(diags))
+			os.Exit(1)
+		}
+		return
+	}
+
 	// The analysis framework and its fixtures exercise the rules
 	// deliberately; checking them would flag the fixture bugs.
 	var targets []*analysis.Package
@@ -69,16 +97,22 @@ func main() {
 		}
 		targets = append(targets, p)
 	}
-	diags, err := analysis.Run(targets, Suite)
+	res, err := analysis.RunDetailed(targets, Suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvmcheck:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "nvmcheck: %d finding(s)\n", len(diags))
+	if *stats {
+		fmt.Printf("%-14s %9s %10s\n", "analyzer", "findings", "suppressed")
+		for _, a := range Suite {
+			fmt.Printf("%-14s %9d %10d\n", a.Name, res.Raw[a.Name], res.Suppressed[a.Name])
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nvmcheck: %d finding(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
 }

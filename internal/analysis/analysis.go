@@ -80,7 +80,36 @@ func (d Diagnostic) String() string {
 // //nvmcheck:ignore comment are dropped; suppressions lacking a reason
 // are converted into diagnostics themselves.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var all []Diagnostic
+	res, err := RunDetailed(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// A Result carries the surviving diagnostics of one run together with
+// per-analyzer accounting: how many findings each analyzer raised and
+// how many of those a reasoned //nvmcheck:ignore comment absorbed.
+type Result struct {
+	Diags []Diagnostic
+	// Raw counts every finding an analyzer raised, before suppression
+	// filtering.
+	Raw map[string]int
+	// Suppressed counts the findings dropped by reasoned suppressions;
+	// Raw[a] - Suppressed[a] findings of analyzer a survived.
+	Suppressed map[string]int
+}
+
+// RunDetailed is Run with per-analyzer finding and suppression counts.
+func RunDetailed(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{
+		Raw:        map[string]int{},
+		Suppressed: map[string]int{},
+	}
+	for _, a := range analyzers {
+		res.Raw[a.Name] = 0
+		res.Suppressed[a.Name] = 0
+	}
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		var raw []Diagnostic
@@ -97,9 +126,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
-		all = append(all, sup.filter(raw)...)
-		all = append(all, sup.malformed...)
+		kept := sup.filter(raw)
+		for _, d := range raw {
+			res.Raw[d.Analyzer]++
+			res.Suppressed[d.Analyzer]++
+		}
+		for _, d := range kept {
+			res.Suppressed[d.Analyzer]--
+		}
+		res.Diags = append(res.Diags, kept...)
+		res.Diags = append(res.Diags, sup.malformed...)
 	}
+	all := res.Diags
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
 		if a.Filename != b.Filename {
@@ -110,7 +148,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return all[i].Message < all[j].Message
 	})
-	return all, nil
+	return res, nil
+}
+
+// ReasonlessSuppressions scans every package — including ones excluded
+// from regular analysis, such as the framework itself — and returns a
+// diagnostic for each //nvmcheck:ignore comment lacking the mandatory
+// reason. The nvmcheck -selfcheck mode fails the build on these.
+func ReasonlessSuppressions(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, collectSuppressions(pkg).malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // ---------------------------------------------------------------------------

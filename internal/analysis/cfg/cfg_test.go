@@ -1,0 +1,415 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its graph.
+func build(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body), fset
+}
+
+// golden asserts the formatted graph matches want (both trimmed).
+func golden(t *testing.T, body, want string) {
+	t.Helper()
+	g, fset := build(t, body)
+	got := strings.TrimSpace(g.Format(fset))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	checkInvariants(t, g)
+}
+
+// checkInvariants asserts the structural invariants every finished
+// graph must satisfy: all blocks reachable from Entry (bar Exit),
+// consistent pred/succ lists, and a well-formed dominator tree.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	reach := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if b != g.Exit && !reach[b] {
+			t.Errorf("block b%d (%s) unreachable from entry", b.Index, b.Kind)
+		}
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge b%d->b%d missing from preds", b.Index, s.Index)
+			}
+		}
+	}
+	// The idom relation must be acyclic: walking idom pointers from any
+	// block terminates at Entry.
+	idom := g.Dominators()
+	for b := range idom {
+		seen := map[*Block]bool{}
+		cur := b
+		for cur != g.Entry {
+			if seen[cur] {
+				t.Fatalf("idom cycle at b%d", cur.Index)
+			}
+			seen[cur] = true
+			next, ok := idom[cur]
+			if !ok {
+				t.Fatalf("b%d has no idom and is not entry", cur.Index)
+			}
+			cur = next
+		}
+	}
+}
+
+func TestIfElseShortCircuit(t *testing.T) {
+	golden(t, `
+if a() && b() {
+	x()
+} else {
+	y()
+}
+z()`, `
+b0 entry -> b4 b3
+	a()
+b1 if.then -> b2
+	x()
+b2 if.done -> b5
+	z()
+	return
+b3 if.else -> b2
+	y()
+b4 cond.and -> b1 b3
+	b()
+b5 exit
+`)
+}
+
+func TestOrNotCondition(t *testing.T) {
+	golden(t, `
+if !a() || b() {
+	x()
+}`, `
+b0 entry -> b3 b1
+	a()
+b1 if.then -> b2
+	x()
+b2 if.done -> b4
+	return
+b3 cond.or -> b1 b2
+	b()
+b4 exit
+`)
+}
+
+func TestForBreakContinue(t *testing.T) {
+	golden(t, `
+for i := 0; i < n; i++ {
+	if skip() {
+		continue
+	}
+	if stop() {
+		break
+	}
+	work()
+}
+done()`, `
+b0 entry -> b1
+	i := 0
+b1 for.head -> b2 b3
+	i < n
+b2 for.body -> b5 b6
+	skip()
+b3 for.done -> b9
+	done()
+	return
+b4 for.post -> b1
+	i++
+b5 if.then -> b4
+	continue
+b6 if.done -> b7 b8
+	stop()
+b7 if.then -> b3
+	break
+b8 if.done -> b4
+	work()
+b9 exit
+`)
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	golden(t, `
+outer:
+for {
+	for j := range xs {
+		if a() {
+			continue outer
+		}
+		if b() {
+			break outer
+		}
+		use(j)
+	}
+}
+end()`, `
+b0 entry -> b1
+b1 label.outer -> b2
+b2 for.head -> b3
+b3 for.body -> b5
+	xs
+b4 for.done -> b12
+	end()
+	return
+b5 range.head -> b6 b7
+b6 range.body -> b8 b9
+	a()
+b7 range.done -> b2
+b8 if.then -> b2
+	continue outer
+b9 if.done -> b10 b11
+	b()
+b10 if.then -> b4
+	break outer
+b11 if.done -> b5
+	use(j)
+b12 exit
+`)
+}
+
+func TestSwitchFallthroughDefault(t *testing.T) {
+	golden(t, `
+switch tag() {
+case 1:
+	one()
+	fallthrough
+case 2:
+	two()
+default:
+	other()
+}
+after()`, `
+b0 entry -> b2 b3 b4
+	tag()
+b1 switch.done -> b5
+	after()
+	return
+b2 switch.case -> b3
+	1
+	one()
+	fallthrough
+b3 switch.case -> b1
+	2
+	two()
+b4 switch.default -> b1
+	other()
+b5 exit
+`)
+}
+
+func TestSwitchNoDefaultBypass(t *testing.T) {
+	golden(t, `
+switch x {
+case 1:
+	one()
+}
+after()`, `
+b0 entry -> b2 b1
+	x
+b1 switch.done -> b3
+	after()
+	return
+b2 switch.case -> b1
+	1
+	one()
+b3 exit
+`)
+}
+
+func TestSelect(t *testing.T) {
+	golden(t, `
+select {
+case v := <-ch:
+	use(v)
+case out <- 1:
+	sent()
+}
+after()`, `
+b0 entry -> b2 b3
+b1 select.done -> b4
+	after()
+	return
+b2 select.comm -> b1
+	v := <-ch
+	use(v)
+b3 select.comm -> b1
+	out <- 1
+	sent()
+b4 exit
+`)
+}
+
+func TestSelectNoCasesBlocksForever(t *testing.T) {
+	g, _ := build(t, `
+x()
+select {}
+never()`)
+	checkInvariants(t, g)
+	// Code after select{} must be unreachable: no path reaches exit.
+	if len(g.Exit.Preds) != 0 {
+		t.Errorf("exit has %d preds, want 0 (select{} never proceeds)", len(g.Exit.Preds))
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(fmt.Sprint(n), "never") {
+				t.Errorf("unreachable call retained in reachable block b%d", b.Index)
+			}
+		}
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	golden(t, `
+start:
+	a()
+	if c() {
+		goto end
+	}
+	b()
+	goto start
+end:
+	z()`, `
+b0 entry -> b1
+b1 label.start -> b2 b3
+	a()
+	c()
+b2 if.then -> b4
+	goto end
+b3 if.done -> b1
+	b()
+	goto start
+b4 label.end -> b5
+	z()
+	return
+b5 exit
+`)
+}
+
+func TestDeferRecordedAndReturn(t *testing.T) {
+	g, _ := build(t, `
+defer cleanup()
+if c {
+	return
+}
+work()`)
+	checkInvariants(t, g)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	// Both the explicit return and the implicit fall-off-the-end return
+	// must edge to exit.
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit has %d preds, want 2", len(g.Exit.Preds))
+	}
+	// Every path into exit ends in a ReturnStmt node.
+	for _, p := range g.Exit.Preds {
+		if len(p.Nodes) == 0 {
+			t.Fatalf("exit pred b%d has no nodes", p.Index)
+		}
+		if _, ok := p.Nodes[len(p.Nodes)-1].(*ast.ReturnStmt); !ok {
+			t.Errorf("exit pred b%d does not end in a return", p.Index)
+		}
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g, _ := build(t, `
+if bad {
+	panic("boom")
+}
+ok()`)
+	checkInvariants(t, g)
+	// The panic path must not reach exit: only the fall-through return.
+	if len(g.Exit.Preds) != 1 {
+		t.Errorf("exit has %d preds, want 1 (panic is not a return)", len(g.Exit.Preds))
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	golden(t, `
+for _, v := range items() {
+	use(v)
+}`, `
+b0 entry -> b1
+	items()
+b1 range.head -> b2 b3
+b2 range.body -> b1
+	use(v)
+b3 range.done -> b4
+	return
+b4 exit
+`)
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g, _ := build(t, `
+switch v := x.(type) {
+case int:
+	useInt(v)
+case string:
+	useString(v)
+}
+after()`)
+	checkInvariants(t, g)
+	// Each case block starts with the assign node.
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases++
+			if len(b.Nodes) == 0 {
+				t.Fatalf("case block b%d empty", b.Index)
+			}
+			if _, ok := b.Nodes[0].(*ast.AssignStmt); !ok {
+				t.Errorf("case block b%d does not start with the type-switch assign", b.Index)
+			}
+		}
+	}
+	if cases != 2 {
+		t.Errorf("got %d case blocks, want 2", cases)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g, _ := build(t, `
+for {
+	spin()
+}`)
+	checkInvariants(t, g)
+	if len(g.Exit.Preds) != 0 {
+		t.Errorf("exit reachable out of an infinite loop")
+	}
+}

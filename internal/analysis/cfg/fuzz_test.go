@@ -1,0 +1,116 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzCFG feeds arbitrary function bodies to the builder and asserts
+// the structural invariants of every graph it produces: the builder
+// must not panic on any parseable input (even semantically broken
+// code — goto to a missing label, break outside a loop), every
+// retained block must be reachable from the entry, pred/succ lists
+// must agree, and the dominance relation must be acyclic (walking
+// immediate dominators from any block terminates at the entry).
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		`x := 1`,
+		`if a && b { f() } else { g() }`,
+		`for i := 0; i < n; i++ { if c { continue }; if d { break }; w() }`,
+		`outer: for { for range xs { continue outer } }`,
+		`switch x { case 1: f(); fallthrough; case 2: g(); default: h() }`,
+		`select { case <-a: f() case b <- 1: g() default: h() }`,
+		`L: a(); goto L`,
+		`goto missing`,
+		`break`,
+		`fallthrough`,
+		`defer f(); if c { return }; g()`,
+		`switch v := x.(type) { case int: f(v) }`,
+		`for { }`,
+		`select {}`,
+		`if a { panic("x") }; f()`,
+		`for a || b { if !c { return } }`,
+		`x: switch y { case 1: break x }`,
+		`go func() { f() }()`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		if len(body) > 4096 {
+			return
+		}
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			return
+		}
+		fn, ok := file.Decls[0].(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return
+		}
+		g := New(fn.Body)
+
+		// Connectivity: every block but Exit reachable from Entry.
+		reach := map[*Block]bool{g.Entry: true}
+		work := []*Block{g.Entry}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range b.Succs {
+				if !reach[s] {
+					reach[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+		for _, b := range g.Blocks {
+			if b != g.Exit && !reach[b] {
+				t.Fatalf("unreachable block b%d (%s) retained\n%s", b.Index, b.Kind, g.Format(fset))
+			}
+			for _, s := range b.Succs {
+				ok := false
+				for _, p := range s.Preds {
+					if p == b {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("edge b%d->b%d missing from preds", b.Index, s.Index)
+				}
+			}
+			for _, p := range b.Preds {
+				ok := false
+				for _, s := range p.Succs {
+					if s == b {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("pred b%d of b%d has no matching succ", p.Index, b.Index)
+				}
+			}
+		}
+
+		// Dominance must be acyclic and rooted at Entry.
+		idom := g.Dominators()
+		for b := range idom {
+			seen := map[*Block]bool{}
+			cur := b
+			for cur != g.Entry {
+				if seen[cur] {
+					t.Fatalf("idom cycle at b%d\n%s", cur.Index, g.Format(fset))
+				}
+				seen[cur] = true
+				next, ok := idom[cur]
+				if !ok {
+					t.Fatalf("b%d has no idom and is not entry", cur.Index)
+				}
+				cur = next
+			}
+		}
+	})
+}

@@ -1,0 +1,115 @@
+// Package dataflow runs forward dataflow analyses over the graphs of
+// package cfg. It is deliberately tiny: a lattice (bottom, join,
+// equality), a per-node transfer function, and a worklist loop that
+// iterates blocks in reverse postorder until a fixpoint. May-analyses
+// (join = union) and must-analyses (join = intersection) both fit; the
+// framework never interprets the fact type.
+//
+// Facts are treated as immutable values: Transfer and Join must return
+// fresh values (or share substructure safely) rather than mutate their
+// inputs, because the same in-fact is joined into several successors.
+package dataflow
+
+import (
+	"go/ast"
+
+	"hyrisenv/internal/analysis/cfg"
+)
+
+// A Lattice describes the fact domain of one analysis.
+type Lattice[F any] struct {
+	// Bottom is the "no information yet" element every block starts
+	// from; it must be the identity of Join.
+	Bottom func() F
+	// Join combines the facts of two predecessors at a merge point.
+	Join func(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// fixpoint loop stops when no block's in-fact changes.
+	Equal func(a, b F) bool
+}
+
+// Result maps each block to the fact holding at its entry. Use
+// NodeFacts (or apply the transfer manually) to recover the fact in
+// front of an individual node.
+type Result[F any] struct {
+	In       map[*cfg.Block]F
+	lat      Lattice[F]
+	transfer func(n ast.Node, in F) F
+}
+
+// Forward runs a forward analysis over g to fixpoint. boundary is the
+// fact at function entry; transfer applies one block node to a fact.
+// The returned Result holds the converged entry fact of every
+// reachable block.
+func Forward[F any](g *cfg.Graph, lat Lattice[F], boundary F, transfer func(n ast.Node, in F) F) *Result[F] {
+	res := &Result[F]{
+		In:       map[*cfg.Block]F{},
+		lat:      lat,
+		transfer: transfer,
+	}
+	rpo := g.ReversePostorder()
+	pos := map[*cfg.Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	for _, b := range rpo {
+		res.In[b] = lat.Bottom()
+	}
+	res.In[g.Entry] = boundary
+
+	// Worklist seeded in RPO order; a block re-enters when a
+	// predecessor's out-fact changed its in-fact.
+	inList := map[*cfg.Block]bool{}
+	work := make([]*cfg.Block, len(rpo))
+	copy(work, rpo)
+	for _, b := range rpo {
+		inList[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inList[b] = false
+
+		out := res.outOf(b)
+		for _, s := range b.Succs {
+			joined := lat.Join(res.In[s], out)
+			if s == g.Entry {
+				// A back edge to the entry re-joins the boundary.
+				joined = lat.Join(joined, boundary)
+			}
+			if !lat.Equal(joined, res.In[s]) {
+				res.In[s] = joined
+				if !inList[s] {
+					inList[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// outOf folds the block's nodes over its in-fact.
+func (r *Result[F]) outOf(b *cfg.Block) F {
+	f := r.In[b]
+	for _, n := range b.Nodes {
+		f = r.transfer(n, f)
+	}
+	return f
+}
+
+// NodeFacts calls visit for every node of every block with the fact
+// holding immediately before that node — the reporting pass of an
+// analyzer.
+func (r *Result[F]) NodeFacts(g *cfg.Graph, visit func(n ast.Node, before F)) {
+	for _, b := range g.Blocks {
+		f, ok := r.In[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			visit(n, f)
+			f = r.transfer(n, f)
+		}
+	}
+}

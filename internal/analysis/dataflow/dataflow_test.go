@@ -1,0 +1,155 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"hyrisenv/internal/analysis/cfg"
+)
+
+// reachingCalls is a toy may-analysis: the set of function names called
+// so far on some path. It exercises join-at-merge and loop back edges.
+func reachingCalls(t *testing.T, body string) (*Result[map[string]bool], *cfg.Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", "package p\nfunc f() {\n"+body+"\n}\n", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+	lat := Lattice[map[string]bool]{
+		Bottom: func() map[string]bool { return nil },
+		Join: func(a, b map[string]bool) map[string]bool {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := map[string]bool{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	transfer := func(n ast.Node, in map[string]bool) map[string]bool {
+		var name string
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					name = id.Name
+				}
+			}
+			return true
+		})
+		if name == "" {
+			return in
+		}
+		out := map[string]bool{name: true}
+		for k := range in {
+			out[k] = true
+		}
+		return out
+	}
+	return Forward(g, lat, map[string]bool{}, transfer), g
+}
+
+func exitFact(res *Result[map[string]bool], g *cfg.Graph) map[string]bool {
+	return res.In[g.Exit]
+}
+
+func TestJoinAtMerge(t *testing.T) {
+	res, g := reachingCalls(t, `
+if c {
+	a()
+} else {
+	b()
+}`)
+	at := exitFact(res, g)
+	if !at["a"] || !at["b"] {
+		t.Errorf("exit fact %v, want both a and b reachable (may-analysis)", at)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	res, g := reachingCalls(t, `
+for i := 0; i < n; i++ {
+	w()
+}
+z()`)
+	at := exitFact(res, g)
+	if !at["w"] || !at["z"] {
+		t.Errorf("exit fact %v, want w (via loop body) and z", at)
+	}
+	// The loop head must see w via the back edge.
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if !res.In[head]["w"] {
+		t.Errorf("loop head in-fact %v does not include w from the back edge", res.In[head])
+	}
+}
+
+func TestBranchIsolation(t *testing.T) {
+	// Inside the then-branch, b() must not be visible: it only happens
+	// on the other path.
+	res, g := reachingCalls(t, `
+if c {
+	a()
+} else {
+	b()
+}`)
+	for _, blk := range g.Blocks {
+		if blk.Kind == "if.then" {
+			if res.In[blk]["b"] {
+				t.Errorf("then-branch sees call from else-branch: %v", res.In[blk])
+			}
+		}
+	}
+}
+
+func TestNodeFactsOrder(t *testing.T) {
+	res, g := reachingCalls(t, `
+a()
+b()`)
+	var facts []map[string]bool
+	res.NodeFacts(g, func(n ast.Node, before map[string]bool) {
+		facts = append(facts, before)
+	})
+	// Before a(): {}; before b(): {a}; before return: {a,b}.
+	if len(facts) != 3 {
+		t.Fatalf("got %d node facts, want 3", len(facts))
+	}
+	if len(facts[0]) != 0 {
+		t.Errorf("fact before a() = %v, want empty", facts[0])
+	}
+	if !facts[1]["a"] || facts[1]["b"] {
+		t.Errorf("fact before b() = %v, want {a}", facts[1])
+	}
+	if !facts[2]["a"] || !facts[2]["b"] {
+		t.Errorf("fact before return = %v, want {a,b}", facts[2])
+	}
+}

@@ -15,24 +15,33 @@
 //   - Flush on a bufio.Writer — the point where buffered writes hit
 //     the socket.
 //
-// Each I/O site must be preceded, earlier in the same function body, by
-// a SetDeadline / SetReadDeadline / SetWriteDeadline call. Functions
-// whose connections are governed by a deadline established by their
-// caller carry //nvmcheck:ignore deadlinecheck <reason>.
+// Version 2 runs a forward must-analysis over the function's
+// control-flow graph (internal/analysis/cfg + dataflow): the fact is
+// "a SetDeadline / SetReadDeadline / SetWriteDeadline call has executed
+// on every path from the entry", joined with conjunction at merge
+// points. An I/O site is reported unless the fact holds there — a
+// deadline set on only one branch, or first set after the I/O in a
+// loop body, no longer satisfies the check the way v1's source-order
+// position comparison did. Closure bodies are analyzed as separate
+// functions with an empty entry fact.
+//
+// Functions whose connections are governed by a deadline established by
+// their caller carry //nvmcheck:ignore deadlinecheck <reason>.
 package deadlinecheck
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/cfg"
+	"hyrisenv/internal/analysis/dataflow"
 )
 
 // Analyzer is the deadlinecheck analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "deadlinecheck",
-	Doc:  "net.Conn reads and writes in server and client must run under a configured deadline",
+	Doc:  "net.Conn reads and writes in server and client must run under a deadline configured on every path",
 	Run:  run,
 }
 
@@ -51,7 +60,16 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkBody(pass, fn.Name.Name, fn.Body)
+			// Closures run with their own control flow; each gets its
+			// own graph and starts without a deadline.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, fn.Name.Name+" (closure)", lit.Body)
+					return false
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -78,51 +96,95 @@ func isNetConn(pass *analysis.Pass, t types.Type) bool {
 	return false
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	type ioSite struct {
-		pos  token.Pos
-		what string
-	}
-	var sites []ioSite
-	firstSetter := token.NoPos
-
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// ioSite classifies call as a network I/O site ("" when it is not one).
+func ioSite(pass *analysis.Pass, call *ast.CallExpr) string {
+	name, pkgName := analysis.CalleeName(pass.Info, call)
+	recv := analysis.ReceiverType(pass.Info, call)
+	switch {
+	case (name == "ReadFrame" || name == "WriteFrame") && pkgName == "wire":
+		return "wire." + name
+	case name == "Read" || name == "Write":
+		if recv != nil && isNetConn(pass, recv) {
+			return "conn." + name
 		}
-		name, pkgName := analysis.CalleeName(pass.Info, call)
-		recv := analysis.ReceiverType(pass.Info, call)
+	case name == "ReadFull" && pkgName == "io":
+		if len(call.Args) > 0 && isNetConn(pass, pass.Info.TypeOf(call.Args[0])) {
+			return "io.ReadFull on conn"
+		}
+	case name == "Flush":
+		if recv != nil && analysis.NamedFrom(recv, "bufio", "Writer") {
+			return "bufio Flush"
+		}
+	}
+	return ""
+}
 
-		switch {
-		case deadlineSetters[name]:
-			if !firstSetter.IsValid() || call.Pos() < firstSetter {
-				firstSetter = call.Pos()
+// The fact is "a deadline has been set on every path to this point":
+// nil = unvisited, otherwise the must-bit. Join is conjunction.
+var lattice = dataflow.Lattice[*bool]{
+	Bottom: func() *bool { return nil },
+	Join: func(a, b *bool) *bool {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		v := *a && *b
+		return &v
+	},
+	Equal: func(a, b *bool) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || *a == *b
+	},
+}
+
+func checkBody(pass *analysis.Pass, fnName string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	transfer := func(n ast.Node, in *bool) *bool {
+		out := in
+		forEachCall(n, func(call *ast.CallExpr) {
+			name, _ := analysis.CalleeName(pass.Info, call)
+			if deadlineSetters[name] {
+				t := true
+				out = &t
 			}
-		case (name == "ReadFrame" || name == "WriteFrame") && pkgName == "wire":
-			sites = append(sites, ioSite{call.Pos(), "wire." + name})
-		case name == "Read" || name == "Write":
-			if recv != nil && isNetConn(pass, recv) {
-				sites = append(sites, ioSite{call.Pos(), "conn." + name})
+		})
+		return out
+	}
+	f := false
+	res := dataflow.Forward(g, lattice, &f, transfer)
+
+	res.NodeFacts(g, func(n ast.Node, before *bool) {
+		covered := before != nil && *before
+		forEachCall(n, func(call *ast.CallExpr) {
+			name, _ := analysis.CalleeName(pass.Info, call)
+			if deadlineSetters[name] {
+				covered = true
+				return
 			}
-		case name == "ReadFull" && pkgName == "io":
-			if len(call.Args) > 0 && isNetConn(pass, pass.Info.TypeOf(call.Args[0])) {
-				sites = append(sites, ioSite{call.Pos(), "io.ReadFull on conn"})
+			if what := ioSite(pass, call); what != "" && !covered {
+				pass.Reportf(call.Pos(),
+					"%s without a deadline on every path in %s; call SetDeadline/SetReadDeadline/SetWriteDeadline first (or annotate with //nvmcheck:ignore deadlinecheck <reason> if the caller sets it)",
+					what, fnName)
 			}
-		case name == "Flush":
-			if recv != nil && analysis.NamedFrom(recv, "bufio", "Writer") {
-				sites = append(sites, ioSite{call.Pos(), "bufio Flush"})
-			}
+		})
+	})
+}
+
+// forEachCall visits CallExprs in source order, skipping closures —
+// they are analyzed as separate functions.
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
 		}
 		return true
 	})
-
-	for _, s := range sites {
-		if firstSetter.IsValid() && firstSetter < s.pos {
-			continue
-		}
-		pass.Reportf(s.pos,
-			"%s without a preceding deadline in %s; call SetDeadline/SetReadDeadline/SetWriteDeadline first (or annotate with //nvmcheck:ignore deadlinecheck <reason> if the caller sets it)",
-			s.what, fn.Name.Name)
-	}
 }

@@ -1,0 +1,13 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{lockcheck.Analyzer}, "./lock")
+}

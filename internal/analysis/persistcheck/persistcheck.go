@@ -2,36 +2,59 @@
 // every mutation of NVM-resident state must be made durable with a
 // persist barrier before it is published.
 //
-// Within each function body, in source order, the analyzer tracks:
+// Version 2 is flow-sensitive and interprocedural. Each function body
+// is lowered to a control-flow graph (internal/analysis/cfg) and a
+// forward may-analysis runs over it. The fact lattice is
+//
+//	(dirty, barriered)
+//
+// where dirty is the set of write sites not yet covered by a persist
+// barrier on some path to this point (join = union — "may be dirty"),
+// and barriered records whether every path from the entry has executed
+// a barrier (join = conjunction — "must have flushed"). A persist
+// barrier resets dirty to the empty set; the checker does not model
+// address ranges, exactly as in v1.
+//
+// Events are classified per call:
 //
 //   - writes: Heap.SetU64 / Heap.PutU64 / Heap.PutU32, any SetNoPersist
 //     call, builtin copy/clear into a []byte obtained from Heap.Bytes,
 //     and known byte-slice mutators (PutBits) applied to such a slice;
 //   - persist barriers: Persist, PersistBytes, PersistAt, PersistRange,
-//     PersistBegin, PersistEnd — any of them clears the dirty state
-//     (the checker does not model address ranges);
+//     PersistBegin, PersistEnd;
 //   - publish points: Heap.SetRoot and Heap.CasU64, and every return —
-//     except returns whose results include a non-nil error value. An
-//     error return aborts construction: the written block was never
-//     linked to a root, so nothing durable references it and the
-//     scavenger reclaims it on restart.
+//     except returns that propagate a non-nil error (aborted
+//     construction is unreachable; the scavenger reclaims it).
 //
-// Reaching a publish point with unpersisted writes is reported. A
-// function whose contract is "the caller persists" — group-commit
-// batching, write helpers — is annotated
+// Calls that match none of the names above but statically resolve to a
+// function declared in the same package are modeled by a *persist
+// summary* computed bottom-up over the package callgraph
+// (internal/analysis/summary): a callee that may return with
+// unpersisted writes dirties the caller, and a callee that executes a
+// barrier on every path acts as a barrier at the call site. Deferred
+// calls are applied, in LIFO order, to the fact at every return.
 //
-//	//nvm:nopersist <reason>
+// Reaching a publish point with a non-empty dirty set is always
+// reported. Returning with a non-empty dirty set is reported unless
 //
-// in its doc comment; the reason is mandatory. The annotation waives
-// the at-return obligation but not the at-publish one: durably
-// publishing a root or CAS-ing a word while writes are still pending is
-// a bug under any contract.
+//   - the function carries a //nvm:nopersist <reason> annotation in its
+//     doc comment ("the caller persists" — group-commit batching); or
+//   - the function is package-private (unexported name, or a method on
+//     an unexported type) and has at least one static in-package
+//     caller: the summary transfers the obligation to those callers,
+//     which is the interprocedural replacement for most v1
+//     annotations.
 //
-// The analysis is intraprocedural and ordered by source position, an
-// approximation of dominance: branchy persist protocols may need an
-// annotation even when every path is in fact covered. The package
-// implementing the heap itself (package nvm) is exempt — it is the
-// trusted base layer that defines the barrier primitives.
+// The annotation remains mandatory for exported dirty functions —
+// external callers can only learn the contract from the doc comment —
+// and the reason is mandatory on the annotation. An annotation the
+// analysis proves to have no effect (the function is clean at every
+// publish and non-error return, or its obligation already falls on
+// in-package callers) is itself reported, so obsolete annotations
+// cannot accumulate.
+//
+// The package implementing the heap itself (package nvm) is exempt —
+// it is the trusted base layer that defines the barrier primitives.
 package persistcheck
 
 import (
@@ -42,12 +65,15 @@ import (
 	"strings"
 
 	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/cfg"
+	"hyrisenv/internal/analysis/dataflow"
+	"hyrisenv/internal/analysis/summary"
 )
 
 // Analyzer is the persistcheck analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "persistcheck",
-	Doc:  "NVM writes must be persisted before a publish point (SetRoot, CasU64, return)",
+	Doc:  "NVM writes must be persisted before a publish point (SetRoot, CasU64, return) on every path",
 	Run:  run,
 }
 
@@ -69,35 +95,283 @@ var sliceMutators = map[string]bool{
 	"PutBits": true, "SetBits": true,
 }
 
-type eventKind int
+// ---------------------------------------------------------------------------
+// The fact lattice.
+
+// A write is one not-yet-persisted NVM mutation site.
+type write struct {
+	pos  token.Pos
+	what string
+}
+
+// fact is the dataflow fact: nil means "unvisited" (the lattice
+// bottom). Facts are immutable — transfer and join return fresh values.
+type fact struct {
+	dirty []write // sorted by pos, deduplicated
+	// barriered is true when every path from the entry to this point
+	// has executed a persist barrier.
+	barriered bool
+}
+
+var lattice = dataflow.Lattice[*fact]{
+	Bottom: func() *fact { return nil },
+	Join: func(a, b *fact) *fact {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		merged := make([]write, 0, len(a.dirty)+len(b.dirty))
+		merged = append(merged, a.dirty...)
+		merged = append(merged, b.dirty...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].pos < merged[j].pos })
+		out := merged[:0]
+		for _, w := range merged {
+			if len(out) == 0 || out[len(out)-1].pos != w.pos {
+				out = append(out, w)
+			}
+		}
+		return &fact{dirty: out, barriered: a.barriered && b.barriered}
+	},
+	Equal: func(a, b *fact) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if a.barriered != b.barriered || len(a.dirty) != len(b.dirty) {
+			return false
+		}
+		for i := range a.dirty {
+			if a.dirty[i].pos != b.dirty[i].pos {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func (f *fact) withWrite(w write) *fact {
+	if f == nil {
+		f = &fact{}
+	}
+	out := make([]write, 0, len(f.dirty)+1)
+	out = append(out, f.dirty...)
+	out = append(out, w)
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return &fact{dirty: out, barriered: f.barriered}
+}
+
+func (f *fact) afterBarrier() *fact { return &fact{barriered: true} }
+
+// afterPublish consumes the dirty set without counting as a barrier:
+// a dirty publish is reported at the publish site, and re-reporting the
+// same writes at the return (or at every caller) would be noise.
+func (f *fact) afterPublish() *fact {
+	if f == nil {
+		return &fact{}
+	}
+	return &fact{barriered: f.barriered}
+}
+
+// ---------------------------------------------------------------------------
+// Event classification.
+
+type opKind int
 
 const (
-	evWrite eventKind = iota
-	evPersist
-	evPublish
-	evReturn
+	opNone opKind = iota
+	opWrite
+	opBarrier
+	opPublish
 )
 
-type event struct {
-	pos  token.Pos
-	kind eventKind
-	what string // for reports: the write or publish call
+// psum is the persist summary of one function, propagated bottom-up
+// through the package callgraph.
+type psum struct {
+	// dirty: the function may return with unpersisted writes; a call
+	// dirties the caller.
+	dirty bool
+	// barrier: every path through the function executes a persist
+	// barrier and returns clean; a call acts as a barrier.
+	barrier bool
+}
+
+// classify decides the effect of one call. Name-based contract
+// classification (the v1 rules) takes priority — SetNoPersist is a
+// write and PersistAt a barrier wherever they resolve to, including
+// interface dispatch the callgraph cannot see. Only unmatched calls
+// fall through to the in-package summary.
+func classify(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]bool, sums map[*types.Func]psum) (opKind, string) {
+	name, pkgName := analysis.CalleeName(pass.Info, call)
+	recv := analysis.ReceiverType(pass.Info, call)
+	onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+
+	switch {
+	case persistNames[name]:
+		return opBarrier, name
+	case onHeap && heapWriteNames[name]:
+		return opWrite, "Heap." + name
+	case name == "SetNoPersist":
+		return opWrite, "SetNoPersist"
+	case onHeap && (name == "SetRoot" || name == "CasU64"):
+		return opPublish, "Heap." + name
+	case (name == "copy" || name == "clear") && pkgName == "" && len(call.Args) > 0:
+		if isNVMSlice(pass, call.Args[0], tainted) {
+			return opWrite, name + " into Heap.Bytes"
+		}
+	case sliceMutators[name]:
+		for _, a := range call.Args {
+			if isNVMSlice(pass, a, tainted) {
+				return opWrite, name + " into Heap.Bytes"
+			}
+		}
+	}
+	if callee := summary.StaticCallee(pass.Info, call); callee != nil {
+		if s, ok := sums[callee]; ok {
+			switch {
+			case s.barrier:
+				return opBarrier, "call of " + callee.Name()
+			case s.dirty:
+				return opWrite, "call of " + callee.Name()
+			}
+		}
+	}
+	return opNone, ""
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis.
+
+// funcInfo caches the per-function artifacts shared by the summary
+// fixpoint and the reporting pass.
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	graph   *cfg.Graph
+	tainted map[types.Object]bool
 }
 
 func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "nvm" {
 		return nil // the heap implementation is the trusted base layer
 	}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkFunc(pass, fn)
+	fns := summary.Functions(pass)
+	infos := map[*types.Func]*funcInfo{}
+	for obj, fd := range fns {
+		infos[obj] = &funcInfo{
+			decl:    fd,
+			graph:   cfg.New(fd.Body),
+			tainted: nvmSlices(pass, fd),
 		}
 	}
+
+	// Bottom-up persist summaries over the package callgraph.
+	sums := summary.Compute(fns, func(obj *types.Func, fd *ast.FuncDecl, cur map[*types.Func]psum) psum {
+		info := infos[obj]
+		res := analyze(pass, info, cur)
+		s := psum{barrier: true}
+		returns := 0
+		forEachReturn(pass, info, cur, res, func(ret *ast.ReturnStmt, f *fact) {
+			returns++
+			if f == nil {
+				f = &fact{}
+			}
+			if !f.barriered {
+				s.barrier = false
+			}
+			if len(f.dirty) > 0 {
+				s.barrier = false
+				if !isErrorReturn(pass, ret) {
+					s.dirty = true
+				}
+			}
+		})
+		if returns == 0 {
+			// A function that never returns (infinite loop) has no
+			// effect at any call site that matters here.
+			s.barrier = false
+		}
+		return s
+	})
+
+	callers := summary.Callers(pass, fns)
+
+	// Reporting pass with the converged summaries.
+	for obj, info := range infos {
+		checkFunc(pass, obj, info, sums, callers[obj])
+	}
 	return nil
+}
+
+// analyze runs the persist dataflow over one function with the given
+// (possibly still converging) summaries.
+func analyze(pass *analysis.Pass, info *funcInfo, sums map[*types.Func]psum) *dataflow.Result[*fact] {
+	transfer := func(n ast.Node, in *fact) *fact {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return in // runs at return, not here
+		}
+		f := in
+		forEachCall(n, func(call *ast.CallExpr) {
+			switch op, what := classify(pass, call, info.tainted, sums); op {
+			case opWrite:
+				f = f.withWrite(write{pos: call.Pos(), what: what})
+			case opBarrier:
+				f = f.afterBarrier()
+			case opPublish:
+				f = f.afterPublish()
+			}
+		})
+		return f
+	}
+	return dataflow.Forward(info.graph, lattice, &fact{}, transfer)
+}
+
+// forEachCall visits the CallExprs of n in source order, skipping
+// closure bodies (a closure is a separate function with its own
+// contract).
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// applyDefers folds the function's deferred calls (LIFO) into f — the
+// effect that runs between a return statement and the actual exit.
+// Defers are assumed unconditional, the overwhelmingly common form; a
+// write or barrier inside a conditional defer is over-approximated as
+// always running.
+func applyDefers(pass *analysis.Pass, info *funcInfo, sums map[*types.Func]psum, f *fact) *fact {
+	for i := len(info.graph.Defers) - 1; i >= 0; i-- {
+		d := info.graph.Defers[i]
+		switch op, what := classify(pass, d.Call, info.tainted, sums); op {
+		case opWrite:
+			f = f.withWrite(write{pos: d.Pos(), what: what})
+		case opBarrier:
+			f = f.afterBarrier()
+		}
+	}
+	return f
+}
+
+// forEachReturn visits every ReturnStmt node of the graph (including
+// the synthetic fall-off-the-end return) with the fact at that point,
+// after deferred calls have been applied.
+func forEachReturn(pass *analysis.Pass, info *funcInfo, sums map[*types.Func]psum, res *dataflow.Result[*fact], visit func(*ast.ReturnStmt, *fact)) {
+	res.NodeFacts(info.graph, func(n ast.Node, before *fact) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		visit(ret, applyDefers(pass, info, sums, before))
+	})
 }
 
 // nopersist reports whether fn carries a //nvm:nopersist annotation and
@@ -114,57 +388,92 @@ func nopersist(fn *ast.FuncDecl) (annotated, reasoned bool) {
 	return false, false
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+// pkgPrivate reports whether fn is invisible outside its package: an
+// unexported function, or a method whose receiver type is unexported.
+func pkgPrivate(obj *types.Func, fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return true
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return !n.Obj().Exported()
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*types.Func]psum, nCallers int) {
+	fn := info.decl
 	annotated, reasoned := nopersist(fn)
 	if annotated && !reasoned {
 		pass.Reportf(fn.Pos(), "//nvm:nopersist on %s must carry a reason", fn.Name.Name)
 	}
 
-	tainted := nvmSlices(pass, fn)
-	var events []event
+	res := analyze(pass, info, sums)
 
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false // closures have their own contract; skip
-		case *ast.ReturnStmt:
-			if !isErrorReturn(pass, n) {
-				events = append(events, event{pos: n.Pos(), kind: evReturn})
-			}
-		case *ast.CallExpr:
-			classifyCall(pass, n, tainted, &events)
+	// Publish points: always an error while dirty, under any contract.
+	res.NodeFacts(info.graph, func(n ast.Node, before *fact) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
 		}
-		return true
+		f := before
+		forEachCall(n, func(call *ast.CallExpr) {
+			op, what := classify(pass, call, info.tainted, sums)
+			switch op {
+			case opPublish:
+				if f != nil && len(f.dirty) > 0 {
+					d := f.dirty[0]
+					pass.Reportf(call.Pos(),
+						"%s publishes while the %s at %s is not persisted",
+						what, d.what, pass.Fset.Position(d.pos))
+				}
+				f = f.afterPublish()
+			case opWrite:
+				f = f.withWrite(write{pos: call.Pos(), what: what})
+			case opBarrier:
+				f = f.afterBarrier()
+			}
+		})
 	})
-	// Falling off the end of the body is a return too.
-	events = append(events, event{pos: fn.Body.Rbrace, kind: evReturn})
 
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-
-	var dirty *event
-	reportedReturn := false
-	for i := range events {
-		ev := &events[i]
-		switch ev.kind {
-		case evWrite:
-			dirty = ev
-		case evPersist:
-			dirty = nil
-		case evPublish:
-			if dirty != nil {
-				pass.Reportf(ev.pos,
-					"%s publishes while the %s at %s is not persisted",
-					ev.what, dirty.what, pass.Fset.Position(dirty.pos))
-				dirty = nil
-			}
-		case evReturn:
-			if dirty != nil && !annotated && !reportedReturn {
-				pass.Reportf(ev.pos,
-					"function %s returns with unpersisted NVM write (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
-					fn.Name.Name, dirty.what, pass.Fset.Position(dirty.pos))
-				reportedReturn = true
-			}
+	// Returns: the obligation is waived by the annotation, or
+	// discharged interprocedurally when package-private with visible
+	// callers (their summaries inherit the dirt).
+	waived := annotated || (pkgPrivate(obj, fn) && nCallers > 0)
+	dirtyReturn := false
+	reported := false
+	forEachReturn(pass, info, sums, res, func(ret *ast.ReturnStmt, f *fact) {
+		if f == nil || len(f.dirty) == 0 || isErrorReturn(pass, ret) {
+			return
 		}
+		dirtyReturn = true
+		if waived || reported {
+			return
+		}
+		reported = true
+		d := f.dirty[0]
+		pass.Reportf(ret.Pos(),
+			"function %s returns with unpersisted NVM write (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
+			fn.Name.Name, d.what, pass.Fset.Position(d.pos))
+	})
+
+	// An annotation with no effect is annotation rot: either the
+	// function is provably clean, or its obligation already falls on
+	// in-package callers.
+	if annotated && reasoned && (!dirtyReturn || pkgPrivate(obj, fn) && nCallers > 0) {
+		pass.Reportf(fn.Pos(),
+			"//nvm:nopersist on %s is unnecessary: persistcheck v2 proves every publish and non-error return clean (or the obligation falls on its in-package callers); delete the annotation",
+			fn.Name.Name)
 	}
 }
 
@@ -185,34 +494,6 @@ func isErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
 		}
 	}
 	return false
-}
-
-func classifyCall(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]bool, events *[]event) {
-	name, pkgName := analysis.CalleeName(pass.Info, call)
-	recv := analysis.ReceiverType(pass.Info, call)
-	onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
-
-	switch {
-	case persistNames[name]:
-		*events = append(*events, event{pos: call.Pos(), kind: evPersist})
-	case onHeap && heapWriteNames[name]:
-		*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: "Heap." + name})
-	case name == "SetNoPersist":
-		*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: "SetNoPersist"})
-	case onHeap && (name == "SetRoot" || name == "CasU64"):
-		*events = append(*events, event{pos: call.Pos(), kind: evPublish, what: "Heap." + name})
-	case (name == "copy" || name == "clear") && pkgName == "" && len(call.Args) > 0:
-		if isNVMSlice(pass, call.Args[0], tainted) {
-			*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: name + " into Heap.Bytes"})
-		}
-	case sliceMutators[name]:
-		for _, a := range call.Args {
-			if isNVMSlice(pass, a, tainted) {
-				*events = append(*events, event{pos: call.Pos(), kind: evWrite, what: name + " into Heap.Bytes"})
-				break
-			}
-		}
-	}
 }
 
 // nvmSlices returns the objects of local variables assigned (anywhere in

@@ -26,6 +26,8 @@ import (
 	"sort"
 
 	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/cfg"
+	"hyrisenv/internal/analysis/dataflow"
 )
 
 // Analyzer is the pptrcheck analysis.
@@ -141,93 +143,224 @@ func checkGlobals(pass *analysis.Pass, file *ast.File) {
 	}
 }
 
-// checkRemapAliasing flags uses of a Heap.Bytes-derived slice after a
-// Close/Open call on a heap in the same function. The check is
-// position-ordered, like persistcheck: taint := Bytes(...), then any
-// Close/Open invalidates all taints from that point on.
-func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
-	type taint struct {
-		obj types.Object
-		pos token.Pos
-	}
-	var taints []taint
-	var remaps []token.Pos
+// remapFact is the flow fact of the remap-aliasing analysis: live is
+// the set of Heap.Bytes-derived slice variables whose mapping is still
+// valid, stale the set invalidated by a remap on some path, with the
+// position of the remap that killed each. nil = unvisited bottom; both
+// sets are may-sets (join = union), so a slice that survives a remap on
+// one branch only is still reported at a later use.
+type remapFact struct {
+	live  []types.Object // sorted by Pos
+	stale map[types.Object]token.Pos
+}
 
-	// Pass 1: collect Bytes-derived slice variables and every remap.
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if len(n.Lhs) != len(n.Rhs) {
-				return true
+func sortedObjs(in []types.Object) []types.Object {
+	sort.Slice(in, func(i, j int) bool { return in[i].Pos() < in[j].Pos() })
+	return in
+}
+
+var remapLattice = dataflow.Lattice[*remapFact]{
+	Bottom: func() *remapFact { return nil },
+	Join: func(a, b *remapFact) *remapFact {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		liveSet := map[types.Object]bool{}
+		for _, o := range a.live {
+			liveSet[o] = true
+		}
+		var live []types.Object
+		live = append(live, a.live...)
+		for _, o := range b.live {
+			if !liveSet[o] {
+				live = append(live, o)
 			}
-			for i, rhs := range n.Rhs {
-				if !isBytesCall(pass, rhs) {
-					continue
+		}
+		stale := map[types.Object]token.Pos{}
+		for o, p := range a.stale {
+			stale[o] = p
+		}
+		for o, p := range b.stale {
+			if prev, ok := stale[o]; !ok || p < prev {
+				stale[o] = p
+			}
+		}
+		return &remapFact{live: sortedObjs(live), stale: stale}
+	},
+	Equal: func(a, b *remapFact) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if len(a.live) != len(b.live) || len(a.stale) != len(b.stale) {
+			return false
+		}
+		for i := range a.live {
+			if a.live[i] != b.live[i] {
+				return false
+			}
+		}
+		for o, p := range a.stale {
+			if q, ok := b.stale[o]; !ok || p != q {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+// isRemapCall reports whether call invalidates the current NVM mapping:
+// Heap.Close, or nvm.Open / nvm.Create establishing a new one.
+func isRemapCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name, pkgName := analysis.CalleeName(pass.Info, call)
+	if name != "Close" && name != "Open" && name != "Create" {
+		return false
+	}
+	recv := analysis.ReceiverType(pass.Info, call)
+	onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+	return onHeap || (pkgName == "nvm" && (name == "Open" || name == "Create"))
+}
+
+// checkRemapAliasing flags uses of a Heap.Bytes-derived slice after a
+// Close/Open call on a heap, flow-sensitively: the slice is tracked
+// through the function's control-flow graph, a remap moves every live
+// slice into the stale set, and re-deriving the slice from the reopened
+// heap revives it. A use reached by a stale fact on any path — e.g. the
+// second iteration of a loop that remaps at its end — is reported.
+func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
+	g := cfg.New(fn.Body)
+
+	transfer := func(n ast.Node, in *remapFact) *remapFact {
+		f := in
+		if f == nil {
+			f = &remapFact{}
+		}
+		// Remaps first ordering does not matter at node granularity;
+		// process the node's events in source order.
+		var events []func(*remapFact) *remapFact
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				if len(m.Lhs) != len(m.Rhs) {
+					return true
 				}
-				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+				for i, rhs := range m.Rhs {
+					if !isBytesCall(pass, rhs) {
+						continue
+					}
+					id, ok := m.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
 					obj := pass.Info.Defs[id]
 					if obj == nil {
 						obj = pass.Info.Uses[id]
 					}
-					if obj != nil {
-						taints = append(taints, taint{obj: obj, pos: n.Pos()})
+					if obj == nil {
+						continue
 					}
+					o := obj
+					events = append(events, func(f *remapFact) *remapFact {
+						out := &remapFact{stale: map[types.Object]token.Pos{}}
+						for k, v := range f.stale {
+							if k != o {
+								out.stale[k] = v
+							}
+						}
+						has := false
+						for _, l := range f.live {
+							if l == o {
+								has = true
+							}
+						}
+						out.live = f.live
+						if !has {
+							out.live = sortedObjs(append(append([]types.Object{}, f.live...), o))
+						}
+						return out
+					})
+				}
+			case *ast.CallExpr:
+				if isRemapCall(pass, m) {
+					pos := m.Pos()
+					events = append(events, func(f *remapFact) *remapFact {
+						out := &remapFact{stale: map[types.Object]token.Pos{}}
+						for k, v := range f.stale {
+							out.stale[k] = v
+						}
+						for _, l := range f.live {
+							if _, ok := out.stale[l]; !ok {
+								out.stale[l] = pos
+							}
+						}
+						return out
+					})
 				}
 			}
-		case *ast.CallExpr:
-			name, pkgName := analysis.CalleeName(pass.Info, n)
-			if name != "Close" && name != "Open" && name != "Create" {
+			return true
+		})
+		for _, ev := range events {
+			f = ev(f)
+		}
+		return f
+	}
+	res := dataflow.Forward(g, remapLattice, &remapFact{}, transfer)
+
+	// Reporting: an identifier whose object is stale at its node is an
+	// alias of a dead mapping. One report per object per function. The
+	// left-hand side of a re-deriving assignment is the revival itself,
+	// not a use of the dead alias.
+	reported := map[types.Object]bool{}
+	res.NodeFacts(g, func(n ast.Node, before *remapFact) {
+		if before == nil || len(before.stale) == 0 {
+			return
+		}
+		reviving := map[*ast.Ident]bool{}
+		ast.Inspect(n, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
 				return true
 			}
-			recv := analysis.ReceiverType(pass.Info, n)
-			onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
-			if onHeap || (pkgName == "nvm" && (name == "Open" || name == "Create")) {
-				remaps = append(remaps, n.Pos())
-			}
-		}
-		return true
-	})
-	if len(remaps) == 0 || len(taints) == 0 {
-		return
-	}
-	sort.Slice(remaps, func(i, j int) bool { return remaps[i] < remaps[j] })
-
-	// For each tainted slice, the invalidation point is the first remap
-	// positioned after its derivation; any use beyond that point aliases
-	// a dead mapping.
-	cut := map[types.Object]token.Pos{}
-	for _, t := range taints {
-		for _, r := range remaps {
-			if r > t.pos {
-				if c, ok := cut[t.obj]; !ok || r < c {
-					cut[t.obj] = r
+			for i, rhs := range as.Rhs {
+				if !isBytesCall(pass, rhs) {
+					continue
 				}
-				break
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					reviving[id] = true
+				}
 			}
-		}
-	}
-	if len(cut) == 0 {
-		return
-	}
-	reported := map[types.Object]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
 			return true
-		}
-		obj := pass.Info.Uses[id]
-		if obj == nil || reported[obj] {
+		})
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok || reviving[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || reported[obj] {
+				return true
+			}
+			c, ok := before.stale[obj]
+			if !ok {
+				return true
+			}
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"%s aliases the NVM mapping from Heap.Bytes but is used after the remap at %s; re-derive it from the reopened heap",
+				id.Name, pass.Fset.Position(c))
 			return true
-		}
-		c, ok := cut[obj]
-		if !ok || id.Pos() <= c {
-			return true
-		}
-		reported[obj] = true
-		pass.Reportf(id.Pos(),
-			"%s aliases the NVM mapping from Heap.Bytes but is used after the remap at %s; re-derive it from the reopened heap",
-			id.Name, pass.Fset.Position(c))
-		return true
+		})
 	})
 }
 

@@ -1,0 +1,352 @@
+// Package sharecheck finds unsynchronized sharing between goroutines —
+// the races the NVM discipline cannot survive, because a racy write
+// that reaches a persist barrier is durable forever.
+//
+// Rules:
+//
+//   - mixed atomic/plain access: a variable or field passed to
+//     sync/atomic functions somewhere in the package (atomic.AddUint64,
+//     atomic.LoadUint32, ...) must be accessed through atomics
+//     everywhere; a plain read or write of the same object elsewhere is
+//     a data race the race detector only catches when the schedule
+//     cooperates. Constructors (New*, Open*, init) are exempt: they run
+//     before the object is shared.
+//   - goroutine-captured loop variable: a go-closure inside a loop that
+//     reads the loop variable by capture instead of receiving it as an
+//     argument. Per-iteration loop variables (Go 1.22) make this safe
+//     from aliasing, but the capture still races with the post-statement
+//     increment under the pre-1.22 semantics this module once built
+//     under, and the explicit-argument form is the discipline the
+//     executor uses (forEachMorsel passes the worker index).
+//   - unsynchronized captured write: an assignment inside a go-closure
+//     whose target is a variable captured from the enclosing function,
+//     with no lock acquired inside the closure and not inside a
+//     sync.Once.Do callback. Every goroutine launched this way races
+//     with its siblings and with the spawner.
+//   - morsel-slot escape: an indexed write s[i] inside a go-closure
+//     where both the slice and the index are captured from the
+//     enclosing scope. The executor's contract is one output slot per
+//     worker (s[worker] with worker passed as an argument); a captured
+//     index makes workers write through a shared cursor into each
+//     other's slots.
+package sharecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/summary"
+)
+
+// Analyzer is the sharecheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharecheck",
+	Doc:  "unsynchronized sharing: mixed atomic/plain access, captured loop variables, unguarded writes and shared-index slot writes in go-closures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAtomic(pass)
+	for _, fd := range summary.Functions(pass) {
+		checkGoClosures(pass, fd)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mixed atomic/plain access.
+
+type access struct {
+	pos    token.Pos
+	atomic bool
+}
+
+// constructorExempt reports whether fn runs before its result is
+// shared, making plain initialization of atomically-accessed fields
+// safe.
+func constructorExempt(name string) bool {
+	return name == "init" ||
+		len(name) >= 3 && (name[:3] == "New" || name[:3] == "new") ||
+		len(name) >= 4 && (name[:4] == "Open" || name[:4] == "open")
+}
+
+func checkMixedAtomic(pass *analysis.Pass) {
+	accesses := map[types.Object][]access{}
+
+	record := func(obj types.Object, pos token.Pos, isAtomic bool) {
+		if obj == nil {
+			return
+		}
+		// Only variables and fields participate; functions, types and
+		// constants cannot race.
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		accesses[obj] = append(accesses[obj], access{pos: pos, atomic: isAtomic})
+	}
+
+	// resolve returns the object behind x when x is an identifier or a
+	// field selector.
+	resolve := func(x ast.Expr) types.Object {
+		switch x := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok {
+				return sel.Obj()
+			}
+			return pass.Info.Uses[x.Sel]
+		}
+		return nil
+	}
+
+	for _, fd := range summary.Functions(pass) {
+		exempt := constructorExempt(fd.Name.Name)
+		// Positions inside &x arguments of atomic calls — the same
+		// ident must not double as a plain access.
+		atomicArgs := map[*ast.Ident]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, pkgName := analysis.CalleeName(pass.Info, call)
+			if pkgName != "atomic" || len(call.Args) == 0 {
+				return true
+			}
+			for _, a := range call.Args {
+				un, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				record(resolve(target), un.Pos(), true)
+				ast.Inspect(target, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						atomicArgs[id] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+		if exempt {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if !atomicArgs[x] {
+					record(pass.Info.Uses[x], x.Pos(), false)
+				}
+			case *ast.SelectorExpr:
+				if !atomicArgs[x.Sel] {
+					record(resolve(x), x.Pos(), false)
+				}
+				// Descend into x.X but not x.Sel (already handled).
+				ast.Inspect(x.X, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && !atomicArgs[id] {
+						record(pass.Info.Uses[id], id.Pos(), false)
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+
+	var objs []types.Object
+	for obj := range accesses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		var hasAtomic bool
+		for _, a := range accesses[obj] {
+			if a.atomic {
+				hasAtomic = true
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		// One report per object, at its first plain access in file order.
+		as := accesses[obj]
+		sort.Slice(as, func(i, j int) bool { return as[i].pos < as[j].pos })
+		for _, a := range as {
+			if !a.atomic {
+				pass.Reportf(a.pos, "%s is accessed atomically elsewhere in this package; this plain access races with the atomics",
+					obj.Name())
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rules on go-closures.
+
+func checkGoClosures(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Loop-variable objects of every enclosing loop, collected on the
+	// way down.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkClosure(pass, fd, gs, lit)
+		return true
+	})
+}
+
+// loopVarsEnclosing returns the objects of loop variables of loops in
+// fd that enclose pos.
+func loopVarsEnclosing(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if l.Body != nil && l.Body.Pos() <= pos && pos < l.Body.End() {
+				addDef(l.Key)
+				addDef(l.Value)
+			}
+		case *ast.ForStmt:
+			if l.Body != nil && l.Body.Pos() <= pos && pos < l.Body.End() {
+				if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						addDef(lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// captured reports whether obj is a variable declared in fd but outside
+// lit — captured by the closure rather than a parameter or local.
+func captured(obj types.Object, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	pos := v.Pos()
+	inFunc := fd.Pos() <= pos && pos < fd.End()
+	inLit := lit.Pos() <= pos && pos < lit.End()
+	return inFunc && !inLit
+}
+
+func checkClosure(pass *analysis.Pass, fd *ast.FuncDecl, gs *ast.GoStmt, lit *ast.FuncLit) {
+	loopVars := loopVarsEnclosing(pass, fd, gs.Pos())
+
+	// A closure that takes any lock is assumed to guard its captured
+	// writes with it; the lockset rules live in lockcheck.
+	locksInside := false
+	onceDoRanges := make([][2]token.Pos, 0, 2)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _ := analysis.CalleeName(pass.Info, call)
+		switch name {
+		case "Lock", "RLock":
+			locksInside = true
+		case "Do":
+			if recv := analysis.ReceiverType(pass.Info, call); recv != nil && analysis.NamedFrom(recv, "sync", "Once") {
+				if len(call.Args) == 1 {
+					onceDoRanges = append(onceDoRanges, [2]token.Pos{call.Args[0].Pos(), call.Args[0].End()})
+				}
+			}
+		}
+		return true
+	})
+	inOnce := func(pos token.Pos) bool {
+		for _, r := range onceDoRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule: captured loop variable (reads count — pass it as an
+	// argument instead).
+	reportedLoopVar := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !loopVars[obj] || !captured(obj, fd, lit) || reportedLoopVar[obj] {
+			return true
+		}
+		reportedLoopVar[obj] = true
+		pass.Reportf(id.Pos(), "goroutine captures loop variable %s; pass it as an argument like forEachMorsel passes the worker index",
+			obj.Name())
+		return true
+	})
+
+	// Rules: unsynchronized captured writes and morsel-slot escapes.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			targets = st.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{st.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			switch target := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				obj := pass.Info.Uses[target]
+				if obj == nil || !captured(obj, fd, lit) || loopVars[obj] {
+					continue
+				}
+				if locksInside || inOnce(target.Pos()) {
+					continue
+				}
+				pass.Reportf(target.Pos(), "goroutine writes captured variable %s without synchronization; guard it with a mutex or sync.Once, or make it a per-worker slot",
+					obj.Name())
+			case *ast.IndexExpr:
+				baseID, ok := ast.Unparen(target.X).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				idxID, ok := ast.Unparen(target.Index).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				base := pass.Info.Uses[baseID]
+				idx := pass.Info.Uses[idxID]
+				if base == nil || idx == nil {
+					continue
+				}
+				if captured(base, fd, lit) && captured(idx, fd, lit) && !loopVars[idx] {
+					pass.Reportf(target.Pos(), "goroutine writes %s[%s] with a captured index: each worker must own its slot (pass the index as an argument)",
+						baseID.Name, idxID.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/sharecheck"
+)
+
+func TestShareCheck(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{sharecheck.Analyzer}, "./share")
+}

@@ -1,0 +1,110 @@
+// Package summary computes per-function summaries bottom-up over the
+// callgraph of one package, so analyzers can model calls to helpers
+// they can see instead of ignoring them.
+//
+// The callgraph is static and intra-package: a call edge exists where
+// the callee resolves (through go/types) to a function or method
+// declared in the package under analysis. Interface dispatch, function
+// values and cross-package calls have no edge — analyzers fall back to
+// their name-based heuristics for those. Recursion (any cycle) is
+// handled by iterating the whole package to a fixpoint: Compute re-runs
+// the per-function analysis with the latest summary map until no
+// summary changes, so summaries must come from a finite lattice and the
+// analysis must be monotone in them.
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hyrisenv/internal/analysis"
+)
+
+// Functions returns every function and method declared in the package
+// with a body, keyed by its types object.
+func Functions(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	fns := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				fns[obj] = fd
+			}
+		}
+	}
+	return fns
+}
+
+// StaticCallee resolves call to the *types.Func it statically invokes:
+// a plain function call or a concrete method call. Calls through
+// interfaces, function-typed variables and built-ins resolve to nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// A method call through an interface value resolves to the
+		// interface method, which has no body anywhere; the caller's
+		// Functions map lookup will miss it, so returning it is safe.
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Callers returns, for every function of fns, how many static
+// in-package call sites invoke it from *other* functions of the
+// package (self-recursion does not count as a caller).
+func Callers(pass *analysis.Pass, fns map[*types.Func]*ast.FuncDecl) map[*types.Func]int {
+	count := map[*types.Func]int{}
+	for caller, fd := range fns {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(pass.Info, call)
+			if callee != nil && callee != caller {
+				if _, inPkg := fns[callee]; inPkg {
+					count[callee]++
+				}
+			}
+			return true
+		})
+	}
+	return count
+}
+
+// Compute iterates analyze over every function of fns until the
+// summary map stops changing and returns it. analyze receives the
+// current summaries (possibly still converging) and must be monotone:
+// enlarging an input summary may only enlarge its output. maxRounds
+// bounds runaway lattices; the persist lattice converges in two or
+// three rounds.
+func Compute[S comparable](
+	fns map[*types.Func]*ast.FuncDecl,
+	analyze func(obj *types.Func, fd *ast.FuncDecl, cur map[*types.Func]S) S,
+) map[*types.Func]S {
+	const maxRounds = 10
+	cur := map[*types.Func]S{}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for obj, fd := range fns {
+			s := analyze(obj, fd, cur)
+			if s != cur[obj] {
+				cur[obj] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}

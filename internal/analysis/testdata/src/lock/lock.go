@@ -1,0 +1,119 @@
+// Package lock exercises the lockcheck analyzer.
+package lock
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fix/nvm"
+)
+
+var errFail = errors.New("fail")
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	a  sync.Mutex
+	b  sync.Mutex
+	n  int
+}
+
+// leakOnEarlyReturn forgets the unlock on the error path.
+func (s *store) leakOnEarlyReturn(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errFail // want `function leakOnEarlyReturn may return while still holding s\.mu`
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// deferUnlockClean releases on every path through the defer.
+func (s *store) deferUnlockClean(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errFail
+	}
+	s.n++
+	return nil
+}
+
+// relock re-acquires a held mutex: Go mutexes are not reentrant.
+func (s *store) relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu is already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// rlockUnderWrite downgrades by re-acquiring, which also deadlocks.
+func (s *store) rlockUnderWrite() {
+	s.rw.Lock()
+	s.rw.RLock() // want `s\.rw is already held`
+	s.rw.RUnlock()
+	s.rw.Unlock()
+}
+
+// sleepUnderLock stalls every contender for the duration.
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep may block indefinitely while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// persistUnderRLock flushes NVM writes while holding a shared view.
+func (s *store) persistUnderRLock(h *nvm.Heap, p nvm.PPtr) {
+	s.rw.RLock()
+	h.Persist(p, 8) // want `persist barrier Persist under read lock s\.rw`
+	s.rw.RUnlock()
+}
+
+// persistUnderWriteLock is the group-commit idiom: allowed.
+func (s *store) persistUnderWriteLock(h *nvm.Heap, p nvm.PPtr) {
+	s.mu.Lock()
+	h.Persist(p, 8)
+	s.mu.Unlock()
+}
+
+// lockAB and lockBA invert each other's acquisition order; the report
+// lands on the earlier site of the pair.
+func (s *store) lockAB() {
+	s.a.Lock()
+	s.b.Lock() // want `lock order inversion: store\.b acquired while holding store\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *store) lockBA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// viewLocked intentionally returns holding the lock; the Locked suffix
+// declares the hand-off to the caller.
+func (s *store) viewLocked() int {
+	s.mu.Lock()
+	return s.n
+}
+
+// waitSuppressed documents an intentional block under the lock.
+func (s *store) waitSuppressed(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() //nvmcheck:ignore lockcheck fixture: startup barrier, no contention yet
+	s.mu.Unlock()
+}
+
+// branchedUnlock releases on both branches: clean under the join.
+func (s *store) branchedUnlock(alt bool) {
+	s.mu.Lock()
+	if alt {
+		s.n++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+}

@@ -70,9 +70,8 @@ func copyClean(h *nvm.Heap, p nvm.PPtr) {
 // write path.
 type vec struct{ h *nvm.Heap }
 
-// SetNoPersist is the stub write; it is itself inert.
-//
-//nvm:nopersist stub body, nothing written
+// SetNoPersist is the stub write; the analyzer classifies calls to it
+// by name, so the inert stub body needs no annotation.
 func (v *vec) SetNoPersist(i, val uint64) {}
 
 // PersistAt is the matching barrier stub.
@@ -101,4 +100,112 @@ func stampUnreasoned(v *vec) { // want `//nvm:nopersist on stampUnreasoned must 
 func stampSuppressed(v *vec) {
 	v.SetNoPersist(0, 1)
 	//nvmcheck:ignore persistcheck fixture: caller persists the batch
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive cases: v2 joins facts at merge points instead of
+// scanning events in source order.
+
+// branchyClean persists through a different barrier on each branch;
+// the join at the merge point is clean on both paths.
+func branchyClean(h *nvm.Heap, p nvm.PPtr, wide bool) {
+	if wide {
+		h.PutU64(p, 1)
+		h.Persist(p, 8)
+	} else {
+		h.PutU32(p, 2)
+		h.PersistBytes(h.Bytes(p, 4))
+	}
+	h.SetRoot(0, p)
+}
+
+// crossBranchDirty writes on one path and persists only on the other;
+// source-order scanning (v1) saw persist-after-write and missed it.
+func crossBranchDirty(h *nvm.Heap, p nvm.PPtr, fast bool) {
+	if fast {
+		h.PutU64(p, 1)
+	} else {
+		h.Persist(p, 8)
+	}
+	h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the Heap\.PutU64 at .* is not persisted`
+}
+
+// loopPublishDirty publishes at the top of each iteration after the
+// previous iteration's unpersisted write — visible only via the loop
+// back edge.
+func loopPublishDirty(h *nvm.Heap, p nvm.PPtr, n int) {
+	for i := 0; i < n; i++ {
+		h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the Heap\.PutU64 at .* is not persisted`
+		h.PutU64(p, uint64(i))
+	}
+	h.Persist(p, 8)
+}
+
+// deferPersist flushes through a deferred barrier; v1's source-order
+// scan saw the defer before the write and flagged the return.
+func deferPersist(h *nvm.Heap, p nvm.PPtr) {
+	defer h.Persist(p, 8)
+	h.PutU64(p, 1)
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural cases: persist summaries over the package callgraph.
+
+// flush is a helper barrier: every path executes a persist, so a call
+// to it discharges the caller's dirty writes.
+func flush(h *nvm.Heap, p nvm.PPtr) {
+	h.Persist(p, 8)
+}
+
+// stampViaHelper persists through the helper; under v1 this needed a
+// //nvm:nopersist annotation because the helper call was opaque.
+func stampViaHelper(h *nvm.Heap, p nvm.PPtr) {
+	h.PutU64(p, 1)
+	flush(h, p)
+}
+
+// fill is a dirty helper: package-private with in-package callers, so
+// its return-obligation transfers to the callers and it needs no
+// annotation.
+func fill(h *nvm.Heap, p nvm.PPtr) {
+	h.PutU64(p, 1)
+}
+
+// buildClean discharges fill's writes before publishing.
+func buildClean(h *nvm.Heap, p nvm.PPtr) {
+	fill(h, p)
+	h.Persist(p, 8)
+	h.SetRoot(0, p)
+}
+
+// buildDirty publishes with fill's writes still volatile: the summary
+// carries the helper's dirt to this call site.
+func buildDirty(h *nvm.Heap, p nvm.PPtr) {
+	fill(h, p)
+	h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the call of fill at .* is not persisted`
+}
+
+// SetStamp is exported and returns dirty: external callers can only
+// learn the contract from the doc comment, so the annotation stays
+// mandatory even under v2.
+//
+//nvm:nopersist commit batches stamps and persists once per group
+func SetStamp(h *nvm.Heap, p nvm.PPtr, val uint64) {
+	h.SetU64(p, val)
+}
+
+// SetStampUndeclared is the same exported dirty contract without the
+// annotation — v2 must still require it.
+func SetStampUndeclared(h *nvm.Heap, p nvm.PPtr, val uint64) {
+	h.SetU64(p, val)
+} // want `function SetStampUndeclared returns with unpersisted NVM write`
+
+// stampOverDeclared carries an annotation the analysis proves inert:
+// every return is clean, so the annotation is rot and is itself
+// reported.
+//
+//nvm:nopersist stale claim, nothing stays dirty
+func stampOverDeclared(h *nvm.Heap, p nvm.PPtr) { // want `//nvm:nopersist on stampOverDeclared is unnecessary`
+	h.PutU64(p, 1)
+	h.Persist(p, 8)
 }

@@ -58,3 +58,37 @@ func suppressedAlias(h *nvm.Heap, p nvm.PPtr) byte {
 	//nvmcheck:ignore pptrcheck fixture: heap object kept alive by test harness
 	return b[0]
 }
+
+// loopRemapAlias reads the slice at the top of each iteration after the
+// previous iteration closed the heap — only the loop back edge sees it.
+func loopRemapAlias(h *nvm.Heap, p nvm.PPtr, n int) byte {
+	b := h.Bytes(p, 8)
+	var last byte
+	for i := 0; i < n; i++ {
+		last = b[0] // want `b aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+		h.Close()
+	}
+	return last
+}
+
+// branchRemapAlias survives the remap on one path only; the join keeps
+// the staleness.
+func branchRemapAlias(h *nvm.Heap, p nvm.PPtr, reopen bool) byte {
+	b := h.Bytes(p, 8)
+	if reopen {
+		h.Close()
+	}
+	return b[0] // want `b aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+}
+
+// rederivedInBranch revives the alias on the remapping path; both paths
+// reach the use with a valid mapping.
+func rederivedInBranch(h *nvm.Heap, p nvm.PPtr, reopen bool) byte {
+	b := h.Bytes(p, 8)
+	if reopen {
+		h.Close()
+		h2, _ := nvm.Open("heap")
+		b = h2.Bytes(p, 8)
+	}
+	return b[0]
+}

@@ -13,12 +13,12 @@ import (
 
 // readNoDeadline blocks forever on a wedged peer.
 func readNoDeadline(c net.Conn, buf []byte) {
-	c.Read(buf) // want `conn\.Read without a preceding deadline`
+	c.Read(buf) // want `conn\.Read without a deadline on every path`
 }
 
 // writeNoDeadline likewise on the write side.
 func writeNoDeadline(c net.Conn, buf []byte) {
-	c.Write(buf) // want `conn\.Write without a preceding deadline`
+	c.Write(buf) // want `conn\.Write without a deadline on every path`
 }
 
 // readWithDeadline is the required shape.
@@ -29,7 +29,7 @@ func readWithDeadline(c net.Conn, buf []byte) {
 
 // frameNoDeadline reaches the socket through the protocol codec.
 func frameNoDeadline(c net.Conn) {
-	wire.ReadFrame(c) // want `wire\.ReadFrame without a preceding deadline`
+	wire.ReadFrame(c) // want `wire\.ReadFrame without a deadline on every path`
 }
 
 // frameWithDeadline covers both codec directions under one deadline.
@@ -41,7 +41,7 @@ func frameWithDeadline(c net.Conn) {
 
 // flushNoDeadline hits the socket when the buffer drains.
 func flushNoDeadline(w *bufio.Writer) {
-	w.Flush() // want `bufio Flush without a preceding deadline`
+	w.Flush() // want `bufio Flush without a deadline on every path`
 }
 
 // plainReader is ordinary io and out of scope.
@@ -53,4 +53,49 @@ func plainReader(r io.Reader, buf []byte) {
 func callerDeadline(c net.Conn) {
 	//nvmcheck:ignore deadlinecheck fixture: session loop sets the deadline per request
 	wire.ReadFrame(c)
+}
+
+// branchDeadline sets the deadline on one branch only; the other path
+// reaches the read bare. v1's source-order scan accepted this.
+func branchDeadline(c net.Conn, buf []byte, timed bool) {
+	if timed {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	c.Read(buf) // want `conn\.Read without a deadline on every path`
+}
+
+// bothBranchDeadline covers every path; the must-join accepts it.
+func bothBranchDeadline(c net.Conn, buf []byte, long bool) {
+	if long {
+		c.SetReadDeadline(time.Now().Add(time.Minute))
+	} else {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	c.Read(buf)
+}
+
+// closureRead runs with its own control flow: the enclosing deadline
+// does not govern a goroutine that may outlive it.
+func closureRead(c net.Conn, buf []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	go func() {
+		c.Read(buf) // want `conn\.Read without a deadline on every path`
+	}()
+}
+
+// closureOwnDeadline sets its deadline inside the closure.
+func closureOwnDeadline(c net.Conn, buf []byte) {
+	go func() {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		c.Read(buf)
+	}()
+}
+
+// loopDeadline re-arms the deadline at the top of each iteration, so
+// the back edge carries a set fact.
+func loopDeadline(c net.Conn, buf []byte, n int) {
+	for i := 0; i < n; i++ {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		c.Read(buf)
+	}
 }

@@ -1,0 +1,101 @@
+// Package share exercises the sharecheck analyzer.
+package share
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  uint64
+	drops uint64
+	cold  uint64
+}
+
+// bump is the atomic side of the mixed-access pairs.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+// peek races with bump.
+func peek(c *counters) uint64 {
+	return c.hits // want `hits is accessed atomically elsewhere`
+}
+
+// newCounters may initialize plainly: constructors run before sharing.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 1
+	return c
+}
+
+// coldOnly is plain everywhere — no atomics, no report.
+func coldOnly(c *counters) uint64 {
+	c.cold++
+	return c.cold
+}
+
+// dropsSuppressed documents a benign monitoring readout.
+func dropsSuppressed(c *counters) uint64 {
+	return c.drops //nvmcheck:ignore sharecheck fixture: monitoring readout tolerates staleness
+}
+
+// spawnCaptured leaks the loop variable into the goroutine by capture.
+func spawnCaptured(xs []int, out []int) {
+	for i := range xs {
+		go func() {
+			out[i] = 2 // want `goroutine captures loop variable i`
+		}()
+	}
+}
+
+// spawnByArg passes the index as an argument: the executor discipline.
+func spawnByArg(xs []int, out []int) {
+	for i := range xs {
+		go func(slot int) {
+			out[slot] = slot * 2
+		}(i)
+	}
+}
+
+// sharedCursor lets workers write through one captured cursor.
+func sharedCursor(out []int) {
+	next := 0
+	go func() {
+		out[next] = 1 // want `goroutine writes out\[next\] with a captured index`
+	}()
+	go func() {
+		next++ // want `goroutine writes captured variable next`
+	}()
+}
+
+// onceGuarded records the first error under sync.Once: allowed.
+func onceGuarded(errs []error, once *sync.Once) error {
+	var first error
+	go func() {
+		once.Do(func() {
+			first = errs[0]
+		})
+	}()
+	return first
+}
+
+// mutexGuarded takes a lock inside the closure: assumed synchronized.
+func mutexGuarded(mu *sync.Mutex, xs []int) int {
+	sum := 0
+	go func() {
+		mu.Lock()
+		sum = len(xs)
+		mu.Unlock()
+	}()
+	return sum
+}
+
+// slotSuppressed documents a single-goroutine exception.
+func slotSuppressed(out []int) {
+	k := 0
+	go func() {
+		out[k] = 9 //nvmcheck:ignore sharecheck fixture: only one goroutine ever runs here
+	}()
+}

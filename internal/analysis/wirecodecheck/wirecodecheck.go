@@ -17,6 +17,12 @@
 //
 // Sites that deliberately handle a subset carry a
 // //nvmcheck:ignore wirecodecheck <reason> comment.
+//
+// Unlike the rest of the suite, this analyzer is deliberately
+// flow-insensitive: exhaustiveness is a property of one syntactic
+// switch or literal, not of a path, so it does not build a CFG
+// (internal/analysis/cfg) the way persistcheck, lockcheck, sharecheck,
+// deadlinecheck and pptrcheck do.
 package wirecodecheck
 
 import (

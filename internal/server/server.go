@@ -376,6 +376,10 @@ func (c *conn) reply(reqID uint64, t wire.Type, payload []byte) error {
 	}
 	if w := c.srv.cfg.WriteTimeout; w > 0 {
 		c.nc.SetWriteDeadline(time.Now().Add(w)) //nolint:errcheck
+	} else {
+		// Timeout disabled by the operator: clear any deadline left on
+		// the conn so this write does not fail against a stale one.
+		c.nc.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	}
 	return wire.WriteFrame(c.nc, wire.Frame{Type: t, ReqID: reqID, Payload: payload})
 }

@@ -664,3 +664,24 @@ func workloadSchema(t *testing.T) storage.Schema {
 	}
 	return sch
 }
+
+// TestWriteTimeoutDisabled covers the operator opt-out: with a negative
+// WriteTimeout, reply must clear any deadline left on the conn instead
+// of writing under a stale one, and the full request cycle still works.
+// Regression test for the deadlinecheck finding that the zero-timeout
+// path reached WriteFrame with whatever deadline happened to be set.
+func TestWriteTimeoutDisabled(t *testing.T) {
+	eng := openEngine(t, txn.ModeNone, disk.Model{})
+	srv := startServer(t, eng, server.Config{WriteTimeout: -1})
+	c := dialClient(t, srv.Addr(), client.Options{})
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping with write timeout disabled: %v", err)
+	}
+	if err := c.CreateTable("wt", testCols, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Count("wt"); err != nil || n != 0 {
+		t.Fatalf("count = %d, %v; want 0", n, err)
+	}
+}
