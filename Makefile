@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck nvmcheck-stats test race fuzz-smoke crashmatrix benchscan
+.PHONY: check fmt vet nvmcheck nvmcheck-stats test race fuzz-smoke crashmatrix benchscan benchserve
 
 check: fmt vet nvmcheck race
 
@@ -62,6 +62,18 @@ benchscan:
 		-benchtime 3x -timeout 30m | tee BENCH_scan.txt
 	$(GO) run ./cmd/benchjson -in BENCH_scan.txt -out BENCH_scan.json
 	rm -f BENCH_scan.txt
+
+# Serving benchmarks: 1024-connection write workload, unbatched vs
+# persist-group commit, plus the 2x-saturation overload run with
+# admission control. Fixed op counts keep the runs comparable across
+# machines; the op budget is the bench's b.N.
+benchserve:
+	$(GO) test ./internal/load -run '^$$' -bench 'ServeWrite' \
+		-benchtime 2000x -timeout 30m | tee BENCH_serve.txt
+	$(GO) test ./internal/load -run '^$$' -bench 'ServeOverload' \
+		-benchtime 20000x -timeout 30m | tee -a BENCH_serve.txt
+	$(GO) run ./cmd/benchjson -in BENCH_serve.txt -out BENCH_serve.json
+	rm -f BENCH_serve.txt
 
 # Same smoke CI runs: 30s per wire fuzzer.
 fuzz-smoke:

@@ -46,6 +46,7 @@ var (
 	ErrNoSuchTxn    = hyrisenvError("no such transaction on this connection")
 	ErrBadColumn    = hyrisenvError("unknown column")
 	ErrShuttingDown = hyrisenvError("server is shutting down")
+	ErrOverloaded   = hyrisenvError("server is overloaded")
 	ErrClosed       = hyrisenvError("client is closed")
 	ErrTxDone       = hyrisenvError("transaction already finished")
 )
@@ -85,6 +86,11 @@ func errFromResp(e wire.ErrorResp) error {
 		sentinel = ErrBadColumn
 	case wire.CodeShuttingDown:
 		sentinel = ErrShuttingDown
+	case wire.CodeOverloaded:
+		// Deliberately not retried: the server sheds load by answering
+		// fast, and an immediate retry would defeat that. Callers decide
+		// when to back off.
+		sentinel = ErrOverloaded
 	case wire.CodeDeadline:
 		// Deadline errors surface as the standard context error so
 		// callers can use one errors.Is check for local and remote
@@ -104,9 +110,11 @@ func errFromResp(e wire.ErrorResp) error {
 
 // Options tunes Dial. The zero value picks sensible defaults.
 type Options struct {
-	// PoolSize caps pooled connections (default 4). A Tx pins one
-	// connection for its lifetime, so size the pool for the expected
-	// write concurrency.
+	// PoolSize caps pooled connections (default 4). Connections are
+	// shared: many requests multiplex over one connection as tagged
+	// in-flight frames (up to the pipeline depth the server advertised
+	// in the handshake), so the pool only needs to grow for throughput,
+	// not for concurrency.
 	PoolSize int
 	// DialTimeout bounds establishing one TCP connection + handshake
 	// (default 5 s).
@@ -141,18 +149,17 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Client is a pooled connection to one server. It is safe for
-// concurrent use.
+// Client is a pool of multiplexed connections to one server. It is
+// safe for concurrent use.
 type Client struct {
 	addr string
 	opts Options
 	mode hyrisenv.Mode
 
-	sem chan struct{} // capacity = PoolSize; one token per live checkout
-
-	mu     sync.Mutex
-	idle   []*wconn
-	closed bool
+	mu      sync.Mutex
+	conns   []*wconn
+	dialing int // dials in flight, counted against PoolSize
+	closed  bool
 }
 
 // Dial connects to a hyrise-nvd server and verifies the protocol
@@ -162,7 +169,6 @@ func Dial(addr string, opts Options) (*Client, error) {
 		addr: addr,
 		opts: opts.withDefaults(),
 	}
-	c.sem = make(chan struct{}, c.opts.PoolSize)
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.DialTimeout)
 	defer cancel()
 	wc, err := c.dial(ctx)
@@ -171,7 +177,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	}
 	c.mode = hyrisenv.Mode(wc.serverMode)
 	c.mu.Lock()
-	c.idle = append(c.idle, wc)
+	c.conns = append(c.conns, wc)
 	c.mu.Unlock()
 	return c, nil
 }
@@ -191,10 +197,10 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	idle := c.idle
-	c.idle = nil
+	conns := c.conns
+	c.conns = nil
 	c.mu.Unlock()
-	for _, wc := range idle {
+	for _, wc := range conns {
 		wc.close()
 	}
 	return nil
@@ -203,24 +209,199 @@ func (c *Client) Close() error {
 // ---------------------------------------------------------------------------
 // Pool internals.
 
-// wconn is one established, handshaken connection.
+// wconn is one established, handshaken connection, multiplexing many
+// in-flight requests. A single reader goroutine demultiplexes response
+// frames to waiters by request ID; writers serialize on wmu so frames
+// (and ID assignment) stay ordered on the wire.
 type wconn struct {
-	nc         net.Conn
-	br         *bufio.Reader
-	bw         *bufio.Writer
-	reqID      uint64
-	serverMode uint8
-	maxFrame   uint32
-	lastUsed   time.Time
-	broken     bool
+	nc          net.Conn
+	br          *bufio.Reader // owned by readLoop after the handshake
+	maxFrame    uint32
+	serverMode  uint8
+	version     uint16 // negotiated protocol version
+	maxInFlight int    // server's advertised pipeline depth (≥1)
+
+	wmu   sync.Mutex // serializes reqID assignment and frame writes
+	bw    *bufio.Writer
+	reqID uint64
+
+	mu       sync.Mutex
+	pending  map[uint64]chan wire.Frame // reqID → waiter (buffered, cap 1)
+	pins     int                        // live Txs referencing this conn
+	broken   bool
+	readErr  error // why the conn broke, for late arrivals
+	lastUsed time.Time
 }
 
-func (w *wconn) close() {
+func (w *wconn) close() { w.fail(net.ErrClosed) }
+
+// fail marks the connection broken exactly once, closes the socket, and
+// wakes every pending waiter with the failure.
+func (w *wconn) fail(err error) {
+	w.mu.Lock()
+	if w.broken {
+		w.mu.Unlock()
+		return
+	}
 	w.broken = true
+	w.readErr = err
+	pend := w.pending
+	w.pending = nil
+	w.mu.Unlock()
 	w.nc.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+func (w *wconn) isBroken() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.broken
+}
+
+// inflight reports how many requests are awaiting responses.
+func (w *wconn) inflight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+func (w *wconn) idleFor() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Since(w.lastUsed)
+}
+
+func (w *wconn) pin() {
+	w.mu.Lock()
+	w.pins++
+	w.mu.Unlock()
+}
+
+func (w *wconn) unpin() {
+	w.mu.Lock()
+	w.pins--
+	w.mu.Unlock()
+}
+
+// idleUnpinned reports whether nothing references the conn right now —
+// no in-flight request and no live Tx.
+func (w *wconn) idleUnpinned() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending) == 0 && w.pins == 0
+}
+
+// readLoop is the connection's only reader after the handshake: it
+// routes each response frame to the waiter that sent the matching
+// request. A frame nobody is waiting for belongs to a request whose
+// caller gave up (context expiry) and is dropped. Any read error breaks
+// the connection and wakes all waiters.
+func (w *wconn) readLoop() {
+	for {
+		//nvmcheck:ignore deadlinecheck the pipelined reader blocks between responses by design; liveness comes from per-request context deadlines in roundTrip and the pool's idle health check
+		f, err := wire.ReadFrame(w.br, w.maxFrame)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		w.mu.Lock()
+		ch := w.pending[f.ReqID]
+		delete(w.pending, f.ReqID)
+		w.lastUsed = time.Now()
+		w.mu.Unlock()
+		if ch != nil {
+			ch <- f // buffered: never blocks the reader
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its response, applying the
+// context deadline both remotely (frame header timeout) and locally
+// (abandoning the wait; the reader discards the late response). Other
+// requests proceed on the same connection while this one waits.
+func (w *wconn) roundTrip(ctx context.Context, t wire.Type, payload []byte) (wire.Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Frame{}, err
+	}
+	f := wire.Frame{Type: t, Payload: payload}
+	dl, hasDL := ctx.Deadline()
+	if hasDL {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return wire.Frame{}, context.DeadlineExceeded
+		}
+		if ms := remain.Milliseconds(); ms > 0 {
+			f.TimeoutMs = uint32(min(ms, int64(^uint32(0))))
+		} else {
+			f.TimeoutMs = 1
+		}
+	}
+	ch := make(chan wire.Frame, 1)
+
+	w.wmu.Lock()
+	w.mu.Lock()
+	if w.broken {
+		err := w.readErr
+		w.mu.Unlock()
+		w.wmu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return wire.Frame{}, err
+	}
+	w.reqID++
+	f.ReqID = w.reqID
+	w.pending[f.ReqID] = ch
+	w.mu.Unlock()
+	if hasDL {
+		w.nc.SetWriteDeadline(dl) //nolint:errcheck
+	} else {
+		w.nc.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	}
+	//nvmcheck:ignore lockcheck wmu serializes frame writes on purpose; the write deadline set from ctx above bounds the hold, and a deadline-less caller accepts sharing the connection's fate on a stalled peer
+	err := wire.WriteFrame(w.bw, f)
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.wmu.Unlock()
+	if err != nil {
+		w.forget(f.ReqID)
+		w.fail(err)
+		return wire.Frame{}, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			w.mu.Lock()
+			err := w.readErr
+			w.mu.Unlock()
+			if err == nil {
+				err = net.ErrClosed
+			}
+			return wire.Frame{}, err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		w.forget(f.ReqID)
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+// forget deregisters an abandoned request so its eventual response is
+// dropped by the reader instead of delivered.
+func (w *wconn) forget(id uint64) {
+	w.mu.Lock()
+	delete(w.pending, id)
+	w.mu.Unlock()
 }
 
 // dial establishes and handshakes one connection (no pool accounting).
+// The handshake runs serially on the calling goroutine; the reader
+// goroutine takes over the receive side only once the connection is
+// established.
 func (c *Client) dial(ctx context.Context) (*wconn, error) {
 	d := net.Dialer{}
 	nc, err := d.DialContext(ctx, "tcp", c.addr)
@@ -232,15 +413,38 @@ func (c *Client) dial(ctx context.Context) (*wconn, error) {
 		br:       bufio.NewReader(nc),
 		bw:       bufio.NewWriter(nc),
 		maxFrame: c.opts.MaxFrame,
+		pending:  make(map[uint64]chan wire.Frame),
 		lastUsed: time.Now(),
 	}
-	f, err := wc.roundTrip(ctx, wire.TypeHello, wire.Hello{Version: wire.Version}.Encode())
+	// Handshake deadline: without one, a dial to a black-holed server
+	// would hang in the Hello exchange forever. The caller's context can
+	// only tighten it. Cleared once the connection is established.
+	hsDL := time.Now().Add(10 * time.Second)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(hsDL) {
+		hsDL = dl
+	}
+	nc.SetDeadline(hsDL) //nolint:errcheck
+	wc.reqID = 1
+	hf := wire.Frame{Type: wire.TypeHello, ReqID: wc.reqID, Payload: wire.Hello{Version: wire.Version}.Encode()}
+	if err := wire.WriteFrame(wc.bw, hf); err == nil {
+		err = wc.bw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	f, err := wire.ReadFrame(wc.br, wc.maxFrame)
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
 	if f.Type != wire.TypeHelloOK {
 		nc.Close()
+		if f.Type == wire.TypeError {
+			if e, derr := wire.DecodeErrorResp(f.Payload); derr == nil {
+				return nil, fmt.Errorf("client: handshake rejected: %s", e.Msg)
+			}
+		}
 		return nil, fmt.Errorf("client: unexpected handshake reply %s", f.Type)
 	}
 	ok, err := wire.DecodeHelloOK(f.Payload)
@@ -248,136 +452,94 @@ func (c *Client) dial(ctx context.Context) (*wconn, error) {
 		nc.Close()
 		return nil, err
 	}
-	if ok.Version != wire.Version {
+	// The server negotiates down to the highest version both sides
+	// speak; anything in [MinVersion, Version] is fine. A v1 server
+	// advertises no pipeline depth, so the conn runs serially (depth 1).
+	if ok.Version < wire.MinVersion || ok.Version > wire.Version {
 		nc.Close()
-		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", ok.Version, wire.Version)
+		return nil, fmt.Errorf("client: server negotiated unsupported protocol %d", ok.Version)
 	}
+	wc.version = ok.Version
 	wc.serverMode = ok.Mode
+	wc.maxInFlight = int(ok.MaxInFlight)
+	if wc.maxInFlight < 1 {
+		wc.maxInFlight = 1
+	}
+	nc.SetDeadline(time.Time{}) //nolint:errcheck
+	go wc.readLoop()
 	return wc, nil
 }
 
-// acquire checks a connection out of the pool, dialing a new one if no
-// idle connection is available. Blocks when PoolSize connections are
-// already checked out.
-func (c *Client) acquire(ctx context.Context) (*wconn, error) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		return nil, ErrClosed
-	}
-	select {
-	case c.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-	// Token held from here on; every return path must either hand the
-	// conn to the caller or release the token.
+// conn picks a connection for one request: the least-loaded live
+// connection, or a fresh dial when every existing connection is busy
+// and the pool has room. Connections are shared — callers do not hold
+// them exclusively and there is nothing to release.
+func (c *Client) conn(ctx context.Context) (*wconn, error) {
 	for {
 		c.mu.Lock()
-		var wc *wconn
-		if n := len(c.idle); n > 0 {
-			wc = c.idle[n-1]
-			c.idle = c.idle[:n-1]
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
 		}
-		c.mu.Unlock()
-		if wc == nil {
-			break
-		}
-		if h := c.opts.HealthCheckAfter; h > 0 && time.Since(wc.lastUsed) > h {
-			// Bound the health check tightly: a dead server must not eat
-			// the whole request deadline before we try a fresh dial.
-			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-			_, err := wc.roundTrip(pctx, wire.TypePing, nil)
-			cancel()
-			if err != nil {
-				wc.close() // stale pooled conn (e.g. server restarted); try the next
-				continue
+		live := c.conns[:0]
+		for _, wc := range c.conns {
+			if !wc.isBroken() {
+				live = append(live, wc)
 			}
 		}
-		return wc, nil
-	}
-	wc, err := c.dial(ctx)
-	if err != nil {
-		<-c.sem
-		return nil, err
-	}
-	return wc, nil
-}
-
-// release returns a checked-out connection to the pool.
-func (c *Client) release(wc *wconn) {
-	defer func() { <-c.sem }()
-	if wc.broken {
-		wc.nc.Close()
-		return
-	}
-	wc.lastUsed = time.Now()
-	c.mu.Lock()
-	if c.closed {
+		c.conns = live
+		var best *wconn
+		bestLoad := 0
+		for _, wc := range c.conns {
+			if n := wc.inflight(); best == nil || n < bestLoad {
+				best, bestLoad = wc, n
+			}
+		}
+		canDial := len(c.conns)+c.dialing < c.opts.PoolSize
+		if best != nil && (bestLoad == 0 || !canDial) {
+			c.mu.Unlock()
+			if h := c.opts.HealthCheckAfter; h > 0 && best.inflight() == 0 && best.idleFor() > h {
+				// Bound the health check tightly: a dead server must not
+				// eat the whole request deadline before we re-pick.
+				pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				_, err := best.roundTrip(pctx, wire.TypePing, nil)
+				cancel()
+				if err != nil {
+					best.close() // stale conn (e.g. server restarted); re-pick
+					continue
+				}
+			}
+			return best, nil
+		}
+		c.dialing++
 		c.mu.Unlock()
-		wc.close()
-		return
-	}
-	c.idle = append(c.idle, wc)
-	c.mu.Unlock()
-}
-
-// roundTrip sends one request and reads its response, applying the
-// context deadline both locally (socket deadlines) and remotely (frame
-// header timeout). Any network failure marks the connection broken.
-func (w *wconn) roundTrip(ctx context.Context, t wire.Type, payload []byte) (wire.Frame, error) {
-	if w.broken {
-		return wire.Frame{}, net.ErrClosed
-	}
-	if err := ctx.Err(); err != nil {
-		return wire.Frame{}, err
-	}
-	w.reqID++
-	f := wire.Frame{Type: t, ReqID: w.reqID, Payload: payload}
-	if dl, ok := ctx.Deadline(); ok {
-		remain := time.Until(dl)
-		if remain <= 0 {
-			return wire.Frame{}, context.DeadlineExceeded
-		}
-		if ms := remain.Milliseconds(); ms > 0 {
-			f.TimeoutMs = uint32(min(ms, int64(^uint32(0))))
-		} else {
-			f.TimeoutMs = 1
-		}
-		w.nc.SetDeadline(dl) //nolint:errcheck
-	} else {
-		w.nc.SetDeadline(time.Time{}) //nolint:errcheck
-	}
-	if err := wire.WriteFrame(w.bw, f); err != nil {
-		w.broken = true
-		return wire.Frame{}, err
-	}
-	if err := w.bw.Flush(); err != nil {
-		w.broken = true
-		return wire.Frame{}, err
-	}
-	for {
-		resp, err := wire.ReadFrame(w.br, w.maxFrame)
+		wc, err := c.dial(ctx)
+		c.mu.Lock()
+		c.dialing--
 		if err != nil {
-			w.broken = true
-			if ne := (net.Error)(nil); errors.As(err, &ne) && ne.Timeout() && ctx.Err() != nil {
-				return wire.Frame{}, ctx.Err()
+			c.mu.Unlock()
+			if best != nil {
+				return best, nil // scale-out failed; share the busy conn
 			}
-			return wire.Frame{}, err
+			return nil, err
 		}
-		if resp.ReqID != f.ReqID {
-			// A response for a request we gave up on earlier; the
-			// protocol is strictly serial per connection, so skip it.
-			continue
+		if c.closed {
+			c.mu.Unlock()
+			wc.close()
+			return nil, ErrClosed
 		}
-		return resp, nil
+		c.conns = append(c.conns, wc)
+		c.mu.Unlock()
+		return wc, nil
 	}
 }
 
 // do runs one request on a pooled connection. Idempotent requests
 // (retriable=true) are retried once on a fresh connection after a
 // network error — the reconnect path that rides out a server restart.
+// Writes are never retried: after a network failure the client cannot
+// know whether the server applied them, so the definite network error
+// surfaces to the caller instead of a possible double-apply.
 func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable bool) (wire.Frame, error) {
 	var lastErr error
 	attempts := 1
@@ -385,12 +547,11 @@ func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable 
 		attempts = 2
 	}
 	for i := 0; i < attempts; i++ {
-		wc, err := c.acquire(ctx)
+		wc, err := c.conn(ctx)
 		if err != nil {
 			return wire.Frame{}, err
 		}
 		f, err := wc.roundTrip(ctx, t, payload)
-		c.release(wc)
 		if err == nil {
 			if f.Type == wire.TypeError {
 				e, derr := wire.DecodeErrorResp(f.Payload)
@@ -405,11 +566,12 @@ func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable 
 		if ctx.Err() != nil {
 			return wire.Frame{}, err
 		}
-		// A network failure usually means the server went away; every
-		// pooled connection is equally dead, so drop them all and let
+		// A network failure usually means the server went away; other
+		// pooled connections are probably equally dead but may not have
+		// noticed yet, so proactively drop the unreferenced ones and let
 		// the retry dial fresh — after a jittered backoff, so a fleet of
 		// clients doesn't hammer a restarting server in lockstep.
-		c.purgeIdle()
+		c.purgeStale()
 		if i+1 < attempts {
 			if serr := backoff.Sleep(ctx, reconnectBackoff, i); serr != nil {
 				return wire.Frame{}, lastErr
@@ -423,13 +585,23 @@ func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable 
 // exponential with jitter (see internal/backoff).
 var reconnectBackoff = backoff.Policy{Base: 2 * time.Millisecond, Max: 100 * time.Millisecond}
 
-// purgeIdle closes every idle pooled connection.
-func (c *Client) purgeIdle() {
+// purgeStale closes every pooled connection with no in-flight request
+// and no live Tx. Connections that are in use are left alone — if the
+// server really went away their reader notices on its own.
+func (c *Client) purgeStale() {
 	c.mu.Lock()
-	idle := c.idle
-	c.idle = nil
+	var stale []*wconn
+	live := c.conns[:0]
+	for _, wc := range c.conns {
+		if wc.idleUnpinned() {
+			stale = append(stale, wc)
+		} else {
+			live = append(live, wc)
+		}
+	}
+	c.conns = live
 	c.mu.Unlock()
-	for _, wc := range idle {
+	for _, wc := range stale {
 		wc.close()
 	}
 }

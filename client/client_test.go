@@ -3,6 +3,8 @@ package client_test
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -109,9 +111,11 @@ func TestWritesAreNotRetried(t *testing.T) {
 	}
 }
 
-// TestPoolBlocksAtCapacity checks that acquiring beyond PoolSize blocks
-// until a connection frees, honouring the caller's context.
-func TestPoolBlocksAtCapacity(t *testing.T) {
+// TestPoolSharesConnection checks that connections multiplex: with a
+// pool of one, concurrent transactions (and auto-commit reads) share
+// the single connection instead of blocking each other — the server
+// scopes transaction handles per connection and allows many.
+func TestPoolSharesConnection(t *testing.T) {
 	_, srv := startVolatile(t)
 	c, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
 	if err != nil {
@@ -122,25 +126,176 @@ func TestPoolBlocksAtCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tx, err := c.Begin() // pins the only connection
+	tx, err := c.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	// A second transaction and a read proceed on the shared connection
+	// while the first is still open. The deadline would fire if either
+	// had to wait for the first Tx to release anything.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	if _, err := c.BeginContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("second begin at capacity: got %v, want DeadlineExceeded", err)
+	tx2, err := c.BeginContext(ctx)
+	if err != nil {
+		t.Fatalf("second begin on shared conn: %v", err)
+	}
+	if _, err := c.CountContext(ctx, "t"); err != nil {
+		t.Fatalf("read alongside two open txs: %v", err)
+	}
+
+	// Both transactions commit independently and their writes land.
+	if _, err := tx.Insert("t", hyrisenv.Int(1), hyrisenv.Str("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Insert("t", hyrisenv.Int(2), hyrisenv.Str("b")); err != nil {
+		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	// Connection released: the pool serves again.
-	tx2, err := c.Begin()
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Count("t")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.Abort(); err != nil {
+	if n != 2 {
+		t.Fatalf("rows = %d, want 2", n)
+	}
+}
+
+// TestPipelinedSingleConn proves requests multiplex rather than
+// queueing for exclusive checkout: 16 goroutines hammer a PoolSize-1
+// client concurrently, and the server must see exactly one connection.
+func TestPipelinedSingleConn(t *testing.T) {
+	_, srv := startVolatile(t)
+	c, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
+	if err != nil {
 		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := c.Count("t"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if n := srv.NumConns(); n != 1 {
+		t.Fatalf("server sees %d conns, want 1 (requests must share the pooled conn)", n)
+	}
+}
+
+// TestMidPipelineRestart kills the server while pipelined requests are
+// in flight, then restarts it behind the same address. In-flight and
+// queued writes must surface a definite error (never a silent replay);
+// idempotent reads ride out the restart via the retry path; and the
+// client must be fully usable against the replacement server.
+func TestMidPipelineRestart(t *testing.T) {
+	_, srv := startVolatile(t)
+	addr := srv.Addr()
+	c, err := client.Dial(addr, client.Options{PoolSize: 2, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("t", hyrisenv.Int(1), hyrisenv.Str("staged")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep the pipeline busy with reads while the server dies.
+	stop := make(chan struct{})
+	var readErrs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Count("t"); err != nil {
+					readErrs.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	srv.Close() // every connection drops mid-pipeline
+
+	// The staged write's commit must report a definite failure: with the
+	// connection dead the client cannot know whether it applied, so it
+	// must not be replayed on a fresh connection.
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit across server death reported success")
+	}
+	close(stop)
+	wg.Wait()
+
+	// Restart behind the same address (fresh volatile engine).
+	eng2, err := core.Open(core.Config{Mode: txn.ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := server.Listen(eng2, addr, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv2.Close()
+		eng2.Close()
+	})
+
+	// Idempotent ping flushes the dead conns and redials transparently.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatalf("begin after restart: %v", err)
+	}
+	if _, err := tx2.Insert("t", hyrisenv.Int(2), hyrisenv.Str("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Count("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rows after restart = %d, want 1 (the pre-restart staged row must not reappear)", n)
 	}
 }
 

@@ -9,9 +9,11 @@ import (
 
 // Tx is a server-side transaction pinned to one pooled connection (the
 // server scopes transaction handles to the connection that began them).
-// Like hyrisenv.Tx it is not safe for concurrent use. Commit and Abort
-// return the connection to the pool; a network failure mid-transaction
-// breaks the Tx (the server aborts it when the connection drops).
+// Like hyrisenv.Tx it is not safe for concurrent use. The connection is
+// shared, not held exclusively — other requests multiplex over it while
+// the Tx is open; the pin only keeps the pool from discarding it. A
+// network failure mid-transaction breaks the Tx (the server aborts it
+// when the connection drops).
 type Tx struct {
 	c    *Client
 	wc   *wconn
@@ -46,17 +48,15 @@ func (c *Client) BeginAtContext(ctx context.Context, cid uint64) (*Tx, error) {
 }
 
 func (c *Client) begin(ctx context.Context, req wire.BeginReq) (*Tx, error) {
-	wc, err := c.acquire(ctx)
+	wc, err := c.conn(ctx)
 	if err != nil {
 		return nil, err
 	}
 	f, err := wc.roundTrip(ctx, wire.TypeBegin, req.Encode())
 	if err != nil {
-		c.release(wc)
 		return nil, err
 	}
 	if f.Type == wire.TypeError {
-		c.release(wc)
 		e, derr := wire.DecodeErrorResp(f.Payload)
 		if derr != nil {
 			return nil, derr
@@ -65,10 +65,10 @@ func (c *Client) begin(ctx context.Context, req wire.BeginReq) (*Tx, error) {
 	}
 	ok, err := wire.DecodeBeginOK(f.Payload)
 	if err != nil {
-		wc.broken = true
-		c.release(wc)
+		wc.close() // response stream is unparseable; nothing on it is trustworthy
 		return nil, err
 	}
+	wc.pin()
 	return &Tx{c: c, wc: wc, id: ok.Txn, snap: ok.SnapshotCID}, nil
 }
 
@@ -98,13 +98,13 @@ func (tx *Tx) roundTrip(ctx context.Context, t wire.Type, payload []byte) (wire.
 	return f, nil
 }
 
-// finish releases the pinned connection back to the pool exactly once.
+// finish drops the Tx's pin on its connection exactly once.
 func (tx *Tx) finish() {
 	if tx.done {
 		return
 	}
 	tx.done = true
-	tx.c.release(tx.wc)
+	tx.wc.unpin()
 }
 
 // Commit makes the transaction's effects visible and durable.

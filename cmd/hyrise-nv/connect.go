@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -13,10 +14,11 @@ import (
 
 	"hyrisenv"
 	"hyrisenv/client"
+	"hyrisenv/internal/load"
 	"hyrisenv/internal/workload"
 )
 
-// runConnect implements `hyrise-nv connect <load|run|scan|stats|watch>`:
+// runConnect implements `hyrise-nv connect <load|run|bench|scan|stats|watch>`:
 // the same load/query tooling as the embedded subcommands, but executed
 // over the wire against a running hyrise-nvd.
 func runConnect(args []string) {
@@ -25,6 +27,9 @@ func runConnect(args []string) {
 	}
 	sub := args[0]
 	switch sub {
+	case "bench":
+		connectBench(args[1:])
+		return
 	case "load", "run", "scan", "stats", "watch":
 	default:
 		connectUsage() // reject unknown subcommands before dialing
@@ -63,9 +68,74 @@ func runConnect(args []string) {
 }
 
 func connectUsage() {
-	fmt.Fprintln(os.Stderr, `usage: hyrise-nv connect <load|run|scan|stats|watch> [-addr host:port] [flags]
+	fmt.Fprintln(os.Stderr, `usage: hyrise-nv connect <load|run|bench|scan|stats|watch> [-addr host:port] [flags]
 run "hyrise-nv connect <sub> -h" for the flags of each subcommand`)
 	os.Exit(2)
+}
+
+// connectBench runs the YCSB-style load driver (internal/load) against a
+// running server: zipfian key choice, a read/update/insert mix, many
+// pipelined connections, and optional open-loop arrival at a fixed
+// offered rate. It preloads its own table, so it works against a fresh
+// daemon.
+func connectBench(args []string) {
+	fs := flag.NewFlagSet("connect bench", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:4466", "hyrise-nvd address")
+	table := fs.String("table", "ycsb", "benchmark table (created/preloaded by the driver)")
+	mixName := fs.String("mix", "a", `operation mix: "a" (50/50 read/update), "b" (95/5), "write" (100% update)`)
+	conns := fs.Int("conns", 64, "TCP connections to hold open")
+	workers := fs.Int("workers", 64, "concurrent operation issuers")
+	ops := fs.Int("ops", 0, "operation budget (0 = run for -duration)")
+	dur := fs.Duration("duration", 10*time.Second, "run length when -ops is 0")
+	rate := fs.Float64("rate", 0, "offered load in ops/s for open-loop arrival (0 = closed loop)")
+	keys := fs.Uint64("keys", 10000, "keyspace size (rows preloaded before measuring)")
+	zipf := fs.Float64("zipf", 1.1, "zipfian skew parameter (>1)")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	fs.Parse(args)
+
+	var mix load.Mix
+	switch *mixName {
+	case "a":
+		mix = load.MixA
+	case "b":
+		mix = load.MixB
+	case "write":
+		mix = load.MixWrite
+	default:
+		log.Fatalf("unknown mix %q (want a, b or write)", *mixName)
+	}
+	cfg := load.Config{
+		Mix:      mix,
+		Workers:  *workers,
+		Ops:      *ops,
+		Duration: *dur,
+		Rate:     *rate,
+		Keys:     *keys,
+		ZipfS:    *zipf,
+		Seed:     *seed,
+	}
+
+	ctx := context.Background()
+	fmt.Printf("preloading %d rows into %q over %d connections...\n", *keys, *table, *conns)
+	tgt, err := load.DialTarget(ctx, *addr, *table, *conns, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tgt.Close()
+
+	if *rate > 0 {
+		fmt.Printf("running mix %s, %d workers, open loop at %.0f ops/s...\n", *mixName, *workers, *rate)
+	} else {
+		fmt.Printf("running mix %s, %d workers, closed loop...\n", *mixName, *workers)
+	}
+	res, err := load.Run(ctx, tgt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	if res.FirstError != nil {
+		fmt.Printf("first hard failure: %v\n", res.FirstError)
+	}
 }
 
 // connectLoad creates the orders table and streams rows in over

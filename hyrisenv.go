@@ -146,6 +146,19 @@ type Config struct {
 	// historical behavior). Every read path — embedded Tx methods and
 	// the network server's handlers — shares this executor.
 	Parallelism int
+	// GroupCommit coalesces concurrent commits into persist groups that
+	// share one set of commit fences (NVM mode) — the NVM analog of WAL
+	// group commit. Under concurrent write load this amortizes the
+	// dominant commit-path cost; a lone committer pays one extra
+	// leader/follower handoff but still commits immediately.
+	GroupCommit bool
+	// GroupCommitMaxBatch bounds transactions per persist group
+	// (default 64).
+	GroupCommitMaxBatch int
+	// GroupCommitMaxDelay is how long a group leader waits for more
+	// commits before flushing (default 0: batches form naturally from
+	// commits arriving while the previous group flushes).
+	GroupCommitMaxDelay time.Duration
 }
 
 // RecoveryStats describes what the last Open had to do to reach a
@@ -210,6 +223,9 @@ func Open(cfg Config) (*DB, error) {
 		HashDictIndex:       cfg.HashDictIndex,
 		CompressCheckpoints: cfg.CompressCheckpoints,
 		Parallelism:         cfg.Parallelism,
+		GroupCommit:         cfg.GroupCommit,
+		GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
+		GroupCommitMaxDelay: cfg.GroupCommitMaxDelay,
 	})
 	if err != nil {
 		return nil, err

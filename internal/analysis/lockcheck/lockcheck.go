@@ -190,6 +190,11 @@ func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
 var persistNames = map[string]bool{
 	"Persist": true, "PersistBytes": true, "PersistAt": true,
 	"PersistRange": true, "PersistBegin": true, "PersistEnd": true,
+	// The split-barrier halves: Fence publishes flushed lines, and Drain
+	// is a fence plus the device-level durability wait (group commit's
+	// shared barrier). Under a read lock both carry Persist's hazard,
+	// and a drain stalls every reader for the device latency on top.
+	"Fence": true, "Drain": true,
 }
 
 // ---------------------------------------------------------------------------

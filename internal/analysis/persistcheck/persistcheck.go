@@ -22,6 +22,16 @@
 //     and known byte-slice mutators (PutBits) applied to such a slice;
 //   - persist barriers: Persist, PersistBytes, PersistAt, PersistRange,
 //     PersistBegin, PersistEnd;
+//   - flushes without a fence: Heap.Flush / Heap.FlushBytes, and the
+//     per-element FlushAt / FlushBegin / FlushEnd family. A flush moves
+//     the dirty writes into a "flushed" state — ordered into the write
+//     queue but durable only after the next fence. Group commit batches
+//     many flushes under one fence this way;
+//   - fences: Heap.Fence and Heap.Drain (the durability drain is a
+//     fence plus device latency; see nvm.Heap.Drain). A fence makes
+//     every flushed write durable — flushed clears, raw dirty writes
+//     stay dirty, because an sfence does not write back unflushed
+//     lines;
 //   - publish points: Heap.SetRoot and Heap.CasU64, and every return —
 //     except returns that propagate a non-nil error (aborted
 //     construction is unreachable; the scavenger reclaims it).
@@ -89,6 +99,14 @@ var heapWriteNames = map[string]bool{
 	"SetU64": true, "PutU64": true, "PutU32": true,
 }
 
+// flushAtNames are the per-element flush methods (pstruct vectors, MVCC
+// stamp stores). Unlike "Flush" the names are unambiguous, so they are
+// matched on any receiver; plain Flush/FlushBytes require a Heap
+// receiver to avoid classifying bufio.Writer.Flush as an NVM event.
+var flushAtNames = map[string]bool{
+	"FlushAt": true, "FlushBegin": true, "FlushEnd": true,
+}
+
 // sliceMutators are package-level functions known to write through a
 // []byte argument (bit-packing helpers).
 var sliceMutators = map[string]bool{
@@ -107,10 +125,27 @@ type write struct {
 // fact is the dataflow fact: nil means "unvisited" (the lattice
 // bottom). Facts are immutable — transfer and join return fresh values.
 type fact struct {
-	dirty []write // sorted by pos, deduplicated
+	dirty []write // raw writes, not yet flushed; sorted by pos, deduplicated
+	// flushed holds writes ordered into the device write queue by a
+	// Flush-family call but not yet made durable by a fence.
+	flushed []write
 	// barriered is true when every path from the entry to this point
-	// has executed a persist barrier.
+	// has executed a persist barrier (or fence).
 	barriered bool
+}
+
+func mergeWrites(a, b []write) []write {
+	merged := make([]write, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].pos < merged[j].pos })
+	out := merged[:0]
+	for _, w := range merged {
+		if len(out) == 0 || out[len(out)-1].pos != w.pos {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 var lattice = dataflow.Lattice[*fact]{
@@ -122,17 +157,11 @@ var lattice = dataflow.Lattice[*fact]{
 		if b == nil {
 			return a
 		}
-		merged := make([]write, 0, len(a.dirty)+len(b.dirty))
-		merged = append(merged, a.dirty...)
-		merged = append(merged, b.dirty...)
-		sort.Slice(merged, func(i, j int) bool { return merged[i].pos < merged[j].pos })
-		out := merged[:0]
-		for _, w := range merged {
-			if len(out) == 0 || out[len(out)-1].pos != w.pos {
-				out = append(out, w)
-			}
+		return &fact{
+			dirty:     mergeWrites(a.dirty, b.dirty),
+			flushed:   mergeWrites(a.flushed, b.flushed),
+			barriered: a.barriered && b.barriered,
 		}
-		return &fact{dirty: out, barriered: a.barriered && b.barriered}
 	},
 	Equal: func(a, b *fact) bool {
 		if (a == nil) != (b == nil) {
@@ -141,11 +170,16 @@ var lattice = dataflow.Lattice[*fact]{
 		if a == nil {
 			return true
 		}
-		if a.barriered != b.barriered || len(a.dirty) != len(b.dirty) {
+		if a.barriered != b.barriered || len(a.dirty) != len(b.dirty) || len(a.flushed) != len(b.flushed) {
 			return false
 		}
 		for i := range a.dirty {
 			if a.dirty[i].pos != b.dirty[i].pos {
+				return false
+			}
+		}
+		for i := range a.flushed {
+			if a.flushed[i].pos != b.flushed[i].pos {
 				return false
 			}
 		}
@@ -157,23 +191,66 @@ func (f *fact) withWrite(w write) *fact {
 	if f == nil {
 		f = &fact{}
 	}
-	out := make([]write, 0, len(f.dirty)+1)
-	out = append(out, f.dirty...)
-	out = append(out, w)
-	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
-	return &fact{dirty: out, barriered: f.barriered}
+	return &fact{dirty: mergeWrites(f.dirty, []write{w}), flushed: f.flushed, barriered: f.barriered}
+}
+
+// withFlushed records a write that arrives already flushed — a call of
+// an in-package helper whose summary says it returns with flushed,
+// unfenced lines (the group-commit follower pattern).
+func (f *fact) withFlushed(w write) *fact {
+	if f == nil {
+		f = &fact{}
+	}
+	return &fact{dirty: f.dirty, flushed: mergeWrites(f.flushed, []write{w}), barriered: f.barriered}
+}
+
+// afterFlush orders the dirty writes into the write queue: they are no
+// longer reorderable but become durable only at the next fence. Like
+// the barrier rules, address ranges are not modeled — one flush covers
+// every pending write.
+func (f *fact) afterFlush() *fact {
+	if f == nil || len(f.dirty) == 0 {
+		return f
+	}
+	return &fact{flushed: mergeWrites(f.flushed, f.dirty), barriered: f.barriered}
+}
+
+// afterFence drains the write queue: flushed writes are durable. Raw
+// dirty writes stay dirty — an sfence does not write back unflushed
+// cache lines.
+func (f *fact) afterFence() *fact {
+	if f == nil {
+		return &fact{barriered: true}
+	}
+	return &fact{dirty: f.dirty, barriered: true}
 }
 
 func (f *fact) afterBarrier() *fact { return &fact{barriered: true} }
 
-// afterPublish consumes the dirty set without counting as a barrier:
-// a dirty publish is reported at the publish site, and re-reporting the
-// same writes at the return (or at every caller) would be noise.
+// afterPublish consumes the dirty and flushed sets without counting as
+// a barrier: a dirty publish is reported at the publish site, and
+// re-reporting the same writes at the return (or at every caller) would
+// be noise.
 func (f *fact) afterPublish() *fact {
 	if f == nil {
 		return &fact{}
 	}
 	return &fact{barriered: f.barriered}
+}
+
+// pending returns the first write that is not yet durable (dirty takes
+// priority over flushed) and a verb describing what it still needs.
+func (f *fact) pending() (write, string, bool) {
+	if f == nil {
+		return write{}, "", false
+	}
+	if len(f.dirty) > 0 {
+		return f.dirty[0], "not persisted", true
+	}
+	if len(f.flushed) > 0 {
+		return f.flushed[0], "flushed but not fenced", true
+	}
+	return write{}, "", false
 }
 
 // ---------------------------------------------------------------------------
@@ -184,6 +261,9 @@ type opKind int
 const (
 	opNone opKind = iota
 	opWrite
+	opFlush
+	opFlushedCall
+	opFence
 	opBarrier
 	opPublish
 )
@@ -194,6 +274,10 @@ type psum struct {
 	// dirty: the function may return with unpersisted writes; a call
 	// dirties the caller.
 	dirty bool
+	// flushed: the function may return with writes flushed into the
+	// device queue but not fenced; the caller owes a fence (the
+	// group-commit follower contract).
+	flushed bool
 	// barrier: every path through the function executes a persist
 	// barrier and returns clean; a call acts as a barrier.
 	barrier bool
@@ -216,6 +300,12 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]
 		return opWrite, "Heap." + name
 	case name == "SetNoPersist":
 		return opWrite, "SetNoPersist"
+	case onHeap && (name == "Flush" || name == "FlushBytes"):
+		return opFlush, "Heap." + name
+	case flushAtNames[name]:
+		return opFlush, name
+	case onHeap && (name == "Fence" || name == "Drain"):
+		return opFence, "Heap." + name
 	case onHeap && (name == "SetRoot" || name == "CasU64"):
 		return opPublish, "Heap." + name
 	case (name == "copy" || name == "clear") && pkgName == "" && len(call.Args) > 0:
@@ -236,6 +326,8 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, tainted map[types.Object]
 				return opBarrier, "call of " + callee.Name()
 			case s.dirty:
 				return opWrite, "call of " + callee.Name()
+			case s.flushed:
+				return opFlushedCall, "call of " + callee.Name()
 			}
 		}
 	}
@@ -287,6 +379,12 @@ func run(pass *analysis.Pass) error {
 					s.dirty = true
 				}
 			}
+			if len(f.flushed) > 0 {
+				s.barrier = false
+				if !isErrorReturn(pass, ret) {
+					s.flushed = true
+				}
+			}
 		})
 		if returns == 0 {
 			// A function that never returns (infinite loop) has no
@@ -317,6 +415,12 @@ func analyze(pass *analysis.Pass, info *funcInfo, sums map[*types.Func]psum) *da
 			switch op, what := classify(pass, call, info.tainted, sums); op {
 			case opWrite:
 				f = f.withWrite(write{pos: call.Pos(), what: what})
+			case opFlush:
+				f = f.afterFlush()
+			case opFlushedCall:
+				f = f.withFlushed(write{pos: call.Pos(), what: what})
+			case opFence:
+				f = f.afterFence()
 			case opBarrier:
 				f = f.afterBarrier()
 			case opPublish:
@@ -354,6 +458,12 @@ func applyDefers(pass *analysis.Pass, info *funcInfo, sums map[*types.Func]psum,
 		switch op, what := classify(pass, d.Call, info.tainted, sums); op {
 		case opWrite:
 			f = f.withWrite(write{pos: d.Pos(), what: what})
+		case opFlush:
+			f = f.afterFlush()
+		case opFlushedCall:
+			f = f.withFlushed(write{pos: d.Pos(), what: what})
+		case opFence:
+			f = f.afterFence()
 		case opBarrier:
 			f = f.afterBarrier()
 		}
@@ -431,15 +541,20 @@ func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*t
 			op, what := classify(pass, call, info.tainted, sums)
 			switch op {
 			case opPublish:
-				if f != nil && len(f.dirty) > 0 {
-					d := f.dirty[0]
+				if d, verb, ok := f.pending(); ok {
 					pass.Reportf(call.Pos(),
-						"%s publishes while the %s at %s is not persisted",
-						what, d.what, pass.Fset.Position(d.pos))
+						"%s publishes while the %s at %s is %s",
+						what, d.what, pass.Fset.Position(d.pos), verb)
 				}
 				f = f.afterPublish()
 			case opWrite:
 				f = f.withWrite(write{pos: call.Pos(), what: what})
+			case opFlush:
+				f = f.afterFlush()
+			case opFlushedCall:
+				f = f.withFlushed(write{pos: call.Pos(), what: what})
+			case opFence:
+				f = f.afterFence()
 			case opBarrier:
 				f = f.afterBarrier()
 			}
@@ -453,7 +568,8 @@ func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*t
 	dirtyReturn := false
 	reported := false
 	forEachReturn(pass, info, sums, res, func(ret *ast.ReturnStmt, f *fact) {
-		if f == nil || len(f.dirty) == 0 || isErrorReturn(pass, ret) {
+		d, verb, ok := f.pending()
+		if !ok || isErrorReturn(pass, ret) {
 			return
 		}
 		dirtyReturn = true
@@ -461,10 +577,13 @@ func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*t
 			return
 		}
 		reported = true
-		d := f.dirty[0]
+		state := "unpersisted"
+		if verb == "flushed but not fenced" {
+			state = "flushed-but-unfenced"
+		}
 		pass.Reportf(ret.Pos(),
-			"function %s returns with unpersisted NVM write (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
-			fn.Name.Name, d.what, pass.Fset.Position(d.pos))
+			"function %s returns with %s NVM write (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
+			fn.Name.Name, state, d.what, pass.Fset.Position(d.pos))
 	})
 
 	// An annotation with no effect is annotation rot: either the

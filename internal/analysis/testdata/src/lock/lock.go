@@ -117,3 +117,54 @@ func (s *store) branchedUnlock(alt bool) {
 		s.mu.Unlock()
 	}
 }
+
+// ---------------------------------------------------------------------------
+// The leader/follower group-commit batcher pattern: a forming group
+// guarded by a mutex, a leader that lingers for followers and then runs
+// the shared durability barrier, and followers blocking on the group's
+// outcome.
+
+type batcher struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// leaderLingerUnderLock waits out the group-commit delay while still
+// holding the forming-group mutex: followers cannot even enqueue during
+// the linger, defeating the point of batching.
+func (b *batcher) leaderLingerUnderLock(h *nvm.Heap, p nvm.PPtr) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep may block indefinitely while holding b\.mu`
+	b.items = nil
+	h.Persist(p, 8)
+	b.mu.Unlock()
+}
+
+// leaderLingerOutsideLock is the correct shape: seal the group under
+// the mutex, release it, then linger and run the barrier — followers
+// keep enqueueing into the next group meanwhile.
+func (b *batcher) leaderLingerOutsideLock(h *nvm.Heap, p nvm.PPtr) {
+	b.mu.Lock()
+	b.items = nil
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	h.Persist(p, 8)
+}
+
+// drainUnderRLock runs the group's durability drain while holding only
+// a shared view: every reader stalls for the device latency, and the
+// barrier publishes state the read lock does not own.
+func (s *store) drainUnderRLock(h *nvm.Heap) {
+	s.rw.RLock()
+	h.Drain() // want `persist barrier Drain under read lock s\.rw`
+	s.rw.RUnlock()
+}
+
+// drainUnderCommitMutex is the group-commit leader idiom: the drain runs
+// under the exclusive commit mutex, which is allowed — that serialization
+// is exactly what the batcher amortizes.
+func (s *store) drainUnderCommitMutex(h *nvm.Heap) {
+	s.mu.Lock()
+	h.Drain()
+	s.mu.Unlock()
+}

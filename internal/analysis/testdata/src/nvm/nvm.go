@@ -36,6 +36,18 @@ func (h *Heap) Persist(p PPtr, n uint64) {}
 // PersistBytes flushes the cache lines covering b.
 func (h *Heap) PersistBytes(b []byte) {}
 
+// Flush orders the n bytes at p into the write queue without fencing.
+func (h *Heap) Flush(p PPtr, n uint64) {}
+
+// FlushBytes orders the cache lines covering b without fencing.
+func (h *Heap) FlushBytes(b []byte) {}
+
+// Fence makes every flushed line durable.
+func (h *Heap) Fence() {}
+
+// Drain is a fence plus the device-level durability latency.
+func (h *Heap) Drain() {}
+
 // SetRoot durably publishes p in root slot slot.
 func (h *Heap) SetRoot(slot uint32, p PPtr) {}
 

@@ -209,3 +209,84 @@ func stampOverDeclared(h *nvm.Heap, p nvm.PPtr) { // want `//nvm:nopersist on st
 	h.PutU64(p, 1)
 	h.Persist(p, 8)
 }
+
+// ---------------------------------------------------------------------------
+// Flush/fence cases: the two-stage durability model of flash-backed
+// NVDIMMs. Flush orders writes into the device queue; only a fence (or
+// the drain, which is a fence plus device latency) makes them durable.
+
+// flushNoFence orders the write into the queue but never fences: a
+// crash can still lose it.
+func flushNoFence(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Flush(p, 8)
+} // want `function flushNoFence returns with flushed-but-unfenced NVM write`
+
+// flushFenceClean is the explicit split-barrier protocol: flush, then
+// fence — together equivalent to Persist.
+func flushFenceClean(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Flush(p, 8)
+	h.Fence()
+	h.SetRoot(0, p)
+}
+
+// drainClean uses the durability drain as the fence: Drain is a fence
+// with device latency, so it discharges flushed writes the same way.
+func drainClean(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Flush(p, 8)
+	h.Drain()
+	h.SetRoot(0, p)
+}
+
+// fenceWithoutFlush must not launder a raw dirty write: an sfence does
+// not write back unflushed cache lines.
+func fenceWithoutFlush(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Fence()
+	h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the Heap\.SetU64 at .* is not persisted`
+}
+
+// flushPublishDirty publishes between the flush and the fence: the
+// write is ordered but not yet durable at the publish point.
+func flushPublishDirty(h *nvm.Heap, p nvm.PPtr) {
+	h.SetU64(p, 1)
+	h.Flush(p, 8)
+	h.SetRoot(0, p) // want `Heap\.SetRoot publishes while the Heap\.SetU64 at .* is flushed but not fenced`
+	h.Fence()
+}
+
+// ---------------------------------------------------------------------------
+// The group-commit leader/follower pattern: followers flush their own
+// writes without fencing, and the leader issues one fence for the whole
+// batch. The follower's summary carries "flushed, unfenced" to the
+// leader, which must discharge it.
+
+// followerFlush is the follower: flush without fence, caller owes the
+// fence. Package-private with in-package callers, so the obligation
+// transfers interprocedurally — no annotation needed.
+func followerFlush(h *nvm.Heap, p nvm.PPtr, cid uint64) {
+	h.SetU64(p, cid)
+	h.Flush(p, 8)
+}
+
+// leaderCommit fences once for every follower's flushed writes.
+func leaderCommit(h *nvm.Heap, ps []nvm.PPtr) {
+	for i, p := range ps {
+		followerFlush(h, p, uint64(i))
+	}
+	h.Fence()
+	if len(ps) > 0 {
+		h.SetRoot(0, ps[0])
+	}
+}
+
+// leaderForgetsFence batches the followers but never fences: the
+// flushed writes of the whole batch are still volatile at publish.
+func leaderForgetsFence(h *nvm.Heap, root nvm.PPtr, ps []nvm.PPtr) {
+	for i, p := range ps {
+		followerFlush(h, p, uint64(i))
+	}
+	h.SetRoot(0, root) // want `Heap\.SetRoot publishes while the call of followerFlush at .* is flushed but not fenced`
+}

@@ -99,3 +99,51 @@ func slotSuppressed(out []int) {
 		out[k] = 9 //nvmcheck:ignore sharecheck fixture: only one goroutine ever runs here
 	}()
 }
+
+// ---------------------------------------------------------------------------
+// The leader/follower batcher pattern: the leader publishes group
+// statistics with atomics while monitoring code reads them.
+
+type batchStats struct {
+	groups uint64
+	items  uint64
+}
+
+// leaderCommit is the atomic side: one leader bumps the counters per
+// committed group.
+func leaderCommit(s *batchStats, n uint64) {
+	atomic.AddUint64(&s.groups, 1)
+	atomic.AddUint64(&s.items, n)
+}
+
+// statsRace reads the leader-written counter plainly from the
+// monitoring path.
+func statsRace(s *batchStats) uint64 {
+	return s.groups // want `groups is accessed atomically elsewhere`
+}
+
+// statsClean is the matching atomic readout.
+func statsClean(s *batchStats) (uint64, uint64) {
+	return atomic.LoadUint64(&s.groups), atomic.LoadUint64(&s.items)
+}
+
+// fanOutCaptured spawns one follower per member but captures the loop
+// variable, so every follower commits the last member.
+func fanOutCaptured(members []int, results []int) {
+	for i := range members {
+		go func() {
+			results[i] = commitOne(members[i]) // want `goroutine captures loop variable i`
+		}()
+	}
+}
+
+// fanOutClean passes the member index as an argument.
+func fanOutClean(members []int, results []int) {
+	for i := range members {
+		go func(i int) {
+			results[i] = commitOne(members[i])
+		}(i)
+	}
+}
+
+func commitOne(int) int { return 1 }

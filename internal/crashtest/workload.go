@@ -16,6 +16,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
 )
 
 // intent is the effect set of one not-yet-committed transaction.
@@ -167,7 +168,40 @@ func Workload(e *core.Engine, rec *Recorder) error {
 	if err := mutateTxn(e, tbl, rec, []int64{200, 201}, []int64{5}); err != nil {
 		return err
 	}
+	if err := groupTxn(e, tbl, rec, [][]int64{{400, 401}, {402}, {403, 404}}); err != nil {
+		return err
+	}
 	return insertTxn(e, tbl, rec, 300, 301, 302)
+}
+
+// groupTxn commits one batch of insert transactions through the
+// persist-group commit protocol (txn.CommitGroup), so the barrier
+// enumeration sweeps the group's schedule: the shared commit-intent
+// fence, the shared stamp fence and the single per-batch durability
+// drain. The group's lastCID advance is one 8-byte persist covering
+// every member, so a crash anywhere in the schedule must roll back or
+// commit the whole batch — the recorder models it as one atomic intent.
+func groupTxn(e *core.Engine, tbl *storage.Table, rec *Recorder, members [][]int64) error {
+	var all []int64
+	for _, ids := range members {
+		all = append(all, ids...)
+	}
+	rec.begin(all, nil)
+	txns := make([]*txn.Txn, len(members))
+	for i, ids := range members {
+		tx := e.Begin()
+		for _, id := range ids {
+			if _, err := tx.Insert(tbl, orderRow(id)); err != nil {
+				return err
+			}
+		}
+		txns[i] = tx
+	}
+	if err := e.Manager().CommitGroup(txns); err != nil {
+		return err
+	}
+	rec.committed()
+	return nil
 }
 
 // VerifyRecovered checks the recovered engine against the recorder's

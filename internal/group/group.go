@@ -1,0 +1,182 @@
+// Package group implements a leader/follower batcher: concurrent callers
+// of Do are coalesced into groups, and one commit callback runs per group
+// on the first caller's goroutine (the leader) while the rest (followers)
+// block until the group's outcome is broadcast.
+//
+// It is the orchestration half of persist-group commit. The NVM commit
+// protocol costs three fences regardless of how many transactions it
+// stamps (txn.Manager.CommitGroup), so coalescing N concurrent commits
+// into one group divides the fence tax by N. The same shape serves any
+// "many callers, one barrier" resource: WAL syncs, checkpoint tickets.
+//
+// Batching is work-conserving: a leader first waits for the commit token
+// (only one group commits at a time), and followers arriving while the
+// previous group is still committing join the forming group for free. An
+// optional MaxDelay lets the leader linger for followers even when the
+// token is immediately available — the classic group-commit timeout — and
+// MaxBatch bounds group size so one group cannot grow without limit under
+// a backlog.
+package group
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by Do.
+var (
+	// ErrClosed is returned by Do after Close.
+	ErrClosed = errors.New("group: batcher closed")
+	// ErrPanicked is returned to followers when the commit callback
+	// panicked; the panic itself propagates on the leader's goroutine.
+	ErrPanicked = errors.New("group: commit callback panicked")
+)
+
+// Config tunes a Batcher. The zero value picks sensible defaults.
+type Config struct {
+	// MaxBatch bounds the number of items per group (default 64).
+	MaxBatch int
+	// MaxDelay is how long a leader holding the commit token lingers for
+	// followers before committing (default 0: commit immediately).
+	// Batching still happens with zero delay — followers that arrive
+	// while the previous group commits join the forming group — so the
+	// delay only matters at low concurrency, trading latency for batch
+	// size exactly like WAL group-commit timeouts.
+	MaxDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// batch is one forming or committing group.
+type batch[T any] struct {
+	items []T
+	full  chan struct{} // closed when MaxBatch is reached
+	done  chan struct{} // closed after commit; err is valid then
+	err   error
+}
+
+// Batcher coalesces concurrent Do calls into groups. Safe for concurrent
+// use by any number of goroutines.
+type Batcher[T any] struct {
+	cfg    Config
+	commit func([]T) error
+
+	// token has capacity 1 and holds the right to run commit: at most
+	// one group is committing at any moment, and the wait for the token
+	// is exactly the window in which followers pile up.
+	token chan struct{}
+
+	mu     sync.Mutex
+	cur    *batch[T] // forming group, nil when none
+	closed bool
+
+	groups atomic.Uint64 // groups committed
+	items  atomic.Uint64 // items committed
+}
+
+// New creates a Batcher that commits groups with the given callback. The
+// callback receives every item of the group in arrival order; a nil
+// error means the whole group succeeded, and its error (or panic) is
+// reported to every caller of the group.
+func New[T any](cfg Config, commit func([]T) error) *Batcher[T] {
+	b := &Batcher[T]{cfg: cfg.withDefaults(), commit: commit, token: make(chan struct{}, 1)}
+	b.token <- struct{}{}
+	return b
+}
+
+// Do submits x and blocks until the group containing it commits,
+// returning the group's outcome. The first caller of a forming group
+// becomes the leader and runs the commit callback on its own goroutine;
+// everyone else waits. If the callback panics, the panic propagates on
+// the leader's goroutine and followers get ErrPanicked.
+func (b *Batcher[T]) Do(x T) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	cur := b.cur
+	leader := cur == nil
+	if leader {
+		cur = &batch[T]{full: make(chan struct{}), done: make(chan struct{})}
+		b.cur = cur
+	}
+	cur.items = append(cur.items, x)
+	if len(cur.items) >= b.cfg.MaxBatch {
+		// Seal: later arrivals start the next group.
+		b.cur = nil
+		close(cur.full)
+	}
+	b.mu.Unlock()
+
+	if !leader {
+		<-cur.done
+		return cur.err
+	}
+
+	// Leader: wait for the commit token. Followers join while we wait —
+	// this is where batching comes from under load.
+	<-b.token
+	if d := b.cfg.MaxDelay; d > 0 {
+		timer := time.NewTimer(d)
+		select {
+		case <-cur.full:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+	b.mu.Lock()
+	if b.cur == cur { // not sealed by a follower hitting MaxBatch
+		b.cur = nil
+	}
+	items := cur.items
+	b.mu.Unlock()
+
+	// Commit, broadcasting the outcome even if the callback panics (a
+	// simulated NVM crash unwinds through here); followers must never
+	// hang on a dead leader.
+	completed := false
+	defer func() {
+		if !completed {
+			cur.err = ErrPanicked
+		}
+		b.groups.Add(1)
+		b.items.Add(uint64(len(items)))
+		b.token <- struct{}{}
+		close(cur.done)
+	}()
+	cur.err = b.commit(items)
+	completed = true
+	return cur.err
+}
+
+// Close rejects future Do calls and waits for the in-flight group (if
+// any) to finish committing. Callers already blocked in Do complete
+// normally. Close is idempotent.
+func (b *Batcher[T]) Close() {
+	b.mu.Lock()
+	b.closed = true
+	cur := b.cur
+	b.mu.Unlock()
+	if cur != nil {
+		// A forming group exists; its leader will commit it. Wait so the
+		// caller can tear down the committed-to resource afterwards.
+		<-cur.done
+	}
+	// Drain the token: when it is available no group is committing.
+	<-b.token
+	b.token <- struct{}{}
+}
+
+// Stats reports groups and items committed since New; their ratio is the
+// achieved batch size.
+func (b *Batcher[T]) Stats() (groups, items uint64) {
+	return b.groups.Load(), b.items.Load()
+}

@@ -1,0 +1,214 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyrisenv"
+	"hyrisenv/client"
+)
+
+// ClientTarget drives a served database over the wire protocol. Each
+// configured connection is one client.Client with a pool of exactly
+// one multiplexed connection, so `Conns` is the real TCP connection
+// count the server sees; workers spread across connections round-robin
+// and pipeline over them.
+//
+// Reads are index point-lookups on the key column. Updates rewrite a
+// preloaded row in a begin/update/commit transaction; each worker owns
+// a disjoint slice of the preloaded rows, so updates measure the write
+// path (group commit, admission) rather than MVCC conflict aborts.
+// Inserts append fresh rows.
+type ClientTarget struct {
+	table     string
+	clients   []*client.Client
+	rows      [][]uint64 // [worker][slot] → current row ID
+	slotBase  []uint64   // [worker] → first key id of its slot range
+	perWorker uint64
+	keys      uint64
+	insertSeq atomic.Uint64
+}
+
+var loadCols = []hyrisenv.Column{
+	{Name: "k", Type: hyrisenv.Int64},
+	{Name: "w", Type: hyrisenv.Int64},
+	{Name: "v", Type: hyrisenv.String},
+}
+
+// payload is the row payload; sized like a small YCSB field so frames
+// are realistic but the benchmark stays CPU-light.
+func payload(key uint64) hyrisenv.Value {
+	return hyrisenv.Str(fmt.Sprintf("v-%016x-padpadpadpadpad", key))
+}
+
+// DialTarget connects conns clients to addr, creates the load table
+// (key column indexed) if needed, and preloads cfg.Keys rows split
+// across cfg.Workers worker-owned slot ranges.
+func DialTarget(ctx context.Context, addr, table string, conns int, cfg Config) (*ClientTarget, error) {
+	cfg = cfg.withDefaults()
+	if conns <= 0 {
+		conns = cfg.Workers
+	}
+	t := &ClientTarget{
+		table:     table,
+		keys:      cfg.Keys,
+		perWorker: cfg.Keys / uint64(cfg.Workers),
+	}
+	if t.perWorker == 0 {
+		t.perWorker = 1
+	}
+	// Dial with bounded parallelism: at 1000+ connections the handshake
+	// round-trips dominate serial setup.
+	t.clients = make([]*client.Client, conns)
+	dialSem := make(chan struct{}, 32)
+	dialErr := make(chan error, conns)
+	var dialWG sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			dialSem <- struct{}{}
+			defer func() { <-dialSem }()
+			c, err := client.Dial(addr, client.Options{PoolSize: 1})
+			if err != nil {
+				dialErr <- fmt.Errorf("load: dial conn %d/%d: %w", i+1, conns, err)
+				return
+			}
+			t.clients[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	close(dialErr)
+	for err := range dialErr {
+		t.Close()
+		return nil, err
+	}
+	if err := t.clients[0].CreateTableContext(ctx, table, loadCols, "k"); err != nil &&
+		!errors.Is(err, client.ErrTableExists) {
+		t.Close()
+		return nil, err
+	}
+	if err := t.preload(ctx, cfg.Workers); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// preload inserts each worker's slot range, a few hundred rows per
+// transaction, fanned over a handful of goroutines.
+func (t *ClientTarget) preload(ctx context.Context, workers int) error {
+	t.rows = make([][]uint64, workers)
+	t.slotBase = make([]uint64, workers)
+	sem := make(chan struct{}, 8)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		t.slotBase[w] = uint64(w) * t.perWorker
+		t.rows[w] = make([]uint64, t.perWorker)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := t.client(w)
+			const batch = 256
+			for lo := uint64(0); lo < t.perWorker; lo += batch {
+				hi := min(lo+batch, t.perWorker)
+				tx, err := c.BeginContext(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for s := lo; s < hi; s++ {
+					key := t.slotBase[w] + s
+					row, err := tx.InsertContext(ctx, t.table,
+						hyrisenv.Int(int64(key)), hyrisenv.Int(int64(w)), payload(key))
+					if err != nil {
+						tx.AbortContext(ctx) //nolint:errcheck
+						errCh <- err
+						return
+					}
+					t.rows[w][s] = row
+				}
+				if err := tx.CommitContext(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return fmt.Errorf("load: preload: %w", err)
+		}
+	}
+	return nil
+}
+
+func (t *ClientTarget) client(worker int) *client.Client {
+	return t.clients[worker%len(t.clients)]
+}
+
+// Read is an index point-lookup by key.
+func (t *ClientTarget) Read(ctx context.Context, key uint64) error {
+	c := t.clients[int(key)%len(t.clients)]
+	_, err := c.CountContext(ctx, t.table,
+		hyrisenv.Pred{Col: "k", Op: hyrisenv.Eq, Val: hyrisenv.Int(int64(key % t.keys))})
+	return err
+}
+
+// Update rewrites one of the worker's preloaded rows in its own
+// transaction and tracks the new row version.
+func (t *ClientTarget) Update(ctx context.Context, worker int, key uint64) error {
+	w := worker % len(t.rows)
+	slot := key % t.perWorker
+	keyID := t.slotBase[w] + slot
+	tx, err := t.client(worker).BeginContext(ctx)
+	if err != nil {
+		return err
+	}
+	row, err := tx.UpdateContext(ctx, t.table, t.rows[w][slot],
+		hyrisenv.Int(int64(keyID)), hyrisenv.Int(int64(w)), payload(key^scramble(keyID)))
+	if err != nil {
+		tx.AbortContext(ctx) //nolint:errcheck
+		return err
+	}
+	if err := tx.CommitContext(ctx); err != nil {
+		return err
+	}
+	t.rows[w][slot] = row
+	return nil
+}
+
+// Insert appends a fresh row beyond the preloaded keyspace.
+func (t *ClientTarget) Insert(ctx context.Context, worker int, key uint64) error {
+	keyID := t.keys + t.insertSeq.Add(1)
+	tx, err := t.client(worker).BeginContext(ctx)
+	if err != nil {
+		return err
+	}
+	if _, err := tx.InsertContext(ctx, t.table,
+		hyrisenv.Int(int64(keyID)), hyrisenv.Int(int64(worker)), payload(key)); err != nil {
+		tx.AbortContext(ctx) //nolint:errcheck
+		return err
+	}
+	return tx.CommitContext(ctx)
+}
+
+// Conns reports how many TCP connections the target holds.
+func (t *ClientTarget) Conns() int { return len(t.clients) }
+
+// Close closes every connection.
+func (t *ClientTarget) Close() {
+	for _, c := range t.clients {
+		if c != nil {
+			c.Close() //nolint:errcheck
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is sized for the full bucket() range: 32 linear
+// microsecond buckets plus 32 sub-buckets for each power of two up to
+// 2^63 µs.
+const histBuckets = 32 + (64-histSubBits)*32
+
+// histSubBits gives 2^5 = 32 sub-buckets per power of two, bounding the
+// relative quantile error at ~3%.
+const histSubBits = 5
+
+// hist is a lock-free log-bucketed latency histogram (HDR-style:
+// linear below 32 µs, then geometric with 32 sub-buckets per octave).
+// Record is safe for concurrent use; quantiles are read after the run.
+type hist struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+	maxUS  atomic.Uint64
+}
+
+func bucket(us uint64) int {
+	if us < 1<<histSubBits {
+		return int(us)
+	}
+	e := bits.Len64(us) - 1 // 2^e ≤ us < 2^(e+1), e ≥ histSubBits
+	m := (us >> (uint(e) - histSubBits)) & (1<<histSubBits - 1)
+	return 1<<histSubBits + (e-histSubBits)<<histSubBits + int(m)
+}
+
+// bucketFloor is the smallest value mapping to bucket i — the value a
+// quantile reports, so quantiles under-estimate by at most one
+// sub-bucket width.
+func bucketFloor(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i)
+	}
+	i -= 1 << histSubBits
+	e := uint(i>>histSubBits) + histSubBits
+	m := uint64(i & (1<<histSubBits - 1))
+	return 1<<e + m<<(e-histSubBits)
+}
+
+func (h *hist) record(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	h.counts[bucket(us)].Add(1)
+	h.n.Add(1)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// quantile returns the q-th (0 < q ≤ 1) latency quantile.
+func (h *hist) quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return time.Duration(bucketFloor(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxUS.Load()) * time.Microsecond
+}
+
+func (h *hist) max() time.Duration {
+	return time.Duration(h.maxUS.Load()) * time.Microsecond
+}

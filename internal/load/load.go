@@ -1,0 +1,241 @@
+// Package load is a YCSB-style mixed-workload driver for the serving
+// path: zipfian key choice, read/update/insert mixes, and either
+// closed-loop (as fast as the server answers) or open-loop arrival (a
+// fixed offered rate, with latency measured from each operation's
+// *intended* start so queueing delay is charged to the server — the
+// coordinated-omission correction).
+//
+// The driver is transport-agnostic: it drives any Target. ClientTarget
+// adapts the wire client, so `hyrise-nv load -addr ...` and the
+// BenchmarkServe* benchmarks exercise the full network stack —
+// pipelined connections, admission control and group commit included.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyrisenv/client"
+)
+
+// Mix is an operation mix in percent. The three fields must sum to 100.
+type Mix struct {
+	ReadPct   int
+	UpdatePct int
+	InsertPct int
+}
+
+func (m Mix) validate() error {
+	if m.ReadPct < 0 || m.UpdatePct < 0 || m.InsertPct < 0 ||
+		m.ReadPct+m.UpdatePct+m.InsertPct != 100 {
+		return fmt.Errorf("load: mix %+v must be non-negative and sum to 100", m)
+	}
+	return nil
+}
+
+// Standard mixes, named after their YCSB counterparts.
+var (
+	MixA     = Mix{ReadPct: 50, UpdatePct: 50} // update-heavy
+	MixB     = Mix{ReadPct: 95, UpdatePct: 5}  // read-mostly
+	MixWrite = Mix{UpdatePct: 100}             // pure write (group-commit stress)
+)
+
+// Target is what the driver measures. Update and Insert receive the
+// worker index; the driver guarantees a given worker index is used by
+// one goroutine at a time, so targets may keep per-worker state (row-ID
+// maps) without locking.
+type Target interface {
+	Read(ctx context.Context, key uint64) error
+	Update(ctx context.Context, worker int, key uint64) error
+	Insert(ctx context.Context, worker int, key uint64) error
+}
+
+// Config tunes one Run.
+type Config struct {
+	// Mix is the operation mix (default MixA).
+	Mix Mix
+	// Workers is the number of concurrent operation issuers (default 16).
+	Workers int
+	// Ops is the total operation budget. 0 means run for Duration.
+	Ops int
+	// Duration bounds the run when Ops is 0 (default 10 s).
+	Duration time.Duration
+	// Rate is the offered load in ops/s for open-loop arrival. 0 runs
+	// closed-loop.
+	Rate float64
+	// Keys is the keyspace size operations draw from (default 10 000).
+	// Targets are preloaded with this many rows before measuring.
+	Keys uint64
+	// ZipfS is the zipfian skew parameter (>1; default 1.1).
+	ZipfS float64
+	// Seed makes key/op choice reproducible (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mix == (Mix{}) {
+		c.Mix = MixA
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Ops == 0 && c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Keys == 0 {
+		c.Keys = 10000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result summarizes one Run.
+type Result struct {
+	Ops     uint64 // operations issued (successful + failed)
+	Reads   uint64
+	Updates uint64
+	Inserts uint64
+
+	Errors    uint64 // failures other than the two below
+	Rejected  uint64 // fast-rejected by admission control (ErrOverloaded)
+	Conflicts uint64 // MVCC write-write conflicts (ErrConflict)
+
+	Elapsed    time.Duration
+	Throughput float64 // successful ops/s
+
+	P50, P95, P99, Max time.Duration
+
+	// FirstError samples the first hard failure (the Errors class), for
+	// diagnosing a run without logging every operation.
+	FirstError error
+}
+
+// String renders the result as a one-run summary table.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"ops %d (r %d / u %d / i %d)  errors %d  rejected %d  conflicts %d\n"+
+			"elapsed %v  throughput %.0f ops/s\n"+
+			"latency p50 %v  p95 %v  p99 %v  max %v",
+		r.Ops, r.Reads, r.Updates, r.Inserts, r.Errors, r.Rejected, r.Conflicts,
+		r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.P50, r.P95, r.P99, r.Max)
+}
+
+// Run drives the target with cfg's workload and reports latency and
+// throughput. It returns when the op budget or duration is exhausted
+// (in-flight operations complete) or when ctx is cancelled.
+func Run(ctx context.Context, tgt Target, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mix.validate(); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		h        hist
+		next     atomic.Int64
+		reads    atomic.Uint64
+		updates  atomic.Uint64
+		inserts  atomic.Uint64
+		errs     atomic.Uint64
+		rej      atomic.Uint64
+		confl    atomic.Uint64
+		good     atomic.Uint64
+		firstErr atomic.Value
+	)
+	start := time.Now()
+	var deadline time.Time
+	if cfg.Ops == 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			keys := newKeyChooser(rng, cfg.ZipfS, cfg.Keys)
+			for {
+				i := next.Add(1) - 1
+				if cfg.Ops > 0 && i >= int64(cfg.Ops) {
+					return
+				}
+				// Open loop: this operation's intended start is fixed by
+				// the arrival schedule, not by when a worker got free.
+				intended := time.Now()
+				if cfg.Rate > 0 {
+					intended = start.Add(time.Duration(float64(i) / cfg.Rate * float64(time.Second)))
+					if d := time.Until(intended); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if cfg.Ops == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				key := keys.next()
+				var err error
+				switch r := rng.Intn(100); {
+				case r < cfg.Mix.ReadPct:
+					reads.Add(1)
+					err = tgt.Read(ctx, key)
+				case r < cfg.Mix.ReadPct+cfg.Mix.UpdatePct:
+					updates.Add(1)
+					err = tgt.Update(ctx, w, key)
+				default:
+					inserts.Add(1)
+					err = tgt.Insert(ctx, w, key)
+				}
+				h.record(time.Since(intended))
+				switch {
+				case err == nil:
+					good.Add(1)
+				case errors.Is(err, client.ErrOverloaded):
+					rej.Add(1)
+				case errors.Is(err, client.ErrConflict):
+					confl.Add(1)
+				default:
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	res := Result{
+		Ops:       reads.Load() + updates.Load() + inserts.Load(),
+		Reads:     reads.Load(),
+		Updates:   updates.Load(),
+		Inserts:   inserts.Load(),
+		Errors:    errs.Load(),
+		Rejected:  rej.Load(),
+		Conflicts: confl.Load(),
+		Elapsed:   elapsed,
+		P50:       h.quantile(0.50),
+		P95:       h.quantile(0.95),
+		P99:       h.quantile(0.99),
+		Max:       h.max(),
+	}
+	if e, ok := firstErr.Load().(error); ok {
+		res.FirstError = e
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(good.Load()) / s
+	}
+	return res, ctx.Err()
+}

@@ -1,0 +1,38 @@
+package load
+
+import "math/rand"
+
+// keyChooser draws keys in [0, n) with a scrambled zipfian
+// distribution, YCSB-style: the zipfian rank is hashed so the hot keys
+// scatter across the whole keyspace instead of clustering at the low
+// end (which would otherwise land them all in one storage chunk and
+// flatter the cache).
+type keyChooser struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// newKeyChooser builds a chooser over n keys with skew s (s > 1;
+// values near 1 approximate YCSB's 0.99 hot-set behaviour).
+func newKeyChooser(rng *rand.Rand, s float64, n uint64) *keyChooser {
+	if n == 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	return &keyChooser{z: rand.NewZipf(rng, s, 1, n-1), n: n}
+}
+
+func (k *keyChooser) next() uint64 {
+	return scramble(k.z.Uint64()) % k.n
+}
+
+// scramble is the splitmix64 finalizer — a cheap, high-quality mixing
+// of the zipfian rank into a uniform-looking key id.
+func scramble(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

@@ -136,6 +136,13 @@ func (s *Store) PersistBegin(row uint64) { s.begin.PersistAt(row) }
 // PersistEnd persists the end stamp of row.
 func (s *Store) PersistEnd(row uint64) { s.end.PersistAt(row) }
 
+// FlushBegin flushes the begin stamp of row without fencing; group
+// commit flushes all stamps of a batch and fences once.
+func (s *Store) FlushBegin(row uint64) { s.begin.FlushAt(row) }
+
+// FlushEnd flushes the end stamp of row without fencing.
+func (s *Store) FlushEnd(row uint64) { s.end.FlushAt(row) }
+
 // Visible reports whether row is visible to a snapshot at snapCID taken
 // by transaction selfTID. Uncommitted inserts are visible only to their
 // owner; uncommitted invalidations (own deletes before commit) are

@@ -1,0 +1,91 @@
+package nvm
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainIsAFence checks the semantic contract: with DrainNS unset,
+// Drain behaves exactly like Fence — in pessimistic shadow mode it
+// publishes pending flushes to the durable image, so a crash at a later
+// barrier cannot lose them.
+func TestDrainIsAFence(t *testing.T) {
+	h, path := shadowHeap(t, 1<<20)
+	p, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetU64(p, 0xDEADBEEF)
+	h.Flush(p, 8)
+	h.Drain()
+	s := h.Stats()
+	if s.Drains != 1 {
+		t.Fatalf("Drains = %d, want 1", s.Drains)
+	}
+	if s.Fences == 0 {
+		t.Fatal("a drain should count as a fence too")
+	}
+	crashAtNextBarrier(t, h, 1, func() { h.Fence() })
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got := h2.U64(p); got != 0xDEADBEEF {
+		t.Fatalf("drained store lost by later crash: %#x", got)
+	}
+}
+
+// TestDrainCoalesces checks the device-flush cost model: concurrent
+// Drain calls share drain cycles, while sequential calls each pay a full
+// cycle. With a cycle of 20 ms, 8 concurrent drains must finish in at
+// most ~2 cycles' worth of requests (one in-flight cycle to wait out,
+// one shared cycle that covers all of them) — far below the 8 cycles
+// sequential callers would pay.
+func TestDrainCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coalesce.nvm")
+	const cycle = 20 * time.Millisecond
+	h, err := Create(path, 1<<20, WithLatency(LatencyModel{DrainNS: int64(cycle)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const n = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Drain()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < cycle {
+		t.Fatalf("concurrent drains finished in %v, below one %v cycle", elapsed, cycle)
+	}
+	// Generous bound: 2 cycles plus scheduler slack is still far below
+	// the n cycles uncoalesced drains would take.
+	if elapsed > 4*cycle {
+		t.Fatalf("concurrent drains took %v, want ~2 cycles of %v (not coalescing?)", elapsed, cycle)
+	}
+
+	// Sequential drains cannot share cycles: each waits a fresh one.
+	start = time.Now()
+	for i := 0; i < 3; i++ {
+		h.Drain()
+	}
+	if elapsed := time.Since(start); elapsed < 3*cycle {
+		t.Fatalf("3 sequential drains finished in %v, below 3 cycles of %v", elapsed, cycle)
+	}
+	if got := h.Stats().Drains; got != n+3 {
+		t.Fatalf("Drains = %d, want %d", got, n+3)
+	}
+}

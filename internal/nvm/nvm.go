@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 	"unsafe"
 )
 
@@ -123,16 +124,28 @@ var (
 // DRAM-based emulation platform of the paper. WriteNS is charged per cache
 // line flushed at a persist barrier; FenceNS once per barrier; ReadNS (off
 // by default) can be charged explicitly by read-side code via ChargeRead.
+//
+// DrainNS models the durability drain of flash-backed NVDIMMs, where the
+// cheap store fence (FenceNS, a core-local pipeline stall emulated as a
+// busy-wait) is distinct from flushing the DIMM's write queue down to
+// flash. A drain is a device-level operation: it takes at least DrainNS
+// wall-clock time, the waiting core is free to run other work (emulated
+// by sleeping, not spinning), and concurrent drain requests coalesce —
+// one device flush cycle satisfies every requester that was already
+// waiting when it began, exactly like fsync absorption on an SSD. With
+// DrainNS = 0 (battery/ADR-class hardware) Drain degenerates to Fence.
 type LatencyModel struct {
 	WriteNS int64
 	FenceNS int64
 	ReadNS  int64
+	DrainNS int64
 }
 
 // Stats counts persistence primitives since the heap was opened.
 type Stats struct {
 	Flushes   uint64 // cache lines flushed
 	Fences    uint64 // persist barriers issued
+	Drains    uint64 // durability drains issued (each also counts one fence)
 	Allocs    uint64
 	Frees     uint64
 	BytesUsed uint64 // high-water bump offset (excludes freed blocks)
@@ -152,8 +165,18 @@ type Heap struct {
 
 	flushes atomic.Uint64
 	fences  atomic.Uint64
+	drains  atomic.Uint64
 	allocs  atomic.Uint64
 	frees   atomic.Uint64
+
+	// Drain-cycle coalescing (see Drain). A cycle started while a
+	// requester was already waiting covers that requester; requesters
+	// arriving mid-cycle wait for the next one.
+	drainMu        sync.Mutex
+	drainCond      *sync.Cond
+	drainRunning   bool
+	drainStarted   uint64
+	drainCompleted uint64
 
 	// failAfter, when > 0, counts down on every persist barrier and
 	// panics with ErrSimulatedCrash when it reaches zero.
@@ -169,6 +192,7 @@ type Heap struct {
 	shadowOn bool
 	shadowMu sync.Mutex
 	shadow   []byte
+	pending  []flushRange // flushed but not yet fenced line ranges
 	tearRnd  *rand.Rand
 	crashed  bool
 }
@@ -262,6 +286,7 @@ func mapHeap(f *os.File, size uint64, opts []Option) (*Heap, error) {
 		return nil, fmt.Errorf("nvm: mmap: %w", err)
 	}
 	h := &Heap{f: f, mem: mem, size: size}
+	h.drainCond = sync.NewCond(&h.drainMu)
 	for _, o := range opts {
 		o(h)
 	}
@@ -367,21 +392,8 @@ func alignUp(n, a uint64) uint64 { return (n + a - 1) &^ (a - 1) }
 // what real hardware guarantees — clflush completion is only ordered by
 // the fence, and power can fail before it.
 func (h *Heap) Persist(p PPtr, n uint64) {
-	if n == 0 {
-		h.Fence()
-		return
-	}
-	first := uint64(p) &^ (CacheLineSize - 1)
-	last := (uint64(p) + n - 1) &^ (CacheLineSize - 1)
-	lines := (last-first)/CacheLineSize + 1
-	h.flushes.Add(lines)
-	if h.lat.WriteNS > 0 {
-		spin(h.lat.WriteNS * int64(lines))
-	}
+	h.Flush(p, n)
 	h.Fence()
-	if h.shadow != nil {
-		h.publish(first, last+CacheLineSize)
-	}
 }
 
 // PersistBytes persists a slice previously obtained from Bytes.
@@ -394,10 +406,52 @@ func (h *Heap) PersistBytes(b []byte) {
 	h.Persist(off, uint64(len(b)))
 }
 
-// Fence issues a store fence (sfence analog): it orders prior persists
-// before subsequent ones. Under the latency model it charges FenceNS. A
-// bare fence publishes nothing in shadow mode: sfence orders flushes, it
-// does not flush anything itself.
+// Flush flushes the cache lines covering [p, p+n) WITHOUT fencing — the
+// clflushopt/clwb analog. Flushed stores are not durable until a
+// subsequent Fence (or Persist) completes: in pessimistic shadow mode the
+// flushed lines are queued and reach the durable image only at the next
+// fence whose crash check passes. Group commit uses Flush to batch many
+// lines under a single fence, amortizing the FenceNS tax across a whole
+// commit group.
+func (h *Heap) Flush(p PPtr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := uint64(p) &^ (CacheLineSize - 1)
+	last := (uint64(p) + n - 1) &^ (CacheLineSize - 1)
+	lines := (last-first)/CacheLineSize + 1
+	h.flushes.Add(lines)
+	if h.lat.WriteNS > 0 {
+		spin(h.lat.WriteNS * int64(lines))
+	}
+	if h.shadow != nil {
+		h.addPending(first, last+CacheLineSize)
+	}
+}
+
+// FlushBytes flushes (without fencing) a slice previously obtained from
+// Bytes. The no-op on an empty slice mirrors Flush, not PersistBytes: a
+// flush of nothing orders nothing.
+func (h *Heap) FlushBytes(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	h.Flush(h.offsetOf(&b[0]), uint64(len(b)))
+}
+
+// Fence issues a store fence (sfence analog): it orders prior flushes
+// before subsequent ones and makes them durable. Under the latency model
+// it charges FenceNS. In pessimistic shadow mode, line ranges queued by
+// earlier Flush calls are published to the durable image only after the
+// fence's crash check passes — a crash AT the fence loses everything
+// flushed since the previous fence. A bare fence with no preceding flush
+// publishes nothing: sfence orders flushes, it does not flush anything
+// itself.
+//
+// The pending-flush queue is heap-global, so in shadow mode a fence on
+// one goroutine publishes flushes issued on another. That is marginally
+// optimistic for concurrent persist protocols, but the crash matrix
+// drives workloads single-threaded, where the model is exact.
 func (h *Heap) Fence() {
 	h.fences.Add(1)
 	if h.lat.FenceNS > 0 {
@@ -409,6 +463,59 @@ func (h *Heap) Fence() {
 			panic(ErrSimulatedCrash)
 		}
 	}
+	if h.shadow != nil {
+		h.publishPending()
+	}
+}
+
+// Drain issues a durability drain: the device-level barrier after which
+// everything previously flushed is guaranteed to survive power loss even
+// on flash-backed NVDIMMs, whose store fences order the write queue but
+// do not empty it. Commit protocols use Drain at their single durability
+// point (analogous to fsync after buffered writes) and plain Fence for
+// the ordering barriers in between.
+//
+// Durability semantics are those of Fence — Drain issues one internally,
+// so shadow-mode publication and the crash fail-point behave identically
+// and DrainNS = 0 degenerates to exactly a fence. What DrainNS adds is
+// the cost model: the caller joins the next device flush cycle, sleeping
+// (not spinning — the core is free) until a full cycle of at least
+// DrainNS has elapsed that began after the call. Concurrent callers
+// coalesce onto one cycle, which is precisely the effect persist-group
+// commit exploits: one drain per batch instead of one per transaction.
+func (h *Heap) Drain() {
+	h.drains.Add(1)
+	if h.lat.DrainNS > 0 {
+		h.awaitDrainCycle(time.Duration(h.lat.DrainNS))
+	}
+	h.Fence()
+}
+
+// awaitDrainCycle blocks until a full drain cycle of length d that
+// started at or after the call has completed. The first waiter with no
+// cycle in flight runs the cycle itself (sleeping d, then waking the
+// cohort); everyone else waits for that cycle — or, if one was already
+// running when they arrived, for the one after it, since an in-flight
+// cycle began before their flushes reached the device queue.
+func (h *Heap) awaitDrainCycle(d time.Duration) {
+	h.drainMu.Lock()
+	need := h.drainStarted + 1
+	for h.drainCompleted < need {
+		if !h.drainRunning {
+			h.drainRunning = true
+			h.drainStarted++
+			mine := h.drainStarted
+			h.drainMu.Unlock()
+			time.Sleep(d)
+			h.drainMu.Lock()
+			h.drainRunning = false
+			h.drainCompleted = mine
+			h.drainCond.Broadcast()
+		} else {
+			h.drainCond.Wait()
+		}
+	}
+	h.drainMu.Unlock()
 }
 
 // ChargeRead charges the read latency model for n bytes. The storage layer
@@ -439,6 +546,7 @@ func (h *Heap) Stats() Stats {
 	return Stats{
 		Flushes:   h.flushes.Load(),
 		Fences:    h.fences.Load(),
+		Drains:    h.drains.Load(),
 		Allocs:    h.allocs.Load(),
 		Frees:     h.frees.Load(),
 		BytesUsed: h.u64(hdrArenaNext),
@@ -450,6 +558,7 @@ func (h *Heap) Stats() Stats {
 func (h *Heap) ResetStats() {
 	h.flushes.Store(0)
 	h.fences.Store(0)
+	h.drains.Store(0)
 	h.allocs.Store(0)
 	h.frees.Store(0)
 }

@@ -74,16 +74,35 @@ func (h *Heap) DirtyLines() uint64 {
 	return n
 }
 
-// publish copies the flushed line range [first, end) into the durable
-// image. Called from Persist after the fence's crash check passed.
-func (h *Heap) publish(first, end uint64) {
+// flushRange is a line-aligned byte range queued by Flush and published
+// to the durable image by the next successful Fence.
+type flushRange struct{ first, end uint64 }
+
+// addPending queues the flushed line range [first, end) for publication
+// at the next fence. Called from Flush; the range is NOT durable yet.
+func (h *Heap) addPending(first, end uint64) {
 	if end > h.size {
 		end = h.size
 	}
 	h.shadowMu.Lock()
 	if !h.crashed {
-		copy(h.shadow[first:end], h.mem[first:end])
+		h.pending = append(h.pending, flushRange{first, end})
 	}
+	h.shadowMu.Unlock()
+}
+
+// publishPending copies every queued flushed range into the durable
+// image. Called from Fence after the crash check passed; a crash at the
+// fence therefore drops the queue on the floor (see applyCrash), exactly
+// as real hardware loses flushes that no fence ordered.
+func (h *Heap) publishPending() {
+	h.shadowMu.Lock()
+	if !h.crashed {
+		for _, r := range h.pending {
+			copy(h.shadow[r.first:r.end], h.mem[r.first:r.end])
+		}
+	}
+	h.pending = h.pending[:0]
 	h.shadowMu.Unlock()
 }
 
@@ -102,6 +121,8 @@ func (h *Heap) applyCrash() {
 		return
 	}
 	h.crashed = true
+	// Flushes never covered by a fence die with the caches.
+	h.pending = nil
 	bound := h.scanBound()
 	for off := uint64(0); off < bound; off += CacheLineSize {
 		m := h.mem[off : off+CacheLineSize]

@@ -246,6 +246,13 @@ func (v *Vector) PersistAt(i uint64) {
 	v.h.Persist(v.elemPtr(i), v.elemSize)
 }
 
+// FlushAt flushes the single element at index i without fencing. The
+// element is durable only after the caller's next Fence; group commit
+// flushes a whole batch of stamps and fences once.
+func (v *Vector) FlushAt(i uint64) {
+	v.h.Flush(v.elemPtr(i), v.elemSize)
+}
+
 // Truncate durably drops elements at index >= n.
 func (v *Vector) Truncate(n uint64) {
 	if n > v.Len() {

@@ -2,22 +2,40 @@
 // TCP server that multiplexes many client connections onto one storage
 // engine using the internal/wire protocol.
 //
-// Each accepted connection gets its own goroutine and its own
-// transaction registry; transaction handles are connection-scoped, so a
+// Each accepted connection runs two goroutines: a reader that decodes
+// ahead into a bounded request queue (wire v2 pipelining) and a worker
+// that executes queued requests in arrival order and writes responses in
+// the same order. Transaction handles are connection-scoped, so a
 // dropped connection aborts everything it left open. Errors are
 // reported per request as structured wire.TypeError frames — a failed
-// request never tears down the connection. Shutdown drains gracefully:
-// the listener closes, in-flight requests finish (bounded by the drain
-// context), remaining open transactions are aborted, and only then does
-// the caller close the engine.
+// request never tears down the connection.
+//
+// A fixed-size admission semaphore with a bounded wait queue sits in
+// front of the execution stage: work that cannot be admitted in time is
+// answered with a CodeOverloaded error frame immediately (the
+// fast-reject path that keeps tail latency bounded past saturation).
+// Admission is transaction-scoped: Begin acquires a slot that the
+// transaction holds until commit or abort, so surplus load is shed at
+// the door while an admitted transaction — including the commit that
+// releases its row locks — can always finish. Standalone requests
+// (one-shot reads, DDL) hold a slot just for their own execution, and
+// ping stays exempt so health checks measure liveness, not load.
+//
+// Shutdown drains gracefully: the listener closes, every request already
+// queued on a connection finishes (bounded by the drain context),
+// requests arriving after the drain began get CodeShuttingDown replies,
+// remaining open transactions are aborted, and only then does the
+// caller close the engine.
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -46,6 +64,27 @@ type Config struct {
 	// WriteTimeout bounds writing one response frame. Default 30 s;
 	// negative disables.
 	WriteTimeout time.Duration
+	// PipelineDepth bounds how many decoded requests may queue on one
+	// connection ahead of execution (wire v2 pipelining; advertised to
+	// v2 clients as MaxInFlight). Excess frames wait in the kernel
+	// socket buffer. Default 32; negative forces strict request/response.
+	PipelineDepth int
+	// MaxConcurrent caps admitted work across all connections (the
+	// admission semaphore): each open transaction holds one slot from
+	// Begin to commit/abort, and each standalone request (one-shot
+	// read, DDL) holds one for its own execution. Default
+	// 64×GOMAXPROCS — sized for in-flight transactions, which span
+	// client round trips, not just CPU bursts; negative disables
+	// admission control entirely.
+	MaxConcurrent int
+	// AdmissionQueue bounds Begins/requests waiting for an admission
+	// slot; arrivals beyond it are fast-rejected with CodeOverloaded.
+	// Default 4×MaxConcurrent.
+	AdmissionQueue int
+	// AdmissionWait bounds how long one Begin/request waits for an
+	// admission slot before it is rejected with CodeOverloaded. Default
+	// 25 ms; negative rejects immediately when no slot is free.
+	AdmissionWait time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +103,21 @@ func (c *Config) withDefaults() Config {
 	if out.WriteTimeout == 0 {
 		out.WriteTimeout = 30 * time.Second
 	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = 32
+	}
+	if out.PipelineDepth < 0 {
+		out.PipelineDepth = 1
+	}
+	if out.MaxConcurrent == 0 {
+		out.MaxConcurrent = 64 * runtime.GOMAXPROCS(0)
+	}
+	if out.AdmissionQueue == 0 {
+		out.AdmissionQueue = 4 * out.MaxConcurrent
+	}
+	if out.AdmissionWait == 0 {
+		out.AdmissionWait = 25 * time.Millisecond
+	}
 	return out
 }
 
@@ -73,6 +127,12 @@ type Server struct {
 	cfg   Config
 	ln    net.Listener
 	start time.Time
+
+	// admit is the admission semaphore: one token per concurrently
+	// executing request. Nil when admission control is disabled.
+	admit        chan struct{}
+	admitWaiting atomic.Int64
+	rejected     atomic.Uint64
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -85,13 +145,17 @@ type Server struct {
 // New wraps an already-open engine. The caller retains ownership of the
 // engine: the server never closes it (see Shutdown).
 func New(eng *core.Engine, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		eng:   eng,
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
 		conns: map[*conn]struct{}{},
 		done:  make(chan struct{}),
 	}
+	if s.cfg.MaxConcurrent > 0 {
+		s.admit = make(chan struct{}, s.cfg.MaxConcurrent)
+	}
+	return s
 }
 
 // Listen binds addr (e.g. "127.0.0.1:4466"; port 0 picks a free port)
@@ -147,7 +211,8 @@ func (s *Server) Serve(ln net.Listener) error {
 				fmt.Sprintf("server at connection limit (%d)", s.cfg.MaxConns))
 			continue
 		}
-		c := &conn{srv: s, nc: nc, txns: map[uint64]*txn.Txn{}}
+		c := &conn{srv: s, nc: nc, bw: bufio.NewWriterSize(nc, 16<<10),
+			txns: map[uint64]*txn.Txn{}, txnRel: map[uint64]func(){}}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -174,11 +239,51 @@ func (s *Server) refuse(nc net.Conn, code uint16, msg string) {
 // NumConns reports the live connection count.
 func (s *Server) NumConns() int { return int(s.nConns.Load()) }
 
-// Shutdown drains the server: it stops accepting, lets in-flight
-// requests finish until ctx expires, then force-closes stragglers and
-// aborts every transaction still open. The engine is left open — the
-// caller (who owns it) closes it after Shutdown returns, which is what
-// makes "drain, then DB.Close" safe to race with a second signal.
+// Rejected reports how many requests the admission stage fast-rejected
+// with CodeOverloaded since the server started.
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
+
+// admitOne acquires one execution slot, returning its release func.
+// ok=false is the fast-reject path: the wait queue was full, or no slot
+// came free within AdmissionWait.
+func (s *Server) admitOne() (release func(), ok bool) {
+	if s.admit == nil {
+		return nil, true // admission control disabled
+	}
+	select {
+	case s.admit <- struct{}{}:
+		return s.releaseOne, true
+	default:
+	}
+	if int(s.admitWaiting.Add(1)) > s.cfg.AdmissionQueue {
+		s.admitWaiting.Add(-1)
+		s.rejected.Add(1)
+		return nil, false
+	}
+	defer s.admitWaiting.Add(-1)
+	if s.cfg.AdmissionWait <= 0 {
+		s.rejected.Add(1)
+		return nil, false
+	}
+	t := time.NewTimer(s.cfg.AdmissionWait)
+	defer t.Stop()
+	select {
+	case s.admit <- struct{}{}:
+		return s.releaseOne, true
+	case <-t.C:
+		s.rejected.Add(1)
+		return nil, false
+	}
+}
+
+func (s *Server) releaseOne() { <-s.admit }
+
+// Shutdown drains the server: it stops accepting, lets every request
+// already queued on a connection finish until ctx expires, then
+// force-closes stragglers and aborts every transaction still open. The
+// engine is left open — the caller (who owns it) closes it after
+// Shutdown returns, which is what makes "drain, then DB.Close" safe to
+// race with a second signal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -252,13 +357,37 @@ func (s *Server) dropConn(c *conn) {
 // ---------------------------------------------------------------------------
 // Per-connection handling.
 
+// drainGrace is how long the drain-mode reader waits for residual frames
+// from a client before giving up on the connection. Frames already
+// buffered arrive instantly; the grace only bounds a quiet socket.
+const drainGrace = 20 * time.Millisecond
+
+// queued is one decoded request waiting for the connection's worker.
+type queued struct {
+	f wire.Frame
+	// reject marks a request that arrived after the drain began: the
+	// worker answers it with CodeShuttingDown instead of executing it,
+	// keeping responses strictly in request order.
+	reject bool
+}
+
 type conn struct {
-	srv *Server
-	nc  net.Conn
+	srv     *Server
+	nc      net.Conn
+	version uint16 // negotiated protocol version
+
+	// bw buffers response frames so a pipelined burst costs one write
+	// syscall, not one per response. Only the handshake (before the
+	// worker starts) and then the worker goroutine write to it; the
+	// worker flushes whenever the request queue goes empty.
+	bw *bufio.Writer
 
 	// txns is the connection-scoped transaction registry; it is only
-	// touched by the connection's serve goroutine, except at close.
+	// touched by the connection's worker goroutine, except at teardown
+	// (after the worker has exited). txnRel holds the admission-slot
+	// release for each transaction that was charged one at Begin.
 	txns    map[uint64]*txn.Txn
+	txnRel  map[uint64]func()
 	nextTxn uint64
 
 	mu       sync.Mutex
@@ -266,7 +395,8 @@ type conn struct {
 	closed   bool
 }
 
-// beginDrain asks the connection to stop after the current request.
+// beginDrain asks the connection to stop reading new work. Requests
+// already queued still execute; later arrivals get CodeShuttingDown.
 func (c *conn) beginDrain() {
 	c.mu.Lock()
 	c.draining = true
@@ -292,17 +422,23 @@ func (c *conn) close() {
 	c.nc.Close()
 }
 
-// serve runs the connection's request loop: handshake, then strictly
-// sequential request/response until EOF, error, or drain.
+// serve runs the connection: handshake, then a reader that decodes
+// ahead into a bounded queue while the worker executes requests FIFO
+// and writes responses in the same order.
 func (c *conn) serve() {
 	defer func() {
 		c.close()
 		// Abort whatever the client left open so row locks are released.
+		// The worker has exited by now, so the registry is quiescent.
 		for id, t := range c.txns {
 			if t.Status() == txn.StatusActive {
 				t.Abort() //nolint:errcheck — already tearing down
 			}
 			delete(c.txns, id)
+			if rel, ok := c.txnRel[id]; ok {
+				delete(c.txnRel, id)
+				rel()
+			}
 		}
 		c.srv.dropConn(c)
 	}()
@@ -311,22 +447,91 @@ func (c *conn) serve() {
 		c.srv.logf("server: handshake with %s failed: %v", c.nc.RemoteAddr(), err)
 		return
 	}
+
+	reqQ := make(chan queued, c.srv.cfg.PipelineDepth)
+	workerDone := make(chan struct{})
+	go c.worker(reqQ, workerDone)
+	c.readLoop(reqQ)
+	close(reqQ)
+	<-workerDone
+}
+
+// readLoop decodes frames ahead of execution. The bounded queue is the
+// pipeline-depth backpressure: when it is full the send blocks, leaving
+// excess frames in the kernel socket buffer, so a client stalls nothing
+// but itself.
+func (c *conn) readLoop(reqQ chan<- queued) {
 	for {
-		if c.isDraining() {
-			return
-		}
 		f, err := c.readRequest()
 		if err != nil {
-			if !isExpectedNetErr(err) && !c.isDraining() {
+			if c.isDraining() {
+				c.drainReads(reqQ)
+				return
+			}
+			if !isExpectedNetErr(err) {
 				c.srv.logf("server: read from %s: %v", c.nc.RemoteAddr(), err)
 			}
 			return
 		}
-		if err := c.handle(f); err != nil {
+		if c.isDraining() {
+			reqQ <- queued{f: f, reject: true}
+			c.drainReads(reqQ)
+			return
+		}
+		reqQ <- queued{f: f}
+	}
+}
+
+// drainReads keeps answering frames that arrive after the drain began
+// with shutting-down errors (queued behind real work so responses stay
+// in request order). It stops once the client goes quiet for drainGrace;
+// a client that never goes quiet is bounded by the shutdown deadline's
+// force-close. A read interrupted mid-frame by the drain wake-up leaves
+// the stream desynced — the bad-magic error then ends the loop, the
+// same outcome as a v1 connection dropping mid-request.
+func (c *conn) drainReads(reqQ chan<- queued) {
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(drainGrace)) //nolint:errcheck
+		f, err := wire.ReadFrame(c.nc, c.srv.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		reqQ <- queued{f: f, reject: true}
+	}
+}
+
+// worker executes queued requests in arrival order and writes each
+// response before starting the next, so responses leave in request
+// order. On a write failure it closes the socket (waking the reader)
+// and discards the rest of the queue so the reader can never block on a
+// full channel.
+func (c *conn) worker(reqQ <-chan queued, done chan<- struct{}) {
+	defer close(done)
+	for q := range reqQ {
+		var err error
+		if q.reject {
+			err = c.replyErr(q.f.ReqID, wire.CodeShuttingDown, "server is shutting down")
+		} else {
+			err = c.handle(q.f)
+		}
+		if err == nil && len(reqQ) == 0 {
+			// No request is waiting: the client is (momentarily) blocked
+			// on our responses, so push them out now. While the queue is
+			// non-empty, responses coalesce in the buffer and a pipelined
+			// burst costs one syscall.
+			//nvmcheck:ignore deadlinecheck every buffered write went through c.reply, which set the conn's write deadline (or deliberately cleared it when WriteTimeout is disabled)
+			err = c.bw.Flush()
+		}
+		if err != nil {
 			c.srv.logf("server: write to %s: %v", c.nc.RemoteAddr(), err)
+			c.close()
+			for range reqQ { //nolint:revive — discard; the reader owns close(reqQ)
+			}
 			return
 		}
 	}
+	//nvmcheck:ignore deadlinecheck final responses under the write deadline c.reply last set; conn is closing anyway
+	c.bw.Flush() //nolint:errcheck — final responses; conn is closing anyway
 }
 
 func (c *conn) readRequest() (wire.Frame, error) {
@@ -338,6 +543,10 @@ func (c *conn) readRequest() (wire.Frame, error) {
 	return wire.ReadFrame(c.nc, c.srv.cfg.MaxFrame)
 }
 
+// handshake negotiates the protocol version: the connection speaks
+// min(client, server) provided the client's version is at least
+// wire.MinVersion. The HelloOK payload is version-gated — a v1 client
+// receives the historical 7-byte form without MaxInFlight.
 func (c *conn) handshake() error {
 	f, err := c.readRequest()
 	if err != nil {
@@ -346,24 +555,36 @@ func (c *conn) handshake() error {
 	if f.Type != wire.TypeHello {
 		c.reply(f.ReqID, wire.TypeError, wire.ErrorResp{ //nolint:errcheck
 			Code: wire.CodeBadRequest, Msg: "expected hello"}.Encode())
+		//nvmcheck:ignore deadlinecheck c.reply above set the write deadline; conn is being dropped
+		c.bw.Flush() //nolint:errcheck — conn is being dropped
 		return fmt.Errorf("first frame is %s, not hello", f.Type)
 	}
 	h, err := wire.DecodeHello(f.Payload)
 	if err != nil {
 		return err
 	}
-	if h.Version != wire.Version {
+	if h.Version < wire.MinVersion {
 		c.reply(f.ReqID, wire.TypeError, wire.ErrorResp{ //nolint:errcheck
 			Code: wire.CodeBadRequest,
-			Msg:  fmt.Sprintf("protocol version %d not supported (server speaks %d)", h.Version, wire.Version),
+			Msg: fmt.Sprintf("protocol version %d not supported (server speaks %d through %d)",
+				h.Version, wire.MinVersion, wire.Version),
 		}.Encode())
+		//nvmcheck:ignore deadlinecheck c.reply above set the write deadline; conn is being dropped
+		c.bw.Flush() //nolint:errcheck — conn is being dropped
 		return fmt.Errorf("client version %d unsupported", h.Version)
 	}
-	return c.reply(f.ReqID, wire.TypeHelloOK, wire.HelloOK{
-		Version:    wire.Version,
-		Mode:       uint8(c.srv.eng.Mode()),
-		MaxPayload: c.srv.cfg.MaxFrame,
-	}.Encode())
+	c.version = min(h.Version, wire.Version)
+	if err := c.reply(f.ReqID, wire.TypeHelloOK, wire.HelloOK{
+		Version:     c.version,
+		Mode:        uint8(c.srv.eng.Mode()),
+		MaxPayload:  c.srv.cfg.MaxFrame,
+		MaxInFlight: uint32(c.srv.cfg.PipelineDepth),
+	}.Encode()); err != nil {
+		return err
+	}
+	// The worker (the only writer from here on) is not running yet.
+	//nvmcheck:ignore deadlinecheck the HelloOK reply above set the write deadline for this flush
+	return c.bw.Flush()
 }
 
 func (c *conn) reply(reqID uint64, t wire.Type, payload []byte) error {
@@ -381,7 +602,10 @@ func (c *conn) reply(reqID uint64, t wire.Type, payload []byte) error {
 		// the conn so this write does not fail against a stale one.
 		c.nc.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	}
-	return wire.WriteFrame(c.nc, wire.Frame{Type: t, ReqID: reqID, Payload: payload})
+	// Buffered: the worker flushes when the request queue goes empty, so
+	// the deadline set above governs a flush that is at most one handled
+	// request away.
+	return wire.WriteFrame(c.bw, wire.Frame{Type: t, ReqID: reqID, Payload: payload})
 }
 
 func (c *conn) replyErr(reqID uint64, code uint16, msg string) error {
@@ -392,6 +616,31 @@ func (c *conn) replyErr(reqID uint64, code uint16, msg string) error {
 // The returned error is a connection-level write failure; request-level
 // failures become TypeError frames.
 func (c *conn) handle(f wire.Frame) error {
+	// Admission control guards the execution stage and is
+	// transaction-scoped: Begin charges a slot the transaction holds
+	// until commit or abort (handled in dispatch), requests riding an
+	// admitted transaction — including the commit that releases its row
+	// locks — are covered by that slot, and one-shot reads charge a
+	// request-scoped slot once dispatch has decoded whether they carry
+	// a transaction. Ping stays exempt so health checks measure
+	// liveness, not load. Everything else (DDL and other standalone
+	// work) is gated here for its own execution.
+	//nvmcheck:ignore wirecodecheck the default arm is the point: anything not explicitly exempted — including new request types and response codes arriving as requests — pays admission first and then fails in dispatch
+	switch f.Type {
+	case wire.TypePing, wire.TypeBegin, wire.TypeCommit, wire.TypeAbort,
+		wire.TypeInsert, wire.TypeUpdate, wire.TypeDelete,
+		wire.TypeGetRow, wire.TypeSelect, wire.TypeCount:
+	default:
+		release, ok := c.srv.admitOne()
+		if !ok {
+			return c.replyErr(f.ReqID, wire.CodeOverloaded,
+				"admission queue full; back off and retry")
+		}
+		if release != nil {
+			defer release()
+		}
+	}
+
 	// Per-request deadline: the client stamps its timeout into the frame
 	// header; a request that cannot start before its deadline gets a
 	// structured CodeDeadline reply instead of a hung connection.
@@ -429,6 +678,14 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if err != nil {
 			return 0, nil, wire.CodeBadRequest, err.Error()
 		}
+		// The transaction-scoped admission point: the slot acquired here
+		// is held until commit/abort (or connection teardown), so under
+		// overload whole transactions are shed at Begin instead of
+		// letting admitted ones starve mid-flight.
+		release, ok := c.srv.admitOne()
+		if !ok {
+			return 0, nil, wire.CodeOverloaded, "admission queue full; back off and retry"
+		}
 		var tx *txn.Txn
 		if req.ReadOnly {
 			tx = c.srv.eng.Manager().BeginAt(req.AtCID)
@@ -438,6 +695,9 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		c.nextTxn++
 		id := c.nextTxn
 		c.txns[id] = tx
+		if release != nil {
+			c.txnRel[id] = release
+		}
 		return wire.TypeBeginOK, wire.BeginOK{Txn: id, SnapshotCID: tx.SnapshotCID()}.Encode(), 0, ""
 
 	case wire.TypeCommit, wire.TypeAbort:
@@ -454,6 +714,12 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 			err = tx.Commit()
 		} else {
 			err = tx.Abort()
+		}
+		// The admission slot covers the commit work itself; release it
+		// only once the transaction is fully over.
+		if rel, ok := c.txnRel[req.Txn]; ok {
+			delete(c.txnRel, req.Txn)
+			rel()
 		}
 		if err != nil {
 			return 0, nil, errCode(err), err.Error()
@@ -509,6 +775,17 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if err != nil {
 			return 0, nil, wire.CodeBadRequest, err.Error()
 		}
+		if req.Txn == 0 {
+			// One-shot read: no transaction slot covers it, so it pays
+			// request-scoped admission.
+			release, ok := c.srv.admitOne()
+			if !ok {
+				return 0, nil, wire.CodeOverloaded, "admission queue full; back off and retry"
+			}
+			if release != nil {
+				defer release()
+			}
+		}
 		tx, tbl, code, msg := c.readTxnTable(req.Txn, req.Table)
 		if code != 0 {
 			return 0, nil, code, msg
@@ -527,6 +804,17 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		req, err := wire.DecodeSelectReq(f.Payload)
 		if err != nil {
 			return 0, nil, wire.CodeBadRequest, err.Error()
+		}
+		if req.Txn == 0 {
+			// One-shot read: no transaction slot covers it, so it pays
+			// request-scoped admission.
+			release, ok := c.srv.admitOne()
+			if !ok {
+				return 0, nil, wire.CodeOverloaded, "admission queue full; back off and retry"
+			}
+			if release != nil {
+				defer release()
+			}
 		}
 		tx, tbl, code, msg := c.readTxnTable(req.Txn, req.Table)
 		if code != 0 {

@@ -30,12 +30,18 @@ import (
 // demonstrates.
 
 const (
-	txnSlots = 256
+	// defaultTxnSlots sizes the persistent context directory of a fresh
+	// heap — the cap on concurrent writing transactions. Sized for the
+	// serving path, where 1000+ pipelined connections can all be inside
+	// a writing transaction at once. Heaps written before the directory
+	// became sized (root aux 0) carry legacyTxnSlots.
+	defaultTxnSlots = 4096
+	legacyTxnSlots  = 256
 
-	// Commit root block: lastCID u64 | slot[txnSlots] u64.
+	// Commit root block: lastCID u64 | slot[numSlots] u64. The slot
+	// count is recorded in the commit root's aux word.
 	crOffLastCID = 0
 	crOffSlots   = 8
-	crSize       = 8 + txnSlots*8
 
 	// Context block: cid u64 | count u64 | next u64 | entries.
 	pcOffCID     = 0
@@ -103,19 +109,26 @@ func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoverySt
 	m := &Manager{mode: ModeNVM, h: h}
 	m.nextTID.Store(1)
 
-	root, _, ok := h.Root(commitRootName)
+	root, aux, ok := h.Root(commitRootName)
 	if !ok {
+		m.numSlots = defaultTxnSlots
+		crSize := uint64(8 + m.numSlots*8)
 		var err error
 		root, err = h.Alloc(crSize)
 		if err != nil {
 			return nil, stats, err
 		}
-		for i := 0; i < txnSlots+1; i++ {
+		for i := 0; i < m.numSlots+1; i++ {
 			h.PutU64(root.Add(uint64(i)*8), 0)
 		}
 		h.Persist(root, crSize)
-		if err := h.SetRoot(commitRootName, root, 0); err != nil {
+		if err := h.SetRoot(commitRootName, root, uint64(m.numSlots)); err != nil {
 			return nil, stats, err
+		}
+	} else {
+		m.numSlots = legacyTxnSlots
+		if aux != 0 {
+			m.numSlots = int(aux)
 		}
 	}
 	m.pRoot = root
@@ -124,7 +137,7 @@ func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoverySt
 
 	// Restart fixup: resolve every live context.
 	m.slots = &slotPool{}
-	for i := 0; i < txnSlots; i++ {
+	for i := 0; i < m.numSlots; i++ {
 		slotP := root.Add(crOffSlots + uint64(i)*8)
 		head := nvm.PPtr(h.U64(slotP))
 		if !head.IsNil() {
@@ -287,7 +300,7 @@ func (m *Manager) Blocks(yield func(nvm.PPtr)) {
 		return
 	}
 	yield(m.pRoot)
-	for i := 0; i < txnSlots; i++ {
+	for i := 0; i < m.numSlots; i++ {
 		blk := nvm.PPtr(m.h.U64(m.pRoot.Add(crOffSlots + uint64(i)*8)))
 		for ; !blk.IsNil(); blk = nvm.PPtr(m.h.U64(blk.Add(pcOffNext))) {
 			yield(blk)

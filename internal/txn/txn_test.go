@@ -560,8 +560,8 @@ func TestNVMPctxChaining(t *testing.T) {
 
 func TestNVMSlotExhaustion(t *testing.T) {
 	e := newNVMCrashEnv(t)
-	txns := make([]*Txn, 0, txnSlots)
-	for i := 0; i < txnSlots; i++ {
+	txns := make([]*Txn, 0, e.mgr.numSlots)
+	for i := 0; i < e.mgr.numSlots; i++ {
 		tx := e.mgr.Begin()
 		if _, err := tx.Insert(e.tbl, []storage.Value{storage.Int(int64(i)), storage.Str("s")}); err != nil {
 			t.Fatal(err)

@@ -25,6 +25,9 @@ type Vec interface {
 	Set(i uint64, v uint64)
 	SetNoPersist(i uint64, v uint64)
 	PersistAt(i uint64)
+	// FlushAt flushes element i's cache line without a fence; the caller
+	// fences once for a whole batch (persist-group commit).
+	FlushAt(i uint64)
 	Scan(fn func(i uint64, v uint64) bool)
 	// Truncate drops elements at index >= n (n must not exceed Len).
 	// Recovery uses it to discard torn appends.
@@ -145,6 +148,9 @@ func (v *Volatile) CompareAndSwap(i uint64, old, new uint64) bool {
 
 // PersistAt is a no-op on the volatile backend.
 func (v *Volatile) PersistAt(uint64) {}
+
+// FlushAt is a no-op on the volatile backend.
+func (v *Volatile) FlushAt(uint64) {}
 
 // Truncate drops elements at index >= n.
 func (v *Volatile) Truncate(n uint64) {

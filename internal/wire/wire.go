@@ -4,10 +4,13 @@
 // response the server understands (see README.md in this directory for
 // the framing spec).
 //
-// The protocol is strictly request/response per connection: the client
-// writes one frame and reads exactly one frame back, correlated by an
-// echoed request ID. All multi-byte integers are little-endian except
-// the magic, which is the literal bytes "HNV1".
+// Since version 2 the protocol is pipelined: a client may have many
+// requests in flight on one connection, each correlated with its
+// response by the echoed request ID. The server decodes ahead into a
+// bounded per-connection queue and answers strictly in request order; a
+// version-1 peer that writes one frame and waits is simply the depth-1
+// special case. All multi-byte integers are little-endian except the
+// magic, which is the literal bytes "HNV1".
 package wire
 
 import (
@@ -20,8 +23,16 @@ import (
 
 // Protocol constants.
 const (
-	// Version is the protocol version carried in Hello/HelloOK.
-	Version uint16 = 1
+	// Version is the newest protocol version this package speaks,
+	// carried in Hello/HelloOK. Version 2 added request pipelining
+	// (many tagged requests in flight per connection), the negotiated
+	// handshake, the HelloOK MaxInFlight field, and CodeOverloaded.
+	Version uint16 = 2
+
+	// MinVersion is the oldest version the server still accepts. A v1
+	// peer stays strictly request/response on its connection; the frame
+	// layout is unchanged between 1 and 2.
+	MinVersion uint16 = 1
 
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 26

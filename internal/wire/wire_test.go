@@ -112,6 +112,8 @@ func TestMessageRoundTrips(t *testing.T) {
 		func(b []byte) (any, error) { return DecodeHello(b) }, Hello{Version: 3})
 	check("hello-ok", HelloOK{Version: 1, Mode: 2, MaxPayload: 1 << 20}.Encode(),
 		func(b []byte) (any, error) { return DecodeHelloOK(b) }, HelloOK{Version: 1, Mode: 2, MaxPayload: 1 << 20})
+	check("hello-ok-v2", HelloOK{Version: 2, Mode: 2, MaxPayload: 1 << 20, MaxInFlight: 32}.Encode(),
+		func(b []byte) (any, error) { return DecodeHelloOK(b) }, HelloOK{Version: 2, Mode: 2, MaxPayload: 1 << 20, MaxInFlight: 32})
 	check("begin", BeginReq{ReadOnly: true, AtCID: 99}.Encode(),
 		func(b []byte) (any, error) { return DecodeBeginReq(b) }, BeginReq{ReadOnly: true, AtCID: 99})
 	check("begin-ok", BeginOK{Txn: 5, SnapshotCID: 77}.Encode(),
@@ -203,5 +205,25 @@ func TestMessageDecodersRejectCorruptInput(t *testing.T) {
 	}
 	if _, err := DecodeTablesResp(huge); err == nil {
 		t.Fatal("tables: absurd count accepted")
+	}
+}
+
+// TestHelloOKVersionGating pins the v1 payload to its historical 7 bytes
+// — a v1 client must never see the v2 fields — and the v2 payload to 11.
+func TestHelloOKVersionGating(t *testing.T) {
+	v1 := HelloOK{Version: 1, Mode: 1, MaxPayload: 4096, MaxInFlight: 99}.Encode()
+	if len(v1) != 7 {
+		t.Fatalf("v1 hello-ok payload is %d bytes, want 7", len(v1))
+	}
+	got, err := DecodeHelloOK(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxInFlight != 0 {
+		t.Fatalf("v1 decode surfaced MaxInFlight=%d", got.MaxInFlight)
+	}
+	v2 := HelloOK{Version: 2, Mode: 1, MaxPayload: 4096, MaxInFlight: 99}.Encode()
+	if len(v2) != 11 {
+		t.Fatalf("v2 hello-ok payload is %d bytes, want 11", len(v2))
 	}
 }

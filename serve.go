@@ -17,6 +17,19 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds writing one response frame (default 30 s).
 	WriteTimeout time.Duration
+	// PipelineDepth bounds decoded-ahead requests queued per connection
+	// (advertised to v2 clients as the pipeline depth; default 32).
+	PipelineDepth int
+	// MaxConcurrent caps requests executing concurrently across all
+	// connections (default 4×GOMAXPROCS; negative disables admission
+	// control).
+	MaxConcurrent int
+	// AdmissionQueue bounds requests waiting for an execution slot
+	// before fast-reject (default 4×MaxConcurrent).
+	AdmissionQueue int
+	// AdmissionWait bounds how long one request waits for an execution
+	// slot before an overloaded reply (default 25 ms).
+	AdmissionWait time.Duration
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -38,11 +51,15 @@ type Server struct {
 // the same order are safe.
 func (db *DB) Serve(addr string, cfg ServerConfig) (*Server, error) {
 	s, err := server.Listen(db.eng, addr, server.Config{
-		MaxConns:     cfg.MaxConns,
-		MaxFrame:     cfg.MaxFrame,
-		IdleTimeout:  cfg.IdleTimeout,
-		WriteTimeout: cfg.WriteTimeout,
-		Logf:         cfg.Logf,
+		MaxConns:       cfg.MaxConns,
+		MaxFrame:       cfg.MaxFrame,
+		IdleTimeout:    cfg.IdleTimeout,
+		WriteTimeout:   cfg.WriteTimeout,
+		PipelineDepth:  cfg.PipelineDepth,
+		MaxConcurrent:  cfg.MaxConcurrent,
+		AdmissionQueue: cfg.AdmissionQueue,
+		AdmissionWait:  cfg.AdmissionWait,
+		Logf:           cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -55,6 +72,10 @@ func (s *Server) Addr() string { return s.s.Addr() }
 
 // NumConns reports the live connection count.
 func (s *Server) NumConns() int { return s.s.NumConns() }
+
+// Rejected reports how many requests the admission stage fast-rejected
+// with an overloaded error since the server started.
+func (s *Server) Rejected() uint64 { return s.s.Rejected() }
 
 // Shutdown drains the server gracefully: no new connections, in-flight
 // requests finish until ctx expires, open transactions are aborted.
