@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck nvmcheck-stats test race fuzz-smoke crashmatrix benchscan benchserve
+.PHONY: check fmt vet nvmcheck nvmcheck-stats crosscheck test race fuzz-smoke crashmatrix benchscan benchserve
 
 check: fmt vet nvmcheck race
 
@@ -19,16 +19,42 @@ vet:
 # The repo's own static-analysis suite (see internal/analysis): runs its
 # unit tests first (under -race — the driver runs analyzers on packages
 # concurrently) so a broken analyzer cannot vacuously pass the repo,
-# then the suite itself, then the suppression self-check that rejects
-# reasonless //nvmcheck:ignore comments anywhere, fixtures included.
+# then the suite diffed against the committed findings baseline (the
+# baseline is empty — the module is clean — so any finding is a new
+# finding), then the suppression self-check that rejects reasonless
+# //nvmcheck:ignore comments anywhere, fixtures included.
 nvmcheck:
 	$(GO) test -race ./internal/analysis/...
-	$(GO) run ./cmd/nvmcheck ./...
+	$(GO) run ./cmd/nvmcheck -baseline nvmcheck_baseline.json ./...
 	$(GO) run ./cmd/nvmcheck -selfcheck ./...
 
-# Per-analyzer finding and suppression counts, to keep waiver debt visible.
+# Per-analyzer finding and suppression counts plus points-to resolution
+# metrics, to keep waiver debt and analysis blind spots visible.
 nvmcheck-stats:
 	$(GO) run ./cmd/nvmcheck -stats ./...
+
+# Cross-validation: static and dynamic analysis must agree on the same
+# injected bug. Removes the element persist from Vector.Append (the
+# tagged line), then asserts both that publishcheck flags the resulting
+# publish-before-persist ordering and that the pessimistic shadow crash
+# sweep fails on the corrupted recoveries — dynamic confirms static.
+# The file is restored afterwards even on failure.
+crosscheck:
+	@cp internal/pstruct/vector.go internal/pstruct/vector.go.crossorig
+	@status=0; \
+	sed -i '/elem persist (crosscheck removes this line)/d' internal/pstruct/vector.go; \
+	if $(GO) run ./cmd/nvmcheck ./internal/pstruct/ >/dev/null 2>&1; then \
+		echo "crosscheck: nvmcheck MISSED the removed element persist" >&2; status=1; \
+	else \
+		echo "crosscheck: publishcheck flags the removed element persist"; \
+	fi; \
+	if $(GO) test ./internal/crashtest -run 'TestCrashMatrix$$' -count=1 >/dev/null 2>&1; then \
+		echo "crosscheck: shadow crash sweep MISSED the removed element persist" >&2; status=1; \
+	else \
+		echo "crosscheck: shadow crash sweep fails on the corrupted recoveries"; \
+	fi; \
+	mv internal/pstruct/vector.go.crossorig internal/pstruct/vector.go; \
+	exit $$status
 
 test:
 	$(GO) test ./...

@@ -1,11 +1,11 @@
-// Command nvmcheck runs the repo's static-analysis suite: six analyzers
-// that enforce the NVM crash-consistency discipline, the concurrency
-// discipline around it, and the network-protocol hygiene rules at
-// compile time.
+// Command nvmcheck runs the repo's static-analysis suite: seven
+// analyzers that enforce the NVM crash-consistency discipline, the
+// concurrency discipline around it, and the network-protocol hygiene
+// rules at compile time.
 //
 // Usage:
 //
-//	go run ./cmd/nvmcheck [-l] [-stats] [-selfcheck] [packages]
+//	go run ./cmd/nvmcheck [-l] [-stats] [-selfcheck] [-json] [-baseline file] [packages]
 //
 // With no arguments it checks ./... . Diagnostics print one per line as
 // file:line:col: message [analyzer]; the exit status is 1 when any
@@ -14,28 +14,42 @@
 //
 //	//nvmcheck:ignore <analyzer> <reason>
 //
-// persistcheck additionally honors a function-level
+// persistcheck and publishcheck additionally honor a function-level
 // //nvm:nopersist <reason> annotation for functions whose contract is
-// that the caller persists — and reports the annotation itself when the
-// flow analysis proves it unnecessary.
+// that the caller persists — and persistcheck reports the annotation
+// itself when the flow analysis proves it unnecessary.
+//
+// -json prints the surviving findings as a JSON array of
+// {analyzer, file, line, col, message} objects with repo-relative
+// paths, suitable for committing as a baseline. -baseline <file> loads
+// such an array and reports (and fails on) only findings not in it, so
+// CI can gate on *new* findings while a known set is being worked down.
 //
 // -stats prints a per-analyzer table of raised findings and reasoned
-// suppressions, so suppression debt stays visible. -selfcheck scans
-// every package — including the analysis framework, which the regular
-// run exempts — for //nvmcheck:ignore comments lacking the mandatory
-// reason, and fails if any exist.
+// suppressions, plus the points-to layer's resolution metrics —
+// dynamic call sites resolved against unresolved, and allocation sites
+// split by NVM/volatile origin — so both suppression debt and analysis
+// blind spots stay visible. -selfcheck scans every package — including
+// the analysis framework, which the regular run exempts — for
+// //nvmcheck:ignore comments lacking the mandatory reason, and fails
+// if any exist.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"hyrisenv/internal/analysis"
 	"hyrisenv/internal/analysis/deadlinecheck"
 	"hyrisenv/internal/analysis/lockcheck"
 	"hyrisenv/internal/analysis/persistcheck"
 	"hyrisenv/internal/analysis/pptrcheck"
+	"hyrisenv/internal/analysis/ptr"
+	"hyrisenv/internal/analysis/publishcheck"
 	"hyrisenv/internal/analysis/sharecheck"
 	"hyrisenv/internal/analysis/wirecodecheck"
 )
@@ -45,6 +59,7 @@ import (
 // then protocol.
 var Suite = []*analysis.Analyzer{
 	persistcheck.Analyzer,
+	publishcheck.Analyzer,
 	lockcheck.Analyzer,
 	sharecheck.Analyzer,
 	pptrcheck.Analyzer,
@@ -52,12 +67,32 @@ var Suite = []*analysis.Analyzer{
 	deadlinecheck.Analyzer,
 }
 
+// A finding is the JSON form of one diagnostic, with a repo-relative
+// path so baselines commit cleanly.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f finding) key() string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%s", f.Analyzer, f.File, f.Line, f.Message)
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
 func main() {
 	list := flag.Bool("l", false, "list the analyzers in the suite and exit")
-	stats := flag.Bool("stats", false, "print per-analyzer finding and suppression counts")
+	stats := flag.Bool("stats", false, "print per-analyzer finding and suppression counts and points-to resolution metrics")
 	selfcheck := flag.Bool("selfcheck", false, "fail on //nvmcheck:ignore comments without a reason, everywhere (including the analysis framework)")
+	jsonOut := flag.Bool("json", false, "print findings as JSON (repo-relative paths)")
+	baseline := flag.String("baseline", "", "JSON findings file; only findings not in it are reported and fail the run")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [-stats] [-selfcheck] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [-stats] [-selfcheck] [-json] [-baseline file] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,19 +137,108 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nvmcheck:", err)
 		os.Exit(2)
 	}
+
+	wd, _ := os.Getwd()
+	findings := make([]finding, 0, len(res.Diags))
 	for _, d := range res.Diags {
-		fmt.Println(d)
+		findings = append(findings, finding{
+			Analyzer: d.Analyzer,
+			File:     relFile(wd, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
 	}
+
+	noun := "finding"
+	if *baseline != "" {
+		old, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcheck:", err)
+			os.Exit(2)
+		}
+		findings = subtract(findings, old)
+		noun = "new finding"
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcheck:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+
 	if *stats {
 		fmt.Printf("%-14s %9s %10s\n", "analyzer", "findings", "suppressed")
 		for _, a := range Suite {
 			fmt.Printf("%-14s %9d %10d\n", a.Name, res.Raw[a.Name], res.Suppressed[a.Name])
 		}
+		var ps ptr.Stats
+		for _, p := range targets {
+			s := ptr.For(p).Stats()
+			ps.CallSites += s.CallSites
+			ps.Resolved += s.Resolved
+			ps.Unresolved += s.Unresolved
+			ps.AllocSites += s.AllocSites
+			ps.NVMAlloc += s.NVMAlloc
+			ps.Volatile += s.Volatile
+		}
+		fmt.Printf("points-to: %d/%d dynamic call sites resolved, %d allocation sites (%d NVM, %d volatile)\n",
+			ps.Resolved, ps.CallSites, ps.AllocSites, ps.NVMAlloc, ps.Volatile)
 	}
-	if len(res.Diags) > 0 {
-		fmt.Fprintf(os.Stderr, "nvmcheck: %d finding(s)\n", len(res.Diags))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nvmcheck: %d %s(s)\n", len(findings), noun)
 		os.Exit(1)
 	}
+}
+
+// relFile makes filename repo-relative when it lies under the working
+// directory, so baselines are stable across checkouts.
+func relFile(wd, filename string) string {
+	if wd == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(wd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
+}
+
+// loadBaseline reads a -json findings file.
+func loadBaseline(path string) ([]finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var fs []finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return fs, nil
+}
+
+// subtract removes baseline findings from cur, multiset-style: two
+// identical findings in cur survive a baseline that lists one.
+func subtract(cur, baseline []finding) []finding {
+	have := map[string]int{}
+	for _, f := range baseline {
+		have[f.key()]++
+	}
+	out := cur[:0:0]
+	for _, f := range cur {
+		if have[f.key()] > 0 {
+			have[f.key()]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // isAnalysisPath reports whether pkgPath belongs to the analysis suite

@@ -77,6 +77,8 @@ import (
 	"hyrisenv/internal/analysis"
 	"hyrisenv/internal/analysis/cfg"
 	"hyrisenv/internal/analysis/dataflow"
+	"hyrisenv/internal/analysis/ptr"
+	"hyrisenv/internal/analysis/publishcheck"
 	"hyrisenv/internal/analysis/summary"
 )
 
@@ -349,13 +351,14 @@ func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "nvm" {
 		return nil // the heap implementation is the trusted base layer
 	}
+	g := ptr.Of(pass)
 	fns := summary.Functions(pass)
 	infos := map[*types.Func]*funcInfo{}
 	for obj, fd := range fns {
 		infos[obj] = &funcInfo{
 			decl:    fd,
 			graph:   cfg.New(fd.Body),
-			tainted: nvmSlices(pass, fd),
+			tainted: nvmSlices(pass, g, fd),
 		}
 	}
 
@@ -396,9 +399,15 @@ func run(pass *analysis.Pass) error {
 
 	callers := summary.Callers(pass, fns)
 
+	// The alias-aware engine's veto on the annotation-rot report: an
+	// annotation this analysis proves inert may still discharge a
+	// publish obligation only the points-to layer can see (a dirty
+	// write through interface dispatch or a stored function value).
+	loadBearing := publishcheck.AnnotationLoadBearing(pass)
+
 	// Reporting pass with the converged summaries.
 	for obj, info := range infos {
-		checkFunc(pass, obj, info, sums, callers[obj])
+		checkFunc(pass, obj, info, sums, callers[obj], loadBearing[obj])
 	}
 	return nil
 }
@@ -522,7 +531,7 @@ func pkgPrivate(obj *types.Func, fn *ast.FuncDecl) bool {
 	return false
 }
 
-func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*types.Func]psum, nCallers int) {
+func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*types.Func]psum, nCallers int, aliasLoadBearing bool) {
 	fn := info.decl
 	annotated, reasoned := nopersist(fn)
 	if annotated && !reasoned {
@@ -588,10 +597,12 @@ func checkFunc(pass *analysis.Pass, obj *types.Func, info *funcInfo, sums map[*t
 
 	// An annotation with no effect is annotation rot: either the
 	// function is provably clean, or its obligation already falls on
-	// in-package callers.
-	if annotated && reasoned && (!dirtyReturn || pkgPrivate(obj, fn) && nCallers > 0) {
+	// in-package callers. Both engines must agree before ordering a
+	// deletion — the points-to layer sees aliased writes this flow
+	// analysis cannot.
+	if annotated && reasoned && !aliasLoadBearing && (!dirtyReturn || pkgPrivate(obj, fn) && nCallers > 0) {
 		pass.Reportf(fn.Pos(),
-			"//nvm:nopersist on %s is unnecessary: persistcheck v2 proves every publish and non-error return clean (or the obligation falls on its in-package callers); delete the annotation",
+			"//nvm:nopersist on %s is unnecessary: both the v2 flow analysis and the alias-aware points-to engine prove every publish and non-error return clean (or the obligation falls on its in-package callers); delete the annotation",
 			fn.Name.Name)
 	}
 }
@@ -615,24 +626,49 @@ func isErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
 	return false
 }
 
-// nvmSlices returns the objects of local variables assigned (anywhere in
-// fn) from a Heap.Bytes call — byte slices aliasing the NVM mapping.
-func nvmSlices(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+// nvmSlices returns the objects of variables in fn that alias the NVM
+// mapping. Two sources combine: the v2 syntactic rule — locals assigned
+// directly from a Heap.Bytes call — and the points-to graph, which also
+// catches derived aliases (c := b, c := b[2:10]) and slice parameters
+// whose callers pass Bytes-backed memory. The syntactic rule stays as a
+// belt: it needs no solved graph and covers the common direct form even
+// where constraint generation has no model for the defining expression.
+func nvmSlices(pass *analysis.Pass, g *ptr.Graph, fn *ast.FuncDecl) map[types.Object]bool {
 	tainted := map[types.Object]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, rhs := range as.Rhs {
-			if !isBytesCall(pass, rhs) {
-				continue
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
 			}
-			if id, ok := as.Lhs[i].(*ast.Ident); ok {
-				if obj := pass.Info.Defs[id]; obj != nil {
-					tainted[obj] = true
-				} else if obj := pass.Info.Uses[id]; obj != nil {
-					tainted[obj] = true
+			for i, rhs := range n.Rhs {
+				if !isBytesCall(pass, rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pass.Info.Defs[n]
+			if obj == nil {
+				obj = pass.Info.Uses[n]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || tainted[v] {
+				return true
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+				return true
+			}
+			for _, o := range g.PointsToObj(v) {
+				if o.NVM {
+					tainted[v] = true
+					break
 				}
 			}
 		}

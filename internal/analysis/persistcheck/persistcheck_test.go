@@ -11,3 +11,11 @@ func TestPersistCheck(t *testing.T) {
 	analysis.Fixture(t, analysis.FixtureDir(),
 		[]*analysis.Analyzer{persistcheck.Analyzer}, "./persist")
 }
+
+// TestAliasTaint covers the points-to-backed slice taint: writes
+// through derived slices and through parameters bound to Bytes-backed
+// memory dirty the fact, and volatile buffers stay exempt.
+func TestAliasTaint(t *testing.T) {
+	analysis.Fixture(t, analysis.FixtureDir(),
+		[]*analysis.Analyzer{persistcheck.Analyzer}, "./alias")
+}

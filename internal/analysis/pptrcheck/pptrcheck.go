@@ -28,6 +28,7 @@ import (
 	"hyrisenv/internal/analysis"
 	"hyrisenv/internal/analysis/cfg"
 	"hyrisenv/internal/analysis/dataflow"
+	"hyrisenv/internal/analysis/ptr"
 )
 
 // Analyzer is the pptrcheck analysis.
@@ -234,6 +235,7 @@ func isRemapCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 // second iteration of a loop that remaps at its end — is reported.
 func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
 	g := cfg.New(fn.Body)
+	pg := ptr.Of(pass)
 
 	transfer := func(n ast.Node, in *remapFact) *remapFact {
 		f := in
@@ -253,7 +255,7 @@ func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
 					return true
 				}
 				for i, rhs := range m.Rhs {
-					if !isBytesCall(pass, rhs) {
+					if !seedsAlias(pass, pg, rhs) {
 						continue
 					}
 					id, ok := m.Lhs[i].(*ast.Ident)
@@ -268,11 +270,28 @@ func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
 						continue
 					}
 					o := obj
+					fresh := isBytesCall(pass, rhs)
+					root := rootAliasObj(pass, rhs)
 					events = append(events, func(f *remapFact) *remapFact {
 						out := &remapFact{stale: map[types.Object]token.Pos{}}
 						for k, v := range f.stale {
 							if k != o {
 								out.stale[k] = v
+							}
+						}
+						if !fresh && root != nil {
+							if pos, ok := f.stale[root]; ok {
+								// Copying a stale alias yields a stale
+								// alias; only a fresh Bytes call revives.
+								out.stale[o] = pos
+								live := f.live[:0:0]
+								for _, l := range f.live {
+									if l != o {
+										live = append(live, l)
+									}
+								}
+								out.live = live
+								return out
 							}
 						}
 						has := false
@@ -330,7 +349,7 @@ func checkRemapAliasing(pass *analysis.Pass, fn *ast.FuncDecl) {
 				return true
 			}
 			for i, rhs := range as.Rhs {
-				if !isBytesCall(pass, rhs) {
+				if !seedsAlias(pass, pg, rhs) {
 					continue
 				}
 				if id, ok := as.Lhs[i].(*ast.Ident); ok {
@@ -374,4 +393,39 @@ func isBytesCall(pass *analysis.Pass, e ast.Expr) bool {
 		return name == "Bytes" && recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
 	}
 	return false
+}
+
+// seedsAlias reports whether rhs produces a slice aliasing the NVM
+// mapping: a direct Heap.Bytes call (or reslice of one), or — through
+// the points-to graph — any slice-typed expression whose points-to set
+// contains an NVM block, which catches derived aliases like c := b.
+func seedsAlias(pass *analysis.Pass, pg *ptr.Graph, rhs ast.Expr) bool {
+	if isBytesCall(pass, rhs) {
+		return true
+	}
+	t := pass.Info.TypeOf(rhs)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Slice); !ok {
+		return false
+	}
+	return pg.NVMSlice(rhs)
+}
+
+// rootAliasObj returns the variable a derived slice expression copies
+// from, unwrapping reslices: the root of c := b[2:] is b. nil when the
+// expression has no single variable root (a fresh call, a composite).
+func rootAliasObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		s, ok := e.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		e = s.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
 }

@@ -1,0 +1,908 @@
+// Package publishcheck enforces the publish-before-persist ordering at
+// the level of heap objects: a store that makes an object newly
+// reachable from NVM-resident state (a *publication*) must be
+// dominated, on every path, by flush+fence of that object's dirty
+// fields.
+//
+// Where persistcheck reasons about named variables and call sites,
+// publishcheck reasons about the abstract objects of the points-to
+// layer (internal/analysis/ptr). The fact lattice maps each abstract
+// object to its durability state
+//
+//	dirty -> flushed -> persisted
+//
+// with may-semantics for dirty/flushed (join = union, keeping the first
+// write site) and must-semantics for persisted/fenced (join =
+// intersection/conjunction). Because writes, flushes and persists are
+// applied to the points-to set of their address expression, a write
+// through any alias — a derived slice, an interface method, a stored
+// function value, a pointer loaded back out of the heap — lands on the
+// same abstract object the later persist or publication names.
+//
+// Publications are:
+//
+//   - Heap.SetRoot: everything reachable from the published pointer
+//     becomes visible to recovery;
+//   - Heap.CasU64 with a pointer-carrying new value: the linked object
+//     (and what it reaches) is published;
+//   - a store (Heap.SetU64/PutU64/PutU32) whose target may be an
+//     already-published block and whose value carries heap objects: the
+//     pointee becomes reachable from the persisted root through the
+//     target;
+//   - a call of an in-package function that publishes (summaries carry
+//     the published object set to the caller).
+//
+// At each publication every reachable object with a pending (dirty or
+// flushed-but-unfenced) write is reported, naming both the publication
+// and the unflushed write. Returning with pending writes on an object
+// that is statically reachable from the persisted root is reported the
+// same way, under persistcheck's waiver rules: a //nvm:nopersist
+// <reason> annotation waives it (deferred-durability contracts), and a
+// package-private function with in-package callers transfers the
+// obligation to those callers through its summary. Fences are global —
+// one Heap.Fence makes every flushed object durable, matching the
+// hardware's sfence semantics.
+//
+// Package nvm is exempt: it is the trusted base layer defining the
+// barrier primitives.
+package publishcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/cfg"
+	"hyrisenv/internal/analysis/dataflow"
+	"hyrisenv/internal/analysis/ptr"
+	"hyrisenv/internal/analysis/summary"
+)
+
+// Analyzer is the publishcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "publishcheck",
+	Doc:  "objects must be flushed and fenced before a store publishes them from NVM-resident state",
+	Run:  run,
+}
+
+const nopersistPrefix = "//nvm:nopersist"
+
+var persistNames = map[string]bool{
+	"Persist": true, "PersistBytes": true, "PersistAt": true,
+	"PersistRange": true, "PersistBegin": true, "PersistEnd": true,
+}
+
+var heapWriteNames = map[string]bool{
+	"SetU64": true, "PutU64": true, "PutU32": true,
+}
+
+var flushAtNames = map[string]bool{
+	"FlushAt": true, "FlushBegin": true, "FlushEnd": true,
+}
+
+var sliceMutators = map[string]bool{
+	"PutBits": true, "SetBits": true,
+}
+
+// ---------------------------------------------------------------------------
+// The per-object fact lattice.
+
+// A write is one pending NVM mutation of one abstract object.
+type write struct {
+	pos  token.Pos
+	what string
+}
+
+// ofact maps abstract-object IDs to their durability state. nil is the
+// lattice bottom ("unvisited"). Facts are immutable.
+type ofact struct {
+	dirty   map[int]write // may be written and unflushed
+	flushed map[int]write // may be flushed but unfenced
+	// persisted objects were made durable on every path (must-set).
+	persisted map[int]bool
+	// fenced is true when every path has executed a fence.
+	fenced bool
+}
+
+func cloneWrites(m map[int]write) map[int]write {
+	out := make(map[int]write, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (f *ofact) clone() *ofact {
+	if f == nil {
+		return &ofact{dirty: map[int]write{}, flushed: map[int]write{}, persisted: map[int]bool{}}
+	}
+	p := make(map[int]bool, len(f.persisted))
+	for k, v := range f.persisted {
+		p[k] = v
+	}
+	return &ofact{dirty: cloneWrites(f.dirty), flushed: cloneWrites(f.flushed), persisted: p, fenced: f.fenced}
+}
+
+var lattice = dataflow.Lattice[*ofact]{
+	Bottom: func() *ofact { return nil },
+	Join: func(a, b *ofact) *ofact {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		out := a.clone()
+		for id, w := range b.dirty {
+			if have, ok := out.dirty[id]; !ok || w.pos < have.pos {
+				out.dirty[id] = w
+			}
+		}
+		for id, w := range b.flushed {
+			if have, ok := out.flushed[id]; !ok || w.pos < have.pos {
+				out.flushed[id] = w
+			}
+		}
+		for id := range out.persisted {
+			if !b.persisted[id] {
+				delete(out.persisted, id)
+			}
+		}
+		out.fenced = a.fenced && b.fenced
+		return out
+	},
+	Equal: func(a, b *ofact) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if a.fenced != b.fenced || len(a.dirty) != len(b.dirty) ||
+			len(a.flushed) != len(b.flushed) || len(a.persisted) != len(b.persisted) {
+			return false
+		}
+		for id, w := range a.dirty {
+			if b.dirty[id] != w {
+				return false
+			}
+		}
+		for id, w := range a.flushed {
+			if b.flushed[id] != w {
+				return false
+			}
+		}
+		for id := range a.persisted {
+			if !b.persisted[id] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+
+type evKind int
+
+const (
+	evWrite evKind = iota
+	evFlush
+	evPersist
+	evFence
+	evPublish
+	evCall
+)
+
+// An event is one durability-relevant effect of a call. objs carries
+// the target objects (nil on evWrite/evFlush/evPersist means "address
+// unknown — apply to everything", matching the address-insensitive v2
+// rules so unresolved pointers cannot launder a missed clear).
+type event struct {
+	kind evKind
+	what string
+	objs []*ptr.Obj
+	sum  *osum // evCall
+	pos  token.Pos
+}
+
+// osum is the per-object durability summary of one function.
+type osum struct {
+	dirty     map[int]bool
+	flushed   map[int]bool
+	persists  map[int]bool // persisted on every path
+	fences    bool         // fences on every path
+	publishes map[int]bool // objects (transitively) published by the function
+}
+
+func newOsum() *osum {
+	return &osum{dirty: map[int]bool{}, flushed: map[int]bool{}, persists: map[int]bool{}, publishes: map[int]bool{}}
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *osum) equal(t *osum) bool {
+	if (s == nil) != (t == nil) {
+		return false
+	}
+	if s == nil {
+		return true
+	}
+	return s.fences == t.fences && sameSet(s.dirty, t.dirty) && sameSet(s.flushed, t.flushed) &&
+		sameSet(s.persists, t.persists) && sameSet(s.publishes, t.publishes)
+}
+
+// eventsOf classifies one call into its durability events, in
+// application order.
+func eventsOf(pass *analysis.Pass, g *ptr.Graph, call *ast.CallExpr, sums map[*types.Func]*osum) []event {
+	name, pkgName := analysis.CalleeName(pass.Info, call)
+	recv := analysis.ReceiverType(pass.Info, call)
+	onHeap := recv != nil && analysis.NamedFrom(recv, "nvm", "Heap")
+	arg := func(i int) ast.Expr {
+		if i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+	recvExpr := func() ast.Expr {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+
+	switch {
+	case onHeap && name == "SetRoot":
+		var pub []*ptr.Obj
+		for _, a := range call.Args {
+			if t := pass.Info.TypeOf(a); t != nil && analysis.NamedFrom(t, "nvm", "PPtr") {
+				pub = append(pub, g.PublishReach(g.PointsTo(a))...)
+			}
+		}
+		return []event{{kind: evPublish, what: "Heap.SetRoot", objs: pub, pos: call.Pos()}}
+	case onHeap && name == "CasU64":
+		evs := []event{}
+		targets := g.PointsTo(arg(0))
+		if pub := minusTargets(g.PublishReach(g.PointsTo(arg(2))), targets); len(pub) > 0 {
+			evs = append(evs, event{kind: evPublish, what: "Heap.CasU64", objs: pub, pos: call.Pos()})
+		}
+		evs = append(evs, event{kind: evWrite, what: "Heap.CasU64", objs: targets, pos: call.Pos()})
+		return evs
+	case onHeap && heapWriteNames[name]:
+		evs := []event{}
+		// A store of a pointer-carrying value into an already-published
+		// block is a publication of everything the value reaches — except
+		// the target itself: with flow-insensitive field contents, the
+		// value of an init-sequence store often reads back as the block
+		// under construction, and "storing into X publishes X" would
+		// flag every correct init-persist-link sequence.
+		if targets := g.PointsTo(arg(0)); anyPublished(targets) {
+			if pub := minusTargets(g.PublishReach(g.PointsTo(arg(1))), targets); len(pub) > 0 {
+				evs = append(evs, event{kind: evPublish, what: "Heap." + name, objs: pub, pos: call.Pos()})
+			}
+		}
+		evs = append(evs, event{kind: evWrite, what: "Heap." + name, objs: g.PointsTo(arg(0)), pos: call.Pos()})
+		return evs
+	case persistNames[name]:
+		var objs []*ptr.Obj
+		switch name {
+		case "Persist", "PersistBytes":
+			if onHeap {
+				objs = g.PointsTo(arg(0))
+			} else {
+				objs = g.PointsTo(recvExpr())
+			}
+		default: // PersistAt / PersistRange / PersistBegin / PersistEnd
+			objs = g.PointsTo(recvExpr())
+		}
+		return []event{{kind: evPersist, what: name, objs: objs, pos: call.Pos()}}
+	case name == "SetNoPersist":
+		return []event{{kind: evWrite, what: "SetNoPersist", objs: g.PointsTo(recvExpr()), pos: call.Pos()}}
+	case onHeap && (name == "Flush" || name == "FlushBytes"):
+		return []event{{kind: evFlush, what: "Heap." + name, objs: g.PointsTo(arg(0)), pos: call.Pos()}}
+	case flushAtNames[name]:
+		return []event{{kind: evFlush, what: name, objs: g.PointsTo(recvExpr()), pos: call.Pos()}}
+	case onHeap && (name == "Fence" || name == "Drain"):
+		return []event{{kind: evFence, what: "Heap." + name, pos: call.Pos()}}
+	case (name == "copy" || name == "clear") && pkgName == "" && len(call.Args) > 0:
+		if g.NVMSlice(call.Args[0]) {
+			return []event{{kind: evWrite, what: name + " into Heap.Bytes", objs: nvmOnly(g.PointsTo(call.Args[0])), pos: call.Pos()}}
+		}
+		return nil
+	case sliceMutators[name]:
+		for _, a := range call.Args {
+			if g.NVMSlice(a) {
+				return []event{{kind: evWrite, what: name + " into Heap.Bytes", objs: nvmOnly(g.PointsTo(a)), pos: call.Pos()}}
+			}
+		}
+		return nil
+	}
+
+	// In-package callees — static or resolved through the points-to
+	// callgraph (interface dispatch, function values) — contribute
+	// their object summaries.
+	var evs []event
+	for _, callee := range g.Callees(call) {
+		if s, ok := sums[callee]; ok {
+			evs = append(evs, event{kind: evCall, what: "call of " + callee.Name(), sum: s, pos: call.Pos()})
+		}
+	}
+	return evs
+}
+
+func anyPublished(objs []*ptr.Obj) bool {
+	for _, o := range objs {
+		if o.Published {
+			return true
+		}
+	}
+	return false
+}
+
+// minusTargets removes the store's own target objects from a published
+// set: a store into X never newly publishes X through itself.
+func minusTargets(pub, targets []*ptr.Obj) []*ptr.Obj {
+	drop := map[int]bool{}
+	for _, t := range targets {
+		drop[t.ID] = true
+	}
+	out := pub[:0:0]
+	for _, o := range pub {
+		if !drop[o.ID] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func nvmOnly(objs []*ptr.Obj) []*ptr.Obj {
+	out := objs[:0:0]
+	for _, o := range objs {
+		if o.NVM {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Transfer.
+
+// apply folds one event into the fact. Publications only mutate state
+// here; reporting happens in the dedicated pass that re-walks the facts.
+// imp is the calling function's importable-extern set: pending writes a
+// callee summary carries on extern objects outside it are dropped (see
+// funcInfo.imp).
+func apply(g *ptr.Graph, imp map[int]bool, f *ofact, ev event) *ofact {
+	out := f.clone()
+	switch ev.kind {
+	case evWrite:
+		if ev.objs == nil {
+			return out // untracked write: persistcheck's variable rules own it
+		}
+		for _, o := range ev.objs {
+			if _, ok := out.dirty[o.ID]; !ok {
+				out.dirty[o.ID] = write{pos: ev.pos, what: ev.what}
+			}
+			delete(out.persisted, o.ID)
+		}
+	case evFlush:
+		if len(ev.objs) == 0 {
+			// Address unknown: flush everything, the v2 rule.
+			for id, w := range out.dirty {
+				if _, ok := out.flushed[id]; !ok {
+					out.flushed[id] = w
+				}
+				delete(out.dirty, id)
+			}
+			return out
+		}
+		for _, o := range ev.objs {
+			if w, ok := out.dirty[o.ID]; ok {
+				if _, had := out.flushed[o.ID]; !had {
+					out.flushed[o.ID] = w
+				}
+				delete(out.dirty, o.ID)
+			}
+		}
+	case evPersist:
+		if len(ev.objs) == 0 {
+			// Address unknown: a persist clears every pending write —
+			// anything else would invent findings the code discharges.
+			out.dirty = map[int]write{}
+			out.flushed = map[int]write{}
+			return out
+		}
+		for _, o := range ev.objs {
+			delete(out.dirty, o.ID)
+			delete(out.flushed, o.ID)
+			out.persisted[o.ID] = true
+		}
+	case evFence:
+		out.flushed = map[int]write{}
+		out.fenced = true
+	case evPublish:
+		for _, o := range ev.objs {
+			delete(out.dirty, o.ID)
+			delete(out.flushed, o.ID)
+		}
+	case evCall:
+		s := ev.sum
+		if s.fences {
+			out.flushed = map[int]write{}
+			out.fenced = true
+		}
+		for id := range s.persists {
+			delete(out.dirty, id)
+			delete(out.flushed, id)
+			out.persisted[id] = true
+		}
+		for id := range s.publishes {
+			delete(out.dirty, id)
+			delete(out.flushed, id)
+		}
+		importable := func(id int) bool {
+			o := g.Obj(id)
+			return o == nil || o.Kind != ptr.Extern || imp[id]
+		}
+		for id := range s.dirty {
+			if !importable(id) {
+				continue
+			}
+			if _, ok := out.dirty[id]; !ok {
+				out.dirty[id] = write{pos: ev.pos, what: ev.what}
+			}
+			delete(out.persisted, id)
+		}
+		for id := range s.flushed {
+			if !importable(id) {
+				continue
+			}
+			if _, ok := out.flushed[id]; !ok {
+				out.flushed[id] = write{pos: ev.pos, what: ev.what}
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+type funcInfo struct {
+	decl  *ast.FuncDecl
+	graph *cfg.Graph
+	// imp is the set of extern-object IDs this function may import from
+	// callee summaries: the externs reachable from its own parameters
+	// and receiver. A callee's parameter-seed externs stand for that
+	// callee's *unknown* callers; at a known call site the actual
+	// arguments are bound into the callee's points-to sets, so dirt on
+	// an extern the caller cannot name through its own parameters is
+	// residue it could never discharge — importing it only manufactures
+	// false positives at the caller's returns. Site-specific objects
+	// (blocks, composites) always import.
+	imp map[int]bool
+}
+
+// pkgFacts is everything the analysis derives about one package before
+// reporting: the points-to graph, per-function CFGs and import sets,
+// converged object summaries, and alias-aware caller counts. Cached per
+// package so persistcheck's annotation-rot report can consult the same
+// facts without re-running the fixpoint.
+type pkgFacts struct {
+	g       *ptr.Graph
+	infos   map[*types.Func]*funcInfo
+	sums    map[*types.Func]*osum
+	callers map[*types.Func]int
+}
+
+var factsCache sync.Map // *types.Package -> *pkgFacts
+
+func factsOf(pass *analysis.Pass) *pkgFacts {
+	if f, ok := factsCache.Load(pass.Pkg); ok {
+		return f.(*pkgFacts)
+	}
+	f := computeFacts(pass)
+	factsCache.Store(pass.Pkg, f)
+	return f
+}
+
+func computeFacts(pass *analysis.Pass) *pkgFacts {
+	g := ptr.Of(pass)
+	fns := summary.Functions(pass)
+	infos := map[*types.Func]*funcInfo{}
+	for obj, fd := range fns {
+		info := &funcInfo{decl: fd, graph: cfg.New(fd.Body), imp: map[int]bool{}}
+		sig := obj.Type().(*types.Signature)
+		var seeds []*ptr.Obj
+		if r := sig.Recv(); r != nil {
+			seeds = append(seeds, g.PointsToObj(r)...)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			seeds = append(seeds, g.PointsToObj(sig.Params().At(i))...)
+		}
+		for _, o := range g.Reachable(seeds) {
+			info.imp[o.ID] = true
+		}
+		infos[obj] = info
+	}
+
+	// Bottom-up object summaries to a fixpoint. summary.Compute needs a
+	// comparable S, so the loop is inlined here with set equality.
+	sums := map[*types.Func]*osum{}
+	const maxRounds = 10
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for obj, info := range infos {
+			s := summarize(pass, g, info, sums)
+			if !s.equal(sums[obj]) {
+				sums[obj] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Caller counts gate the obligation-shift waiver. summary.Callers
+	// sees static calls and function-value references; the points-to
+	// callgraph adds call sites resolved through interface dispatch and
+	// stored function values, so a helper invoked only dynamically still
+	// transfers its obligation instead of being reported at its return.
+	callers := summary.Callers(pass, fns)
+	for caller, info := range infos {
+		forEachCall(info.decl.Body, func(call *ast.CallExpr) {
+			for _, callee := range g.Callees(call) {
+				if callee == caller {
+					continue
+				}
+				if _, inPkg := infos[callee]; inPkg {
+					callers[callee]++
+				}
+			}
+		})
+	}
+	return &pkgFacts{g: g, infos: infos, sums: sums, callers: callers}
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "nvm" {
+		return nil
+	}
+	fx := factsOf(pass)
+	for obj, info := range fx.infos {
+		checkFunc(pass, fx.g, obj, info, fx.sums, fx.callers[obj])
+	}
+	return nil
+}
+
+// AnnotationLoadBearing returns the functions whose //nvm:nopersist
+// annotation discharges a real publish-before-persist obligation: some
+// non-error return leaves a pending write on an object recovery can
+// reach, and the obligation does not transfer to in-package callers.
+// persistcheck consults this before reporting an annotation as
+// provably unnecessary — its v2 flow analysis is blind to writes
+// through interface dispatch and function values, so without the
+// points-to engine's veto the rot report would order load-bearing
+// annotations deleted.
+func AnnotationLoadBearing(pass *analysis.Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	if pass.Pkg.Name() == "nvm" {
+		return out
+	}
+	fx := factsOf(pass)
+	for obj, info := range fx.infos {
+		if annotated, _ := nopersist(info.decl); !annotated {
+			continue
+		}
+		if pkgPrivate(obj, info.decl) && fx.callers[obj] > 0 {
+			continue
+		}
+		res := analyze(pass, fx.g, info, fx.sums)
+		needed := false
+		forEachReturn(pass, fx.g, info, fx.sums, res, func(ret *ast.ReturnStmt, f *ofact) {
+			if needed || f == nil || isErrorReturn(pass, ret) {
+				return
+			}
+			if _, _, _, ok := firstPublishedPending(fx.g, f); ok {
+				needed = true
+			}
+		})
+		if needed {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+func analyze(pass *analysis.Pass, g *ptr.Graph, info *funcInfo, sums map[*types.Func]*osum) *dataflow.Result[*ofact] {
+	transfer := func(n ast.Node, in *ofact) *ofact {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return in
+		}
+		f := in
+		forEachCall(n, func(call *ast.CallExpr) {
+			for _, ev := range eventsOf(pass, g, call, sums) {
+				f = apply(g, info.imp, f, ev)
+			}
+		})
+		return f
+	}
+	return dataflow.Forward(info.graph, lattice, (&ofact{}).clone(), transfer)
+}
+
+func forEachCall(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// applyDefers folds deferred calls (LIFO) into the return fact.
+// Publications inside defers report in the defer's own walk, so only
+// state effects apply here.
+func applyDefers(pass *analysis.Pass, g *ptr.Graph, info *funcInfo, sums map[*types.Func]*osum, f *ofact) *ofact {
+	for i := len(info.graph.Defers) - 1; i >= 0; i-- {
+		for _, ev := range eventsOf(pass, g, info.graph.Defers[i].Call, sums) {
+			if ev.kind == evPublish {
+				continue
+			}
+			f = apply(g, info.imp, f, ev)
+		}
+	}
+	return f
+}
+
+func forEachReturn(pass *analysis.Pass, g *ptr.Graph, info *funcInfo, sums map[*types.Func]*osum, res *dataflow.Result[*ofact], visit func(*ast.ReturnStmt, *ofact)) {
+	res.NodeFacts(info.graph, func(n ast.Node, before *ofact) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		visit(ret, applyDefers(pass, g, info, sums, before))
+	})
+}
+
+// summarize computes one function's object summary under the current
+// (possibly still converging) summary map.
+func summarize(pass *analysis.Pass, g *ptr.Graph, info *funcInfo, sums map[*types.Func]*osum) *osum {
+	res := analyze(pass, g, info, sums)
+	s := newOsum()
+	s.fences = true
+	first := true
+	returns := 0
+	forEachReturn(pass, g, info, sums, res, func(ret *ast.ReturnStmt, f *ofact) {
+		returns++
+		if f == nil {
+			f = (&ofact{}).clone()
+		}
+		if !isErrorReturn(pass, ret) {
+			for id := range f.dirty {
+				s.dirty[id] = true
+			}
+			for id := range f.flushed {
+				s.flushed[id] = true
+			}
+		}
+		if first {
+			for id := range f.persisted {
+				s.persists[id] = true
+			}
+			s.fences = f.fenced
+			first = false
+		} else {
+			for id := range s.persists {
+				if !f.persisted[id] {
+					delete(s.persists, id)
+				}
+			}
+			s.fences = s.fences && f.fenced
+		}
+	})
+	if returns == 0 {
+		s.fences = false
+		s.persists = map[int]bool{}
+	}
+	// Publications — own and transitive — propagate to callers so a
+	// caller's pending object published deep in a callee still reports
+	// at the caller's call site.
+	for _, fi := range []*funcInfo{info} {
+		forEachCall(fi.decl.Body, func(call *ast.CallExpr) {
+			for _, ev := range eventsOf(pass, g, call, sums) {
+				switch ev.kind {
+				case evPublish:
+					for _, o := range ev.objs {
+						s.publishes[o.ID] = true
+					}
+				case evCall:
+					for id := range ev.sum.publishes {
+						s.publishes[id] = true
+					}
+				}
+			}
+		})
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+func checkFunc(pass *analysis.Pass, g *ptr.Graph, obj *types.Func, info *funcInfo, sums map[*types.Func]*osum, nCallers int) {
+	fn := info.decl
+	// The reason check on //nvm:nopersist is persistcheck's; here the
+	// annotation only waives the return obligation.
+	annotated, _ := nopersist(fn)
+	res := analyze(pass, g, info, sums)
+
+	// Publications: always an error while a reachable object is
+	// pending, under any contract.
+	res.NodeFacts(info.graph, func(n ast.Node, before *ofact) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		f := before
+		forEachCall(n, func(call *ast.CallExpr) {
+			for _, ev := range eventsOf(pass, g, call, sums) {
+				switch ev.kind {
+				case evPublish:
+					reportPublication(pass, g, f, ev)
+				case evCall:
+					for id := range ev.sum.publishes {
+						if w, verb, ok := pendingOf(f, id); ok {
+							pass.Reportf(ev.pos,
+								"%s publishes %s while its %s at %s is %s",
+								ev.what, g.Label(id), w.what, pass.Fset.Position(w.pos), verb)
+						}
+					}
+				}
+				f = apply(g, info.imp, f, ev)
+			}
+		})
+	})
+
+	// Returns: pending writes on objects recovery can already reach.
+	waived := annotated || (pkgPrivate(obj, fn) && nCallers > 0)
+	reported := false
+	forEachReturn(pass, g, info, sums, res, func(ret *ast.ReturnStmt, f *ofact) {
+		if f == nil || isErrorReturn(pass, ret) || waived || reported {
+			return
+		}
+		id, w, verb, ok := firstPublishedPending(g, f)
+		if !ok {
+			return
+		}
+		reported = true
+		state := "unpersisted"
+		if verb == "flushed but not fenced" {
+			state = "flushed-but-unfenced"
+		}
+		pass.Reportf(ret.Pos(),
+			"function %s returns with %s write to published %s (%s at %s); persist it or annotate the function with //nvm:nopersist <reason>",
+			fn.Name.Name, state, g.Label(id), w.what, pass.Fset.Position(w.pos))
+	})
+}
+
+func reportPublication(pass *analysis.Pass, g *ptr.Graph, f *ofact, ev event) {
+	// Deterministic order: report the lowest-ID pending object.
+	ids := make([]int, 0, len(ev.objs))
+	for _, o := range ev.objs {
+		ids = append(ids, o.ID)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if w, verb, ok := pendingOf(f, id); ok {
+			pass.Reportf(ev.pos,
+				"%s publishes %s while its %s at %s is %s",
+				ev.what, g.Label(id), w.what, pass.Fset.Position(w.pos), verb)
+			return // one report per publication, like persistcheck
+		}
+	}
+}
+
+func pendingOf(f *ofact, id int) (write, string, bool) {
+	if f == nil {
+		return write{}, "", false
+	}
+	if w, ok := f.dirty[id]; ok {
+		return w, "not persisted", true
+	}
+	if w, ok := f.flushed[id]; ok {
+		return w, "flushed but not fenced", true
+	}
+	return write{}, "", false
+}
+
+// firstPublishedPending returns the earliest pending write among
+// objects that are statically reachable from the persisted root.
+func firstPublishedPending(g *ptr.Graph, f *ofact) (int, write, string, bool) {
+	bestID, bestW, bestVerb, found := 0, write{}, "", false
+	consider := func(id int, w write, verb string) {
+		if !g.Published(id) {
+			return
+		}
+		if !found || w.pos < bestW.pos {
+			bestID, bestW, bestVerb, found = id, w, verb, true
+		}
+	}
+	for id, w := range f.dirty {
+		consider(id, w, "not persisted")
+	}
+	for id, w := range f.flushed {
+		consider(id, w, "flushed but not fenced")
+	}
+	return bestID, bestW, bestVerb, found
+}
+
+// ---------------------------------------------------------------------------
+// Waiver helpers, shared in shape with persistcheck.
+
+func nopersist(fn *ast.FuncDecl) (annotated, reasoned bool) {
+	if fn.Doc == nil {
+		return false, false
+	}
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, nopersistPrefix); ok {
+			return true, strings.TrimSpace(rest) != ""
+		}
+	}
+	return false, false
+}
+
+func pkgPrivate(obj *types.Func, fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return true
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return !n.Obj().Exported()
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := pass.Info.TypeOf(res)
+		if t != nil && types.Implements(t, errorIface) {
+			return true
+		}
+	}
+	return false
+}

@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/ptr"
 	"hyrisenv/internal/analysis/summary"
 )
 
@@ -159,6 +160,7 @@ func checkMixedAtomic(pass *analysis.Pass) {
 		})
 	}
 
+	g := ptr.Of(pass)
 	var objs []types.Object
 	for obj := range accesses {
 		objs = append(objs, obj)
@@ -173,6 +175,16 @@ func checkMixedAtomic(pass *analysis.Pass) {
 		}
 		if !hasAtomic {
 			continue
+		}
+		// A local whose address provably never leaves its function
+		// cannot be shared, so its plain accesses cannot race with its
+		// atomics — mixing them is odd style but not a bug. Escaped,
+		// published or NVM-resident objects stay in: recovery and other
+		// goroutines both count as "elsewhere".
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != pass.Pkg.Scope() {
+			if fo := g.FrameObj(v); fo != nil && !fo.Escapes && !fo.Published && !fo.NVM {
+				continue
+			}
 		}
 		// One report per object, at its first plain access in file order.
 		as := accesses[obj]

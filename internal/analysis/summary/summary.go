@@ -58,22 +58,53 @@ func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// Callers returns, for every function of fns, how many static
-// in-package call sites invoke it from *other* functions of the
-// package (self-recursion does not count as a caller).
+// Callers returns, for every function of fns, how many in-package
+// sites invoke or capture it from *other* functions of the package
+// (self-recursion does not count as a caller). Two kinds of site
+// count: static call sites, and references in non-call position —
+// method values and function values stored into variables, fields or
+// arguments. A referenced function escapes into a value whose eventual
+// call sites inherit its obligations, so for the unexported-helper
+// obligation-shift rule a reference is as good as a call; before this
+// was counted, such helpers silently vanished from the caller map and
+// the shift rule over-reported them.
 func Callers(pass *analysis.Pass, fns map[*types.Func]*ast.FuncDecl) map[*types.Func]int {
 	count := map[*types.Func]int{}
 	for caller, fd := range fns {
+		// First pass: static call sites, remembering which identifiers
+		// are the operator of a call so the second pass can skip them.
+		inCallPos := map[*ast.Ident]bool{}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				inCallPos[fun] = true
+			case *ast.SelectorExpr:
+				inCallPos[fun.Sel] = true
 			}
 			callee := StaticCallee(pass.Info, call)
 			if callee != nil && callee != caller {
 				if _, inPkg := fns[callee]; inPkg {
 					count[callee]++
 				}
+			}
+			return true
+		})
+		// Second pass: method values and stored function values.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inCallPos[id] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn == caller {
+				return true
+			}
+			if _, inPkg := fns[fn]; inPkg {
+				count[fn]++
 			}
 			return true
 		})

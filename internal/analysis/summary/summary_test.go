@@ -1,0 +1,50 @@
+package summary_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/summary"
+)
+
+// TestCallers checks the caller counting that gates the
+// obligation-shift waiver: static calls count, and so do method values
+// and stored function values — a function that escapes into a value is
+// not caller-less, its obligations travel with the value.
+func TestCallers(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.FixtureDir(), "./callers")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	got := map[string]int{}
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "captures summary.Callers for the test",
+		Run: func(pass *analysis.Pass) error {
+			fns := summary.Functions(pass)
+			counts := summary.Callers(pass, fns)
+			for fn := range fns {
+				got[fn.Name()] = counts[fn]
+			}
+			return nil
+		},
+	}
+	if _, err := analysis.Run(pkgs, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatalf("running probe: %v", err)
+	}
+
+	want := map[string]int{
+		"helper":      2, // one static call + one stored function value
+		"poke":        1, // one method value
+		"static":      0,
+		"stored":      0,
+		"methodValue": 0,
+		"recursive":   0, // self-recursion is not a caller
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("Callers[%s] = %d, want %d", name, got[name], n)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package callers exercises summary.Callers: static call sites count,
+// and so do references in non-call position — method values and stored
+// function values — because the referenced function escapes into a
+// value whose call sites inherit its obligations. Self-recursion never
+// counts.
+package callers
+
+func helper() {}
+
+type gadget struct{}
+
+func (gadget) poke() {}
+
+// static calls helper directly: one caller.
+func static() { helper() }
+
+// stored captures helper as a value: counts as a caller even though no
+// call happens here.
+func stored() {
+	f := helper
+	_ = f
+}
+
+// methodValue captures gadget.poke as a bound method value.
+func methodValue() {
+	var g gadget
+	p := g.poke
+	_ = p
+}
+
+// recursive only calls itself: zero callers.
+func recursive(n int) {
+	if n > 0 {
+		recursive(n - 1)
+	}
+}

@@ -12,8 +12,14 @@ func (p PPtr) Add(n uint64) PPtr { return p + PPtr(n) }
 // Heap stands in for the mmap-backed NVM heap.
 type Heap struct{ buf []byte }
 
+// Alloc carves a fresh n-byte block out of the heap.
+func (h *Heap) Alloc(n uint64) (PPtr, error) { return 0, nil }
+
 // Bytes returns the n bytes at p as a slice aliasing the mapping.
 func (h *Heap) Bytes(p PPtr, n uint64) []byte { return h.buf[p : uint64(p)+n] }
+
+// GetU64 reads the word at p.
+func (h *Heap) GetU64(p PPtr) uint64 { return 0 }
 
 // U64 reads the word at p.
 func (h *Heap) U64(p PPtr) uint64 { return 0 }
@@ -50,6 +56,9 @@ func (h *Heap) Drain() {}
 
 // SetRoot durably publishes p in root slot slot.
 func (h *Heap) SetRoot(slot uint32, p PPtr) {}
+
+// Root reads back the published root pointer of slot slot.
+func (h *Heap) Root(slot uint32) PPtr { return 0 }
 
 // Close unmaps the heap.
 func (h *Heap) Close() error { return nil }

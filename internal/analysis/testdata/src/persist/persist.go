@@ -210,6 +210,36 @@ func stampOverDeclared(h *nvm.Heap, p nvm.PPtr) { // want `//nvm:nopersist on st
 	h.Persist(p, 8)
 }
 
+// poker and heapPoker give the rot report an aliased write this flow
+// analysis cannot see.
+type poker interface{ poke(p nvm.PPtr) }
+
+type heapPoker struct{ h *nvm.Heap }
+
+// poke is package-private with a static in-package caller (pokeDirect),
+// so its own obligation transfers and it needs no annotation.
+func (hp heapPoker) poke(p nvm.PPtr) {
+	hp.h.PutU64(p, 9)
+}
+
+// pokeDirect is the static caller that discharges poke's write.
+func pokeDirect(hp heapPoker, p nvm.PPtr) {
+	hp.poke(p)
+	hp.h.Persist(p, 8)
+}
+
+// StampDynamic stamps through the interface. The v2 flow analysis sees
+// no NVM event at all (the dynamic callee is opaque to it), so on its
+// own evidence the annotation is rot — but the points-to engine
+// resolves the dispatch, sees the dirty return, and vetoes the
+// deletion order. No diagnostic either way.
+//
+//nvm:nopersist callers persist the stamped batch once per group
+func StampDynamic(h *nvm.Heap, p nvm.PPtr) {
+	var pk poker = heapPoker{h: h}
+	pk.poke(p)
+}
+
 // ---------------------------------------------------------------------------
 // Flush/fence cases: the two-stage durability model of flash-backed
 // NVDIMMs. Flush orders writes into the device queue; only a fence (or

@@ -92,3 +92,35 @@ func rederivedInBranch(h *nvm.Heap, p nvm.PPtr, reopen bool) byte {
 	}
 	return b[0]
 }
+
+// derivedStale reads through a slice *derived* from the Bytes view —
+// only the points-to graph connects c to the mapping.
+func derivedStale(h *nvm.Heap, p nvm.PPtr) byte {
+	b := h.Bytes(p, 8)
+	c := b[2:6]
+	h.Close()
+	return c[0] // want `c aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+}
+
+// derivedFresh re-derives before use; the derived alias of the new
+// generation is fine.
+func derivedFresh(h *nvm.Heap, p nvm.PPtr) byte {
+	b := h.Bytes(p, 8)
+	c := b[2:6]
+	_ = c
+	h.Close()
+	h2, _ := nvm.Open("heap")
+	b = h2.Bytes(p, 8)
+	d := b[2:6]
+	return d[0]
+}
+
+// copyOfStale copies an already-stale alias after the remap: the copy
+// inherits the staleness (and the copy statement itself is the use of
+// the dead alias).
+func copyOfStale(h *nvm.Heap, p nvm.PPtr) byte {
+	b := h.Bytes(p, 8)
+	h.Close()
+	c := b[2:6] // want `b aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+	return c[0] // want `c aliases the NVM mapping from Heap\.Bytes but is used after the remap`
+}

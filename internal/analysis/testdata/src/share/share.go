@@ -36,6 +36,30 @@ func coldOnly(c *counters) uint64 {
 	return c.cold
 }
 
+// localConfined mixes atomic and plain access to a local whose address
+// never leaves the function: the escape analysis proves it unshared, so
+// the mix is style, not a race — no report.
+func localConfined() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	n++
+	return n
+}
+
+// localShipped captures the local in a goroutine: the same mix now
+// races for real.
+func localShipped(wg *sync.WaitGroup) uint64 {
+	var n uint64
+	wg.Add(1)
+	go func() {
+		atomic.AddUint64(&n, 1)
+		wg.Done()
+	}()
+	n++ // want `n is accessed atomically elsewhere`
+	wg.Wait()
+	return n
+}
+
 // dropsSuppressed documents a benign monitoring readout.
 func dropsSuppressed(c *counters) uint64 {
 	return c.drops //nvmcheck:ignore sharecheck fixture: monitoring readout tolerates staleness

@@ -138,9 +138,16 @@ func (v *Vector) Append(val uint64) (uint64, error) {
 	}
 	p := v.segs[k].Add(off * v.elemSize)
 	v.writeElem(p, val)
-	if !brokenSkipElemPersist.Load() {
-		v.h.Persist(p, v.elemSize)
+	if brokenSkipElemPersist.Load() {
+		// Advancing the length publishes the element region to
+		// recovery with the element still dirty — exactly the ordering
+		// bug publishcheck exists to flag, kept on purpose as the
+		// detection-power hook for the pessimistic crash model.
+		//nvmcheck:ignore publishcheck deliberately broken protocol, see brokenSkipElemPersist
+		v.setLen(i + 1)
+		return i, nil
 	}
+	v.h.Persist(p, v.elemSize) // elem persist (crosscheck removes this line)
 	v.setLen(i + 1)
 	return i, nil
 }
@@ -232,6 +239,10 @@ func (v *Vector) Set(i uint64, val uint64) {
 
 // SetNoPersist overwrites element i without a persist barrier; callers
 // batch a group of stamps and call PersistRange once (group commit).
+// The annotation waives both the persistcheck obligation (unpersisted
+// NVM write at return) and the publishcheck one (the segment is already
+// published, so the dirty element is visible to recovery until the
+// caller's batched persist lands).
 //
 //nvm:nopersist deferred durability is the contract; callers batch and PersistRange once
 func (v *Vector) SetNoPersist(i uint64, val uint64) {
