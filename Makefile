@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet nvmcheck nvmcheck-stats crosscheck test race fuzz-smoke crashmatrix benchscan benchserve
+.PHONY: check fmt vet nvmcheck nvmcheck-stats crosscheck test race fuzz-smoke crashmatrix chaos benchscan benchserve
 
 check: fmt vet nvmcheck race
 
@@ -79,6 +79,18 @@ crashmatrix:
 		bin/hyrise-nv fsck "$$d" >/dev/null || { echo "external fsck failed: $$d" >&2; fails=1; }; \
 	done; \
 	[ "$$fails" -eq 0 ] && echo "crashmatrix: every surviving heap passes hyrise-nv fsck"
+
+# Acked-durability chaos run (internal/chaos): 10 SIGKILL/restart
+# cycles of a real hyrise-nvd under mixed pipelined load with the fault
+# plane armed on both ends of the wire — allocation faults, latency
+# spikes, drain stalls, resets, partial frames — an offline fsck after
+# every crash, and verification that every client-acked commit survived
+# exactly once. Fails on any violation. CI runs the 3-cycle smoke via
+# `CHAOS_CYCLES=3 go test ./internal/chaos`.
+chaos:
+	$(GO) build -o bin/hyrise-nvd ./cmd/hyrise-nvd
+	$(GO) build -o bin/hyrise-nv ./cmd/hyrise-nv
+	bin/hyrise-nv connect chaos -daemon bin/hyrise-nvd -cycles 10
 
 # Morsel-parallel scan benchmarks (internal/exec) at Parallelism
 # 1/2/4/8 over the 1M-row table, recorded to BENCH_scan.json for the

@@ -47,6 +47,7 @@ var (
 	ErrBadColumn    = hyrisenvError("unknown column")
 	ErrShuttingDown = hyrisenvError("server is shutting down")
 	ErrOverloaded   = hyrisenvError("server is overloaded")
+	ErrOutOfSpace   = hyrisenvError("server is out of persistent space")
 	ErrClosed       = hyrisenvError("client is closed")
 	ErrTxDone       = hyrisenvError("transaction already finished")
 )
@@ -91,6 +92,11 @@ func errFromResp(e wire.ErrorResp) error {
 		// fast, and an immediate retry would defeat that. Callers decide
 		// when to back off.
 		sentinel = ErrOverloaded
+	case wire.CodeOutOfSpace:
+		// The server's persistent heap is exhausted: writes fail with
+		// this sentinel while reads keep working — the degraded
+		// read-only mode callers branch on.
+		sentinel = ErrOutOfSpace
 	case wire.CodeDeadline:
 		// Deadline errors surface as the standard context error so
 		// callers can use one errors.Is check for local and remote
@@ -127,6 +133,16 @@ type Options struct {
 	HealthCheckAfter time.Duration
 	// MaxFrame bounds response payloads (default wire.DefaultMaxPayload).
 	MaxFrame uint32
+	// ReadRetries is how many times an idempotent read is re-sent on a
+	// fresh connection after a network failure (default 1; negative
+	// disables retries). Raising it hardens read traffic against
+	// sustained connection faults — writes are never retried regardless.
+	ReadRetries int
+	// ConnWrapper, when non-nil, wraps every dialed connection before
+	// the handshake — the hook the fault-injection plane
+	// (internal/fault) uses to inject transport faults on the client
+	// side. The wrapper must preserve net.Conn deadline semantics.
+	ConnWrapper func(net.Conn) net.Conn
 }
 
 func (o *Options) withDefaults() Options {
@@ -145,6 +161,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxFrame == 0 {
 		out.MaxFrame = wire.DefaultMaxPayload
+	}
+	if out.ReadRetries == 0 {
+		out.ReadRetries = 1
+	}
+	if out.ReadRetries < 0 {
+		out.ReadRetries = 0
 	}
 	return out
 }
@@ -408,6 +430,9 @@ func (c *Client) dial(ctx context.Context) (*wconn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
+	if w := c.opts.ConnWrapper; w != nil {
+		nc = w(nc)
+	}
 	wc := &wconn{
 		nc:       nc,
 		br:       bufio.NewReader(nc),
@@ -535,16 +560,18 @@ func (c *Client) conn(ctx context.Context) (*wconn, error) {
 }
 
 // do runs one request on a pooled connection. Idempotent requests
-// (retriable=true) are retried once on a fresh connection after a
-// network error — the reconnect path that rides out a server restart.
-// Writes are never retried: after a network failure the client cannot
-// know whether the server applied them, so the definite network error
-// surfaces to the caller instead of a possible double-apply.
+// (retriable=true) are retried up to Options.ReadRetries times on a
+// fresh connection after a network error — the reconnect path that
+// rides out a server restart (and, with more retries configured,
+// sustained injected connection faults). Writes are never retried:
+// after a network failure the client cannot know whether the server
+// applied them, so the definite network error surfaces to the caller
+// instead of a possible double-apply.
 func (c *Client) do(ctx context.Context, t wire.Type, payload []byte, retriable bool) (wire.Frame, error) {
 	var lastErr error
 	attempts := 1
 	if retriable {
-		attempts = 2
+		attempts = 1 + c.opts.ReadRetries
 	}
 	for i := 0; i < attempts; i++ {
 		wc, err := c.conn(ctx)

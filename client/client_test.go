@@ -3,6 +3,7 @@ package client_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"hyrisenv"
 	"hyrisenv/client"
 	"hyrisenv/internal/core"
+	"hyrisenv/internal/fault"
 	"hyrisenv/internal/server"
 	"hyrisenv/internal/txn"
 )
@@ -314,5 +316,133 @@ func TestClientClose(t *testing.T) {
 	}
 	if err := c.Ping(); !errors.Is(err, client.ErrClosed) {
 		t.Fatalf("ping after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelinedResetExactlyOnce is the acked-durability contract at the
+// client-pool level: under pipelined load on a server whose fault plane
+// injects connection resets and partial-frame response writes, every
+// tagged write must resolve exactly once — an acked commit is visible
+// exactly once, a write that failed before Commit was issued is absent
+// (its transaction died with the connection and was aborted server
+// side), and a commit whose ack was lost is present at most once (never
+// duplicated by a retry). Reads ride ReadRetries and recover; writes
+// are never replayed.
+func TestPipelinedResetExactlyOnce(t *testing.T) {
+	eng, err := core.Open(core.Config{Mode: txn.ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := fault.New(fault.Config{Seed: 42, ResetProb: 0.02, PartialWriteProb: 0.01})
+	srv, err := server.Listen(eng, "127.0.0.1:0", server.Config{ConnWrapper: plane.WrapConn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	c, err := client.Dial(srv.Addr(), client.Options{
+		ReadRetries:    3,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	plane.Enable() // setup is done; from here every conn write/read may fault
+
+	const workers, perWorker = 8, 50
+	const (
+		acked  = iota // Commit returned nil: must be visible exactly once
+		failed        // error before Commit was sent: must be absent
+		indet         // Commit errored: ack lost in flight, at most once
+	)
+	status := make([]int32, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := w*perWorker + i
+				tx, err := c.Begin()
+				if err != nil {
+					status[key] = failed
+					continue
+				}
+				if _, err := tx.Insert("t", hyrisenv.Int(int64(key)), hyrisenv.Str(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					tx.Abort() //nolint:errcheck — connection likely dead already
+					status[key] = failed
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					status[key] = indet
+					continue
+				}
+				status[key] = acked
+			}
+		}(w)
+	}
+	// Concurrent readers keep the pipeline mixed while faults fire; their
+	// errors are irrelevant here — only that they never deadlock the pool.
+	stopReads := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+					c.Count("t") //nolint:errcheck — fault noise by design
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopReads)
+	readers.Wait()
+	plane.Disable()
+
+	st := plane.Stats()
+	if st.Resets+st.PartialWrites == 0 {
+		t.Fatal("no connection fault fired; the test exercised nothing")
+	}
+	var nAcked, nFailed, nIndet int
+	for _, s := range status {
+		switch s {
+		case acked:
+			nAcked++
+		case failed:
+			nFailed++
+		default:
+			nIndet++
+		}
+	}
+	t.Logf("faults: %v; writes: %d acked, %d failed, %d indeterminate", &st, nAcked, nFailed, nIndet)
+	if nAcked == 0 {
+		t.Fatal("no write was ever acked under the fault plane")
+	}
+
+	// Verification pass on the same (recovered) pool, plane quiet.
+	for key, s := range status {
+		n, err := c.Count("t", hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(int64(key))})
+		if err != nil {
+			t.Fatalf("verify key %d: %v", key, err)
+		}
+		switch {
+		case s == acked && n != 1:
+			t.Errorf("key %d: acked but visible %d times — lost or duplicated acked write", key, n)
+		case s == failed && n != 0:
+			t.Errorf("key %d: failed before commit but visible %d times — phantom write", key, n)
+		case s == indet && n > 1:
+			t.Errorf("key %d: indeterminate commit visible %d times — duplicate apply", key, n)
+		}
 	}
 }

@@ -8,19 +8,23 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyrisenv"
 	"hyrisenv/client"
+	"hyrisenv/internal/chaos"
+	"hyrisenv/internal/fault"
 	"hyrisenv/internal/load"
 	"hyrisenv/internal/workload"
 )
 
-// runConnect implements `hyrise-nv connect <load|run|bench|scan|stats|watch>`:
-// the same load/query tooling as the embedded subcommands, but executed
-// over the wire against a running hyrise-nvd.
+// runConnect implements `hyrise-nv connect
+// <load|run|bench|chaos|scan|stats|watch>`: the same load/query tooling
+// as the embedded subcommands, but executed over the wire against a
+// running hyrise-nvd (chaos spawns and kills its own).
 func runConnect(args []string) {
 	if len(args) < 1 {
 		connectUsage()
@@ -29,6 +33,9 @@ func runConnect(args []string) {
 	switch sub {
 	case "bench":
 		connectBench(args[1:])
+		return
+	case "chaos":
+		connectChaos(args[1:])
 		return
 	case "load", "run", "scan", "stats", "watch":
 	default:
@@ -68,9 +75,68 @@ func runConnect(args []string) {
 }
 
 func connectUsage() {
-	fmt.Fprintln(os.Stderr, `usage: hyrise-nv connect <load|run|bench|scan|stats|watch> [-addr host:port] [flags]
+	fmt.Fprintln(os.Stderr, `usage: hyrise-nv connect <load|run|bench|chaos|scan|stats|watch> [-addr host:port] [flags]
 run "hyrise-nv connect <sub> -h" for the flags of each subcommand`)
 	os.Exit(2)
+}
+
+// connectChaos runs the acked-durability chaos harness (internal/chaos)
+// against a daemon binary it spawns and repeatedly SIGKILLs: mixed
+// pipelined load with the fault plane armed on both ends of the wire,
+// an offline fsck after every crash, and full verification that every
+// client-acked commit survived. Exits non-zero on any violation.
+func connectChaos(args []string) {
+	fs := flag.NewFlagSet("connect chaos", flag.ExitOnError)
+	daemonBin := fs.String("daemon", "bin/hyrise-nvd", "hyrise-nvd binary to spawn and kill")
+	dir := fs.String("dir", "", "data directory (default: a fresh temp dir)")
+	cycles := fs.Int("cycles", 10, "kill/restart cycles")
+	cycleLoad := fs.Duration("cycle-load", 300*time.Millisecond, "load duration before each kill")
+	heap := fs.Uint64("nvm-heap", 256<<20, "daemon NVM device size in bytes")
+	serverFaults := fs.String("fault", "seed=11,oom=0.0002,spike=0.005:50us,drain=0.002:200us,reset=0.002,partial=0.001,stall=0.001:200us",
+		"daemon-side fault spec (see internal/fault); empty disarms")
+	clientFaults := fs.String("client-fault", "seed=13,reset=0.002,partial=0.001",
+		"client-side fault spec; empty disarms")
+	fs.Parse(args)
+
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "hyrise-chaos-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+	var ccfg fault.Config
+	if *clientFaults != "" {
+		var err error
+		if ccfg, err = fault.ParseSpec(*clientFaults); err != nil {
+			log.Fatalf("-client-fault: %v", err)
+		}
+	}
+
+	d := &chaos.ProcDaemon{NewCmd: func(addr string) *exec.Cmd {
+		cargs := []string{"-addr", addr, "-dir", *dir, "-mode", "nvm",
+			"-nvm-heap", fmt.Sprint(*heap), "-quiet"}
+		if *serverFaults != "" {
+			cargs = append(cargs, "-fault", *serverFaults)
+		}
+		return exec.Command(*daemonBin, cargs...)
+	}}
+	rep, err := chaos.Run(chaos.Config{
+		Dir:          *dir,
+		Cycles:       *cycles,
+		CycleLoad:    *cycleLoad,
+		NVMHeapSize:  *heap,
+		ClientFaults: ccfg,
+		Logf:         log.Printf,
+	}, d)
+	if err != nil {
+		log.Fatalf("chaos run: %v\n%v", err, rep)
+	}
+	fmt.Println(rep)
+	if !rep.Clean() {
+		os.Exit(1)
+	}
 }
 
 // connectBench runs the YCSB-style load driver (internal/load) against a

@@ -44,6 +44,7 @@ func main() {
 	maxFrame := flag.Uint("max-frame", 16<<20, "maximum frame payload in bytes")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle this long")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain budget")
+	faultSpec := flag.String("fault", "", `arm the fault-injection plane (chaos testing), e.g. "seed=7,oom=0.001,reset=0.002"`)
 	quiet := flag.Bool("quiet", false, "suppress lifecycle logging")
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 			Logf:        logf,
 		},
 		DrainTimeout: *drain,
+		FaultSpec:    *faultSpec,
 		Ready:        os.Stdout,
 		Logf:         logf,
 	})

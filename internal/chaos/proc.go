@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Daemon abstracts the process under chaos: something that can be
+// started on an address, killed without warning, and started again on
+// the same address. The harness never shuts a Daemon down gracefully —
+// every stop is a crash.
+type Daemon interface {
+	// Start launches the daemon listening on addr (host:0 picks a free
+	// port) and blocks until it is accepting connections, returning the
+	// bound address.
+	Start(addr string) (string, error)
+	// Kill crashes the daemon with no opportunity to clean up (SIGKILL
+	// for a process) and reaps it.
+	Kill() error
+}
+
+// ProcDaemon runs a real operating-system process — hyrise-nvd, or a
+// re-exec'd test binary — as the Daemon under chaos. Readiness is the
+// daemon's "LISTENING <addr>" line on stdout (the RunDaemon Ready
+// contract), and Kill is a real SIGKILL: the engine gets no drain, no
+// close, no flush beyond what it had already persisted.
+type ProcDaemon struct {
+	// NewCmd builds the command for one daemon incarnation listening on
+	// addr. Called once per Start so each restart is a fresh process.
+	NewCmd func(addr string) *exec.Cmd
+
+	// Stderr, when non-nil, receives the daemon's stderr (default: the
+	// harness process's own stderr).
+	Stderr io.Writer
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// startTimeout bounds how long a daemon may take to report readiness.
+// NVM restarts are the whole point of the exercise: seconds, not
+// minutes.
+const startTimeout = 30 * time.Second
+
+func (d *ProcDaemon) Start(addr string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cmd != nil {
+		return "", fmt.Errorf("chaos: daemon already running (pid %d)", d.cmd.Process.Pid)
+	}
+	cmd := d.NewCmd(addr)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = d.Stderr
+		if cmd.Stderr == nil {
+			cmd.Stderr = os.Stderr
+		}
+	}
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+
+	type ready struct {
+		addr string
+		err  error
+	}
+	readyc := make(chan ready, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "LISTENING "); ok {
+				readyc <- ready{addr: a}
+				// Keep the pipe drained so the daemon never blocks on a
+				// full stdout buffer.
+				io.Copy(io.Discard, stdout) //nolint:errcheck
+				return
+			}
+		}
+		readyc <- ready{err: fmt.Errorf("chaos: daemon exited before LISTENING (scan err: %v)", sc.Err())}
+	}()
+
+	select {
+	case r := <-readyc:
+		if r.err != nil {
+			cmd.Process.Kill() //nolint:errcheck — already failing
+			cmd.Wait()         //nolint:errcheck
+			return "", r.err
+		}
+		d.cmd = cmd
+		return r.addr, nil
+	case <-time.After(startTimeout):
+		cmd.Process.Kill() //nolint:errcheck — already failing
+		cmd.Wait()         //nolint:errcheck
+		return "", fmt.Errorf("chaos: daemon not ready within %s", startTimeout)
+	}
+}
+
+func (d *ProcDaemon) Kill() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cmd == nil {
+		return fmt.Errorf("chaos: no daemon running")
+	}
+	err := d.cmd.Process.Kill()
+	d.cmd.Wait() //nolint:errcheck — killed on purpose
+	d.cmd = nil
+	return err
+}

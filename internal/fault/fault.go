@@ -1,0 +1,336 @@
+// Package fault is the deterministic, seeded fault-injection plane
+// used by the chaos harness (internal/chaos) and the robustness tests.
+//
+// One Plane carries one seeded RNG and a probability table (Config) and
+// is threaded through three I/O layers:
+//
+//   - NVM: the Plane implements nvm.FaultInjector, so an armed heap
+//     (nvm.Heap.SetFaultInjector) sees injected allocation failures
+//     (wrapping nvm.ErrOutOfMemory), persist-latency spikes charged at
+//     fence barriers, and durability-drain stalls — the failure modes
+//     real persistent-memory devices exhibit under contention.
+//   - wire/net: WrapConn wraps a server- or client-side net.Conn with
+//     injected connection resets, partial-frame writes (a prefix of the
+//     buffer lands, then the connection dies) and read stalls. Injected
+//     transport errors wrap syscall.ECONNRESET so existing
+//     "expected network error" classification treats them as routine
+//     peer failures, not server bugs.
+//   - process: SIGKILL/restart cycles are driven by the chaos harness
+//     itself (internal/chaos.ProcDaemon); the Plane only covers the
+//     in-process layers.
+//
+// Determinism: every probability roll draws from the single seeded RNG
+// under a mutex, so a fixed Config.Seed with a fixed workload schedule
+// replays the same fault decisions in sequence. (Concurrent
+// connections interleave rolls nondeterministically, but the marginal
+// fault rates stay fixed, which is what the chaos gate pins.)
+//
+// A Plane is inert until Enable is called and can be disarmed again
+// with Disable, so tests can scope faults to one phase. Stats counts
+// every injected fault by kind.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hyrisenv/internal/nvm"
+)
+
+// ErrInjected is wrapped by every error the plane injects, so tests
+// can distinguish injected faults from organic failures.
+var ErrInjected = errors.New("fault: injected")
+
+// Config is the probability table of one fault plane. Probabilities
+// are per injection site: per Alloc for OOMProb, per persist barrier
+// for SpikeProb, per Drain for DrainStallProb, per Read/Write call for
+// the wire faults. Zero-valued fields inject nothing.
+type Config struct {
+	// Seed seeds the plane's RNG (0 means 1, so the zero Config is
+	// still deterministic).
+	Seed int64
+
+	// OOMProb injects nvm.ErrOutOfMemory from Heap.Alloc.
+	OOMProb float64
+	// SpikeProb adds a persist-latency spike of Spike at a fence
+	// barrier — the tail-latency behavior of real PM devices.
+	SpikeProb float64
+	Spike     time.Duration
+	// DrainStallProb stalls a durability drain by DrainStall on top of
+	// the modeled drain cycle.
+	DrainStallProb float64
+	DrainStall     time.Duration
+
+	// ResetProb kills the connection (close + ECONNRESET error) at a
+	// Read or Write call boundary.
+	ResetProb float64
+	// PartialWriteProb writes only a strict prefix of the buffer, then
+	// kills the connection — a mid-frame write failure.
+	PartialWriteProb float64
+	// ReadStallProb sleeps ReadStall before a Read proceeds.
+	ReadStallProb float64
+	ReadStall     time.Duration
+}
+
+// Stats counts injected faults by kind since the plane was created.
+type Stats struct {
+	OOM           uint64
+	Spikes        uint64
+	DrainStalls   uint64
+	Resets        uint64
+	PartialWrites uint64
+	ReadStalls    uint64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("oom=%d spikes=%d drain-stalls=%d resets=%d partial-writes=%d read-stalls=%d",
+		s.OOM, s.Spikes, s.DrainStalls, s.Resets, s.PartialWrites, s.ReadStalls)
+}
+
+// Plane is one armed fault-injection plane. All methods are safe for
+// concurrent use.
+type Plane struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	oom      atomic.Uint64
+	spikes   atomic.Uint64
+	stalls   atomic.Uint64
+	resets   atomic.Uint64
+	partials atomic.Uint64
+	rstalls  atomic.Uint64
+}
+
+// New builds a disabled plane from cfg; call Enable to arm it.
+func New(cfg Config) *Plane {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Plane{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Enable arms the plane. Disable disarms it; an armed site sees the
+// change on its next roll.
+func (p *Plane) Enable()  { p.enabled.Store(true) }
+func (p *Plane) Disable() { p.enabled.Store(false) }
+
+// Enabled reports whether the plane is armed.
+func (p *Plane) Enabled() bool { return p.enabled.Load() }
+
+// Config returns the plane's probability table.
+func (p *Plane) Config() Config { return p.cfg }
+
+// Stats returns the injected-fault counters.
+func (p *Plane) Stats() Stats {
+	return Stats{
+		OOM:           p.oom.Load(),
+		Spikes:        p.spikes.Load(),
+		DrainStalls:   p.stalls.Load(),
+		Resets:        p.resets.Load(),
+		PartialWrites: p.partials.Load(),
+		ReadStalls:    p.rstalls.Load(),
+	}
+}
+
+// roll draws one decision at probability prob. Disabled planes never
+// fire, and the common prob==0 site costs one atomic load.
+func (p *Plane) roll(prob float64) bool {
+	if prob <= 0 || !p.enabled.Load() {
+		return false
+	}
+	p.mu.Lock()
+	hit := p.rng.Float64() < prob
+	p.mu.Unlock()
+	return hit
+}
+
+// intn draws a uniform int in [0, n) from the plane's RNG.
+func (p *Plane) intn(n int) int {
+	p.mu.Lock()
+	v := p.rng.Intn(n)
+	p.mu.Unlock()
+	return v
+}
+
+// --- NVM layer (nvm.FaultInjector) -----------------------------------------
+
+// AllocFault implements nvm.FaultInjector: with probability OOMProb the
+// allocation fails as if the persistent arena were exhausted.
+func (p *Plane) AllocFault(size uint64) error {
+	if p.roll(p.cfg.OOMProb) {
+		p.oom.Add(1)
+		return fmt.Errorf("%w: alloc %d bytes: %w", ErrInjected, size, nvm.ErrOutOfMemory)
+	}
+	return nil
+}
+
+// BarrierDelay implements nvm.FaultInjector: the extra latency to
+// charge at this fence barrier (0 = no spike).
+func (p *Plane) BarrierDelay() time.Duration {
+	if p.cfg.Spike > 0 && p.roll(p.cfg.SpikeProb) {
+		p.spikes.Add(1)
+		return p.cfg.Spike
+	}
+	return 0
+}
+
+// DrainDelay implements nvm.FaultInjector: the extra stall to add to
+// this durability drain (0 = no stall).
+func (p *Plane) DrainDelay() time.Duration {
+	if p.cfg.DrainStall > 0 && p.roll(p.cfg.DrainStallProb) {
+		p.stalls.Add(1)
+		return p.cfg.DrainStall
+	}
+	return 0
+}
+
+// --- Wire layer -------------------------------------------------------------
+
+// WrapConn wraps nc with the plane's transport faults. A nil plane
+// returns nc unchanged, so a Config/Options field can hold
+// plane.WrapConn unconditionally.
+func (p *Plane) WrapConn(nc net.Conn) net.Conn {
+	if p == nil {
+		return nc
+	}
+	return &faultConn{Conn: nc, p: p}
+}
+
+// faultConn injects transport faults at Read/Write call boundaries.
+// The embedded net.Conn supplies deadlines and addresses unchanged.
+type faultConn struct {
+	net.Conn
+	p *Plane
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.p.roll(c.p.cfg.ResetProb) {
+		c.p.resets.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: read: %w", ErrInjected, syscall.ECONNRESET)
+	}
+	if c.p.cfg.ReadStall > 0 && c.p.roll(c.p.cfg.ReadStallProb) {
+		c.p.rstalls.Add(1)
+		time.Sleep(c.p.cfg.ReadStall)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.p.roll(c.p.cfg.ResetProb) {
+		c.p.resets.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: write: %w", ErrInjected, syscall.ECONNRESET)
+	}
+	if len(b) > 1 && c.p.roll(c.p.cfg.PartialWriteProb) {
+		c.p.partials.Add(1)
+		n, _ := c.Conn.Write(b[:1+c.p.intn(len(b)-1)]) // strict prefix
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: partial write (%d of %d bytes): %w",
+			ErrInjected, n, len(b), syscall.ECONNRESET)
+	}
+	return c.Conn.Write(b)
+}
+
+// --- Spec strings -----------------------------------------------------------
+
+// ParseSpec parses the compact fault-spec grammar used by the
+// hyrise-nvd -fault flag and the daemon test environment:
+//
+//	seed=7,oom=0.001,spike=0.02:100us,drain=0.01:1ms,reset=0.002,partial=0.001,stall=0.001:500us
+//
+// Each key is optional. Probability-with-duration faults (spike, drain,
+// stall) take "prob:duration"; the rest take a bare probability (or an
+// integer for seed). Spec round-trips with Config.Spec.
+func ParseSpec(s string) (Config, error) {
+	var cfg Config
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "oom":
+			cfg.OOMProb, err = strconv.ParseFloat(val, 64)
+		case "reset":
+			cfg.ResetProb, err = strconv.ParseFloat(val, 64)
+		case "partial":
+			cfg.PartialWriteProb, err = strconv.ParseFloat(val, 64)
+		case "spike":
+			cfg.SpikeProb, cfg.Spike, err = probDur(val)
+		case "drain":
+			cfg.DrainStallProb, cfg.DrainStall, err = probDur(val)
+		case "stall":
+			cfg.ReadStallProb, cfg.ReadStall, err = probDur(val)
+		default:
+			return Config{}, fmt.Errorf("fault: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("fault: bad value for %q: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func probDur(val string) (float64, time.Duration, error) {
+	ps, ds, ok := strings.Cut(val, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want prob:duration, got %q", val)
+	}
+	p, err := strconv.ParseFloat(ps, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, d, nil
+}
+
+// Spec renders cfg in the ParseSpec grammar, omitting zero fields.
+func (c Config) Spec() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if c.Seed != 0 {
+		add("seed", strconv.FormatInt(c.Seed, 10))
+	}
+	if c.OOMProb > 0 {
+		add("oom", strconv.FormatFloat(c.OOMProb, 'g', -1, 64))
+	}
+	if c.SpikeProb > 0 {
+		add("spike", strconv.FormatFloat(c.SpikeProb, 'g', -1, 64)+":"+c.Spike.String())
+	}
+	if c.DrainStallProb > 0 {
+		add("drain", strconv.FormatFloat(c.DrainStallProb, 'g', -1, 64)+":"+c.DrainStall.String())
+	}
+	if c.ResetProb > 0 {
+		add("reset", strconv.FormatFloat(c.ResetProb, 'g', -1, 64))
+	}
+	if c.PartialWriteProb > 0 {
+		add("partial", strconv.FormatFloat(c.PartialWriteProb, 'g', -1, 64))
+	}
+	if c.ReadStallProb > 0 {
+		add("stall", strconv.FormatFloat(c.ReadStallProb, 'g', -1, 64)+":"+c.ReadStall.String())
+	}
+	return strings.Join(parts, ",")
+}

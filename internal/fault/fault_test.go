@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"hyrisenv/internal/nvm"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := Config{
+		Seed:             7,
+		OOMProb:          0.001,
+		SpikeProb:        0.02,
+		Spike:            100 * time.Microsecond,
+		DrainStallProb:   0.01,
+		DrainStall:       time.Millisecond,
+		ResetProb:        0.002,
+		PartialWriteProb: 0.001,
+		ReadStallProb:    0.003,
+		ReadStall:        500 * time.Microsecond,
+	}
+	spec := cfg.Spec()
+	got, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip mismatch:\n spec %q\n got  %+v\n want %+v", spec, got, cfg)
+	}
+	if empty, err := ParseSpec(""); err != nil || empty != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"oom", "bogus=1", "spike=0.1", "oom=x", "spike=0.1:zz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDisabledPlaneInjectsNothing(t *testing.T) {
+	p := New(Config{OOMProb: 1, SpikeProb: 1, Spike: time.Hour, DrainStallProb: 1, DrainStall: time.Hour})
+	if err := p.AllocFault(64); err != nil {
+		t.Fatalf("disabled plane injected OOM: %v", err)
+	}
+	if d := p.BarrierDelay(); d != 0 {
+		t.Fatalf("disabled plane injected spike: %v", d)
+	}
+	if d := p.DrainDelay(); d != 0 {
+		t.Fatalf("disabled plane injected drain stall: %v", d)
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("disabled plane counted faults: %+v", s)
+	}
+}
+
+func TestInjectedOOMWrapsSentinels(t *testing.T) {
+	p := New(Config{OOMProb: 1})
+	p.Enable()
+	err := p.AllocFault(128)
+	if !errors.Is(err, nvm.ErrOutOfMemory) {
+		t.Fatalf("injected alloc fault is not ErrOutOfMemory: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected alloc fault is not ErrInjected: %v", err)
+	}
+	if got := p.Stats().OOM; got != 1 {
+		t.Fatalf("OOM counter = %d, want 1", got)
+	}
+	p.Disable()
+	if err := p.AllocFault(128); err != nil {
+		t.Fatalf("plane still injecting after Disable: %v", err)
+	}
+}
+
+func TestDeterministicRolls(t *testing.T) {
+	seq := func() []bool {
+		p := New(Config{Seed: 42, OOMProb: 0.5})
+		p.Enable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.AllocFault(1) != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roll %d differs between identically seeded planes", i)
+		}
+	}
+}
+
+// pipeConns returns a connected in-memory pair.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestWrapConnReset(t *testing.T) {
+	a, b := pipeConns(t)
+	p := New(Config{ResetProb: 1})
+	p.Enable()
+	fc := p.WrapConn(a)
+	if _, err := fc.Write([]byte("hello")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("injected reset error = %v, want ECONNRESET", err)
+	}
+	// The underlying conn really is closed: the peer sees EOF.
+	buf := make([]byte, 1)
+	b.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	if _, err := b.Read(buf); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer read after reset = %v, want EOF", err)
+	}
+	if got := p.Stats().Resets; got == 0 {
+		t.Fatal("reset not counted")
+	}
+}
+
+func TestWrapConnPartialWrite(t *testing.T) {
+	a, b := pipeConns(t)
+	p := New(Config{Seed: 3, PartialWriteProb: 1})
+	p.Enable()
+	fc := p.WrapConn(a)
+
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			b.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+			n, err := b.Read(buf)
+			total += n
+			if err != nil {
+				got <- total
+				return
+			}
+		}
+	}()
+
+	msg := []byte("0123456789abcdef")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, syscall.ECONNRESET) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write error = %v, want injected ECONNRESET", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write landed %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	if delivered := <-got; delivered != n {
+		t.Fatalf("peer received %d bytes, writer reported %d", delivered, n)
+	}
+}
+
+func TestWrapConnPassThrough(t *testing.T) {
+	a, b := pipeConns(t)
+	p := New(Config{}) // all-zero: no faults even when enabled
+	p.Enable()
+	fc := p.WrapConn(a)
+	go fc.Write([]byte("ok")) //nolint:errcheck
+	buf := make([]byte, 2)
+	b.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("pass-through read: %q, %v", buf, err)
+	}
+	var nilPlane *Plane
+	if got := nilPlane.WrapConn(a); got != a {
+		t.Fatal("nil plane must return the conn unchanged")
+	}
+}

@@ -1,0 +1,93 @@
+package nvm
+
+import (
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubInjector drives the FaultInjector hooks deterministically.
+type stubInjector struct {
+	allocErr   error
+	barrier    time.Duration
+	drain      time.Duration
+	allocCalls atomic.Int64
+	drainCalls atomic.Int64
+}
+
+func (s *stubInjector) AllocFault(size uint64) error {
+	s.allocCalls.Add(1)
+	return s.allocErr
+}
+func (s *stubInjector) BarrierDelay() time.Duration { return s.barrier }
+func (s *stubInjector) DrainDelay() time.Duration {
+	s.drainCalls.Add(1)
+	return s.drain
+}
+
+func TestFaultInjectorAlloc(t *testing.T) {
+	h, err := Create(filepath.Join(t.TempDir(), "heap"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	inj := &stubInjector{allocErr: errors.New("injected: " + ErrOutOfMemory.Error())}
+	h.SetFaultInjector(inj)
+	before := h.Stats()
+	if _, err := h.Alloc(64); err == nil {
+		t.Fatal("Alloc with failing injector succeeded")
+	}
+	if inj.allocCalls.Load() != 1 {
+		t.Fatalf("injector consulted %d times, want 1", inj.allocCalls.Load())
+	}
+	// The faulted Alloc changed no heap state: counters and the arena
+	// watermark are untouched.
+	after := h.Stats()
+	if after.Allocs != before.Allocs || after.BytesUsed != before.BytesUsed {
+		t.Fatalf("faulted Alloc mutated heap state: %+v -> %+v", before, after)
+	}
+
+	// Disarming restores normal allocation.
+	h.SetFaultInjector(nil)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatalf("Alloc after disarm: %v", err)
+	}
+
+	// A passing injector is transparent.
+	inj.allocErr = nil
+	h.SetFaultInjector(inj)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatalf("Alloc with passing injector: %v", err)
+	}
+}
+
+func TestFaultInjectorDrainStall(t *testing.T) {
+	h, err := Create(filepath.Join(t.TempDir(), "heap"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	inj := &stubInjector{drain: 20 * time.Millisecond}
+	h.SetFaultInjector(inj)
+	start := time.Now()
+	h.Drain()
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("Drain with injected stall returned in %v, want >= ~20ms", el)
+	}
+	if inj.drainCalls.Load() != 1 {
+		t.Fatalf("drain hook consulted %d times, want 1", inj.drainCalls.Load())
+	}
+
+	// Barrier spikes ride the fence path.
+	inj.drain = 0
+	inj.barrier = 5 * time.Millisecond
+	start = time.Now()
+	h.Fence()
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("Fence with injected spike returned in %v, want >= ~5ms", el)
+	}
+}

@@ -141,6 +141,24 @@ type LatencyModel struct {
 	DrainNS int64
 }
 
+// FaultInjector lets a fault-injection plane (internal/fault)
+// intercede at the heap's allocation and persistence primitives,
+// modeling device misbehavior: media/arena exhaustion, persist-latency
+// spikes, and durability-drain stalls. An injector is consulted with
+// one atomic load per site, so an unarmed heap pays nothing.
+type FaultInjector interface {
+	// AllocFault is consulted at the top of Alloc; a non-nil error
+	// (which should wrap ErrOutOfMemory) fails the allocation before
+	// any heap state changes.
+	AllocFault(size uint64) error
+	// BarrierDelay returns extra latency to charge at a fence barrier
+	// (busy-wait, like the base latency model); 0 injects nothing.
+	BarrierDelay() time.Duration
+	// DrainDelay returns an extra stall for a durability drain
+	// (sleeping, like the modeled drain cycle); 0 injects nothing.
+	DrainDelay() time.Duration
+}
+
 // Stats counts persistence primitives since the heap was opened.
 type Stats struct {
 	Flushes   uint64 // cache lines flushed
@@ -181,6 +199,11 @@ type Heap struct {
 	// failAfter, when > 0, counts down on every persist barrier and
 	// panics with ErrSimulatedCrash when it reaches zero.
 	failAfter atomic.Int64
+
+	// faultInj, when non-nil, is the armed fault injector (see
+	// FaultInjector). Stored behind an atomic pointer so arming and
+	// disarming race safely with hot-path loads.
+	faultInj atomic.Pointer[FaultInjector]
 
 	rootMu sync.Mutex
 
@@ -457,6 +480,14 @@ func (h *Heap) Fence() {
 	if h.lat.FenceNS > 0 {
 		spin(h.lat.FenceNS)
 	}
+	if fi := h.injector(); fi != nil {
+		// Injected persist-latency spike: charged like the base latency
+		// model (busy-wait), since PM tail latencies sit below timer
+		// resolution just as the median does.
+		if d := fi.BarrierDelay(); d > 0 {
+			spin(int64(d))
+		}
+	}
 	if n := h.failAfter.Load(); n > 0 {
 		if h.failAfter.Add(-1) == 0 {
 			h.applyCrash()
@@ -485,6 +516,15 @@ func (h *Heap) Fence() {
 // commit exploits: one drain per batch instead of one per transaction.
 func (h *Heap) Drain() {
 	h.drains.Add(1)
+	if fi := h.injector(); fi != nil {
+		// Injected drain stall: the device's flush cycle runs long. The
+		// waiting core sleeps (it is free to run other work), exactly
+		// like the modeled cycle — callers must surface the added time
+		// as deadline errors, not wedged connections.
+		if d := fi.DrainDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	if h.lat.DrainNS > 0 {
 		h.awaitDrainCycle(time.Duration(h.lat.DrainNS))
 	}
@@ -536,6 +576,24 @@ func (h *Heap) ReadLatencyEnabled() bool { return h.lat.ReadNS > 0 }
 // power at a precise point in a persistence protocol.
 func (h *Heap) FailAfter(n int64) { h.failAfter.Store(n) }
 
+// SetFaultInjector arms (or, with nil, disarms) a fault injector on
+// the heap. Alloc, Fence and Drain consult it; see FaultInjector.
+func (h *Heap) SetFaultInjector(fi FaultInjector) {
+	if fi == nil {
+		h.faultInj.Store(nil)
+		return
+	}
+	h.faultInj.Store(&fi)
+}
+
+// injector returns the armed fault injector, or nil.
+func (h *Heap) injector() FaultInjector {
+	if p := h.faultInj.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 func (h *Heap) offsetOf(b *byte) PPtr {
 	off := uintptr(unsafe.Pointer(b)) - uintptr(unsafe.Pointer(&h.mem[0]))
 	return PPtr(off)
@@ -583,6 +641,13 @@ func classFor(n uint64) int {
 func (h *Heap) Alloc(n uint64) (PPtr, error) {
 	if n == 0 {
 		n = 1
+	}
+	if fi := h.injector(); fi != nil {
+		// Injected exhaustion fails before any heap state changes, so a
+		// faulted Alloc is indistinguishable from a genuinely full arena.
+		if err := fi.AllocFault(n); err != nil {
+			return nil1(), err
+		}
 	}
 	h.allocs.Add(1)
 	c := classFor(n)

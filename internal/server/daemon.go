@@ -11,6 +11,7 @@ import (
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
+	"hyrisenv/internal/fault"
 	"hyrisenv/internal/txn"
 )
 
@@ -28,6 +29,13 @@ type DaemonConfig struct {
 	// DrainTimeout bounds the graceful drain on SIGTERM/SIGINT before
 	// stragglers are force-closed. Default 5 s.
 	DrainTimeout time.Duration
+
+	// FaultSpec, when non-empty, arms the deterministic fault-injection
+	// plane (internal/fault) on the daemon: NVM allocation failures,
+	// persist-latency spikes and drain stalls on the engine heap, plus
+	// resets, partial-frame writes and read stalls on every accepted
+	// connection. Grammar: see fault.ParseSpec. Chaos testing only.
+	FaultSpec string
 
 	// Ready, when non-nil, receives one "LISTENING <addr>" line once the
 	// server accepts connections — how tests and scripts learn the bound
@@ -73,6 +81,21 @@ func RunDaemon(cfg DaemonConfig) error {
 	logf("engine open in %s (mode=%s, %d tables, replay=%d records, rolled back=%d in-flight)",
 		time.Since(start).Round(time.Microsecond), cfg.Mode, rs.TablesOpened,
 		rs.ReplayRecords, rs.NVM.RolledBack)
+
+	if cfg.FaultSpec != "" {
+		fcfg, err := fault.ParseSpec(cfg.FaultSpec)
+		if err != nil {
+			eng.Close() //nolint:errcheck — already failing
+			return fmt.Errorf("fault spec: %w", err)
+		}
+		plane := fault.New(fcfg)
+		plane.Enable()
+		if h := eng.Heap(); h != nil {
+			h.SetFaultInjector(plane)
+		}
+		cfg.Server.ConnWrapper = plane.WrapConn
+		logf("fault plane armed: %s", cfg.FaultSpec)
+	}
 
 	srv, err := Listen(eng, cfg.Addr, cfg.Server)
 	if err != nil {

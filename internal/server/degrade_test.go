@@ -1,0 +1,151 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hyrisenv"
+	"hyrisenv/client"
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/disk"
+	"hyrisenv/internal/fault"
+	"hyrisenv/internal/server"
+	"hyrisenv/internal/txn"
+)
+
+// TestHeapExhaustionOutOfSpace pins the graceful-degradation contract
+// for a genuinely full persistent heap: writes fail with the
+// structured CodeOutOfSpace (surfaced by the client as ErrOutOfSpace,
+// not an opaque internal error), every previously acked commit stays
+// readable, and reads keep serving — the degraded read-only mode.
+func TestHeapExhaustionOutOfSpace(t *testing.T) {
+	eng, err := core.Open(core.Config{
+		Mode:        txn.ModeNVM,
+		Dir:         t.TempDir(),
+		NVMHeapSize: 1 << 20, // tiny device: exhausted by a few hundred rows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, eng, server.Config{})
+	c := dialClient(t, srv.Addr(), client.Options{RequestTimeout: 10 * time.Second})
+
+	if err := c.CreateTable("fill", []hyrisenv.Column{
+		{Name: "id", Type: hyrisenv.Int64},
+		{Name: "pad", Type: hyrisenv.String},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct payloads per row: string columns are dictionary-encoded,
+	// so a repeated pad would be stored once and never fill the heap.
+	pad := func(i int) hyrisenv.Value {
+		return hyrisenv.Str(strings.Repeat(fmt.Sprintf("%08d", i), 256)) // 2 KiB, unique
+	}
+	acked := 0
+	var writeErr error
+	for i := 0; i < 5000 && writeErr == nil; i++ {
+		tx, err := c.Begin()
+		if err != nil {
+			writeErr = err
+			break
+		}
+		if _, err := tx.Insert("fill", hyrisenv.Int(int64(i)), pad(i)); err != nil {
+			tx.Abort() //nolint:errcheck — already failing
+			writeErr = err
+			break
+		}
+		if err := tx.Commit(); err != nil {
+			writeErr = err
+			break
+		}
+		acked++
+	}
+	if writeErr == nil {
+		t.Fatal("1 MiB heap absorbed 5000 padded rows without exhausting")
+	}
+	if !errors.Is(writeErr, client.ErrOutOfSpace) {
+		t.Fatalf("exhaustion surfaced as %v, want ErrOutOfSpace", writeErr)
+	}
+	t.Logf("heap exhausted after %d acked commits: %v", acked, writeErr)
+
+	// Degraded mode: reads keep serving and every acked commit is there.
+	n, err := c.Count("fill")
+	if err != nil {
+		t.Fatalf("read after exhaustion: %v", err)
+	}
+	if n != acked {
+		t.Fatalf("visible rows after exhaustion = %d, want %d acked", n, acked)
+	}
+
+	// Further writes stay structured — the condition is sticky, not a
+	// one-shot internal error.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("fill", hyrisenv.Int(9999), pad(9999)); !errors.Is(err, client.ErrOutOfSpace) {
+		t.Fatalf("second write after exhaustion: %v, want ErrOutOfSpace", err)
+	}
+	tx.Abort() //nolint:errcheck
+}
+
+// TestDrainStallSurfacesDeadline pins the other degradation path: an
+// injected durability-drain stall makes a commit exceed its request
+// deadline, which must come back as a structured deadline error on a
+// connection that stays fully usable — never a wedged client.
+func TestDrainStallSurfacesDeadline(t *testing.T) {
+	eng := openEngine(t, txn.ModeNVM, disk.Model{})
+	plane := fault.New(fault.Config{DrainStallProb: 1, DrainStall: 300 * time.Millisecond})
+	plane.Enable()
+	eng.Heap().SetFaultInjector(plane)
+	defer eng.Heap().SetFaultInjector(nil)
+	srv := startServer(t, eng, server.Config{})
+	c := dialClient(t, srv.Addr(), client.Options{RequestTimeout: 10 * time.Second})
+
+	if err := c.CreateTable("t", testCols); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("t", hyrisenv.Int(1), hyrisenv.Str("a"), hyrisenv.Float(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = tx.CommitContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("commit under 300ms drain stall with 50ms deadline: %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline error took %v to surface — connection was wedged", el)
+	}
+	if got := plane.Stats().DrainStalls; got == 0 {
+		t.Fatal("no drain stall was injected; the test exercised nothing")
+	}
+
+	// The connection (and the pool) is not wedged: once the stall clears
+	// the same client serves more traffic.
+	plane.Disable()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after drain-stall deadline: %v", err)
+	}
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Insert("t", hyrisenv.Int(2), hyrisenv.Str("b"), hyrisenv.Float(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after stalls cleared: %v", err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/exec"
+	"hyrisenv/internal/nvm"
 	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
@@ -85,6 +86,12 @@ type Config struct {
 	// admission slot before it is rejected with CodeOverloaded. Default
 	// 25 ms; negative rejects immediately when no slot is free.
 	AdmissionWait time.Duration
+	// ConnWrapper, when non-nil, wraps every accepted connection before
+	// it is served — the hook the fault-injection plane
+	// (internal/fault) uses to inject resets, partial-frame writes and
+	// read stalls at the server's edge. The wrapper must preserve
+	// net.Conn deadline semantics.
+	ConnWrapper func(net.Conn) net.Conn
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -204,6 +211,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		nc, err := ln.Accept()
 		if err != nil {
 			return err
+		}
+		if w := s.cfg.ConnWrapper; w != nil {
+			nc = w(nc)
 		}
 		if n := s.nConns.Add(1); int(n) > s.cfg.MaxConns {
 			s.nConns.Add(-1)
@@ -988,6 +998,11 @@ func errCode(err error) uint16 {
 		return wire.CodeShuttingDown
 	case errors.Is(err, core.ErrBadTableName):
 		return wire.CodeBadRequest
+	case errors.Is(err, nvm.ErrOutOfMemory):
+		// Graceful degradation: a full persistent heap is an operational
+		// condition, not a bug. Writes fail with a structured code while
+		// reads keep serving, so clients can branch into read-only mode.
+		return wire.CodeOutOfSpace
 	default:
 		return wire.CodeInternal
 	}

@@ -26,6 +26,7 @@ const (
 	CodeBadColumn    uint16 = 13 // predicate/schema names an unknown column
 	CodeTooLarge     uint16 = 14 // request or response exceeds frame limit
 	CodeOverloaded   uint16 = 15 // admission queue full; back off and retry
+	CodeOutOfSpace   uint16 = 16 // persistent heap exhausted; writes fail, reads keep serving
 )
 
 // ---------------------------------------------------------------------------
