@@ -93,18 +93,23 @@ chaos:
 	bin/hyrise-nv connect chaos -daemon bin/hyrise-nvd -cycles 10
 
 # Morsel-parallel scan benchmarks (internal/exec) at Parallelism
-# 1/2/4/8 over the 1M-row table, recorded to BENCH_scan.json for the
-# perf trajectory. The rows/s metric is in each benchmark's Extra map.
+# 1/2/4/8 over the 1M-row table, plus the sharded scan sweep
+# (internal/shard) at shard counts 1/2/4/8 over fixed total rows, all
+# recorded to BENCH_scan.json for the perf trajectory. The rows/s
+# metric is in each benchmark's Extra map.
 benchscan:
 	$(GO) test ./internal/exec -run '^$$' -bench 'ScanPredicate|ScanSelect|GroupByParallel' \
 		-benchtime 3x -timeout 30m | tee BENCH_scan.txt
+	$(GO) test ./internal/shard -run '^$$' -bench 'ScanSharded' \
+		-benchtime 3x -timeout 30m | tee -a BENCH_scan.txt
 	$(GO) run ./cmd/benchjson -in BENCH_scan.txt -out BENCH_scan.json
 	rm -f BENCH_scan.txt
 
 # Serving benchmarks: 1024-connection write workload, unbatched vs
-# persist-group commit, plus the 2x-saturation overload run with
-# admission control. Fixed op counts keep the runs comparable across
-# machines; the op budget is the bench's b.N.
+# persist-group commit (the ServeWrite pattern also matches the
+# per-shard-count sweep at Shards=1/4), plus the 2x-saturation overload
+# run with admission control. Fixed op counts keep the runs comparable
+# across machines; the op budget is the bench's b.N.
 benchserve:
 	$(GO) test ./internal/load -run '^$$' -bench 'ServeWrite' \
 		-benchtime 2000x -timeout 30m | tee BENCH_serve.txt

@@ -6,14 +6,15 @@ package hyrisenv
 // same code paths to `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/nvm"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
@@ -205,11 +206,14 @@ func benchScan(b *testing.B, mode txn.Mode, merged bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tx := e.Begin()
-		ids := query.ScanAll(tx, tbl)
+		ids, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(ids) != benchRows {
 			b.Fatalf("scan returned %d rows", len(ids))
 		}
-		query.SumFloat(tbl, workload.ColAmount, ids)
+		exec.SumFloat(tbl, workload.ColAmount, ids)
 	}
 	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
@@ -229,9 +233,12 @@ func benchPointLookup(b *testing.B, mode txn.Mode) {
 	tx := e.Begin()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows := query.Select(tx, tbl, query.Pred{
-			Col: workload.ColID, Op: query.Eq, Val: storage.Int(int64(rng.Intn(benchRows))),
+		rows, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{
+			Col: workload.ColID, Op: exec.Eq, Val: storage.Int(int64(rng.Intn(benchRows))),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 1 {
 			b.Fatalf("lookup returned %d rows", len(rows))
 		}
@@ -254,7 +261,10 @@ func BenchmarkGroupBy(b *testing.B) {
 	tx := e.Begin()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		groups := query.GroupBy(tx, tbl, workload.ColRegion, workload.ColAmount)
+		groups, err := exec.Serial.GroupBy(context.Background(), tx, tbl, workload.ColRegion, workload.ColAmount)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(groups) == 0 {
 			b.Fatal("no groups")
 		}
@@ -280,7 +290,7 @@ func BenchmarkHashJoin(b *testing.B) {
 	tx := e.Begin()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pairs, err := query.HashJoin(tx, w.Orders, 0, w.Lines, 0)
+		pairs, err := exec.Serial.HashJoin(context.Background(), tx, w.Orders, 0, w.Lines, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -14,12 +14,13 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/fault"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
-func startVolatile(t *testing.T) (*core.Engine, *server.Server) {
+func startVolatile(t *testing.T) (*shard.Engine, *server.Server) {
 	t.Helper()
-	eng, err := core.Open(core.Config{Mode: txn.ModeNone})
+	eng, err := shard.Open(shard.Config{Config: core.Config{Mode: txn.ModeNone}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRetryOnReconnect(t *testing.T) {
 	// data is gone, which is fine — we only care about transport).
 	addr := srv.Addr()
 	srv.Close()
-	eng2, err := core.Open(core.Config{Mode: txn.ModeNone})
+	eng2, err := shard.Open(shard.Config{Config: core.Config{Mode: txn.ModeNone}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestMidPipelineRestart(t *testing.T) {
 	wg.Wait()
 
 	// Restart behind the same address (fresh volatile engine).
-	eng2, err := core.Open(core.Config{Mode: txn.ModeNone})
+	eng2, err := shard.Open(shard.Config{Config: core.Config{Mode: txn.ModeNone}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestClientClose(t *testing.T) {
 // duplicated by a retry). Reads ride ReadRetries and recover; writes
 // are never replayed.
 func TestPipelinedResetExactlyOnce(t *testing.T) {
-	eng, err := core.Open(core.Config{Mode: txn.ModeNone})
+	eng, err := shard.Open(shard.Config{Config: core.Config{Mode: txn.ModeNone}})
 	if err != nil {
 		t.Fatal(err)
 	}

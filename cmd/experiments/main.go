@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's evaluation tables and
-// figures (E1–E9), the design-choice ablations (A1–A6) and the
+// figures (E1–E9, E12), the design-choice ablations (A1–A6) and the
 // analytical recovery model validation (M1); see DESIGN.md for the
 // index. Absolute numbers depend on the host; EXPERIMENTS.md records
 // the expected shapes.
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "comma-separated experiment ids (e1..e9, a1..a6, m1, net) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1..e9, e12, a1..a6, m1, net) or 'all'")
 	full := flag.Bool("full", false, "use the larger FullScale sweeps")
 	ssd := flag.Bool("ssd", false, "model a 2016-era SSD for the log device (default: raw file speed)")
 	out := flag.String("out", "", "also write the report to this file")
@@ -78,6 +78,7 @@ func main() {
 		{"e7", func() (*bench.Report, error) { return bench.E7Merge(workDir, scale.E7Sizes) }},
 		{"e8", func() (*bench.Report, error) { return bench.E8Scans(workDir, scale.E8Rows) }},
 		{"e9", func() (*bench.Report, error) { return bench.E9ScanParallel(workDir, scale.E9Rows) }},
+		{"e12", func() (*bench.Report, error) { return bench.E12Sharding(workDir, scale.E12Rows) }},
 		{"a1", func() (*bench.Report, error) { return bench.A1GroupKeyIndex(workDir, scale.E8Rows) }},
 		{"a2", func() (*bench.Report, error) { return bench.A2GroupCommit(workDir, 4000) }},
 		{"a3", func() (*bench.Report, error) { return bench.A3Compression(workDir, scale.E8Rows) }},

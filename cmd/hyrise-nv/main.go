@@ -13,18 +13,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/csvio"
 	"hyrisenv/internal/disk"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
 )
@@ -147,7 +150,11 @@ func main() {
 			log.Fatal(err)
 		}
 		tx := e.Begin()
-		n := len(query.ScanAll(tx, tbl))
+		ids, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := len(ids)
 		firstQuery := time.Since(start)
 		rs := e.RecoveryStats()
 		fmt.Printf("time to first query: %s (%d visible rows)\n", firstQuery.Round(time.Microsecond), n)
@@ -233,6 +240,39 @@ func main() {
 		// creates a heap — fsck of a missing database is an error.
 		if mode != txn.ModeNVM {
 			log.Fatal("fsck applies to -mode nvm databases only")
+		}
+		// A sharded database carries a SHARDS meta file instead of a
+		// top-level heap; fsck every shard heap through the sharded
+		// engine (which also replays coordinator decision resolution).
+		if b, err := os.ReadFile(*dir + "/SHARDS"); err == nil {
+			shards, err := strconv.Atoi(strings.TrimSpace(string(b)))
+			if err != nil {
+				log.Fatalf("fsck: corrupt SHARDS file: %v", err)
+			}
+			se, err := shard.Open(shard.Config{
+				Config: core.Config{
+					Mode: mode, Dir: *dir,
+					NVMHeapSize: 256<<20 + uint64(*rows)*2000,
+				},
+				Shards: shards,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer se.Close()
+			for i := 0; i < se.Shards(); i++ {
+				rep, err := se.Shard(i).Fsck()
+				if rep != nil && rep.Heap != nil {
+					h := rep.Heap
+					fmt.Printf("shard %d heap: %d blocks (%d reserved, %d free), %s arena used\n",
+						i, h.Blocks, h.Reserved, h.Free, byteCount(h.ArenaBytes))
+				}
+				if err != nil {
+					log.Fatalf("FSCK FAILED (shard %d): %v", i, err)
+				}
+			}
+			fmt.Printf("fsck: clean (%d shards)\n", shards)
+			return
 		}
 		heapPath := *dir + "/heap.nvm"
 		if _, err := os.Stat(heapPath); err != nil {

@@ -38,7 +38,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4466", "listen address (host:port; port 0 picks a free port)")
 	dir := flag.String("dir", "", "database directory (required)")
 	modeName := flag.String("mode", "nvm", "durability mode: nvm, log or volatile")
-	heap := flag.Uint64("nvm-heap", 1<<30, "simulated NVM device size in bytes on first creation (nvm mode)")
+	heap := flag.Uint64("nvm-heap", 1<<30, "simulated NVM device size in bytes on first creation, per shard (nvm mode)")
+	shards := flag.Int("shards", 1, "hash partitions; fixed at creation (cross-shard transactions use 2PC)")
 	ssd := flag.Bool("ssd", false, "model a 2016-era SSD for the log device (log mode)")
 	maxConns := flag.Int("max-conns", 1024, "maximum concurrent client connections")
 	maxFrame := flag.Uint("max-frame", 16<<20, "maximum frame payload in bytes")
@@ -76,6 +77,7 @@ func main() {
 		Dir:         *dir,
 		Mode:        mode,
 		NVMHeapSize: *heap,
+		Shards:      *shards,
 		DiskModel:   model,
 		Server: server.Config{
 			MaxConns:    *maxConns,

@@ -1,6 +1,7 @@
 package hyrisenv_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,14 +44,22 @@ func Example() {
 	}
 	defer db2.Close()
 	orders2, _ := db2.Table("orders")
+	ctx := context.Background()
 	rd := db2.Begin()
-	row := rd.Select(orders2, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(2)})[0]
-	fmt.Println(rd.Row(orders2, row)[1])
+	rows, err := rd.SelectContext(ctx, orders2, hyrisenv.Pred{Col: "id", Op: hyrisenv.Eq, Val: hyrisenv.Int(2)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals, err := rd.RowContext(ctx, orders2, rows[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(vals[1])
 	// Output: bob
 }
 
-// ExampleTx_GroupBy aggregates a table with a dictionary-aware GROUP BY.
-func ExampleTx_GroupBy() {
+// ExampleTx_GroupByContext aggregates a table with a dictionary-aware GROUP BY.
+func ExampleTx_GroupByContext() {
 	db, _ := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.Volatile})
 	defer db.Close()
 	sales, _ := db.CreateTable("sales", []hyrisenv.Column{
@@ -63,7 +72,8 @@ func ExampleTx_GroupBy() {
 	tx.Insert(sales, hyrisenv.Str("east"), hyrisenv.Float(7))
 	tx.Commit()
 
-	for _, g := range db.Begin().GroupBy(sales, "region", "revenue") {
+	groups, _ := db.Begin().GroupByContext(context.Background(), sales, "region", "revenue")
+	for _, g := range groups {
 		fmt.Printf("%s: %d sales, %.0f revenue\n", g.Key.S, g.Count, g.Sum)
 	}
 	// Output:
@@ -86,8 +96,10 @@ func ExampleDB_BeginAt() {
 	tx.Insert(t, hyrisenv.Str("second"))
 	tx.Commit() // CID 2
 
-	fmt.Println("now:", db.Begin().Count(t))
-	fmt.Println("then:", db.BeginAt(cidAfterFirst).Count(t))
+	now, _ := db.Begin().CountContext(context.Background(), t)
+	then, _ := db.BeginAt(cidAfterFirst).CountContext(context.Background(), t)
+	fmt.Println("now:", now)
+	fmt.Println("then:", then)
 	// Output:
 	// now: 2
 	// then: 1

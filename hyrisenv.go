@@ -15,6 +15,13 @@
 //     memory and are updated transactionally consistently, so restart
 //     is near-instant and independent of data size.
 //
+// A database may be hash-partitioned into shards (Config.Shards): each
+// shard owns its own NVM heap, MVCC store and commit path, restart
+// recovery fans out across shards in parallel, and transactions whose
+// writes span shards commit with two-phase commit through a persistent
+// coordinator. Single-shard transactions keep the unpartitioned fast
+// path.
+//
 // Quickstart:
 //
 //	db, err := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.NVM, Dir: "data"})
@@ -36,6 +43,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -114,15 +122,30 @@ type DiskModel = disk.Model
 // NVMLatency configures the emulated NVM latencies (NVM mode).
 type NVMLatency = nvm.LatencyModel
 
-// Config configures Open.
+// Config configures Open. It is the single configuration surface of the
+// module: the daemon's flags (cmd/hyrise-nv serve) and the network
+// server map onto it one-to-one — see the README's configuration table.
 type Config struct {
 	// Mode selects the durability architecture.
 	Mode Mode
 	// Dir is the data directory (required except in Volatile mode).
 	Dir string
-	// NVMHeapSize sizes the simulated NVM device on first creation
-	// (NVM mode; default 1 GiB).
+	// Shards hash-partitions the database N ways (default 1,
+	// unpartitioned). Each shard owns its own NVM heap, MVCC store and
+	// commit path; restart recovery runs across shards in parallel, and
+	// cross-shard transactions commit with two-phase commit. The shard
+	// count is fixed at creation and recorded in the data directory.
+	Shards int
+	// RecoveryWorkers bounds how many shards recover concurrently at
+	// Open (default: min(Shards, GOMAXPROCS)).
+	RecoveryWorkers int
+	// NVMHeapSize sizes the simulated NVM device on first creation —
+	// per shard, when partitioned (NVM mode; default 1 GiB).
 	NVMHeapSize uint64
+	// NVMHeapMaxSize, when non-zero, lets each heap grow online past
+	// NVMHeapSize up to this bound, doubling geometrically per remap
+	// (NVM mode). Zero keeps heaps fixed-size.
+	NVMHeapMaxSize uint64
 	// NVMLatency injects emulated NVM write/fence/read latencies.
 	NVMLatency NVMLatency
 	// DiskModel shapes the log device; disk.SSD2016 approximates the
@@ -161,12 +184,36 @@ type Config struct {
 	GroupCommitMaxDelay time.Duration
 }
 
+func (cfg Config) shardConfig() shard.Config {
+	return shard.Config{
+		Config: core.Config{
+			Mode:                cfg.Mode.txnMode(),
+			Dir:                 cfg.Dir,
+			NVMHeapSize:         cfg.NVMHeapSize,
+			NVMHeapMaxSize:      cfg.NVMHeapMaxSize,
+			NVMLatency:          cfg.NVMLatency,
+			DiskModel:           cfg.DiskModel,
+			MergeThresholdRows:  cfg.MergeThresholdRows,
+			CheckpointLogBytes:  cfg.CheckpointLogBytes,
+			HashDictIndex:       cfg.HashDictIndex,
+			CompressCheckpoints: cfg.CompressCheckpoints,
+			Parallelism:         cfg.Parallelism,
+			GroupCommit:         cfg.GroupCommit,
+			GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
+			GroupCommitMaxDelay: cfg.GroupCommitMaxDelay,
+		},
+		Shards:          cfg.Shards,
+		RecoveryWorkers: cfg.RecoveryWorkers,
+	}
+}
+
 // RecoveryStats describes what the last Open had to do to reach a
 // queryable state — the quantity the paper's headline experiment
 // compares across architectures.
 type RecoveryStats struct {
 	Mode           Mode
 	Total          time.Duration
+	Shards         int
 	TablesOpened   int
 	CheckpointLoad time.Duration // LogBased: reading the binary checkpoint
 	LogReplay      time.Duration // LogBased: redoing committed transactions
@@ -176,17 +223,22 @@ type RecoveryStats struct {
 	// restart work).
 	InFlightRolledBack int
 	EntriesUndone      int
+	// Decisions2PC counts cross-shard commit decisions that survived in
+	// the coordinator and resolved in-doubt transactions at restart.
+	Decisions2PC int
 }
 
 // DB is an open database.
 type DB struct {
-	eng  *core.Engine
+	eng  *shard.Engine
 	mode Mode
 }
 
-// Table is a handle to a table.
+// Table is a handle to a table. When the database is partitioned the
+// handle spans every shard's part and row IDs are global (they encode
+// the owning shard).
 type Table struct {
-	t *storage.Table
+	t *shard.Table
 }
 
 // Name returns the table name.
@@ -196,37 +248,27 @@ func (t *Table) Name() string { return t.t.Name }
 func (t *Table) Rows() uint64 { return t.t.Rows() }
 
 // MainRows returns the number of rows in the read-optimized main
-// partition.
+// partition(s).
 func (t *Table) MainRows() uint64 { return t.t.MainRows() }
 
-// DeltaRows returns the number of rows in the write-optimized delta.
+// DeltaRows returns the number of rows in the write-optimized delta(s).
 func (t *Table) DeltaRows() uint64 { return t.t.DeltaRows() }
 
 // Value reads column col of physical row ID row (no visibility check —
 // use Tx query methods for transactional reads).
 func (t *Table) Value(col int, row uint64) Value { return t.t.Value(col, row) }
 
-// Internal exposes the storage-layer table to the sibling benchmark and
-// example code inside this module.
-func (t *Table) Internal() *storage.Table { return t.t }
+// Internal exposes the storage-layer table — shard 0's part when
+// partitioned — to the sibling benchmark and example code inside this
+// module.
+func (t *Table) Internal() *storage.Table { return t.t.Part(0) }
+
+// Sharded exposes the shard-spanning table handle.
+func (t *Table) Sharded() *shard.Table { return t.t }
 
 // Open creates or re-opens a database.
 func Open(cfg Config) (*DB, error) {
-	eng, err := core.Open(core.Config{
-		Mode:                cfg.Mode.txnMode(),
-		Dir:                 cfg.Dir,
-		NVMHeapSize:         cfg.NVMHeapSize,
-		NVMLatency:          cfg.NVMLatency,
-		DiskModel:           cfg.DiskModel,
-		MergeThresholdRows:  cfg.MergeThresholdRows,
-		CheckpointLogBytes:  cfg.CheckpointLogBytes,
-		HashDictIndex:       cfg.HashDictIndex,
-		CompressCheckpoints: cfg.CompressCheckpoints,
-		Parallelism:         cfg.Parallelism,
-		GroupCommit:         cfg.GroupCommit,
-		GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
-		GroupCommitMaxDelay: cfg.GroupCommitMaxDelay,
-	})
+	eng, err := shard.Open(cfg.shardConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +281,9 @@ func (db *DB) Close() error { return db.eng.Close() }
 
 // Mode returns the durability mode.
 func (db *DB) Mode() Mode { return db.mode }
+
+// Shards returns the partition count (1 = unpartitioned).
+func (db *DB) Shards() int { return db.eng.Shards() }
 
 // CreateTable creates a table. indexed names columns to maintain
 // secondary indexes on.
@@ -278,7 +323,8 @@ func (db *DB) Tables() []*Table {
 }
 
 // Merge compacts the named table's delta partition into a new main
-// partition (dropping dead row versions). The table must be quiescent.
+// partition (dropping dead row versions) on every shard. The table must
+// be quiescent.
 func (db *DB) Merge(name string) error {
 	_, err := db.eng.Merge(name)
 	return err
@@ -288,75 +334,83 @@ func (db *DB) Merge(name string) error {
 // mode; a no-op under NVM where data is always durable).
 func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
-// RecoveryStats reports the cost of the last Open.
+// RecoveryStats reports the cost of the last Open. Per-shard restart
+// work ran in parallel; Total is wall clock for the whole fleet.
 func (db *DB) RecoveryStats() RecoveryStats {
 	rs := db.eng.RecoveryStats()
-	return RecoveryStats{
-		Mode:               db.mode,
-		Total:              rs.Total,
-		TablesOpened:       rs.TablesOpened,
-		CheckpointLoad:     rs.CheckpointLoad,
-		LogReplay:          rs.LogReplay,
-		IndexRebuild:       rs.IndexRebuild,
-		ReplayRecords:      rs.ReplayRecords,
-		InFlightRolledBack: rs.NVM.RolledBack,
-		EntriesUndone:      rs.NVM.EntriesUndone,
+	out := RecoveryStats{
+		Mode:         db.mode,
+		Total:        rs.Total,
+		Shards:       db.eng.Shards(),
+		Decisions2PC: rs.Decisions2PC,
 	}
+	for _, s := range rs.PerShard {
+		out.TablesOpened += s.TablesOpened
+		out.CheckpointLoad += s.CheckpointLoad
+		out.LogReplay += s.LogReplay
+		out.IndexRebuild += s.IndexRebuild
+		out.ReplayRecords += s.ReplayRecords
+		out.InFlightRolledBack += s.NVM.RolledBack
+		out.EntriesUndone += s.NVM.EntriesUndone
+	}
+	return out
 }
 
 // NVMStats reports persistence-primitive counters of the simulated NVM
-// device (NVM mode; zero value otherwise).
+// device — summed across shards when partitioned (NVM mode; zero value
+// otherwise).
 type NVMStats struct {
 	Flushes   uint64
 	Fences    uint64
 	BytesUsed uint64
+	Grows     uint64
 }
 
 // NVMStats returns the NVM device counters.
 func (db *DB) NVMStats() NVMStats {
-	h := db.eng.Heap()
-	if h == nil {
-		return NVMStats{}
-	}
-	s := h.Stats()
-	return NVMStats{Flushes: s.Flushes, Fences: s.Fences, BytesUsed: s.BytesUsed}
+	s := db.eng.NVMStats()
+	return NVMStats{Flushes: s.Flushes, Fences: s.Fences, BytesUsed: s.BytesUsed, Grows: s.Grows}
 }
 
 // ResetNVMStats zeroes the NVM counters (for measurement windows).
-func (db *DB) ResetNVMStats() {
-	if h := db.eng.Heap(); h != nil {
-		h.ResetStats()
-	}
-}
+func (db *DB) ResetNVMStats() { db.eng.ResetNVMStats() }
 
 // Maintain runs due background maintenance synchronously: auto-merges
 // (Config.MergeThresholdRows) and log-rotation checkpoints
 // (Config.CheckpointLogBytes).
 func (db *DB) Maintain() error { return db.eng.Maintain() }
 
-// Check validates structural invariants of every table (vector
-// alignment, dictionary order, MVCC stamp sanity, index agreement) and
-// returns an error describing the first violation found.
-func (db *DB) Check() error {
-	_, err := db.eng.Check()
-	return err
-}
+// Check validates structural invariants of every table on every shard
+// (vector alignment, dictionary order, MVCC stamp sanity, index
+// agreement) and returns an error describing the first violation found.
+func (db *DB) Check() error { return db.eng.Check() }
 
 // Scavenge reclaims unreachable NVM blocks (superseded merge partitions,
-// allocations orphaned by crashes). NVM mode only; the caller must
-// ensure no transactions are active.
+// allocations orphaned by crashes) on every shard. NVM mode only; the
+// caller must ensure no transactions are active.
 func (db *DB) Scavenge() (reclaimed int, err error) { return db.eng.Scavenge() }
 
-// Engine exposes the internal engine to the sibling benchmark code.
-func (db *DB) Engine() *core.Engine { return db.eng }
+// Engine exposes the internal core engine — shard 0 when partitioned —
+// to the sibling benchmark code.
+func (db *DB) Engine() *core.Engine { return db.eng.Shard(0) }
 
-// SyncToDisk forces the simulated NVM mapping down to its backing file
-// via msync. The simulation is durable across process restarts without
-// it (the page cache persists); call this for durability against OS
-// crashes too. No-op outside NVM mode.
+// Sharded exposes the shard-routing engine to sibling code that needs
+// per-shard access or coordinator statistics.
+func (db *DB) Sharded() *shard.Engine { return db.eng }
+
+// SyncToDisk forces the simulated NVM mappings (every shard heap and
+// the 2PC coordinator heap) down to their backing files via msync. The
+// simulation is durable across process restarts without it (the page
+// cache persists); call this for durability against OS crashes too.
+// No-op outside NVM mode.
 func (db *DB) SyncToDisk() error {
-	if h := db.eng.Heap(); h != nil {
-		return h.Sync()
+	for _, h := range db.eng.Heaps() {
+		if err := h.Sync(); err != nil {
+			return err
+		}
+	}
+	if c := db.eng.Coordinator(); c != nil {
+		return c.Heap().Sync()
 	}
 	return nil
 }

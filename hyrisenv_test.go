@@ -1,9 +1,39 @@
 package hyrisenv
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
+
+// Read helpers over the context-aware Tx methods; an executor error in
+// these fixed-schema tests is a test bug.
+func count(t *testing.T, tx *Tx, tbl *Table, preds ...Pred) int {
+	t.Helper()
+	n, err := tx.CountContext(context.Background(), tbl, preds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func sel(t *testing.T, tx *Tx, tbl *Table, preds ...Pred) []uint64 {
+	t.Helper()
+	rows, err := tx.SelectContext(context.Background(), tbl, preds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func rowOf(t *testing.T, tx *Tx, tbl *Table, row uint64) []Value {
+	t.Helper()
+	vals, err := tx.RowContext(context.Background(), tbl, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
 
 func orderCols() []Column {
 	return []Column{
@@ -49,19 +79,22 @@ func TestPublicAPICRUD(t *testing.T) {
 			}
 
 			rd := db.Begin()
-			if got := rd.Count(tbl); got != 20 {
+			if got := count(t, rd, tbl); got != 20 {
 				t.Fatalf("Count = %d", got)
 			}
-			rows := rd.Select(tbl, Pred{Col: "customer", Op: Eq, Val: Str("c2")})
+			rows := sel(t, rd, tbl, Pred{Col: "customer", Op: Eq, Val: Str("c2")})
 			if len(rows) != 5 {
 				t.Fatalf("Select customer=c2: %d", len(rows))
 			}
-			rows = rd.SelectRange(tbl, "id", Int(5), Int(9))
+			rows, err = rd.SelectRangeContext(context.Background(), tbl, "id", Int(5), Int(9))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(rows) != 4 {
 				t.Fatalf("SelectRange: %d", len(rows))
 			}
-			row := rd.Select(tbl, Pred{Col: "id", Op: Eq, Val: Int(7)})[0]
-			vals := rd.Row(tbl, row)
+			row := sel(t, rd, tbl, Pred{Col: "id", Op: Eq, Val: Int(7)})[0]
+			vals := rowOf(t, rd, tbl, row)
 			if vals[0].I != 7 || vals[1].S != "c3" || vals[2].F != 7 {
 				t.Fatalf("Row = %v", vals)
 			}
@@ -71,7 +104,7 @@ func TestPublicAPICRUD(t *testing.T) {
 			if _, err := wr.Update(tbl, row, Int(7), Str("vip"), Float(700)); err != nil {
 				t.Fatal(err)
 			}
-			victim := wr.Select(tbl, Pred{Col: "id", Op: Eq, Val: Int(3)})[0]
+			victim := sel(t, wr, tbl, Pred{Col: "id", Op: Eq, Val: Int(3)})[0]
 			if err := wr.Delete(tbl, victim); err != nil {
 				t.Fatal(err)
 			}
@@ -79,10 +112,10 @@ func TestPublicAPICRUD(t *testing.T) {
 				t.Fatal(err)
 			}
 			rd2 := db.Begin()
-			if got := rd2.Count(tbl); got != 19 {
+			if got := count(t, rd2, tbl); got != 19 {
 				t.Fatalf("after update+delete Count = %d", got)
 			}
-			if got := rd2.Count(tbl, Pred{Col: "customer", Op: Eq, Val: Str("vip")}); got != 1 {
+			if got := count(t, rd2, tbl, Pred{Col: "customer", Op: Eq, Val: Str("vip")}); got != 1 {
 				t.Fatalf("updated row: %d", got)
 			}
 
@@ -94,7 +127,7 @@ func TestPublicAPICRUD(t *testing.T) {
 				t.Fatalf("after merge: main=%d delta=%d", tbl.MainRows(), tbl.DeltaRows())
 			}
 			rd3 := db.Begin()
-			if got := rd3.Count(tbl); got != 19 {
+			if got := count(t, rd3, tbl); got != 19 {
 				t.Fatalf("post-merge Count = %d", got)
 			}
 		})
@@ -131,7 +164,7 @@ func TestPublicAPIRestart(t *testing.T) {
 				t.Fatal(err)
 			}
 			rd := db2.Begin()
-			if got := rd.Count(tbl2); got != 30 {
+			if got := count(t, rd, tbl2); got != 30 {
 				t.Fatalf("Count after restart = %d", got)
 			}
 			rs := db2.RecoveryStats()
@@ -196,7 +229,10 @@ func TestPublicAPIGroupByAndMaintenance(t *testing.T) {
 	}
 
 	rd := db.Begin()
-	groups := rd.GroupBy(tbl, "customer", "amount")
+	groups, err := rd.GroupByContext(context.Background(), tbl, "customer", "amount")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(groups) != 3 {
 		t.Fatalf("groups = %d", len(groups))
 	}
@@ -229,7 +265,7 @@ func TestPublicAPIGroupByAndMaintenance(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Data intact post-maintenance.
-	if got := db.Begin().Count(tbl); got != 30 {
+	if got := count(t, db.Begin(), tbl); got != 30 {
 		t.Fatalf("count = %d", got)
 	}
 }
@@ -252,10 +288,10 @@ func TestPublicAPITimeTravel(t *testing.T) {
 	if horizon != 5 {
 		t.Fatalf("horizon = %d", horizon)
 	}
-	if got := db.BeginAt(2).Count(tbl); got != 2 {
+	if got := count(t, db.BeginAt(2), tbl); got != 2 {
 		t.Fatalf("as-of 2: %d", got)
 	}
-	if got := db.BeginAt(horizon).Count(tbl); got != 5 {
+	if got := count(t, db.BeginAt(horizon), tbl); got != 5 {
 		t.Fatalf("as-of horizon: %d", got)
 	}
 }
@@ -288,7 +324,7 @@ func TestPublicAPIJoin(t *testing.T) {
 	}
 	byName := map[string]int{}
 	for _, p := range pairs {
-		byName[rd.Row(users, p.Left)[1].S]++
+		byName[rowOf(t, rd, users, p.Left)[1].S]++
 	}
 	if byName["alice"] != 2 || byName["bob"] != 1 {
 		t.Fatalf("join distribution: %v", byName)

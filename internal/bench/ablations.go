@@ -12,7 +12,6 @@ import (
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/nvm"
 	"hyrisenv/internal/pstruct"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
@@ -49,12 +48,10 @@ func A1GroupKeyIndex(workDir string, rows int) (*Report, error) {
 		// ColID is indexed; ColAmount is not, forcing the scan path on a
 		// same-cardinality predicate.
 		idxT := timeIt(iters, func(i int) {
-			query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq,
-				Val: storage.Int(int64(rng.Intn(n)))})
+			selectEq(tx, tbl, workload.ColID, storage.Int(int64(rng.Intn(n))))
 		})
 		scanT := timeIt(iters, func(i int) {
-			query.Select(tx, tbl, query.Pred{Col: workload.ColAmount, Op: query.Eq,
-				Val: storage.Float(float64(rng.Intn(100000)) / 100)})
+			selectEq(tx, tbl, workload.ColAmount, storage.Float(float64(rng.Intn(100000))/100))
 		})
 		e.Close()
 		os.RemoveAll(dir)
@@ -243,8 +240,7 @@ func A5DictIndex(workDir string, rows int) (*Report, error) {
 		rng := rand.New(rand.NewSource(2))
 		tx := e.Begin()
 		lookupT := timeIt(1000, func(i int) {
-			query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq,
-				Val: storage.Int(int64(rng.Intn(rows)))})
+			selectEq(tx, tbl, workload.ColID, storage.Int(int64(rng.Intn(rows))))
 		})
 		stats := workload.RunMixed(e, tbl, spec, workload.WriteHeavy, rows/2, 4)
 		e.Close()

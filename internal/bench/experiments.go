@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -9,11 +10,11 @@ import (
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/index"
 	"hyrisenv/internal/mvcc"
 	"hyrisenv/internal/nvm"
 	"hyrisenv/internal/pstruct"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/vec"
@@ -32,6 +33,7 @@ type Scale struct {
 	E7Sizes []int
 	E8Rows  int
 	E9Rows  int
+	E12Rows int
 }
 
 // QuickScale is the fast default.
@@ -42,6 +44,7 @@ var QuickScale = Scale{
 	E7Sizes: []int{2000, 10000, 30000},
 	E8Rows:  50000,
 	E9Rows:  100000,
+	E12Rows: 20000,
 }
 
 // FullScale stretches the sweeps.
@@ -52,6 +55,7 @@ var FullScale = Scale{
 	E7Sizes: []int{5000, 20000, 50000, 100000},
 	E8Rows:  100000,
 	E9Rows:  400000,
+	E12Rows: 100000,
 }
 
 // heapFor sizes the simulated NVM device for n rows of the orders
@@ -471,7 +475,7 @@ func E6BarrierCounts(workDir string) (*Report, error) {
 	})
 	measure("update+commit", 500, func(i int) {
 		tx := e.Begin()
-		rows := query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq, Val: storage.Int(int64(i))})
+		rows := selectEq(tx, tbl, workload.ColID, storage.Int(int64(i)))
 		if len(rows) == 0 {
 			tx.Abort()
 			return
@@ -485,7 +489,7 @@ func E6BarrierCounts(workDir string) (*Report, error) {
 	})
 	measure("delete+commit", 500, func(i int) {
 		tx := e.Begin()
-		rows := query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq, Val: storage.Int(int64(1000 + i))})
+		rows := selectEq(tx, tbl, workload.ColID, storage.Int(int64(1000+i)))
 		if len(rows) == 0 {
 			tx.Abort()
 			return
@@ -495,7 +499,7 @@ func E6BarrierCounts(workDir string) (*Report, error) {
 	})
 	measure("read txn", 500, func(i int) {
 		tx := e.Begin()
-		query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq, Val: storage.Int(int64(i))})
+		selectEq(tx, tbl, workload.ColID, storage.Int(int64(i)))
 		tx.Commit()
 	})
 	r.AddNote("expected shape: reads ~0 barriers; writes pay a small constant per row " +
@@ -598,8 +602,8 @@ func E8Scans(workDir string, rows int) (*Report, error) {
 			start := time.Now()
 			for it := 0; it < scanIters; it++ {
 				tx := e.Begin()
-				ids := query.ScanAll(tx, tbl)
-				query.SumFloat(tbl, workload.ColAmount, ids)
+				ids := scanAllRows(tx, tbl)
+				exec.SumFloat(tbl, workload.ColAmount, ids)
 			}
 			scanT := time.Since(start) / scanIters
 
@@ -609,8 +613,7 @@ func E8Scans(workDir string, rows int) (*Report, error) {
 			start = time.Now()
 			tx := e.Begin()
 			for i := 0; i < lookups; i++ {
-				query.Select(tx, tbl, query.Pred{Col: workload.ColID, Op: query.Eq,
-					Val: storage.Int(int64(rng.Intn(rows)))})
+				selectEq(tx, tbl, workload.ColID, storage.Int(int64(rng.Intn(rows))))
 			}
 			lookupT := time.Since(start) / lookups
 
@@ -623,4 +626,22 @@ func E8Scans(workDir string, rows int) (*Report, error) {
 	r.AddNote("expected shape: main scans faster than delta (bit-packed, sorted dict); " +
 		"nvm ~= dram without read latency; injected read latency opens a gap")
 	return r, nil
+}
+
+// selectEq and scanAllRows wrap the serial executor for the benchmark
+// bodies, whose schemas are fixed — an executor error is a harness bug.
+func selectEq(tx *txn.Txn, tbl *storage.Table, col int, val storage.Value) []uint64 {
+	rows, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{Col: col, Op: exec.Eq, Val: val})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return rows
+}
+
+func scanAllRows(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return rows
 }

@@ -10,6 +10,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
 )
@@ -31,12 +32,12 @@ func NetRestart(workDir string, sizes []int, model disk.Model) (*Report, error) 
 	for _, n := range sizes {
 		for _, mode := range []txn.Mode{txn.ModeNVM, txn.ModeLog} {
 			dir := filepath.Join(workDir, fmt.Sprintf("net-%s-%d", mode, n))
-			cfg := core.Config{Mode: mode, Dir: dir, NVMHeapSize: heapFor(n), DiskModel: model}
-			eng, err := core.Open(cfg)
+			cfg := shard.Config{Config: core.Config{Mode: mode, Dir: dir, NVMHeapSize: heapFor(n), DiskModel: model}}
+			eng, err := shard.Open(cfg)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := workload.Load(eng, "orders", workload.DefaultSpec(n)); err != nil {
+			if _, err := workload.Load(eng.Shard(0), "orders", workload.DefaultSpec(n)); err != nil {
 				return nil, err
 			}
 			srv, err := server.Listen(eng, "127.0.0.1:0", server.Config{})
@@ -63,7 +64,7 @@ func NetRestart(workDir string, sizes []int, model disk.Model) (*Report, error) 
 			srv.Close() // crash: no drain, engine abandoned without Close
 
 			crash := time.Now()
-			eng2, err := core.Open(cfg)
+			eng2, err := shard.Open(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -86,8 +87,12 @@ func NetRestart(workDir string, sizes []int, model disk.Model) (*Report, error) 
 			downtime := time.Since(crash)
 
 			rs := eng2.RecoveryStats()
+			var replayed, rolled int
+			for _, ps := range rs.PerShard {
+				replayed, rolled = replayed+ps.ReplayRecords, rolled+ps.NVM.RolledBack
+			}
 			r.AddRow(fmt.Sprintf("%d", n), mode.String(), fmtDur(downtime), fmtDur(rs.Total),
-				fmt.Sprintf("%d", rs.ReplayRecords), fmt.Sprintf("%d", rs.NVM.RolledBack))
+				fmt.Sprintf("%d", replayed), fmt.Sprintf("%d", rolled))
 
 			c.Close()
 			srv2.Close()

@@ -33,6 +33,7 @@ import (
 	"hyrisenv/internal/backoff"
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/fault"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// NVMHeapSize must match the daemon's heap size so the offline fsck
 	// reopen sees the same device (default 256 MiB).
 	NVMHeapSize uint64
+
+	// Shards must match the daemon's shard count so the offline fsck
+	// reopen sees the same layout (0 or 1 = unpartitioned). With more
+	// than one shard the workload's multi-row commits cross shard
+	// boundaries, so kills land mid-2PC and recovery must resolve
+	// prepared-but-undecided transactions from the coordinator region.
+	Shards int
 
 	// ClientFaults, when it injects anything, arms a second fault plane
 	// on the client side of every pooled connection — both ends of the
@@ -77,7 +85,10 @@ type Report struct {
 	UpdatesAcked  int // acked single-slot updates
 	OutOfSpace    int // writes refused with ErrOutOfSpace (graceful degradation, not a violation)
 
+	PairsAcked int // acked two-row (cross-shard candidate) commits, counted when Shards > 1
+
 	LostAcked      int // acked writes missing after restart — durability broken
+	TornPairs      int // two-row commits where one row survived and the other did not — 2PC atomicity broken
 	PhantomFailed  int // failed-before-commit writes that appeared anyway
 	Duplicates     int // any tag visible more than once — duplicate apply
 	SlotViolations int // update slots outside [lastAcked, lastAttempted] or not exactly one row
@@ -94,16 +105,20 @@ type Report struct {
 // A run that never acked anything proved nothing, so it is not clean.
 func (r *Report) Clean() bool {
 	return r.Acked > 0 &&
-		r.LostAcked == 0 && r.PhantomFailed == 0 && r.Duplicates == 0 &&
-		r.SlotViolations == 0 && r.FsckFailures == 0 && r.VerifyErrors == 0
+		r.LostAcked == 0 && r.TornPairs == 0 && r.PhantomFailed == 0 &&
+		r.Duplicates == 0 && r.SlotViolations == 0 && r.FsckFailures == 0 &&
+		r.VerifyErrors == 0
 }
 
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos: %d cycles, %d acked, %d failed, %d indeterminate, %d updates acked, %d out-of-space\n",
 		r.Cycles, r.Acked, r.Failed, r.Indeterminate, r.UpdatesAcked, r.OutOfSpace)
-	fmt.Fprintf(&b, "violations: %d lost-acked, %d phantom, %d duplicate, %d slot, %d fsck, %d verify\n",
-		r.LostAcked, r.PhantomFailed, r.Duplicates, r.SlotViolations, r.FsckFailures, r.VerifyErrors)
+	if r.PairsAcked > 0 {
+		fmt.Fprintf(&b, "pairs: %d acked two-row commits\n", r.PairsAcked)
+	}
+	fmt.Fprintf(&b, "violations: %d lost-acked, %d torn-pair, %d phantom, %d duplicate, %d slot, %d fsck, %d verify\n",
+		r.LostAcked, r.TornPairs, r.PhantomFailed, r.Duplicates, r.SlotViolations, r.FsckFailures, r.VerifyErrors)
 	fmt.Fprintf(&b, "downtime: total %v, max %v; client faults: %v",
 		r.TotalDowntime.Round(time.Millisecond), r.MaxDowntime.Round(time.Millisecond), &r.ClientFaultStats)
 	if r.Clean() {
@@ -184,8 +199,12 @@ func Run(cfg Config, d Daemon) (*Report, error) {
 	}
 
 	// Shared write ledger: every tagged write's last known classification.
+	// With Shards > 1 writers commit two keys per transaction and the
+	// pairs ledger records which keys must live or die together — the
+	// atomicity half of the 2PC contract.
 	var mu sync.Mutex
 	status := map[int64]int{}
+	var pairs [][2]int64
 	var nextKey atomic.Int64
 
 	// Seed the update slots (negative keys) before any fault fires.
@@ -206,7 +225,7 @@ func Run(cfg Config, d Daemon) (*Report, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				runWriter(ctx, c, &nextKey, &mu, status, rep)
+				runWriter(ctx, c, &nextKey, &mu, status, &pairs, cfg.Shards > 1, rep)
 			}()
 		}
 		for _, sl := range slots {
@@ -261,7 +280,7 @@ func Run(cfg Config, d Daemon) (*Report, error) {
 		// Verify the full ledger with the client plane quiet; the server
 		// plane (if armed) stays live — ReadRetries absorbs it.
 		clientPlane.Disable()
-		verify(c, &mu, status, slots, rep, logf)
+		verify(c, &mu, status, pairs, slots, rep, logf)
 		clientPlane.Enable()
 	}
 
@@ -324,26 +343,41 @@ func keyPred(key int64) hyrisenv.Pred {
 const stSkip = -1
 
 // runWriter inserts rows with globally unique keys until ctx is done,
-// classifying every attempt in the shared ledger. The pacing sleep
-// keeps the ledger at a size verification can re-check every cycle and
-// stops the down-window from spinning the CPU.
-func runWriter(ctx context.Context, c *client.Client, nextKey *atomic.Int64, mu *sync.Mutex, status map[int64]int, rep *Report) {
+// classifying every attempt in the shared ledger. When pair is set
+// (sharded daemon) every transaction commits two keys, so consecutive
+// tags routinely hash to different shards and the commit runs the 2PC
+// path; the pair is recorded so verification can check the two rows
+// lived or died together. The pacing sleep keeps the ledger at a size
+// verification can re-check every cycle and stops the down-window from
+// spinning the CPU.
+func runWriter(ctx context.Context, c *client.Client, nextKey *atomic.Int64, mu *sync.Mutex, status map[int64]int, pairs *[][2]int64, pair bool, rep *Report) {
 	for ctx.Err() == nil {
-		key := nextKey.Add(1)
-		st, oos := classifyInsert(c, key)
+		keys := []int64{nextKey.Add(1)}
+		if pair {
+			keys = append(keys, nextKey.Add(1))
+		}
+		st, oos := classifyInsert(c, keys)
 		if st == stSkip {
 			time.Sleep(2 * time.Millisecond) // daemon likely down; back off
 			continue
 		}
 		mu.Lock()
-		status[key] = st
+		for _, key := range keys {
+			status[key] = st
+		}
+		if pair && st != stFailed {
+			*pairs = append(*pairs, [2]int64{keys[0], keys[1]})
+		}
 		switch st {
 		case stAcked:
-			rep.Acked++
+			rep.Acked += len(keys)
+			if pair {
+				rep.PairsAcked++
+			}
 		case stFailed:
-			rep.Failed++
+			rep.Failed += len(keys)
 		default:
-			rep.Indeterminate++
+			rep.Indeterminate += len(keys)
 		}
 		if oos {
 			rep.OutOfSpace++
@@ -353,9 +387,11 @@ func runWriter(ctx context.Context, c *client.Client, nextKey *atomic.Int64, mu 
 	}
 }
 
-// classifyInsert performs one tagged insert and reports what the client
-// was told: acked, definitely-not-committed, or indeterminate.
-func classifyInsert(c *client.Client, key int64) (st int, outOfSpace bool) {
+// classifyInsert performs one transaction inserting every tagged key
+// and reports what the client was told: acked, definitely-not-committed,
+// or indeterminate. All keys share the classification — the commit is
+// atomic across them (or must be: verification checks).
+func classifyInsert(c *client.Client, keys []int64) (st int, outOfSpace bool) {
 	tx, err := c.Begin()
 	if err != nil {
 		if errors.Is(err, client.ErrOutOfSpace) {
@@ -363,9 +399,11 @@ func classifyInsert(c *client.Client, key int64) (st int, outOfSpace bool) {
 		}
 		return stSkip, false
 	}
-	if _, err := tx.Insert(Table, hyrisenv.Int(key), hyrisenv.Int(key)); err != nil {
-		tx.Abort() //nolint:errcheck — connection may be dead already
-		return stFailed, errors.Is(err, client.ErrOutOfSpace)
+	for _, key := range keys {
+		if _, err := tx.Insert(Table, hyrisenv.Int(key), hyrisenv.Int(key)); err != nil {
+			tx.Abort() //nolint:errcheck — connection may be dead already
+			return stFailed, errors.Is(err, client.ErrOutOfSpace)
+		}
 	}
 	if err := tx.Commit(); err != nil {
 		return stIndet, errors.Is(err, client.ErrOutOfSpace)
@@ -425,18 +463,26 @@ func runReader(ctx context.Context, c *client.Client) {
 // back in-flight transactions — happens inside this Open exactly as it
 // will in the daemon's restart.
 func offlineFsck(cfg Config, logf func(string, ...any)) error {
-	eng, err := core.Open(core.Config{
-		Mode:        txn.ModeNVM,
-		Dir:         cfg.Dir,
-		NVMHeapSize: cfg.NVMHeapSize,
+	eng, err := shard.Open(shard.Config{
+		Config: core.Config{
+			Mode:        txn.ModeNVM,
+			Dir:         cfg.Dir,
+			NVMHeapSize: cfg.NVMHeapSize,
+		},
+		Shards: cfg.Shards,
 	})
 	if err != nil {
 		return fmt.Errorf("offline open: %w", err)
 	}
 	defer eng.Close() //nolint:errcheck — read-only visit
 	rs := eng.RecoveryStats()
-	logf("offline: opened in %v, rolled back %d in-flight", rs.Total.Round(time.Microsecond), rs.NVM.RolledBack)
-	if _, err := eng.Fsck(); err != nil {
+	rolled := 0
+	for _, ps := range rs.PerShard {
+		rolled += ps.NVM.RolledBack
+	}
+	logf("offline: opened in %v, rolled back %d in-flight, %d 2pc decisions",
+		rs.Total.Round(time.Microsecond), rolled, rs.Decisions2PC)
+	if err := eng.Fsck(); err != nil {
 		return fmt.Errorf("fsck: %w", err)
 	}
 	return nil
@@ -459,10 +505,11 @@ func awaitServing(c *client.Client) error {
 
 // verify checks the whole ledger against the restarted database:
 // acked ⇒ exactly once, failed ⇒ absent, indeterminate ⇒ at most once,
-// slots ⇒ one row inside the acked..attempted window. Each finding is
-// counted once and the entry collapsed to the observed truth so later
-// cycles do not re-count it.
-func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, slots []*slot, rep *Report, logf func(string, ...any)) {
+// pairs ⇒ both rows present or both absent (2PC atomicity), slots ⇒
+// one row inside the acked..attempted window. Each finding is counted
+// once and the entry collapsed to the observed truth so later cycles
+// do not re-count it.
+func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, pairs [][2]int64, slots []*slot, rep *Report, logf func(string, ...any)) {
 	mu.Lock()
 	keys := make([]int64, 0, len(status))
 	for k := range status {
@@ -470,6 +517,7 @@ func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, slots []*slo
 	}
 	mu.Unlock()
 
+	present := make(map[int64]bool, len(keys))
 	for _, key := range keys {
 		n, err := countRetry(c, keyPred(key))
 		if err != nil {
@@ -477,6 +525,7 @@ func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, slots []*slo
 			logf("verify key %d: %v", key, err)
 			continue
 		}
+		present[key] = n >= 1
 		mu.Lock()
 		st := status[key]
 		switch {
@@ -509,6 +558,21 @@ func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, slots []*slo
 		mu.Unlock()
 	}
 
+	// Pair atomicity: both halves of one commit must agree. Pairs whose
+	// keys left the ledger in an earlier cycle (verified absent) carry a
+	// presence entry only while tracked, so they are skipped here.
+	for _, pr := range pairs {
+		a, aok := present[pr[0]]
+		b, bok := present[pr[1]]
+		if !aok || !bok {
+			continue
+		}
+		if a != b {
+			rep.TornPairs++
+			logf("VIOLATION: pair (%d, %d) torn: one row committed without the other", pr[0], pr[1])
+		}
+	}
+
 	for _, sl := range slots {
 		rows, err := selectRetry(c, keyPred(sl.key))
 		if err != nil {
@@ -519,6 +583,10 @@ func verify(c *client.Client, mu *sync.Mutex, status map[int64]int, slots []*slo
 		if len(rows) != 1 {
 			rep.SlotViolations++
 			logf("VIOLATION: slot %d has %d visible rows, want 1", sl.key, len(rows))
+			for _, r := range rows {
+				vals, err := c.Row(Table, r)
+				logf("  slot %d row %d: vals=%v err=%v", sl.key, r, vals, err)
+			}
 			continue
 		}
 		vals, err := c.Row(Table, rows[0])

@@ -30,11 +30,13 @@ func TestMain(m *testing.M) {
 }
 
 func runDaemonChild() {
+	shards, _ := strconv.Atoi(os.Getenv("HYRISENV_CHAOS_SHARDS"))
 	err := server.RunDaemon(server.DaemonConfig{
 		Addr:        os.Getenv("HYRISENV_CHAOS_ADDR"),
 		Dir:         os.Getenv("HYRISENV_CHAOS_DIR"),
 		Mode:        txn.ModeNVM,
 		NVMHeapSize: childHeapSize,
+		Shards:      shards,
 		FaultSpec:   os.Getenv("HYRISENV_CHAOS_FAULT"),
 		Ready:       os.Stdout,
 	})
@@ -52,6 +54,18 @@ func runDaemonChild() {
 // keep the fault schedule reproducible; CHAOS_CYCLES scales the cycle
 // count (default 3 — `make chaos` runs the full 10 via hyrise-nv).
 func TestChaosKillRestart(t *testing.T) {
+	runChaosKillRestart(t, 1)
+}
+
+// TestChaosKillRestartSharded runs the same scenario against a 4-shard
+// daemon: writers commit two keys per transaction so kills land inside
+// 2PC windows, and verification additionally checks that no pair was
+// torn (one half committed without the other).
+func TestChaosKillRestartSharded(t *testing.T) {
+	runChaosKillRestart(t, 4)
+}
+
+func runChaosKillRestart(t *testing.T, shards int) {
 	if testing.Short() {
 		t.Skip("chaos kill/restart skipped in -short")
 	}
@@ -74,6 +88,7 @@ func TestChaosKillRestart(t *testing.T) {
 		cmd.Env = append(os.Environ(),
 			"HYRISENV_CHAOS_DIR="+dir,
 			"HYRISENV_CHAOS_ADDR="+addr,
+			"HYRISENV_CHAOS_SHARDS="+strconv.Itoa(shards),
 			"HYRISENV_CHAOS_FAULT="+serverFaults,
 		)
 		return cmd
@@ -84,6 +99,7 @@ func TestChaosKillRestart(t *testing.T) {
 		Cycles:      cycles,
 		CycleLoad:   300 * time.Millisecond,
 		NVMHeapSize: childHeapSize,
+		Shards:      shards,
 		// The client-side plane: resets and partial writes from the other
 		// end of the wire too.
 		ClientFaults: fault.Config{Seed: 13, ResetProb: 0.002, PartialWriteProb: 0.001},
@@ -95,5 +111,8 @@ func TestChaosKillRestart(t *testing.T) {
 	t.Logf("\n%v", rep)
 	if !rep.Clean() {
 		t.Fatalf("acked-durability contract violated:\n%v", rep)
+	}
+	if shards > 1 && rep.PairsAcked == 0 {
+		t.Fatal("sharded chaos run acked no two-row commits — 2PC path not exercised")
 	}
 }

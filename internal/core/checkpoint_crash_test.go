@@ -6,7 +6,7 @@ import (
 	"sync"
 	"testing"
 
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -79,18 +79,17 @@ func TestReadersConsistentDuringMerge(t *testing.T) {
 						default:
 						}
 						tx := e.Begin()
-						ids := query.ScanAll(tx, tbl)
+						ids := scanAll(tx, tbl)
 						if len(ids) != rows {
 							t.Errorf("reader saw %d rows during merge", len(ids))
 							return
 						}
-						if got := query.SumInt(tbl, 0, ids); got != wantSum {
+						if got := exec.SumInt(tbl, 0, ids); got != wantSum {
 							t.Errorf("reader saw sum %d during merge", got)
 							return
 						}
 						// Index read too.
-						hit := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq,
-							Val: storage.Int(int64(len(ids) / 2))})
+						hit := selectEq(tx, tbl, 0, storage.Int(int64(len(ids)/2)))
 						if len(hit) != 1 {
 							t.Errorf("index lookup found %d during merge", len(hit))
 							return

@@ -45,6 +45,11 @@ type Config struct {
 	// NVMHeapSize is the size of the simulated NVM device created on
 	// first open (ModeNVM). Default 1 GiB.
 	NVMHeapSize uint64
+	// NVMHeapMaxSize, when non-zero, lets the heap grow online past
+	// NVMHeapSize up to this bound, doubling geometrically per remap
+	// (ModeNVM). Zero keeps the heap fixed-size: exhaustion surfaces as
+	// out-of-space instead of growth.
+	NVMHeapMaxSize uint64
 	// NVMLatency injects emulated NVM latencies (ModeNVM).
 	NVMLatency nvm.LatencyModel
 	// NVMShadow enables the pessimistic crash model on the heap
@@ -82,6 +87,14 @@ type Config struct {
 	// followers before committing (default 0: batching comes only from
 	// commits arriving while the previous group flushes).
 	GroupCommitMaxDelay time.Duration
+	// Clock, when non-nil, attaches a shared commit-ID clock: this engine
+	// is one shard of a sharded database and draws CIDs from the global
+	// clock instead of its private counter. See txn.Clock.
+	Clock *txn.Clock
+	// Decide2PC, when non-nil, resolves prepared two-phase-commit
+	// contexts found during NVM recovery against the shard coordinator's
+	// durable decision records. Nil presumes abort.
+	Decide2PC txn.TwoPCDecider
 }
 
 // RecoveryStats records what (re)opening the engine had to do — the
@@ -162,6 +175,9 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Clock != nil {
+		e.mgr.SetClock(cfg.Clock)
+	}
 	e.recovery.Mode = cfg.Mode
 	e.recovery.Total = time.Since(start)
 	e.recovery.TablesOpened = len(e.tables)
@@ -226,6 +242,9 @@ func (e *Engine) openNVM() error {
 	if e.cfg.NVMShadow {
 		opts = append(opts, nvm.WithShadow())
 	}
+	if e.cfg.NVMHeapMaxSize > e.cfg.NVMHeapSize {
+		opts = append(opts, nvm.WithGrowLimit(e.cfg.NVMHeapMaxSize))
+	}
 	h, err := nvm.Open(path, opts...)
 	if errors.Is(err, fs.ErrNotExist) {
 		h, err = nvm.Create(path, e.cfg.NVMHeapSize, opts...)
@@ -253,12 +272,14 @@ func (e *Engine) openNVM() error {
 		}
 	}
 
-	// In-flight transaction fixup — O(in-flight writes).
-	mgr, stats, err := txn.OpenNVMManager(h, func(id uint32) *storage.Table {
+	// In-flight transaction fixup — O(in-flight writes). Prepared 2PC
+	// contexts resolve against the shard coordinator's decision records
+	// when this engine is a shard (presumed abort otherwise).
+	mgr, stats, err := txn.OpenNVMManagerDecider(h, func(id uint32) *storage.Table {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 		return e.byID[id]
-	})
+	}, e.cfg.Decide2PC)
 	if err != nil {
 		h.Close()
 		return err

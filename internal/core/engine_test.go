@@ -1,15 +1,34 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/nvm"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
+
+// selectEq and scanAll wrap the serial executor for the engine tests,
+// which run fixed schemas — an executor error is a test bug.
+func selectEq(tx *txn.Txn, tbl *storage.Table, col int, val storage.Value) []uint64 {
+	rows, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{Col: col, Op: exec.Eq, Val: val})
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+func scanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
 
 func ordersSchema(t *testing.T) storage.Schema {
 	t.Helper()
@@ -384,7 +403,7 @@ func TestEpochGuardRejectsStaleRowIDs(t *testing.T) {
 			// rewrites physical row IDs, then the transaction tries to
 			// write using its stale IDs: must be rejected, not corrupt.
 			tx := e.Begin()
-			rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(3)})
+			rows := selectEq(tx, tbl, 0, storage.Int(3))
 			if len(rows) != 1 {
 				t.Fatal("setup select")
 			}
@@ -401,7 +420,7 @@ func TestEpochGuardRejectsStaleRowIDs(t *testing.T) {
 
 			// A fresh transaction works and data is intact.
 			tx2 := e.Begin()
-			rows = query.Select(tx2, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(3)})
+			rows = selectEq(tx2, tbl, 0, storage.Int(3))
 			if len(rows) != 1 {
 				t.Fatal("post-merge select")
 			}

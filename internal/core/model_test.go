@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -48,7 +47,7 @@ func compareToModel(t *testing.T, e *Engine, tbl *storage.Table, model map[int64
 	}
 	// Spot-check the index agrees with the scan.
 	for k := range model {
-		rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(k)})
+		rows := selectEq(tx, tbl, 0, storage.Int(k))
 		if len(rows) != 1 {
 			t.Fatalf("step %d: index lookup of %d returned %d rows", step, k, len(rows))
 		}
@@ -57,7 +56,7 @@ func compareToModel(t *testing.T, e *Engine, tbl *storage.Table, model map[int64
 }
 
 func findRow(e *Engine, tbl *storage.Table, tx *txn.Txn, k int64) (uint64, bool) {
-	rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(k)})
+	rows := selectEq(tx, tbl, 0, storage.Int(k))
 	if len(rows) != 1 {
 		return 0, false
 	}

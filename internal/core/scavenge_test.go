@@ -4,7 +4,6 @@ import (
 	"errors"
 	"testing"
 
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -53,7 +52,7 @@ func TestScavengeReclaimsSupersededPartitions(t *testing.T) {
 		t.Fatalf("rows after scavenge = %d", n)
 	}
 	// Index still answers.
-	rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(7)})
+	rows := selectEq(tx, tbl, 0, storage.Int(7))
 	if len(rows) == 0 {
 		t.Fatal("index lookup broken after scavenge")
 	}

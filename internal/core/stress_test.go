@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"hyrisenv/internal/nvm"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -53,7 +52,7 @@ func setupAccounts(t testing.TB, e *Engine, n int, initial int64) *storage.Table
 func transfer(e *Engine, tbl *storage.Table, a, b int64, amount int64) error {
 	tx := e.Begin()
 	find := func(id int64) (uint64, bool) {
-		rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(id)})
+		rows := selectEq(tx, tbl, 0, storage.Int(id))
 		if len(rows) != 1 {
 			return 0, false
 		}

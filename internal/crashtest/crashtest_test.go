@@ -2,6 +2,7 @@ package crashtest
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"hyrisenv/internal/core"
@@ -54,6 +55,44 @@ func TestCrashMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	reportFailures(t, res)
+}
+
+// sweep2PCConfig mirrors sweepConfig for the sharded sweep: bounded per
+// heap by default, exhaustive with CRASHMATRIX_FULL=1. A separate
+// CRASHMATRIX_2PC_HEAP selects one target heap slice (`shard-0`,
+// `shard-1`, ..., or `coord`) so CI can split the matrix across jobs.
+func sweep2PCConfig(t *testing.T) Config2PC {
+	t.Helper()
+	cfg := Config2PC{Dir: t.TempDir(), Shards: 2}
+	if os.Getenv("CRASHMATRIX_FULL") != "" {
+		cfg.TearSeeds = []int64{0, 1, 2, 3}
+	} else {
+		cfg.MaxBarriers = 12
+		cfg.TearSeeds = []int64{0, 0x5eed}
+	}
+	if slice := os.Getenv("CRASHMATRIX_2PC_HEAP"); slice != "" {
+		cfg.Heaps = strings.Split(slice, ",")
+	}
+	return cfg
+}
+
+// TestCrashMatrix2PC sweeps the persist barriers of every heap of a
+// 2-shard database — both shards and the coordinator — through the
+// cross-shard workload: each point cuts power machine-wide at one
+// barrier of one heap, and after recovery every acknowledged cross-shard
+// commit must be atomically visible, the in-flight transaction applied
+// all-or-nothing across shards, and every shard's fsck clean.
+func TestCrashMatrix2PC(t *testing.T) {
+	cfg := sweep2PCConfig(t)
+	res, err := Run2PC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("2pc crash point failed: %s", f)
+	}
+	t.Logf("2pc crash matrix: per-heap barriers %v, %d points exercised, %d failures",
+		res.Barriers, res.Points, len(res.Failures))
 }
 
 // smallWorkload is a minimal workload for the detection-power test:

@@ -11,10 +11,11 @@
 package crashtest
 
 import (
+	"context"
 	"fmt"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -103,7 +104,11 @@ func mutateTxn(e *core.Engine, tbl *storage.Table, rec *Recorder, ins, del []int
 		}
 	}
 	for _, id := range del {
-		rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(id)})
+		rows, err := e.Exec().Select(context.Background(), tx, tbl,
+			exec.Pred{Col: 0, Op: exec.Eq, Val: storage.Int(id)})
+		if err != nil {
+			return err
+		}
 		if len(rows) != 1 {
 			return fmt.Errorf("crashtest: id %d matches %d rows, want 1", id, len(rows))
 		}
@@ -213,26 +218,38 @@ func groupTxn(e *core.Engine, tbl *storage.Table, rec *Recorder, members [][]int
 func VerifyRecovered(e *core.Engine, rec *Recorder) error {
 	tbl, err := e.Table("orders")
 	if err != nil {
-		// The crash cut table creation itself; that is only acceptable
-		// while nothing had committed.
-		for id, want := range rec.present {
-			if want {
-				return fmt.Errorf("crashtest: table lost but id %d was committed", id)
-			}
-		}
-		return nil
+		return rec.tableLost()
 	}
 	tx := e.Begin()
-	rows := query.ScanAll(tx, tbl)
+	rows, err := e.Exec().ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		return err
+	}
 	got := make(map[int64]bool, len(rows))
-	for _, vals := range query.Project(tbl, rows, 0) {
+	for _, vals := range exec.Project(tbl, rows, 0) {
 		id := vals[0].I
 		if got[id] {
 			return fmt.Errorf("crashtest: id %d visible twice", id)
 		}
 		got[id] = true
 	}
+	return rec.verify(got)
+}
 
+// tableLost handles the case where the crash cut table creation itself;
+// that is only acceptable while nothing had committed.
+func (rec *Recorder) tableLost() error {
+	for id, want := range rec.present {
+		if want {
+			return fmt.Errorf("crashtest: table lost but id %d was committed", id)
+		}
+	}
+	return nil
+}
+
+// verify checks the recovered id->visible map against the recorder's
+// crash-time knowledge (the engine-independent core of VerifyRecovered).
+func (rec *Recorder) verify(got map[int64]bool) error {
 	insSet := map[int64]bool{}
 	delSet := map[int64]bool{}
 	if rec.inflight != nil {

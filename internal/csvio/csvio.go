@@ -8,6 +8,7 @@
 package csvio
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,7 +16,7 @@ import (
 	"strings"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -163,7 +164,10 @@ func Export(w io.Writer, tx *txn.Txn, tbl *storage.Table) (int, error) {
 	if err := cw.Write(header); err != nil {
 		return 0, err
 	}
-	rows := query.ScanAll(tx, tbl)
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		return 0, err
+	}
 	cells := make([]string, tbl.Schema.NumCols())
 	v := tbl.View()
 	for _, r := range rows {

@@ -2,15 +2,34 @@ package csvio
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
+
+// selectEq and scanAll wrap the serial executor for these fixed-schema
+// tests, where an executor error is a test bug.
+func selectEq(tx *txn.Txn, tbl *storage.Table, col int, val storage.Value) []uint64 {
+	rows, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{Col: col, Op: exec.Eq, Val: val})
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+func scanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
 
 func volatileEngine(t *testing.T) *core.Engine {
 	t.Helper()
@@ -38,7 +57,7 @@ func TestImportBasics(t *testing.T) {
 		t.Fatalf("imported %d", n)
 	}
 	tx := e.Begin()
-	rows := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(3)})
+	rows := selectEq(tx, tbl, 0, storage.Int(3))
 	if len(rows) != 1 {
 		t.Fatal("indexed import lookup")
 	}
@@ -60,7 +79,7 @@ func TestImportAppendsToExisting(t *testing.T) {
 		t.Fatalf("second import: n=%d err=%v", n, err)
 	}
 	tx := e.Begin()
-	if got := len(query.ScanAll(tx, tbl)); got != 6 {
+	if got := len(scanAll(tx, tbl)); got != 6 {
 		t.Fatalf("rows = %d", got)
 	}
 }
@@ -102,7 +121,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	// Delete one row: export only covers visible rows.
 	tx := e.Begin()
-	victim := query.Select(tx, tbl, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(2)})[0]
+	victim := selectEq(tx, tbl, 0, storage.Int(2))[0]
 	if err := tx.Delete(tbl, victim); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +140,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	tx2 := e2.Begin()
 	for _, id := range []int64{1, 3} {
-		rows := query.Select(tx2, tbl2, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(id)})
+		rows := selectEq(tx2, tbl2, 0, storage.Int(id))
 		if len(rows) != 1 {
 			t.Fatalf("id %d lost in round trip", id)
 		}
@@ -181,10 +200,10 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		// Compare multisets.
 		count := map[string]int{}
 		tx1, tx2 := e.Begin(), e2.Begin()
-		for _, r := range query.ScanAll(tx1, tbl) {
+		for _, r := range scanAll(tx1, tbl) {
 			count[tbl.Value(0, r).String()+"\x00"+tbl.Value(1, r).S]++
 		}
-		for _, r := range query.ScanAll(tx2, tbl2) {
+		for _, r := range scanAll(tx2, tbl2) {
 			count[tbl2.Value(0, r).String()+"\x00"+tbl2.Value(1, r).S]--
 		}
 		for _, c := range count {

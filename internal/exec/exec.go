@@ -1,7 +1,7 @@
 // Package exec is the shared query executor behind every read path of
-// the engine: the embedded Tx API, the compatibility wrappers in
-// internal/query, and the network server's request handlers all funnel
-// their scans, aggregations and joins through one Executor.
+// the engine: the embedded Tx API and the network server's request
+// handlers funnel their scans, aggregations and joins through one
+// Executor.
 //
 // Execution is morsel-driven (Leis et al., "Morsel-Driven Parallelism"):
 // the main and delta partitions of a table are split into fixed-size
@@ -15,9 +15,8 @@
 // to a serial scan.
 //
 // An Executor with Parallelism 1 runs every morsel inline on the
-// calling goroutine — the exact serial behavior of the historical
-// internal/query operators — so "serial" is a configuration, not a
-// separate code path.
+// calling goroutine — exact serial execution — so "serial" is a
+// configuration, not a separate code path.
 package exec
 
 import (
@@ -64,8 +63,8 @@ func New(parallelism int) *Executor {
 	return &Executor{par: parallelism}
 }
 
-// Serial is the parallelism-1 executor the compatibility wrappers in
-// internal/query delegate to.
+// Serial is a shared parallelism-1 executor, used by tests and parity
+// checks as the reference serial execution.
 var Serial = New(1)
 
 // Parallelism returns the configured worker count.

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+
+	"hyrisenv/internal/storage"
+)
+
+// Row-set utilities shared by every read path: materialization, ordering
+// and pagination over row-ID results, plus the aggregate merge the shard
+// router uses to combine per-shard partials. These operate on row IDs a
+// scan already produced (and already filtered for visibility), so they
+// take no transaction.
+
+// Project materializes the given columns of the given rows.
+func Project(tbl *storage.Table, rows []uint64, cols ...int) [][]storage.Value {
+	v := tbl.View()
+	out := make([][]storage.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]storage.Value, len(cols))
+		for j, c := range cols {
+			vals[j] = v.Value(c, r)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// OrderBy sorts row IDs by the given column, exploiting the
+// order-preserving key encoding: rows compare by their encoded
+// dictionary keys, so no value decoding happens during the sort.
+// desc reverses the order. The input slice is sorted in place and
+// returned.
+func OrderBy(tbl *storage.Table, rows []uint64, col int, desc bool) []uint64 {
+	v := tbl.View()
+	mr := v.MainRows()
+	keyOf := func(row uint64) []byte {
+		if row < mr {
+			mc := v.MainColumnAt(col)
+			return mc.DictKey(mc.ValueID(row))
+		}
+		dc := v.DeltaColumnAt(col)
+		return dc.DictKey(dc.ValueID(row - mr))
+	}
+	// Cache keys: DictKey may read NVM blobs; fetch each row's key once.
+	keys := make([][]byte, len(rows))
+	for i, r := range rows {
+		keys[i] = keyOf(r)
+	}
+	SortRowsByKeys(rows, keys, desc)
+	return rows
+}
+
+// SortRowsByKeys stably sorts rows in place by their parallel encoded
+// keys (descending when desc). The shard router uses it to order global
+// row IDs whose keys come from different partitions' dictionaries (the
+// encoding is order-preserving on values, so keys compare across
+// dictionaries).
+func SortRowsByKeys(rows []uint64, keys [][]byte, desc bool) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := bytes.Compare(keys[idx[a]], keys[idx[b]])
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	out := make([]uint64, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	copy(rows, out)
+}
+
+// Limit returns at most n rows starting at offset.
+func Limit(rows []uint64, offset, n int) []uint64 {
+	if offset >= len(rows) {
+		return nil
+	}
+	rows = rows[offset:]
+	if n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// SumInt sums an int64 column over the given rows (which must come from
+// the same generation, i.e. the same transaction epoch).
+func SumInt(tbl *storage.Table, col int, rows []uint64) int64 {
+	v := tbl.View()
+	var s int64
+	for _, r := range rows {
+		s += v.Value(col, r).I
+	}
+	return s
+}
+
+// SumFloat sums a float64 column over the given rows.
+func SumFloat(tbl *storage.Table, col int, rows []uint64) float64 {
+	v := tbl.View()
+	var s float64
+	for _, r := range rows {
+		s += v.Value(col, r).F
+	}
+	return s
+}
+
+// MergeGroups folds per-shard GroupBy partials into one result with the
+// same ordering contract as GroupBy itself: groups with equal keys are
+// combined (counts and sums added) and the merged result is ordered by
+// encoded key. Float64 sums are merged in argument order; as with the
+// parallel aggregation inside GroupBy, low bits can differ from a
+// single-partition run.
+func MergeGroups(partials ...[]Group) []Group {
+	byKey := map[storage.Value]*Group{}
+	for _, part := range partials {
+		for _, g := range part {
+			if ex := byKey[g.Key]; ex != nil {
+				ex.Count += g.Count
+				ex.Sum += g.Sum
+			} else {
+				cp := g
+				byKey[g.Key] = &cp
+			}
+		}
+	}
+	out := make([]Group, 0, len(byKey))
+	for _, g := range byKey {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].Key.EncodeKey(nil), out[j].Key.EncodeKey(nil)) < 0
+	})
+	return out
+}

@@ -1,0 +1,157 @@
+package exec_test
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+
+	"hyrisenv/internal/exec"
+	"hyrisenv/internal/storage"
+)
+
+// TestOrderBy pins the dictionary-key sort against a value-level sort,
+// over a table whose rows span main and delta (the two DictKey paths),
+// for an int and a string column, both directions.
+func TestOrderBy(t *testing.T) {
+	e, tbl := buildTable(t, 400)
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		col  int
+		desc bool
+	}{{0, false}, {0, true}, {1, false}, {1, true}} {
+		got := exec.OrderBy(tbl, append([]uint64(nil), rows...), tc.col, tc.desc)
+		if len(got) != len(rows) {
+			t.Fatalf("col %d: OrderBy dropped rows: %d != %d", tc.col, len(got), len(rows))
+		}
+		v := tbl.View()
+		for i := 1; i < len(got); i++ {
+			a, b := v.Value(tc.col, got[i-1]), v.Value(tc.col, got[i])
+			cmp := bytes.Compare(a.EncodeKey(nil), b.EncodeKey(nil))
+			if tc.desc {
+				cmp = -cmp
+			}
+			if cmp > 0 {
+				t.Fatalf("col %d desc=%v: out of order at %d: %v after %v", tc.col, tc.desc, i, b, a)
+			}
+		}
+	}
+}
+
+// TestOrderByStable pins stability: rows with equal keys keep their
+// input order (region has only 4 distinct values).
+func TestOrderByStable(t *testing.T) {
+	e, tbl := buildTable(t, 200)
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exec.OrderBy(tbl, append([]uint64(nil), rows...), 1, false)
+	v := tbl.View()
+	for i := 1; i < len(got); i++ {
+		if v.Value(1, got[i-1]).S == v.Value(1, got[i]).S && got[i-1] > got[i] {
+			t.Fatalf("unstable sort: row %d before %d within group %q",
+				got[i-1], got[i], v.Value(1, got[i]).S)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	rows := []uint64{10, 11, 12, 13, 14}
+	for _, tc := range []struct {
+		offset, n int
+		want      []uint64
+	}{
+		{0, 3, []uint64{10, 11, 12}},
+		{3, 10, []uint64{13, 14}},
+		{5, 1, nil},
+		{9, 1, nil},
+		{0, 0, []uint64{}},
+		{2, 2, []uint64{12, 13}},
+	} {
+		got := exec.Limit(rows, tc.offset, tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Limit(%d,%d) = %v, want %v", tc.offset, tc.n, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Limit(%d,%d) = %v, want %v", tc.offset, tc.n, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestMergeGroups checks the shard-partial fold: equal keys combine,
+// result ordered by encoded key, matching a single-partition GroupBy
+// over the same data.
+func TestMergeGroups(t *testing.T) {
+	g := func(key string, count int, sum float64) exec.Group {
+		return exec.Group{Key: storage.Str(key), Count: count, Sum: sum}
+	}
+	merged := exec.MergeGroups(
+		[]exec.Group{g("east", 2, 5), g("north", 1, 1)},
+		[]exec.Group{g("east", 3, 7), g("west", 4, 4)},
+		nil,
+		[]exec.Group{g("north", 2, 2)},
+	)
+	want := []exec.Group{g("east", 5, 12), g("north", 3, 3), g("west", 4, 4)}
+	if len(merged) != len(want) {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("merged[%d] = %v, want %v", i, merged[i], want[i])
+		}
+	}
+	if !sort.SliceIsSorted(merged, func(i, j int) bool {
+		return merged[i].Key.S < merged[j].Key.S
+	}) {
+		t.Fatalf("merged not ordered by key: %v", merged)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := func(key string, sum float64) exec.Group {
+		return exec.Group{Key: storage.Str(key), Sum: sum}
+	}
+	groups := []exec.Group{g("a", 1), g("b", 9), g("c", 5), g("d", 9)}
+	top := exec.TopK(groups, 2)
+	if len(top) != 2 || top[0].Sum != 9 || top[1].Sum != 9 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := exec.TopK(groups, 100); len(got) != len(groups) {
+		t.Fatalf("TopK over-length = %v", got)
+	}
+}
+
+// TestSumHelpers checks the typed column folds used by benchmarks and
+// the CSV/report paths.
+func TestSumHelpers(t *testing.T) {
+	e, tbl := buildTable(t, 100)
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantI int64
+	var wantF float64
+	v := tbl.View()
+	for _, r := range rows {
+		wantI += v.Value(0, r).I
+		wantF += v.Value(2, r).F
+	}
+	if got := exec.SumInt(tbl, 0, rows); got != wantI {
+		t.Fatalf("SumInt = %d, want %d", got, wantI)
+	}
+	if got := exec.SumFloat(tbl, 2, rows); got != wantF {
+		t.Fatalf("SumFloat = %v, want %v", got, wantF)
+	}
+}

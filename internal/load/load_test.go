@@ -10,6 +10,7 @@ import (
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -100,12 +101,12 @@ func TestMixValidate(t *testing.T) {
 // stretches it (CI runs 30 s under -race); the default is a quick
 // op-bounded pass for ordinary test runs.
 func TestLoadSmoke(t *testing.T) {
-	eng, err := core.Open(core.Config{
+	eng, err := shard.Open(shard.Config{Config: core.Config{
 		Mode:        txn.ModeNVM,
 		Dir:         t.TempDir(),
 		NVMHeapSize: 256 << 20,
 		GroupCommit: true,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,12 +2,14 @@ package load
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/nvm"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -27,13 +29,20 @@ var serveLatency = nvm.LatencyModel{WriteNS: 200, FenceNS: 500, DrainNS: 400_000
 const benchConns = 1024
 
 func startBenchServer(b *testing.B, groupCommit bool, srvCfg server.Config) (*server.Server, func()) {
+	return startShardedBenchServer(b, groupCommit, 1, srvCfg)
+}
+
+func startShardedBenchServer(b *testing.B, groupCommit bool, shards int, srvCfg server.Config) (*server.Server, func()) {
 	b.Helper()
-	eng, err := core.Open(core.Config{
-		Mode:        txn.ModeNVM,
-		Dir:         b.TempDir(),
-		NVMHeapSize: 512 << 20,
-		NVMLatency:  serveLatency,
-		GroupCommit: groupCommit,
+	eng, err := shard.Open(shard.Config{
+		Config: core.Config{
+			Mode:        txn.ModeNVM,
+			Dir:         b.TempDir(),
+			NVMHeapSize: 512 << 20,
+			NVMLatency:  serveLatency,
+			GroupCommit: groupCommit,
+		},
+		Shards: shards,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -49,8 +58,10 @@ func startBenchServer(b *testing.B, groupCommit bool, srvCfg server.Config) (*se
 	}
 }
 
-func runWriteBench(b *testing.B, groupCommit bool) {
-	srv, stop := startBenchServer(b, groupCommit, server.Config{
+func runWriteBench(b *testing.B, groupCommit bool) { runShardedWriteBench(b, groupCommit, 1) }
+
+func runShardedWriteBench(b *testing.B, groupCommit bool, shards int) {
+	srv, stop := startShardedBenchServer(b, groupCommit, shards, server.Config{
 		MaxConns:      benchConns + 8,
 		MaxConcurrent: -1, // measure batching, not admission
 	})
@@ -91,6 +102,19 @@ func BenchmarkServeWriteUnbatched(b *testing.B) { runWriteBench(b, false) }
 // BenchmarkServeWriteGrouped coalesces concurrent commits into persist
 // groups sharing one barrier set (internal/group via txn.CommitGroup).
 func BenchmarkServeWriteGrouped(b *testing.B) { runWriteBench(b, true) }
+
+// BenchmarkServeWriteSharded runs the grouped write workload against a
+// sharded daemon — the per-shard-count entries in BENCH_serve.json. The
+// load driver's single-key transactions take the single-shard fast
+// path, so sharding mostly spreads the per-shard group-commit batchers
+// and drain queues; throughput should hold or improve with shard count.
+func BenchmarkServeWriteSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runShardedWriteBench(b, true, shards)
+		})
+	}
+}
 
 // BenchmarkServeOverload2x measures overload behaviour: offered load is
 // pushed to 2× the measured saturation throughput with admission

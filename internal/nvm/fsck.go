@@ -65,15 +65,15 @@ func (h *Heap) Fsck(reachable func(yield func(PPtr))) *FsckReport {
 		r.issuef("header: format version %d, want %d", got, formatVersion)
 		return r
 	}
-	if got := h.u64(hdrSize); got != h.size {
-		r.issuef("header: recorded size %d != mapped size %d", got, h.size)
+	if got := h.u64(hdrSize); got != h.Size() {
+		r.issuef("header: recorded size %d != mapped size %d", got, h.Size())
 	}
 	if h.u64(hdrEpoch) == 0 {
 		r.issuef("header: restart epoch is zero")
 	}
 	next := h.u64(hdrArenaNext)
-	if next < arenaStart || next > h.size {
-		r.issuef("header: arena watermark %d outside [%d, %d]", next, arenaStart, h.size)
+	if next < arenaStart || next > h.Size() {
+		r.issuef("header: arena watermark %d outside [%d, %d]", next, arenaStart, h.Size())
 		return r // the arena walk would be unbounded
 	}
 	r.ArenaBytes = next - arenaStart
@@ -98,7 +98,7 @@ func (h *Heap) Fsck(reachable func(yield func(PPtr))) *FsckReport {
 			payloadSize = sizeClasses[tag]
 		} else {
 			payloadSize = tag - uint64(numClasses)
-			if payloadSize == 0 || payloadSize > h.size || payloadSize%blockAlign != 0 {
+			if payloadSize == 0 || payloadSize > h.Size() || payloadSize%blockAlign != 0 {
 				r.issuef("arena: block at %d has invalid size tag %#x", p, tag)
 				break // the walk has lost its footing
 			}
@@ -224,7 +224,7 @@ func (h *Heap) CheckBlock(p PPtr, n uint64) error {
 	if uint64(p)%blockAlign != 0 {
 		return fmt.Errorf("nvm: block pointer %d is unaligned", p)
 	}
-	if uint64(p) < arenaStart+blockHeaderSize || uint64(p) >= h.size {
+	if uint64(p) < arenaStart+blockHeaderSize || uint64(p) >= h.Size() {
 		return fmt.Errorf("nvm: block pointer %d outside the arena", p)
 	}
 	hdr := p - blockHeaderSize
@@ -235,7 +235,7 @@ func (h *Heap) CheckBlock(p PPtr, n uint64) error {
 	} else {
 		size = tag - uint64(numClasses)
 	}
-	if size < n || size > h.size || uint64(p)+size > h.size {
+	if size < n || size > h.Size() || uint64(p)+size > h.Size() {
 		return fmt.Errorf("nvm: block at %d holds %d bytes, need %d", p, size, n)
 	}
 	if st := h.U64(hdr + 8); st != blockReserved {

@@ -78,6 +78,12 @@ const (
 
 	// CacheLineSize is the granularity of persist barriers.
 	CacheLineSize = 64
+
+	// maxGrowStep bounds one online-growth remap: below it the arena
+	// doubles (amortizing remaps geometrically), above it growth proceeds
+	// in maxGrowStep increments so a huge heap never doubles in one jump —
+	// the same policy bbolt applies to its mmap.
+	maxGrowStep = 1 << 30
 )
 
 // Header field offsets (all uint64 unless noted).
@@ -166,16 +172,37 @@ type Stats struct {
 	Drains    uint64 // durability drains issued (each also counts one fence)
 	Allocs    uint64
 	Frees     uint64
+	Grows     uint64 // online growth remaps performed
 	BytesUsed uint64 // high-water bump offset (excludes freed blocks)
+}
+
+// mapping is one mmap of the heap file. The heap always reads and writes
+// through the current mapping; superseded mappings from before a growth
+// remap stay mapped (and, being MAP_SHARED views of the same file, stay
+// coherent) until Close, so slices handed out by Bytes never dangle.
+type mapping struct {
+	mem  []byte
+	size uint64
 }
 
 // Heap is a simulated NVM heap backed by a memory-mapped file.
 //
 // All exported methods are safe for concurrent use unless noted.
 type Heap struct {
-	f    *os.File
-	mem  []byte
-	size uint64
+	f *os.File
+
+	// cur is the active mapping; maps lists every live mapping (current
+	// first) so offsetOf can resolve slices minted before a growth remap.
+	// Both are swapped atomically by growLocked under allocMu.
+	cur  atomic.Pointer[mapping]
+	maps atomic.Pointer[[][]byte]
+
+	// growLimit caps online growth: 0 keeps the heap at its created size
+	// (every bump past the end is ErrOutOfMemory, the historical
+	// behavior); otherwise the arena doubles geometrically up to
+	// maxGrowStep per remap until the limit is reached.
+	growLimit uint64
+	grows     atomic.Uint64
 
 	lat LatencyModel
 
@@ -226,6 +253,16 @@ type Option func(*Heap)
 // WithLatency sets the emulated NVM latency model.
 func WithLatency(m LatencyModel) Option {
 	return func(h *Heap) { h.lat = m }
+}
+
+// WithGrowLimit enables online heap growth up to max bytes: when a bump
+// allocation does not fit, the backing file is extended geometrically
+// (doubling, capped at maxGrowStep per remap) and a new mapping replaces
+// the old one. Superseded mappings stay mapped until Close, so slices
+// previously returned by Bytes remain valid. With the limit at 0 (the
+// default) the heap stays fixed-size and exhaustion is ErrOutOfMemory.
+func WithGrowLimit(max uint64) Option {
+	return func(h *Heap) { h.growLimit = max }
 }
 
 // Create initializes a new heap file of the given size and maps it.
@@ -291,9 +328,17 @@ func Open(path string, opts ...Option) (*Heap, error) {
 		h.Close()
 		return nil, ErrBadVersion
 	}
-	if h.u64(hdrSize) != uint64(st.Size()) {
+	switch hdr := h.u64(hdrSize); {
+	case hdr > uint64(st.Size()):
 		h.Close()
-		return nil, fmt.Errorf("nvm: header size %d != file size %d", h.u64(hdrSize), st.Size())
+		return nil, fmt.Errorf("nvm: header size %d > file size %d", hdr, st.Size())
+	case hdr < uint64(st.Size()):
+		// A crash between a growth remap's file extension and its header
+		// persist leaves the file longer than the header says. The tail is
+		// untouched zeros beyond the arena watermark, so adopting the
+		// larger size (re-persisting the header) is always safe.
+		h.putU64(hdrSize, uint64(st.Size()))
+		h.Persist(hdrSize, 8)
 	}
 	// Bump the restart epoch so structures can detect they crossed a
 	// restart (used e.g. to invalidate transient caches).
@@ -308,7 +353,10 @@ func mapHeap(f *os.File, size uint64, opts []Option) (*Heap, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nvm: mmap: %w", err)
 	}
-	h := &Heap{f: f, mem: mem, size: size}
+	h := &Heap{f: f}
+	h.cur.Store(&mapping{mem: mem, size: size})
+	all := [][]byte{mem}
+	h.maps.Store(&all)
 	h.drainCond = sync.NewCond(&h.drainMu)
 	for _, o := range opts {
 		o(h)
@@ -330,29 +378,40 @@ func mapHeap(f *os.File, size uint64, opts []Option) (*Heap, error) {
 	return h, nil
 }
 
-// Close unmaps the heap. Data durability does not depend on a clean close.
+// m returns the current mapping.
+func (h *Heap) m() *mapping { return h.cur.Load() }
+
+// Close unmaps the heap (every mapping, including those superseded by
+// growth). Data durability does not depend on a clean close.
 func (h *Heap) Close() error {
-	if h.mem != nil {
+	var firstErr error
+	if all := h.maps.Load(); all != nil {
 		h.restoreCrashImage()
-		if err := syscall.Munmap(h.mem); err != nil {
-			return fmt.Errorf("nvm: munmap: %w", err)
+		for _, mem := range *all {
+			if err := syscall.Munmap(mem); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("nvm: munmap: %w", err)
+			}
 		}
-		h.mem = nil
+		h.maps.Store(nil)
+		h.cur.Store(nil)
 	}
 	if h.f != nil {
 		err := h.f.Close()
 		h.f = nil
-		return err
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // Sync flushes the whole mapping to the backing file via msync. It is not
 // required for the simulation (the page cache survives process exit) but
 // is exposed for durability against OS crashes.
 func (h *Heap) Sync() error {
+	m := h.m()
 	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
-		uintptr(unsafe.Pointer(&h.mem[0])), uintptr(len(h.mem)), uintptr(syscall.MS_SYNC))
+		uintptr(unsafe.Pointer(&m.mem[0])), uintptr(len(m.mem)), uintptr(syscall.MS_SYNC))
 	if errno != 0 {
 		return fmt.Errorf("nvm: msync: %w", errno)
 	}
@@ -360,7 +419,7 @@ func (h *Heap) Sync() error {
 }
 
 // Size returns the total heap size in bytes.
-func (h *Heap) Size() uint64 { return h.size }
+func (h *Heap) Size() uint64 { return h.m().size }
 
 // Epoch returns the restart epoch: 1 on a fresh heap, incremented on every
 // Open. Persistent structures compare a stored epoch against this to know
@@ -368,9 +427,11 @@ func (h *Heap) Size() uint64 { return h.size }
 func (h *Heap) Epoch() uint64 { return h.u64(hdrEpoch) }
 
 // Bytes returns the n bytes at p as a slice aliasing the mapping.
-// The caller must ensure p..p+n lies inside the heap.
+// The caller must ensure p..p+n lies inside the heap. The slice stays
+// valid across growth remaps: superseded mappings remain mapped (and
+// coherent, being MAP_SHARED views of one file) until Close.
 func (h *Heap) Bytes(p PPtr, n uint64) []byte {
-	return h.mem[p : uint64(p)+n : uint64(p)+n]
+	return h.m().mem[p : uint64(p)+n : uint64(p)+n]
 }
 
 // U64 atomically loads the uint64 at p (which must be 8-byte aligned).
@@ -393,7 +454,7 @@ func (h *Heap) u64ptr(p PPtr) *uint64 {
 	if p%8 != 0 {
 		panic(fmt.Sprintf("nvm: unaligned atomic access at %d", p))
 	}
-	return (*uint64)(unsafe.Pointer(&h.mem[p]))
+	return (*uint64)(unsafe.Pointer(&h.m().mem[p]))
 }
 
 func (h *Heap) u64(off uint64) uint64       { return h.U64(PPtr(off)) }
@@ -595,8 +656,17 @@ func (h *Heap) injector() FaultInjector {
 }
 
 func (h *Heap) offsetOf(b *byte) PPtr {
-	off := uintptr(unsafe.Pointer(b)) - uintptr(unsafe.Pointer(&h.mem[0]))
-	return PPtr(off)
+	// A slice may have been minted from a mapping that growth has since
+	// superseded; every live mapping views the same file, so the offset
+	// within whichever mapping contains the pointer is the heap offset.
+	addr := uintptr(unsafe.Pointer(b))
+	for _, mem := range *h.maps.Load() {
+		base := uintptr(unsafe.Pointer(&mem[0]))
+		if addr >= base && addr < base+uintptr(len(mem)) {
+			return PPtr(addr - base)
+		}
+	}
+	panic("nvm: pointer does not alias any heap mapping")
 }
 
 // Stats returns persistence counters.
@@ -607,6 +677,7 @@ func (h *Heap) Stats() Stats {
 		Drains:    h.drains.Load(),
 		Allocs:    h.allocs.Load(),
 		Frees:     h.frees.Load(),
+		Grows:     h.grows.Load(),
 		BytesUsed: h.u64(hdrArenaNext),
 	}
 }
@@ -707,13 +778,16 @@ func (h *Heap) allocLargeLocked(want uint64) (PPtr, bool) {
 	return 0, false
 }
 
-// bump carves a block from the arena. classTag encodes either a size-class
-// index (< numClasses) or numClasses+size for large blocks.
+// bump carves a block from the arena, growing the heap online first when
+// a grow limit permits. classTag encodes either a size-class index
+// (< numClasses) or numClasses+size for large blocks.
 func (h *Heap) bump(payload uint64, classTag uint64) (PPtr, error) {
 	next := h.u64(hdrArenaNext)
 	total := blockHeaderSize + payload
-	if next+total > h.size {
-		return nil1(), ErrOutOfMemory
+	if next+total > h.m().size {
+		if err := h.growLocked(next + total); err != nil {
+			return nil1(), err
+		}
 	}
 	// Initialize the header before advancing the watermark: a crash
 	// between the two barriers then leaves the header bytes harmlessly
@@ -730,6 +804,78 @@ func (h *Heap) bump(payload uint64, classTag uint64) (PPtr, error) {
 }
 
 func nil1() PPtr { return 0 }
+
+// growLocked extends the heap online so that at least need bytes of arena
+// exist, by the bbolt policy: double the current size until it fits,
+// stepping by at most maxGrowStep per remap, clamped to the grow limit.
+// Caller holds allocMu.
+//
+// The sequence is crash-safe: the file is extended first, then the new
+// mapping installed, then the on-NVM size header persisted. A crash
+// before the header persist leaves a longer file whose tail is untouched
+// zeros; Open adopts it (see the size check there). The shadow durable
+// image is regrown before the mapping swap so a fail-point crash during
+// the header persist still finds shadow and mapping the same length, and
+// the armed fault injector — attached to the Heap, not to any mapping —
+// is re-verified after the swap so injected faults keep firing on the
+// grown heap.
+func (h *Heap) growLocked(need uint64) error {
+	old := h.m()
+	if h.growLimit == 0 || old.size >= h.growLimit {
+		return ErrOutOfMemory
+	}
+	newSize := old.size
+	for newSize < need {
+		if newSize < maxGrowStep {
+			newSize *= 2
+		} else {
+			newSize += maxGrowStep
+		}
+	}
+	if newSize > h.growLimit {
+		newSize = h.growLimit
+	}
+	newSize = alignUp(newSize, 4096)
+	if newSize < need {
+		return ErrOutOfMemory
+	}
+	if err := h.f.Truncate(int64(newSize)); err != nil {
+		return fmt.Errorf("nvm: grow truncate to %d: %w", newSize, err)
+	}
+	mem, err := syscall.Mmap(int(h.f.Fd()), 0, int(newSize),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("nvm: grow mmap: %w", err)
+	}
+
+	// Regrow the durable image first: applyCrash and publishPending index
+	// shadow with offsets bounded by the *current* mapping's size, so the
+	// shadow must never be shorter than the mapping about to be installed.
+	h.shadowMu.Lock()
+	if h.shadow != nil {
+		grown := make([]byte, newSize)
+		copy(grown, h.shadow)
+		h.shadow = grown
+	}
+	h.shadowMu.Unlock()
+
+	all := append([][]byte{mem}, *h.maps.Load()...)
+	h.cur.Store(&mapping{mem: mem, size: newSize})
+	h.maps.Store(&all)
+	h.grows.Add(1)
+
+	armed := h.injector()
+	h.putU64(hdrSize, newSize)
+	h.Persist(hdrSize, 8)
+	if h.injector() != armed {
+		// The injector lives on the Heap behind an atomic pointer, so the
+		// remap cannot detach it; this guards the invariant against
+		// regressions (an injector captured per-mapping would go dark
+		// here, silently disarming every fault plane after first growth).
+		panic("nvm: fault injector detached across growth remap")
+	}
+	return nil
+}
 
 // Free returns a block previously obtained from Alloc to the free list
 // of its size class (or to the large-block free list — no splitting or
@@ -864,20 +1010,20 @@ func (h *Heap) rootName(s PPtr) string {
 
 // PutU64 stores v little-endian at p without atomicity (bulk writes).
 func (h *Heap) PutU64(p PPtr, v uint64) {
-	binary.LittleEndian.PutUint64(h.mem[p:], v)
+	binary.LittleEndian.PutUint64(h.m().mem[p:], v)
 }
 
 // GetU64 loads a little-endian uint64 at p without atomicity.
 func (h *Heap) GetU64(p PPtr) uint64 {
-	return binary.LittleEndian.Uint64(h.mem[p:])
+	return binary.LittleEndian.Uint64(h.m().mem[p:])
 }
 
 // PutU32 stores v little-endian at p.
 func (h *Heap) PutU32(p PPtr, v uint32) {
-	binary.LittleEndian.PutUint32(h.mem[p:], v)
+	binary.LittleEndian.PutUint32(h.m().mem[p:], v)
 }
 
 // GetU32 loads a little-endian uint32 at p.
 func (h *Heap) GetU32(p PPtr) uint32 {
-	return binary.LittleEndian.Uint32(h.mem[p:])
+	return binary.LittleEndian.Uint32(h.m().mem[p:])
 }

@@ -55,6 +55,14 @@ func (h *Heap) Crashed() bool {
 	return h.crashed
 }
 
+// Crash applies the crash model to this heap immediately, as if power
+// were lost at this instant, without routing through a fail-point. A
+// real power failure takes the whole machine, not one device: multi-heap
+// crash sweeps (the sharded 2PC matrix) use it to cut power to every
+// other heap the moment one heap's fail-point fires, so un-persisted
+// state is lost everywhere at once. No-op in optimistic mode. Idempotent.
+func (h *Heap) Crash() { h.applyCrash() }
+
 // DirtyLines counts cache lines whose mapped contents differ from the
 // durable image — writes not yet covered by a persist barrier. Only
 // meaningful in shadow mode (0 otherwise).
@@ -65,9 +73,10 @@ func (h *Heap) DirtyLines() uint64 {
 	h.shadowMu.Lock()
 	defer h.shadowMu.Unlock()
 	var n uint64
+	mem := h.m().mem
 	bound := h.scanBound()
 	for off := uint64(0); off < bound; off += CacheLineSize {
-		if !bytes.Equal(h.mem[off:off+CacheLineSize], h.shadow[off:off+CacheLineSize]) {
+		if !bytes.Equal(mem[off:off+CacheLineSize], h.shadow[off:off+CacheLineSize]) {
 			n++
 		}
 	}
@@ -81,8 +90,8 @@ type flushRange struct{ first, end uint64 }
 // addPending queues the flushed line range [first, end) for publication
 // at the next fence. Called from Flush; the range is NOT durable yet.
 func (h *Heap) addPending(first, end uint64) {
-	if end > h.size {
-		end = h.size
+	if size := h.m().size; end > size {
+		end = size
 	}
 	h.shadowMu.Lock()
 	if !h.crashed {
@@ -98,8 +107,11 @@ func (h *Heap) addPending(first, end uint64) {
 func (h *Heap) publishPending() {
 	h.shadowMu.Lock()
 	if !h.crashed {
+		// The current mapping sees every store regardless of which mapping
+		// it went through: all mappings are MAP_SHARED views of one file.
+		mem := h.m().mem
 		for _, r := range h.pending {
-			copy(h.shadow[r.first:r.end], h.mem[r.first:r.end])
+			copy(h.shadow[r.first:r.end], mem[r.first:r.end])
 		}
 	}
 	h.pending = h.pending[:0]
@@ -123,9 +135,10 @@ func (h *Heap) applyCrash() {
 	h.crashed = true
 	// Flushes never covered by a fence die with the caches.
 	h.pending = nil
+	mem := h.m().mem
 	bound := h.scanBound()
 	for off := uint64(0); off < bound; off += CacheLineSize {
-		m := h.mem[off : off+CacheLineSize]
+		m := mem[off : off+CacheLineSize]
 		s := h.shadow[off : off+CacheLineSize]
 		if bytes.Equal(m, s) {
 			continue
@@ -159,7 +172,7 @@ func (h *Heap) restoreCrashImage() {
 		return
 	}
 	bound := h.scanBound()
-	copy(h.mem[:bound], h.shadow[:bound])
+	copy(h.m().mem[:bound], h.shadow[:bound])
 }
 
 // scanBound returns the exclusive upper bound of bytes any store can
@@ -174,8 +187,8 @@ func (h *Heap) scanBound() uint64 {
 	if bound < arenaStart {
 		bound = arenaStart
 	}
-	if bound = alignUp(bound, CacheLineSize); bound > h.size {
-		bound = h.size
+	if size := h.m().size; bound > size {
+		bound = size
 	}
-	return bound
+	return alignUp(bound, CacheLineSize)
 }

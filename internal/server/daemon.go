@@ -12,6 +12,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/fault"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -22,7 +23,8 @@ type DaemonConfig struct {
 	Addr        string   // listen address, e.g. "127.0.0.1:0"
 	Dir         string   // data directory
 	Mode        txn.Mode // durability mode
-	NVMHeapSize uint64   // simulated NVM device size (ModeNVM)
+	NVMHeapSize uint64   // simulated NVM device size (ModeNVM, per shard)
+	Shards      int      // hash partitions (0 or 1 = unpartitioned)
 	DiskModel   disk.Model
 	Server      Config
 
@@ -68,19 +70,26 @@ func RunDaemon(cfg DaemonConfig) error {
 	}
 
 	start := time.Now()
-	eng, err := core.Open(core.Config{
-		Mode:        cfg.Mode,
-		Dir:         cfg.Dir,
-		NVMHeapSize: cfg.NVMHeapSize,
-		DiskModel:   cfg.DiskModel,
+	eng, err := shard.Open(shard.Config{
+		Config: core.Config{
+			Mode:        cfg.Mode,
+			Dir:         cfg.Dir,
+			NVMHeapSize: cfg.NVMHeapSize,
+			DiskModel:   cfg.DiskModel,
+		},
+		Shards: cfg.Shards,
 	})
 	if err != nil {
 		return fmt.Errorf("open engine: %w", err)
 	}
 	rs := eng.RecoveryStats()
-	logf("engine open in %s (mode=%s, %d tables, replay=%d records, rolled back=%d in-flight)",
-		time.Since(start).Round(time.Microsecond), cfg.Mode, rs.TablesOpened,
-		rs.ReplayRecords, rs.NVM.RolledBack)
+	var tables, replay, rolled int
+	for _, ps := range rs.PerShard {
+		tables, replay, rolled = tables+ps.TablesOpened, replay+ps.ReplayRecords, rolled+ps.NVM.RolledBack
+	}
+	logf("engine open in %s (mode=%s, shards=%d, %d tables, replay=%d records, rolled back=%d in-flight, 2pc decisions=%d)",
+		time.Since(start).Round(time.Microsecond), cfg.Mode, eng.Shards(), tables,
+		replay, rolled, rs.Decisions2PC)
 
 	if cfg.FaultSpec != "" {
 		fcfg, err := fault.ParseSpec(cfg.FaultSpec)
@@ -90,8 +99,13 @@ func RunDaemon(cfg DaemonConfig) error {
 		}
 		plane := fault.New(fcfg)
 		plane.Enable()
-		if h := eng.Heap(); h != nil {
-			h.SetFaultInjector(plane)
+		for _, h := range eng.Heaps() {
+			if h != nil {
+				h.SetFaultInjector(plane)
+			}
+		}
+		if co := eng.Coordinator(); co != nil {
+			co.Heap().SetFaultInjector(plane)
 		}
 		cfg.Server.ConnWrapper = plane.WrapConn
 		logf("fault plane armed: %s", cfg.FaultSpec)

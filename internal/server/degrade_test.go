@@ -14,6 +14,7 @@ import (
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/fault"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -23,11 +24,11 @@ import (
 // not an opaque internal error), every previously acked commit stays
 // readable, and reads keep serving — the degraded read-only mode.
 func TestHeapExhaustionOutOfSpace(t *testing.T) {
-	eng, err := core.Open(core.Config{
+	eng, err := shard.Open(shard.Config{Config: core.Config{
 		Mode:        txn.ModeNVM,
 		Dir:         t.TempDir(),
 		NVMHeapSize: 1 << 20, // tiny device: exhausted by a few hundred rows
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +103,8 @@ func TestDrainStallSurfacesDeadline(t *testing.T) {
 	eng := openEngine(t, txn.ModeNVM, disk.Model{})
 	plane := fault.New(fault.Config{DrainStallProb: 1, DrainStall: 300 * time.Millisecond})
 	plane.Enable()
-	eng.Heap().SetFaultInjector(plane)
-	defer eng.Heap().SetFaultInjector(nil)
+	eng.Heaps()[0].SetFaultInjector(plane)
+	defer eng.Heaps()[0].SetFaultInjector(nil)
 	srv := startServer(t, eng, server.Config{})
 	c := dialClient(t, srv.Addr(), client.Options{RequestTimeout: 10 * time.Second})
 

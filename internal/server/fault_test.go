@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hyrisenv/internal/core"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/wire"
 )
@@ -54,7 +55,7 @@ func testFrame(t *testing.T, nc net.Conn, reqID uint64, typ wire.Type, payload [
 // and other connections keep serving. A leak in any of these turns a
 // chaos run into resource exhaustion instead of graceful degradation.
 func TestMidFrameWriteFailureReleasesResources(t *testing.T) {
-	eng, err := core.Open(core.Config{Mode: txn.ModeNone, Dir: t.TempDir()})
+	eng, err := shard.Open(shard.Config{Config: core.Config{Mode: txn.ModeNone, Dir: t.TempDir()}})
 	if err != nil {
 		t.Fatal(err)
 	}

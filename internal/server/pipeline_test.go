@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"hyrisenv/internal/disk"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/server"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
@@ -123,7 +122,11 @@ func TestPipelinedTxnSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(query.ScanAll(etx, tbl)); got != 1 {
+	rows, err := etx.Select(context.Background(), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rows); got != 1 {
 		t.Fatalf("committed rows = %d, want 1", got)
 	}
 	etx.Abort()
@@ -230,7 +233,11 @@ func TestDrainCompletesPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(query.ScanAll(etx, tbl)); got != nTxns {
+	rows, err := etx.Select(context.Background(), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rows); got != nTxns {
 		t.Fatalf("visible rows after drain = %d, want %d", got, nTxns)
 	}
 	etx.Abort()

@@ -9,6 +9,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/workload"
 )
@@ -26,12 +27,12 @@ var restartModel = disk.Model{ReadBandwidth: 4 << 20}
 func measureRestart(t *testing.T, mode txn.Mode, size int) time.Duration {
 	t.Helper()
 	dir := t.TempDir()
-	cfg := core.Config{Mode: mode, Dir: dir, NVMHeapSize: 256 << 20, DiskModel: restartModel}
-	eng, err := core.Open(cfg)
+	cfg := shard.Config{Config: core.Config{Mode: mode, Dir: dir, NVMHeapSize: 256 << 20, DiskModel: restartModel}}
+	eng, err := shard.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := workload.Load(eng, "orders", workload.DefaultSpec(size)); err != nil {
+	if _, err := workload.Load(eng.Shard(0), "orders", workload.DefaultSpec(size)); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := server.Listen(eng, "127.0.0.1:0", server.Config{})
@@ -67,7 +68,7 @@ func measureRestart(t *testing.T, mode txn.Mode, size int) time.Duration {
 	srv.Close()
 
 	crash := time.Now()
-	eng2, err := core.Open(cfg)
+	eng2, err := shard.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

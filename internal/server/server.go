@@ -45,7 +45,7 @@ import (
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/exec"
 	"hyrisenv/internal/nvm"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/wire"
@@ -128,9 +128,12 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// Server serves one engine over TCP.
+// Server serves one engine over TCP. The engine may be partitioned
+// (shard.Config.Shards > 1); the wire protocol is shard-transparent —
+// clients see one database, row IDs are global, and cross-shard
+// transactions commit through the engine's 2PC coordinator.
 type Server struct {
-	eng   *core.Engine
+	eng   *shard.Engine
 	cfg   Config
 	ln    net.Listener
 	start time.Time
@@ -151,7 +154,7 @@ type Server struct {
 
 // New wraps an already-open engine. The caller retains ownership of the
 // engine: the server never closes it (see Shutdown).
-func New(eng *core.Engine, cfg Config) *Server {
+func New(eng *shard.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:   eng,
 		cfg:   cfg.withDefaults(),
@@ -168,7 +171,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 // Listen binds addr (e.g. "127.0.0.1:4466"; port 0 picks a free port)
 // and starts serving in a background goroutine. Use Addr for the bound
 // address and Shutdown/Close to stop.
-func Listen(eng *core.Engine, addr string, cfg Config) (*Server, error) {
+func Listen(eng *shard.Engine, addr string, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -192,7 +195,7 @@ func (s *Server) Addr() string {
 }
 
 // Engine returns the served engine.
-func (s *Server) Engine() *core.Engine { return s.eng }
+func (s *Server) Engine() *shard.Engine { return s.eng }
 
 // Serve accepts connections on ln until the listener closes. It returns
 // the accept error (net.ErrClosed after Shutdown/Close).
@@ -222,7 +225,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			continue
 		}
 		c := &conn{srv: s, nc: nc, bw: bufio.NewWriterSize(nc, 16<<10),
-			txns: map[uint64]*txn.Txn{}, txnRel: map[uint64]func(){}}
+			txns: map[uint64]*shard.Tx{}, txnRel: map[uint64]func(){}}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -396,7 +399,7 @@ type conn struct {
 	// touched by the connection's worker goroutine, except at teardown
 	// (after the worker has exited). txnRel holds the admission-slot
 	// release for each transaction that was charged one at Begin.
-	txns    map[uint64]*txn.Txn
+	txns    map[uint64]*shard.Tx
 	txnRel  map[uint64]func()
 	nextTxn uint64
 
@@ -441,7 +444,7 @@ func (c *conn) serve() {
 		// Abort whatever the client left open so row locks are released.
 		// The worker has exited by now, so the registry is quiescent.
 		for id, t := range c.txns {
-			if t.Status() == txn.StatusActive {
+			if t.Active() {
 				t.Abort() //nolint:errcheck — already tearing down
 			}
 			delete(c.txns, id)
@@ -696,9 +699,9 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if !ok {
 			return 0, nil, wire.CodeOverloaded, "admission queue full; back off and retry"
 		}
-		var tx *txn.Txn
+		var tx *shard.Tx
 		if req.ReadOnly {
-			tx = c.srv.eng.Manager().BeginAt(req.AtCID)
+			tx = c.srv.eng.BeginAt(req.AtCID)
 		} else {
 			tx = c.srv.eng.Begin()
 		}
@@ -803,11 +806,10 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if !tx.Sees(tbl, req.Row) {
 			return 0, nil, wire.CodeRowNotFound, fmt.Sprintf("row %d not visible", req.Row)
 		}
-		cols := make([]int, tbl.Schema.NumCols())
-		for i := range cols {
-			cols[i] = i
+		vals, err := tx.Row(ctx, tbl, req.Row)
+		if err != nil {
+			return 0, nil, errCode(err), err.Error()
 		}
-		vals := query.Project(tbl, []uint64{req.Row}, cols...)[0]
 		return wire.TypeRow, wire.RowResp{Vals: vals}.Encode(), 0, ""
 
 	case wire.TypeSelect, wire.TypeCount:
@@ -839,13 +841,13 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 			preds[i] = exec.Pred{Col: ci, Op: exec.Op(p.Op), Val: p.Val}
 		}
 		if f.Type == wire.TypeCount {
-			n, err := c.srv.eng.Exec().Count(ctx, tx, tbl, preds...)
+			n, err := tx.Count(ctx, tbl, preds...)
 			if err != nil {
 				return 0, nil, errCode(err), err.Error()
 			}
 			return wire.TypeCountOK, wire.CountResp{N: uint64(n)}.Encode(), 0, ""
 		}
-		rows, err := c.srv.eng.Exec().Select(ctx, tx, tbl, preds...)
+		rows, err := tx.Select(ctx, tbl, preds...)
 		if err != nil {
 			return 0, nil, errCode(err), err.Error()
 		}
@@ -864,7 +866,7 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		if ci < 0 {
 			return 0, nil, wire.CodeBadColumn, fmt.Sprintf("no column %q in table %q", req.Col, req.Table)
 		}
-		rows, err := c.srv.eng.Exec().SelectRange(ctx, tx, tbl, ci, req.Lo, req.Hi)
+		rows, err := tx.SelectRange(ctx, tbl, ci, req.Lo, req.Hi)
 		if err != nil {
 			return 0, nil, errCode(err), err.Error()
 		}
@@ -892,7 +894,7 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 		var resp wire.TablesResp
 		for _, t := range c.srv.eng.Tables() {
 			resp.Tables = append(resp.Tables, wire.TableStat{
-				Name: t.Name, ID: t.ID,
+				Name: t.Name, ID: t.ID(),
 				MainRows: t.MainRows(), DeltaRows: t.DeltaRows(), Rows: t.Rows(),
 			})
 		}
@@ -901,19 +903,21 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 	case wire.TypeStats:
 		rs := c.srv.eng.RecoveryStats()
 		resp := wire.StatsResp{
-			Mode:           uint8(c.srv.eng.Mode()),
-			Uptime:         time.Since(c.srv.start),
-			Recovery:       rs.Total,
-			TablesOpened:   uint32(rs.TablesOpened),
-			CheckpointLoad: rs.CheckpointLoad,
-			LogReplay:      rs.LogReplay,
-			IndexRebuild:   rs.IndexRebuild,
-			ReplayRecords:  uint32(rs.ReplayRecords),
-			RolledBack:     uint32(rs.NVM.RolledBack),
-			EntriesUndone:  uint32(rs.NVM.EntriesUndone),
+			Mode:     uint8(c.srv.eng.Mode()),
+			Uptime:   time.Since(c.srv.start),
+			Recovery: rs.Total,
 		}
-		if h := c.srv.eng.Heap(); h != nil {
-			hs := h.Stats()
+		for _, ps := range rs.PerShard {
+			resp.TablesOpened += uint32(ps.TablesOpened)
+			resp.CheckpointLoad += ps.CheckpointLoad
+			resp.LogReplay += ps.LogReplay
+			resp.IndexRebuild += ps.IndexRebuild
+			resp.ReplayRecords += uint32(ps.ReplayRecords)
+			resp.RolledBack += uint32(ps.NVM.RolledBack)
+			resp.EntriesUndone += uint32(ps.NVM.EntriesUndone)
+		}
+		if c.srv.eng.Mode() == txn.ModeNVM {
+			hs := c.srv.eng.NVMStats()
 			resp.NVMFlushes, resp.NVMFences, resp.NVMBytesUsed = hs.Flushes, hs.Fences, hs.BytesUsed
 		}
 		return wire.TypeStatsOK, resp.Encode(), 0, ""
@@ -934,7 +938,7 @@ func (c *conn) dispatch(ctx context.Context, f wire.Frame) (t wire.Type, payload
 
 // writeTxnTable resolves an explicit transaction handle and table for a
 // write request.
-func (c *conn) writeTxnTable(txid uint64, table string) (*txn.Txn, *storage.Table, uint16, string) {
+func (c *conn) writeTxnTable(txid uint64, table string) (*shard.Tx, *shard.Table, uint16, string) {
 	if txid == 0 {
 		return nil, nil, wire.CodeBadRequest, "writes require an explicit transaction (Begin first)"
 	}
@@ -952,11 +956,10 @@ func (c *conn) writeTxnTable(txid uint64, table string) (*txn.Txn, *storage.Tabl
 // readTxnTable resolves the transaction for a read. Txn 0 gets a fresh
 // read-only snapshot at the current horizon — the auto-commit read path
 // that makes the request idempotent for client-side retries.
-func (c *conn) readTxnTable(txid uint64, table string) (*txn.Txn, *storage.Table, uint16, string) {
-	var tx *txn.Txn
+func (c *conn) readTxnTable(txid uint64, table string) (*shard.Tx, *shard.Table, uint16, string) {
+	var tx *shard.Tx
 	if txid == 0 {
-		mgr := c.srv.eng.Manager()
-		tx = mgr.BeginAt(mgr.LastCID())
+		tx = c.srv.eng.BeginAt(c.srv.eng.LastCID())
 	} else {
 		var ok bool
 		tx, ok = c.txns[txid]
@@ -984,7 +987,7 @@ func errCode(err error) uint16 {
 		return wire.CodeConflict
 	case errors.Is(err, txn.ErrNotActive):
 		return wire.CodeNotActive
-	case errors.Is(err, txn.ErrRowNotFound):
+	case errors.Is(err, txn.ErrRowNotFound), errors.Is(err, shard.ErrNoSuchRow):
 		return wire.CodeRowNotFound
 	case errors.Is(err, txn.ErrEpochChanged):
 		return wire.CodeEpochChanged
@@ -998,7 +1001,7 @@ func errCode(err error) uint16 {
 		return wire.CodeShuttingDown
 	case errors.Is(err, core.ErrBadTableName):
 		return wire.CodeBadRequest
-	case errors.Is(err, nvm.ErrOutOfMemory):
+	case errors.Is(err, nvm.ErrOutOfMemory), errors.Is(err, shard.ErrCoordFull):
 		// Graceful degradation: a full persistent heap is an operational
 		// condition, not a bug. Writes fail with a structured code while
 		// reads keep serving, so clients can branch into read-only mode.

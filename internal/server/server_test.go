@@ -13,8 +13,8 @@ import (
 	"hyrisenv/client"
 	"hyrisenv/internal/core"
 	"hyrisenv/internal/disk"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/server"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 	"hyrisenv/internal/wire"
@@ -22,21 +22,21 @@ import (
 
 // openEngine opens an engine in t.TempDir and registers no cleanup: the
 // tests own the close order (server first, then engine).
-func openEngine(t *testing.T, mode txn.Mode, model disk.Model) *core.Engine {
+func openEngine(t *testing.T, mode txn.Mode, model disk.Model) *shard.Engine {
 	t.Helper()
-	eng, err := core.Open(core.Config{
+	eng, err := shard.Open(shard.Config{Config: core.Config{
 		Mode:        mode,
 		Dir:         t.TempDir(),
 		NVMHeapSize: 64 << 20,
 		DiskModel:   model,
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return eng
 }
 
-func startServer(t *testing.T, eng *core.Engine, cfg server.Config) *server.Server {
+func startServer(t *testing.T, eng *shard.Engine, cfg server.Config) *server.Server {
 	t.Helper()
 	srv, err := server.Listen(eng, "127.0.0.1:0", cfg)
 	if err != nil {
@@ -694,8 +694,10 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(query.ScanAll(etx, tbl)); got != 0 {
-		t.Fatalf("aborted txn left %d visible rows", got)
+	if rows, err := etx.Select(context.Background(), tbl); err != nil {
+		t.Fatal(err)
+	} else if len(rows) != 0 {
+		t.Fatalf("aborted txn left %d visible rows", len(rows))
 	}
 	etx.Abort()
 

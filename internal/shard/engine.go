@@ -1,0 +1,571 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/exec"
+	"hyrisenv/internal/nvm"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+// Config configures a sharded engine. The embedded core.Config applies
+// to every shard (each gets its own data directory under Dir).
+type Config struct {
+	core.Config
+
+	// Shards is the number of hash partitions. 0 or 1 runs unsharded:
+	// one core engine rooted directly at Dir, byte-compatible with
+	// databases created before sharding existed, on the untouched
+	// single-shard commit fast path. At most MaxShards.
+	Shards int
+
+	// RecoveryWorkers bounds how many shards recover concurrently at
+	// Open. 0 = min(Shards, GOMAXPROCS).
+	RecoveryWorkers int
+}
+
+// MaxShards bounds the shard count: shard indexes must fit the row-ID
+// tag bits.
+const MaxShards = 1 << shardIDBits
+
+// Row IDs crossing the public API carry the owning shard in their top
+// bits. Shard 0 tags as zero, so single-shard row IDs are identical to
+// the underlying engine's physical row IDs.
+const (
+	shardIDBits  = 6
+	localRowBits = 64 - shardIDBits
+	localRowMask = 1<<localRowBits - 1
+)
+
+// globalRow tags a shard-local physical row ID with its shard.
+func globalRow(shard int, local uint64) uint64 {
+	return uint64(shard)<<localRowBits | local
+}
+
+// splitRow recovers (shard, local) from a tagged row ID.
+func splitRow(row uint64) (int, uint64) {
+	return int(row >> localRowBits), row & localRowMask
+}
+
+// RecoveryStats aggregates what Open had to do. Shard recoveries run
+// concurrently, so Total tracks the slowest shard plus the (constant)
+// coordinator scan — not the sum — which is what keeps restart-to-serve
+// flat as shards are added.
+type RecoveryStats struct {
+	Total    time.Duration
+	PerShard []core.RecoveryStats
+	// Decisions2PC counts durable cross-shard commit decisions found at
+	// the coordinator (transactions that crashed between their commit
+	// point and their finish, redone during shard recovery).
+	Decisions2PC int
+}
+
+// Engine is a sharded database: a router over N core engines.
+type Engine struct {
+	cfg      Config
+	shards   []*core.Engine
+	clock    *txn.Clock   // nil when unsharded
+	coord    *Coordinator // ModeNVM multi-shard only
+	recovery RecoveryStats
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// Table is a handle to one logical table: one physical part per shard.
+type Table struct {
+	Name   string
+	Schema storage.Schema
+	parts  []*storage.Table
+}
+
+// Part exposes the physical part on one shard.
+func (t *Table) Part(i int) *storage.Table { return t.parts[i] }
+
+// Rows sums the physical row counts (including dead versions) across
+// parts.
+func (t *Table) Rows() uint64 { return t.sum((*storage.Table).Rows) }
+
+// MainRows sums the main-partition row counts across parts.
+func (t *Table) MainRows() uint64 { return t.sum((*storage.Table).MainRows) }
+
+// DeltaRows sums the delta row counts across parts.
+func (t *Table) DeltaRows() uint64 { return t.sum((*storage.Table).DeltaRows) }
+
+func (t *Table) sum(f func(*storage.Table) uint64) uint64 {
+	var n uint64
+	for _, p := range t.parts {
+		n += f(p)
+	}
+	return n
+}
+
+// ID returns the table's catalog ID (identical on every shard: DDL is
+// applied to shards in lockstep).
+func (t *Table) ID() uint32 { return t.parts[0].ID }
+
+// Value reads column col of global row ID row, with no visibility
+// check — use Tx query methods for transactional reads.
+func (t *Table) Value(col int, row uint64) storage.Value {
+	s, local := splitRow(row)
+	return t.parts[s].Value(col, local)
+}
+
+// shardMetaFile records the partition count in the data directory, so a
+// database can never be re-opened with the wrong shard count (the hash
+// routing and row-ID tags would address the wrong shards).
+const shardMetaFile = "SHARDS"
+
+// Open creates or re-opens a sharded engine. Recovery fans out across a
+// worker pool: the coordinator region is scanned first (constant size),
+// then every shard recovers concurrently, resolving prepared 2PC
+// contexts against the coordinator's decision records.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards exceeds the maximum %d", cfg.Shards, MaxShards)
+	}
+	start := time.Now()
+	e := &Engine{cfg: cfg, tables: map[string]*Table{}}
+
+	if cfg.Dir != "" && cfg.Mode != txn.ModeNone {
+		if err := checkShardMeta(cfg.Dir, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Shards == 1 {
+		// Unsharded: the underlying engine at Dir, fast path untouched.
+		eng, err := core.Open(cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = []*core.Engine{eng}
+		e.recovery.PerShard = []core.RecoveryStats{eng.RecoveryStats()}
+		e.recovery.Total = time.Since(start)
+		if err := e.loadTables(); err != nil {
+			e.closePartial()
+			return nil, err
+		}
+		return e, nil
+	}
+
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// The coordinator opens before any shard: its decision records are
+	// what shard recovery resolves prepared contexts against.
+	var decide txn.TwoPCDecider
+	if cfg.Mode == txn.ModeNVM {
+		var copts []nvm.Option
+		if cfg.NVMShadow {
+			copts = append(copts, nvm.WithShadow())
+		}
+		coord, err := openCoordinator(filepath.Join(cfg.Dir, coordHeapName), cfg.Shards, copts...)
+		if err != nil {
+			return nil, err
+		}
+		e.coord = coord
+		e.recovery.Decisions2PC = coord.Decisions()
+		decide = coord.Lookup
+	}
+
+	workers := cfg.RecoveryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	e.shards = make([]*core.Engine, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scfg := cfg.Config
+			if scfg.Dir != "" {
+				scfg.Dir = filepath.Join(cfg.Dir, "shard-"+strconv.Itoa(i))
+			}
+			scfg.Decide2PC = decide
+			e.shards[i], errs[i] = core.Open(scfg)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		e.closePartial()
+		return nil, err
+	}
+
+	// One global CID space: seed above every CID any shard has durably
+	// stamped (including cross-shard commits redone just now).
+	var seed uint64
+	for _, s := range e.shards {
+		e.recovery.PerShard = append(e.recovery.PerShard, s.RecoveryStats())
+		if cid := s.Manager().LastCID(); cid > seed {
+			seed = cid
+		}
+	}
+	e.clock = txn.NewClock(seed)
+	for _, s := range e.shards {
+		s.Manager().SetClock(e.clock)
+	}
+
+	// Every prepared context has now been resolved and released, so no
+	// future restart can ask about the surviving decisions.
+	if e.coord != nil {
+		e.coord.Clear()
+	}
+
+	if cfg.Dir != "" && cfg.Mode != txn.ModeNone {
+		if err := writeShardMeta(cfg.Dir, cfg.Shards); err != nil {
+			e.closePartial()
+			return nil, err
+		}
+	}
+	if err := e.loadTables(); err != nil {
+		e.closePartial()
+		return nil, err
+	}
+	e.recovery.Total = time.Since(start)
+	return e, nil
+}
+
+// checkShardMeta verifies Dir's recorded partition count against the
+// configured one. A directory with existing unsharded data (heap or log
+// files at the top level) cannot be re-opened sharded.
+func checkShardMeta(dir string, shards int) error {
+	b, err := os.ReadFile(filepath.Join(dir, shardMetaFile))
+	switch {
+	case err == nil:
+		n, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr != nil {
+			return fmt.Errorf("shard: corrupt %s file: %w", shardMetaFile, perr)
+		}
+		if n != shards {
+			return fmt.Errorf("shard: database is partitioned %d ways, not %d", n, shards)
+		}
+		return nil
+	case os.IsNotExist(err):
+		if shards > 1 {
+			if _, herr := os.Stat(filepath.Join(dir, "heap.nvm")); herr == nil {
+				return fmt.Errorf("shard: %s holds an unsharded database; cannot open with %d shards", dir, shards)
+			}
+		}
+		return nil
+	default:
+		return err
+	}
+}
+
+func writeShardMeta(dir string, shards int) error {
+	path := filepath.Join(dir, shardMetaFile)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if shards == 1 {
+		return nil // unsharded layout needs no marker (and predates it)
+	}
+	return os.WriteFile(path, []byte(strconv.Itoa(shards)+"\n"), 0o644)
+}
+
+// loadTables builds the logical catalog from the shards' own catalogs.
+// DDL runs in lockstep, but a crash can cut it mid-fleet, leaving the
+// table on some shards only; reconciliation redoes the creation forward
+// on the shards that lack it (safe because CreateTable returns to the
+// caller only after every shard has the table — a partially created
+// table can hold no committed rows on the missing shards).
+func (e *Engine) loadTables() error {
+	protos := map[string]*storage.Table{}
+	var order []string
+	for _, s := range e.shards {
+		for _, t := range s.Tables() {
+			if _, ok := protos[t.Name]; !ok {
+				protos[t.Name] = t
+				order = append(order, t.Name)
+			}
+		}
+	}
+	for _, name := range order {
+		proto := protos[name]
+		var indexed []string
+		for i, c := range proto.Schema.Cols {
+			if proto.Indexed(i) {
+				indexed = append(indexed, c.Name)
+			}
+		}
+		t := &Table{Name: name, Schema: proto.Schema, parts: make([]*storage.Table, len(e.shards))}
+		for i, s := range e.shards {
+			p, err := s.Table(name)
+			if err != nil {
+				if p, err = s.CreateTable(name, proto.Schema, indexed...); err != nil {
+					return fmt.Errorf("shard %d: redo create %s: %w", i, name, err)
+				}
+			}
+			t.parts[i] = p
+		}
+		e.tables[name] = t
+	}
+	return nil
+}
+
+func (e *Engine) closePartial() {
+	for _, s := range e.shards {
+		if s != nil {
+			s.Close()
+		}
+	}
+	if e.coord != nil {
+		e.coord.Close()
+	}
+}
+
+// Shards returns the partition count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard exposes one underlying engine (benchmarks, tests, stats).
+func (e *Engine) Shard(i int) *core.Engine { return e.shards[i] }
+
+// Coordinator exposes the 2PC coordinator (nil unless ModeNVM with more
+// than one shard).
+func (e *Engine) Coordinator() *Coordinator { return e.coord }
+
+// Clock exposes the shared CID clock (nil when unsharded).
+func (e *Engine) Clock() *txn.Clock { return e.clock }
+
+// Mode returns the durability mode.
+func (e *Engine) Mode() txn.Mode { return e.cfg.Mode }
+
+// RecoveryStats reports what the last Open had to do.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.recovery }
+
+// Exec returns the executor queries of shard.Tx fan out through (the
+// shards share one parallelism configuration).
+func (e *Engine) Exec() *exec.Executor { return e.shards[0].Exec() }
+
+// LastCID returns the snapshot horizon: the newest commit ID a fresh
+// transaction will read. Sharded, that is the clock's visibility
+// watermark — the largest CID below which every shard has published.
+func (e *Engine) LastCID() uint64 {
+	if e.clock != nil {
+		return e.clock.Visible()
+	}
+	return e.shards[0].Manager().LastCID()
+}
+
+// CreateTable creates the table on every shard in lockstep.
+func (e *Engine) CreateTable(name string, schema storage.Schema, indexedCols ...string) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[name]; exists {
+		return nil, fmt.Errorf("%w: %q", core.ErrTableExists, name)
+	}
+	t := &Table{Name: name, Schema: schema, parts: make([]*storage.Table, len(e.shards))}
+	for i, s := range e.shards {
+		p, err := s.CreateTable(name, schema, indexedCols...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		t.parts[i] = p
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table. A table created directly on an
+// underlying core engine (single-shard embedding through Shard, bulk
+// loaders) is adopted into the catalog on first lookup.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	t, ok := e.tables[name]
+	e.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tables[name]; ok {
+		return t, nil
+	}
+	var proto *storage.Table
+	for _, s := range e.shards {
+		if p, err := s.Table(name); err == nil {
+			proto = p
+			break
+		}
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("%w: %q", core.ErrNoSuchTable, name)
+	}
+	var indexed []string
+	for i, c := range proto.Schema.Cols {
+		if proto.Indexed(i) {
+			indexed = append(indexed, c.Name)
+		}
+	}
+	t = &Table{Name: name, Schema: proto.Schema, parts: make([]*storage.Table, len(e.shards))}
+	for i, s := range e.shards {
+		p, err := s.Table(name)
+		if err != nil {
+			if p, err = s.CreateTable(name, proto.Schema, indexed...); err != nil {
+				return nil, fmt.Errorf("shard %d: adopt %s: %w", i, name, err)
+			}
+		}
+		t.parts[i] = p
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Tables lists all tables sorted by name.
+func (e *Engine) Tables() []*Table {
+	names := e.shards[0].Tables()
+	out := make([]*Table, 0, len(names))
+	for _, p := range names {
+		if t, err := e.Table(p.Name); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Merge compacts the named table's delta on every shard.
+func (e *Engine) Merge(name string) (storage.MergeStats, error) {
+	var total storage.MergeStats
+	for _, s := range e.shards {
+		st, err := s.Merge(name)
+		if err != nil {
+			return total, err
+		}
+		total.RowsBefore += st.RowsBefore
+		total.RowsAfter += st.RowsAfter
+		total.DeadDropped += st.DeadDropped
+		total.DictEntries += st.DictEntries
+	}
+	return total, nil
+}
+
+// Checkpoint checkpoints every shard (ModeLog).
+func (e *Engine) Checkpoint() error {
+	for _, s := range e.shards {
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Maintain runs due background maintenance on every shard.
+func (e *Engine) Maintain() error {
+	for _, s := range e.shards {
+		if err := s.Maintain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check runs the structural consistency checker on every shard.
+func (e *Engine) Check() error {
+	for _, s := range e.shards {
+		if _, err := s.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fsck runs the full NVM consistency suite on every shard.
+func (e *Engine) Fsck() error {
+	var errs []error
+	for i, s := range e.shards {
+		if _, err := s.Fsck(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Scavenge reclaims unreachable NVM blocks on every shard.
+func (e *Engine) Scavenge() (reclaimed int, err error) {
+	for _, s := range e.shards {
+		n, serr := s.Scavenge()
+		if serr != nil {
+			return reclaimed, serr
+		}
+		reclaimed += n
+	}
+	return reclaimed, nil
+}
+
+// Heaps returns every shard's NVM heap (ModeNVM; empty otherwise). The
+// coordinator heap is separate — see Coordinator.
+func (e *Engine) Heaps() []*nvm.Heap {
+	var out []*nvm.Heap
+	for _, s := range e.shards {
+		if h := s.Heap(); h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NVMStats sums the persistence-primitive counters across shard heaps.
+func (e *Engine) NVMStats() nvm.Stats {
+	var total nvm.Stats
+	for _, h := range e.Heaps() {
+		s := h.Stats()
+		total.Flushes += s.Flushes
+		total.Fences += s.Fences
+		total.BytesUsed += s.BytesUsed
+		total.Grows += s.Grows
+	}
+	return total
+}
+
+// ResetNVMStats zeroes every shard heap's counters.
+func (e *Engine) ResetNVMStats() {
+	for _, h := range e.Heaps() {
+		h.ResetStats()
+	}
+}
+
+// Closed reports whether Close has run (shard 0 is authoritative — the
+// shards close together).
+func (e *Engine) Closed() bool { return e.shards[0].Closed() }
+
+// Close shuts every shard and the coordinator down. Idempotent per
+// underlying engine.
+func (e *Engine) Close() error {
+	var errs []error
+	for _, s := range e.shards {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if e.coord != nil {
+		if err := e.coord.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

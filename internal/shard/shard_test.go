@@ -1,0 +1,515 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"hyrisenv/internal/core"
+	"hyrisenv/internal/exec"
+	"hyrisenv/internal/storage"
+	"hyrisenv/internal/txn"
+)
+
+func testSchema(t *testing.T) storage.Schema {
+	t.Helper()
+	sch, err := storage.NewSchema(
+		storage.ColumnDef{Name: "id", Type: storage.TypeInt64},
+		storage.ColumnDef{Name: "grp", Type: storage.TypeString},
+		storage.ColumnDef{Name: "amt", Type: storage.TypeFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func openShards(t *testing.T, dir string, shards int, mode txn.Mode) *Engine {
+	t.Helper()
+	e, err := Open(Config{
+		Config: core.Config{Mode: mode, Dir: dir, NVMHeapSize: 8 << 20},
+		Shards: shards,
+	})
+	if err != nil {
+		t.Fatalf("open %d shards: %v", shards, err)
+	}
+	return e
+}
+
+// loadRows inserts n rows (id=i, grp=g<i%4>, amt=float(i)) one
+// transaction each and returns the global row IDs.
+func loadRows(t *testing.T, e *Engine, tbl *Table, n int) []uint64 {
+	t.Helper()
+	rows := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		tx := e.Begin()
+		row, err := tx.Insert(tbl, []storage.Value{
+			storage.Int(int64(i)),
+			storage.Str(fmt.Sprintf("g%d", i%4)),
+			storage.Float(float64(i)),
+		})
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestShardedReadsMatchUnsharded(t *testing.T) {
+	ctx := context.Background()
+	const n = 200
+
+	type snapshot struct {
+		count    int
+		selected []int64 // ids from a predicate select
+		ranged   []int64
+		groups   []exec.Group
+		joins    int
+		ordered  []int64
+	}
+
+	take := func(e *Engine, tbl *Table) snapshot {
+		tx := e.Begin()
+		defer tx.Abort() //nolint:errcheck
+
+		var s snapshot
+		var err error
+		if s.count, err = tx.Count(ctx, tbl); err != nil {
+			t.Fatal(err)
+		}
+		sel, err := tx.Select(ctx, tbl, exec.Pred{Col: 1, Op: exec.Eq, Val: storage.Str("g1")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sel {
+			vals, err := tx.Row(ctx, tbl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.selected = append(s.selected, vals[0].I)
+		}
+		sort.Slice(s.selected, func(i, j int) bool { return s.selected[i] < s.selected[j] })
+
+		rng, err := tx.SelectRange(ctx, tbl, 0, storage.Int(50), storage.Int(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rng {
+			vals, err := tx.Row(ctx, tbl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ranged = append(s.ranged, vals[0].I)
+		}
+		sort.Slice(s.ranged, func(i, j int) bool { return s.ranged[i] < s.ranged[j] })
+
+		if s.groups, err = tx.GroupBy(ctx, tbl, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := tx.HashJoin(ctx, tbl, 1, tbl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.joins = len(pairs)
+
+		all, err := tx.Select(ctx, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered, err := tx.OrderBy(tbl, all, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range exec.Limit(ordered, 0, 5) {
+			vals, err := tx.Row(ctx, tbl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.ordered = append(s.ordered, vals[0].I)
+		}
+		return s
+	}
+
+	var ref snapshot
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := openShards(t, t.TempDir(), shards, txn.ModeNVM)
+			defer e.Close()
+			tbl, err := e.CreateTable("orders", testSchema(t), "id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadRows(t, e, tbl, n)
+			s := take(e, tbl)
+			if shards == 1 {
+				ref = s
+				if s.count != n {
+					t.Fatalf("count = %d, want %d", s.count, n)
+				}
+				return
+			}
+			if s.count != ref.count {
+				t.Errorf("count = %d, want %d", s.count, ref.count)
+			}
+			if fmt.Sprint(s.selected) != fmt.Sprint(ref.selected) {
+				t.Errorf("select ids = %v, want %v", s.selected, ref.selected)
+			}
+			if fmt.Sprint(s.ranged) != fmt.Sprint(ref.ranged) {
+				t.Errorf("range ids = %v, want %v", s.ranged, ref.ranged)
+			}
+			if fmt.Sprint(s.groups) != fmt.Sprint(ref.groups) {
+				t.Errorf("groups = %v, want %v", s.groups, ref.groups)
+			}
+			if s.joins != ref.joins {
+				t.Errorf("join pairs = %d, want %d", s.joins, ref.joins)
+			}
+			if fmt.Sprint(s.ordered) != fmt.Sprint(ref.ordered) {
+				t.Errorf("ordered top-5 = %v, want %v", s.ordered, ref.ordered)
+			}
+		})
+	}
+}
+
+// keyOnShard returns an int64 value that routes to the given shard.
+func keyOnShard(t *testing.T, e *Engine, shard int, from int64) int64 {
+	t.Helper()
+	for k := from; k < from+100000; k++ {
+		if e.ShardOf(storage.Int(k)) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d", shard)
+	return 0
+}
+
+func TestCrossShardCommitAtomic(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.ModeNone, txn.ModeLog, txn.ModeNVM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := ""
+			if mode != txn.ModeNone {
+				dir = t.TempDir()
+			}
+			e, err := Open(Config{
+				Config: core.Config{Mode: mode, Dir: dir, NVMHeapSize: 8 << 20},
+				Shards: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			tbl, err := e.CreateTable("t", testSchema(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			k0 := keyOnShard(t, e, 0, 0)
+			k1 := keyOnShard(t, e, 1, 0)
+			k2 := keyOnShard(t, e, 2, 0)
+
+			// A cross-shard transaction: all rows appear atomically.
+			tx := e.Begin()
+			for _, k := range []int64{k0, k1, k2} {
+				if _, err := tx.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("x"), storage.Float(1)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := e.LastCID()
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("cross-shard commit: %v", err)
+			}
+			if after := e.LastCID(); after <= before {
+				t.Fatalf("commit horizon did not advance: %d -> %d", before, after)
+			}
+
+			rd := e.Begin()
+			n, err := rd.Count(context.Background(), tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 3 {
+				t.Fatalf("visible rows = %d, want 3", n)
+			}
+			rd.Abort() //nolint:errcheck
+
+			// An aborted cross-shard transaction leaves nothing.
+			tx2 := e.Begin()
+			for _, k := range []int64{k0 + 7, k1 + 7, k2 + 7} {
+				if _, err := tx2.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("y"), storage.Float(2)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx2.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			rd2 := e.Begin()
+			n2, err := rd2.Count(context.Background(), tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n2 != 3 {
+				t.Fatalf("after abort visible rows = %d, want 3", n2)
+			}
+			rd2.Abort() //nolint:errcheck
+
+			// No decision records should outlive the commits they decided.
+			if c := e.Coordinator(); c != nil && c.Decisions() != 0 {
+				t.Fatalf("%d decision records leaked", c.Decisions())
+			}
+		})
+	}
+}
+
+func TestShardRestartPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	e := openShards(t, dir, 4, txn.ModeNVM)
+	tbl, err := e.CreateTable("t", testSchema(t), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, e, tbl, 64)
+
+	// One cross-shard transaction on top.
+	k0 := keyOnShard(t, e, 0, 1000)
+	k3 := keyOnShard(t, e, 3, 1000)
+	tx := e.Begin()
+	for _, k := range []int64{k0, k3} {
+		if _, err := tx.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("xs"), storage.Float(9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := e.LastCID()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openShards(t, dir, 4, txn.ModeNVM)
+	defer re.Close()
+	if got := re.LastCID(); got < horizon {
+		t.Fatalf("horizon after restart = %d, want >= %d", got, horizon)
+	}
+	rtbl, err := re.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := re.Begin()
+	n, err := rd.Count(context.Background(), rtbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 66 {
+		t.Fatalf("rows after restart = %d, want 66", n)
+	}
+	if err := re.Fsck(); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+
+	// Wrong shard count must refuse to open.
+	if _, err := Open(Config{
+		Config: core.Config{Mode: txn.ModeNVM, Dir: dir, NVMHeapSize: 8 << 20},
+		Shards: 2,
+	}); err == nil {
+		t.Fatal("open with wrong shard count succeeded")
+	}
+}
+
+// TestInDoubtResolution drives the 2PC window by hand through the txn
+// layer: prepared-but-undecided parts must roll back (presumed abort),
+// decided parts must redo from the coordinator record, even when the
+// decided CID is below the shard's lastCID.
+func TestInDoubtResolution(t *testing.T) {
+	dir := t.TempDir()
+	e := openShards(t, dir, 2, txn.ModeNVM)
+	tbl, err := e.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := keyOnShard(t, e, 0, 0)
+	k1 := keyOnShard(t, e, 1, 0)
+
+	// Transaction A: prepared on both shards, decided at the
+	// coordinator, but never finished (simulated crash before phase 2).
+	txA := e.Begin()
+	rowsA := make([]uint64, 0, 2)
+	for _, k := range []int64{k0, k1} {
+		r, err := txA.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("A"), storage.Float(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsA = append(rowsA, r)
+	}
+	gtidA := e.Coordinator().NextGTID()
+	for i := 0; i < 2; i++ {
+		if err := txA.parts[i].Prepare(gtidA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cidA := e.Clock().Next()
+	if err := e.Coordinator().Decide(gtidA, cidA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction B: prepared on both shards, never decided.
+	txB := e.Begin()
+	for _, k := range []int64{k0 + 11, k1 + 11} {
+		if _, err := txB.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("B"), storage.Float(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gtidB := e.Coordinator().NextGTID()
+	for i := 0; i < 2; i++ {
+		if err := txB.parts[i].Prepare(gtidB); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Crash": drop the engine without finishing either transaction.
+	for _, h := range e.Heaps() {
+		h.Close()
+	}
+	e.Coordinator().Heap().Close()
+
+	re := openShards(t, dir, 2, txn.ModeNVM)
+	defer re.Close()
+	st := re.RecoveryStats()
+	var committed2PC, aborted2PC int
+	for _, s := range st.PerShard {
+		committed2PC += s.NVM.Committed2PC
+		aborted2PC += s.NVM.Aborted2PC
+	}
+	if committed2PC != 2 {
+		t.Errorf("Committed2PC = %d, want 2 (one part per shard)", committed2PC)
+	}
+	if aborted2PC != 2 {
+		t.Errorf("Aborted2PC = %d, want 2", aborted2PC)
+	}
+	if st.Decisions2PC != 1 {
+		t.Errorf("Decisions2PC = %d, want 1", st.Decisions2PC)
+	}
+
+	rtbl, err := re.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := re.Begin()
+	rows, err := rd.Select(context.Background(), rtbl, exec.Pred{Col: 1, Op: exec.Eq, Val: storage.Str("A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("decided transaction has %d visible rows, want 2", len(rows))
+	}
+	rowsB, err := rd.Select(context.Background(), rtbl, exec.Pred{Col: 1, Op: exec.Eq, Val: storage.Str("B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsB) != 0 {
+		t.Fatalf("undecided transaction has %d visible rows, want 0", len(rowsB))
+	}
+
+	// The surviving decision must be cleared after full recovery, and
+	// the heaps must be structurally sound.
+	if n := re.Coordinator().Decisions(); n != 0 {
+		t.Errorf("%d decision records survive recovery", n)
+	}
+	if err := re.Fsck(); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	_ = rowsA
+}
+
+func TestUpdateMovesShard(t *testing.T) {
+	e := openShards(t, t.TempDir(), 4, txn.ModeNVM)
+	defer e.Close()
+	tbl, err := e.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := keyOnShard(t, e, 0, 0)
+	k2 := keyOnShard(t, e, 2, 0)
+
+	tx := e.Begin()
+	row, err := tx.Insert(tbl, []storage.Value{storage.Int(k0), storage.Str("a"), storage.Float(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := e.Begin()
+	newRow, err := tx2.Update(tbl, row, []storage.Value{storage.Int(k2), storage.Str("a"), storage.Float(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := splitRow(newRow); s != 2 {
+		t.Fatalf("updated row lives on shard %d, want 2", s)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := e.Begin()
+	defer rd.Abort() //nolint:errcheck
+	n, err := rd.Count(context.Background(), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("visible rows = %d, want 1 (old version dead, new visible)", n)
+	}
+	vals, err := rd.Row(context.Background(), tbl, newRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].I != k2 || vals[2].F != 2 {
+		t.Fatalf("moved row = %v", vals)
+	}
+}
+
+func TestSnapshotIsolationAcrossShards(t *testing.T) {
+	e := openShards(t, t.TempDir(), 2, txn.ModeNVM)
+	defer e.Close()
+	tbl, err := e.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := keyOnShard(t, e, 0, 0)
+	k1 := keyOnShard(t, e, 1, 0)
+
+	rd := e.Begin() // snapshot before the cross-shard commit
+
+	tx := e.Begin()
+	for _, k := range []int64{k0, k1} {
+		if _, err := tx.Insert(tbl, []storage.Value{storage.Int(k), storage.Str("x"), storage.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot sees neither row; a fresh one sees both.
+	n, err := rd.Count(context.Background(), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("old snapshot sees %d rows, want 0", n)
+	}
+	rd2 := e.Begin()
+	n2, err := rd2.Count(context.Background(), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 2 {
+		t.Fatalf("new snapshot sees %d rows, want 2", n2)
+	}
+}

@@ -39,9 +39,12 @@ func (t *Table) Indexed(col int) bool { return t.indexMask&(1<<uint(col)) != 0 }
 
 // LookupRows yields candidate table row IDs whose column col equals
 // encKey, using the group-key index for the main partition and the delta
-// index for the delta partition. Candidates are value-verified (a crash
-// can leave benign stale delta-index entries) but NOT visibility-checked
-// — the caller applies MVCC. ok is false when col is not indexed.
+// index for the delta partition. Candidates are value-verified and
+// duplicate-suppressed (a crash can leave benign stale delta-index
+// entries, including one that collides with a live posting when its
+// rolled-back slot is reused under the same key) but NOT
+// visibility-checked — the caller applies MVCC. ok is false when col is
+// not indexed.
 func (v View) LookupRows(col int, encKey []byte, fn func(row uint64) bool) (ok bool) {
 	if !v.t.Indexed(col) || v.ps.deltaIdx[col] == nil {
 		return false
@@ -62,6 +65,7 @@ func (v View) LookupRows(col int, encKey []byte, fn func(row uint64) bool) (ok b
 	mr := v.ps.mainMVCC.Rows()
 	dRows := v.ps.deltaMVCC.Rows()
 	d := v.ps.delta[col]
+	var seen []uint64
 	v.ps.deltaIdx[col].Lookup(encKey, func(local uint64) bool {
 		if local >= dRows {
 			return true // torn append truncated away; stale entry
@@ -69,6 +73,15 @@ func (v View) LookupRows(col int, encKey []byte, fn func(row uint64) bool) (ok b
 		if !bytes.Equal(d.DictKey(d.ValueID(local)), encKey) {
 			return true // slot reused after truncation; stale entry
 		}
+		// A slot reused with the SAME key after a crash carries both the
+		// stale and the live posting; value verification cannot separate
+		// them, so suppress the duplicate here.
+		for _, s := range seen {
+			if s == local {
+				return true
+			}
+		}
+		seen = append(seen, local)
 		return fn(mr + local)
 	})
 	return true

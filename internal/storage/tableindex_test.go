@@ -242,3 +242,34 @@ func TestHashDictTableCrashRepair(t *testing.T) {
 		h, tbl = h2, tbl2
 	}
 }
+
+// TestLookupRowsDuplicateStaleEntry pins the crash-window hazard found
+// by the sharded chaos harness: a power loss between the (immediately
+// persisted) delta-index insert and the transaction context's undo
+// record leaves an index entry recovery cannot attribute to anyone.
+// When the rolled-back delta slot is later reused by an insert of the
+// SAME key, the stale and live entries agree on both key and slot —
+// value verification passes for both, and only duplicate suppression
+// keeps the row from being served twice.
+func TestLookupRowsDuplicateStaleEntry(t *testing.T) {
+	h, _ := testNVMHeap(t)
+	tbl, err := CreateNVMTable(h, "orders", 1, ordersSchema(t), 0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tbl.AppendRow([]Value{Int(7), Str("c"), Float(0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitRow(tbl, row, 2)
+	// Fabricate the crash-stale duplicate: a second posting for the same
+	// (key, slot) pair, exactly what the lost undo record leaves behind.
+	enc := Int(7).EncodeKey(nil)
+	if err := tbl.parts.Load().deltaIdx[0].Insert(enc, row); err != nil {
+		t.Fatal(err)
+	}
+	got := lookupVisible(tbl, 0, Int(7), 5)
+	if len(got) != 1 || got[0] != row {
+		t.Fatalf("lookup with stale duplicate entry = %v, want [%d] once", got, row)
+	}
+}

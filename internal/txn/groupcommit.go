@@ -82,20 +82,20 @@ func (m *Manager) CommitGroup(txns []*Txn) error {
 
 	h := m.h
 	m.commitMu.Lock()
-	base := m.lastCID.Load()
+	first := m.nextCIDLocked(len(writers))
 
 	// (1) Assign consecutive CIDs and durably record every commit intent
 	// under one fence. From here recovery can tell each member was
 	// committing.
 	for i, t := range writers {
-		m.pctxFlushCID(t, base+uint64(i)+1)
+		m.pctxFlushCID(t, first+uint64(i))
 	}
 	h.Fence()
 
 	// (2) Stamp and flush every member's begin/end CIDs; one fence makes
 	// all effects durable.
 	for i, t := range writers {
-		t.stampLockedFlush(base + uint64(i) + 1)
+		t.stampLockedFlush(first + uint64(i))
 	}
 	h.Fence()
 
@@ -104,12 +104,13 @@ func (m *Manager) CommitGroup(txns []*Txn) error {
 	// barrier on flash-backed NVDIMMs — makes the group's atomic commit
 	// point durable. The drain is the cost being amortized: one per
 	// batch here versus one per transaction in commitNVM.
-	last := base + uint64(len(writers))
+	last := first + uint64(len(writers)) - 1
 	h.SetU64(m.pRoot.Add(crOffLastCID), last)
 	h.Flush(m.pRoot.Add(crOffLastCID), 8)
 	h.Drain()
 	m.lastCID.Store(last)
 	m.commitMu.Unlock()
+	m.cidDone(first, len(writers))
 
 	for _, t := range writers {
 		m.releasePctx(t)

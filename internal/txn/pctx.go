@@ -99,12 +99,23 @@ type NVMRecoveryStats struct {
 	CommittedDone int // contexts that were already durably committed
 	RolledBack    int // in-flight transactions undone
 	EntriesUndone int // row stamps reset
+	Committed2PC  int // prepared contexts redone from a commit decision
+	Aborted2PC    int // prepared contexts undone by presumed abort
+	EntriesRedone int // row stamps re-applied from decided contexts
 }
 
 // OpenNVMManager creates or re-attaches the ModeNVM transaction manager
 // on heap h. On re-attach it runs the in-flight transaction fixup —
-// the *only* data-dependent work of a Hyrise-NV restart.
+// the *only* data-dependent work of a Hyrise-NV restart. Prepared 2PC
+// contexts are presumed aborted; a sharded engine passes its
+// coordinator's decider via OpenNVMManagerDecider instead.
 func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoveryStats, error) {
+	return OpenNVMManagerDecider(h, resolve, nil)
+}
+
+// OpenNVMManagerDecider is OpenNVMManager with a 2PC decider consulted
+// for prepared contexts (see TwoPCDecider; nil presumes abort).
+func OpenNVMManagerDecider(h *nvm.Heap, resolve TableResolver, decide TwoPCDecider) (*Manager, NVMRecoveryStats, error) {
 	var stats NVMRecoveryStats
 	m := &Manager{mode: ModeNVM, h: h}
 	m.nextTID.Store(1)
@@ -135,18 +146,49 @@ func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoverySt
 	lastCID := h.U64(root.Add(crOffLastCID))
 	m.lastCID.Store(lastCID)
 
-	// Restart fixup: resolve every live context.
+	// Restart fixup: resolve every live context. The prepared-bit check
+	// runs BEFORE the lastCID classification: a decided cross-shard cid
+	// may lie below this shard's lastCID with its stamps only partially
+	// persisted, so "cid <= lastCID means fully stamped" does not apply
+	// to prepared contexts — their truth lives in the coordinator.
 	m.slots = &slotPool{}
+	maxRedone := uint64(0)
 	for i := 0; i < m.numSlots; i++ {
 		slotP := root.Add(crOffSlots + uint64(i)*8)
 		head := nvm.PPtr(h.U64(slotP))
 		if !head.IsNil() {
 			stats.LiveContexts++
 			cid := h.U64(head.Add(pcOffCID))
-			committed := cid != 0 && cid <= lastCID
-			if committed {
+			switch {
+			case cid&prepareBit != 0:
+				gtid := cid &^ prepareBit
+				var dcid uint64
+				var commit bool
+				if decide != nil {
+					dcid, commit = decide(gtid)
+				}
+				if commit {
+					stats.Committed2PC++
+					n, err := m.redoContext(head, resolve, dcid)
+					if err != nil {
+						return nil, stats, err
+					}
+					stats.EntriesRedone += n
+					if dcid > maxRedone {
+						maxRedone = dcid
+					}
+				} else {
+					stats.Aborted2PC++
+					stats.RolledBack++
+					n, err := m.undoContext(head, resolve)
+					if err != nil {
+						return nil, stats, err
+					}
+					stats.EntriesUndone += n
+				}
+			case cid != 0 && cid <= lastCID:
 				stats.CommittedDone++
-			} else {
+			default:
 				stats.RolledBack++
 				n, err := m.undoContext(head, resolve)
 				if err != nil {
@@ -159,6 +201,16 @@ func OpenNVMManager(h *nvm.Heap, resolve TableResolver) (*Manager, NVMRecoverySt
 			m.freeChain(head)
 		}
 		m.slots.free = append(m.slots.free, i)
+	}
+	if maxRedone > lastCID {
+		// Redone commits must sit at or below the shard's horizon, both
+		// so fresh local snapshots see them and so the shared clock —
+		// seeded from the maximum lastCID across shards — can never hand
+		// their cid out again.
+		h.SetU64(root.Add(crOffLastCID), maxRedone)
+		h.Flush(root.Add(crOffLastCID), 8)
+		h.Drain()
+		m.lastCID.Store(maxRedone)
 	}
 	return m, stats, nil
 }

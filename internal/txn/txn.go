@@ -72,6 +72,11 @@ type Manager struct {
 	lastCID atomic.Uint64
 	nextTID atomic.Uint64
 
+	// clock, when non-nil, is the shared CID clock of a sharded engine:
+	// CIDs come from it instead of lastCID+1, and snapshot visibility is
+	// governed by its watermark. See clock.go.
+	clock *Clock
+
 	// commitMu serializes CID assignment, stamp publication and the
 	// advance of lastCID, giving commits a total order.
 	commitMu sync.Mutex
@@ -171,6 +176,11 @@ const (
 	StatusActive Status = iota
 	StatusCommitted
 	StatusAborted
+	// StatusPrepared is the 2PC window: the transaction's write intent is
+	// durably marked with its global transaction ID and only the
+	// coordinator's decision can finish it (CommitPrepared or
+	// AbortPrepared). See twopc.go.
+	StatusPrepared
 )
 
 // Txn is a single transaction. A Txn is not safe for concurrent use.
@@ -230,6 +240,11 @@ func (t *Txn) SnapshotCID() uint64 { return t.snapCID }
 
 // Status returns the transaction state.
 func (t *Txn) Status() Status { return t.status }
+
+// Writes returns the number of buffered write operations. The shard
+// router uses it to pick between the single-shard commit fast path and
+// two-phase commit.
+func (t *Txn) Writes() int { return len(t.writes) }
 
 // Sees reports whether the transaction sees the given row, combining
 // MVCC visibility with the transaction's own pending invalidations.
@@ -411,10 +426,11 @@ func (t *Txn) stampLocked(cid uint64, persist bool) {
 func (t *Txn) commitVolatile() error {
 	m := t.m
 	m.commitMu.Lock()
-	cid := m.lastCID.Load() + 1
+	cid := m.nextCIDLocked(1)
 	t.stampLocked(cid, false)
 	m.lastCID.Store(cid)
 	m.commitMu.Unlock()
+	m.cidDone(cid, 1)
 	t.status = StatusCommitted
 	return nil
 }
@@ -437,16 +453,18 @@ func (t *Txn) commitLog() error {
 	}
 
 	m.commitMu.Lock()
-	cid := m.lastCID.Load() + 1
+	cid := m.nextCIDLocked(1)
 	recs = append(recs, wal.EncodeCommit(t.tid, cid)...)
 	lsn, err := w.Append(recs)
 	if err != nil {
 		m.commitMu.Unlock()
+		m.cidDone(cid, 1)
 		return err
 	}
 	t.stampLocked(cid, false)
 	m.lastCID.Store(cid)
 	m.commitMu.Unlock()
+	m.cidDone(cid, 1)
 
 	// Group commit: block until the batch containing our records is
 	// synced. Effects are already visible to other transactions (early
@@ -461,7 +479,7 @@ func (t *Txn) commitLog() error {
 func (t *Txn) commitNVM() error {
 	m := t.m
 	m.commitMu.Lock()
-	cid := m.lastCID.Load() + 1
+	cid := m.nextCIDLocked(1)
 
 	// (1) Durably record the commit CID in the persistent context. From
 	// this moment recovery can tell this transaction was committing.
@@ -480,6 +498,7 @@ func (t *Txn) commitNVM() error {
 	m.h.Drain()
 	m.lastCID.Store(cid)
 	m.commitMu.Unlock()
+	m.cidDone(cid, 1)
 
 	// The context is no longer needed; recycle it.
 	m.releasePctx(t)

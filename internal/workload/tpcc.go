@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -157,7 +156,7 @@ func (w *TPCCLite) Payment(rng *rand.Rand) error {
 
 // debit updates the customer's balance inside tx.
 func (w *TPCCLite) debit(tx *txn.Txn, cid int64, amount float64) error {
-	rows := query.Select(tx, w.Customers, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(cid)})
+	rows := selectEq(tx, w.Customers, 0, storage.Int(cid))
 	if len(rows) == 0 {
 		return fmt.Errorf("workload: customer %d not found", cid)
 	}
@@ -172,7 +171,7 @@ func (w *TPCCLite) debit(tx *txn.Txn, cid int64, amount float64) error {
 func (w *TPCCLite) OrderStatus(rng *rand.Rand) int {
 	tx := w.E.Begin()
 	cid := int64(rng.Intn(w.NumCustomers))
-	orders := query.Select(tx, w.Orders, query.Pred{Col: 1, Op: query.Eq, Val: storage.Int(cid)})
+	orders := selectEq(tx, w.Orders, 1, storage.Int(cid))
 	for _, r := range orders {
 		oid := w.Orders.Value(0, r).I
 		w.OrderTotal(tx, oid)
@@ -186,7 +185,7 @@ func (w *TPCCLite) OrderStatus(rng *rand.Rand) int {
 // delivered, or an error (txn.ErrConflict on a lost race).
 func (w *TPCCLite) Delivery(rng *rand.Rand, batch int) (int, error) {
 	tx := w.E.Begin()
-	pending := query.Select(tx, w.Orders, query.Pred{Col: 3, Op: query.Eq, Val: storage.Int(0)})
+	pending := selectEq(tx, w.Orders, 3, storage.Int(0))
 	if len(pending) > batch {
 		pending = pending[:batch]
 	}
@@ -207,7 +206,7 @@ func (w *TPCCLite) Delivery(rng *rand.Rand, batch int) (int, error) {
 // OrderTotal computes the order's total from its lines (consistency
 // checks in tests and examples).
 func (w *TPCCLite) OrderTotal(tx *txn.Txn, oid int64) float64 {
-	rows := query.Select(tx, w.Lines, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(oid)})
+	rows := selectEq(tx, w.Lines, 0, storage.Int(oid))
 	var total float64
 	for _, r := range rows {
 		total += w.Lines.Value(3, r).F * float64(w.Lines.Value(2, r).I)

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,7 +14,7 @@ import (
 	"time"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -166,7 +167,7 @@ func RunMixed(e *core.Engine, tbl *storage.Table, s Spec, mix Mix, ops, threads 
 					finish(tx, err, &local)
 				case p < mix.InsertPct+mix.UpdatePct:
 					tx := e.Begin()
-					rows := query.Select(tx, tbl, query.Pred{Col: ColID, Op: query.Eq, Val: storage.Int(int64(rng.Intn(s.Rows)))})
+					rows := selectEq(tx, tbl, ColID, storage.Int(int64(rng.Intn(s.Rows))))
 					if len(rows) == 0 {
 						tx.Abort()
 						continue
@@ -177,7 +178,7 @@ func RunMixed(e *core.Engine, tbl *storage.Table, s Spec, mix Mix, ops, threads 
 					finish(tx, err, &local)
 				case p < mix.InsertPct+mix.UpdatePct+mix.DeletePct:
 					tx := e.Begin()
-					rows := query.Select(tx, tbl, query.Pred{Col: ColID, Op: query.Eq, Val: storage.Int(int64(rng.Intn(s.Rows)))})
+					rows := selectEq(tx, tbl, ColID, storage.Int(int64(rng.Intn(s.Rows))))
 					if len(rows) == 0 {
 						tx.Abort()
 						continue
@@ -186,7 +187,7 @@ func RunMixed(e *core.Engine, tbl *storage.Table, s Spec, mix Mix, ops, threads 
 					finish(tx, err, &local)
 				default:
 					tx := e.Begin()
-					rows := query.Select(tx, tbl, query.Pred{Col: ColID, Op: query.Eq, Val: storage.Int(int64(rng.Intn(s.Rows)))})
+					rows := selectEq(tx, tbl, ColID, storage.Int(int64(rng.Intn(s.Rows))))
 					_ = rows
 					tx.Commit()
 					local.Commits++
@@ -220,6 +221,26 @@ func finish(tx *txn.Txn, err error, s *RunStats) {
 		tx.Abort()
 		s.Errors++
 	}
+}
+
+// selectEq returns the rows visible to tx whose column col equals val,
+// through the shared serial executor. The workload schemas are fixed, so
+// an executor error here is a programming bug and panics.
+func selectEq(tx *txn.Txn, tbl *storage.Table, col int, val storage.Value) []uint64 {
+	rows, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{Col: col, Op: exec.Eq, Val: val})
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return rows
+}
+
+// scanAll returns every row visible to tx.
+func scanAll(tx *txn.Txn, tbl *storage.Table) []uint64 {
+	rows, err := exec.Serial.ScanAll(context.Background(), tx, tbl)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return rows
 }
 
 func rowValues(tbl *storage.Table, row uint64) []storage.Value {

@@ -1,11 +1,12 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"hyrisenv/internal/core"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/exec"
 	"hyrisenv/internal/storage"
 	"hyrisenv/internal/txn"
 )
@@ -28,7 +29,7 @@ func TestLoadDeterministicAndComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	tx := e.Begin()
-	rows := query.ScanAll(tx, tbl)
+	rows := scanAll(tx, tbl)
 	if len(rows) != 500 {
 		t.Fatalf("loaded %d rows", len(rows))
 	}
@@ -47,8 +48,8 @@ func TestLoadDeterministicAndComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	tx2 := e2.Begin()
-	r1 := query.Select(tx, tbl, query.Pred{Col: ColID, Op: query.Eq, Val: storage.Int(123)})
-	r2 := query.Select(tx2, tbl2, query.Pred{Col: ColID, Op: query.Eq, Val: storage.Int(123)})
+	r1 := selectEq(tx, tbl, ColID, storage.Int(123))
+	r2 := selectEq(tx2, tbl2, ColID, storage.Int(123))
 	if tbl.Value(ColCustomer, r1[0]).I != tbl2.Value(ColCustomer, r2[0]).I {
 		t.Fatal("load not deterministic")
 	}
@@ -77,7 +78,10 @@ func TestRunMixedModesAndCounts(t *testing.T) {
 	// The table reflects the writes: some inserts visible beyond the
 	// original ids.
 	tx := e.Begin()
-	extra := query.Select(tx, tbl, query.Pred{Col: ColID, Op: query.Ge, Val: storage.Int(300)})
+	extra, err := exec.Serial.Select(context.Background(), tx, tbl, exec.Pred{Col: ColID, Op: exec.Ge, Val: storage.Int(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(extra) == 0 {
 		t.Fatal("no inserts landed")
 	}
@@ -106,7 +110,7 @@ func TestTPCCLite(t *testing.T) {
 		}
 	}
 	tx := e.Begin()
-	gotOrders := query.ScanAll(tx, w.Orders)
+	gotOrders := scanAll(tx, w.Orders)
 	if len(gotOrders) != orders {
 		t.Fatalf("orders = %d, want %d", len(gotOrders), orders)
 	}
@@ -115,7 +119,7 @@ func TestTPCCLite(t *testing.T) {
 	for _, r := range gotOrders {
 		oid := w.Orders.Value(0, r).I
 		want := w.Orders.Value(2, r).I
-		lines := query.Select(tx, w.Lines, query.Pred{Col: 0, Op: query.Eq, Val: storage.Int(oid)})
+		lines := selectEq(tx, w.Lines, 0, storage.Int(oid))
 		if int64(len(lines)) != want {
 			t.Fatalf("order %d has %d lines, want %d", oid, len(lines), want)
 		}
@@ -125,7 +129,7 @@ func TestTPCCLite(t *testing.T) {
 	}
 	// Balance sheet: sum of balances equals sum of all debits/credits —
 	// with single-threaded execution there are no lost updates.
-	all := query.ScanAll(tx, w.Customers)
+	all := scanAll(tx, w.Customers)
 	if len(all) != 50 {
 		t.Fatalf("customers = %d", len(all))
 	}
@@ -147,11 +151,11 @@ func TestTPCCLiteDeliveryAndStatus(t *testing.T) {
 		}
 	}
 	// OrderStatus is read-only and must not change state.
-	before := len(query.ScanAll(e.Begin(), w.Orders))
+	before := len(scanAll(e.Begin(), w.Orders))
 	for i := 0; i < 10; i++ {
 		w.OrderStatus(rng)
 	}
-	if after := len(query.ScanAll(e.Begin(), w.Orders)); after != before {
+	if after := len(scanAll(e.Begin(), w.Orders)); after != before {
 		t.Fatalf("OrderStatus mutated orders: %d -> %d", before, after)
 	}
 
@@ -172,7 +176,7 @@ func TestTPCCLiteDeliveryAndStatus(t *testing.T) {
 	}
 	// All visible orders are marked delivered; count unchanged.
 	tx := e.Begin()
-	rows := query.ScanAll(tx, w.Orders)
+	rows := scanAll(tx, w.Orders)
 	if len(rows) != placed {
 		t.Fatalf("orders after delivery = %d", len(rows))
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -15,15 +16,25 @@ import (
 )
 
 // TestQueryParity is the executor's end-to-end contract: for randomized
-// predicates over a randomized table, serial execution (Parallelism=1),
-// morsel-parallel execution, and execution through the network server
-// return identical results — while concurrent writers keep committing.
-// All three paths read the same BeginAt snapshot, so any divergence is
-// an executor bug, not timing.
+// predicates over a randomized table, independent per-shard serial
+// execution, morsel-parallel execution through the shard router, and
+// execution through the network server return identical results — while
+// concurrent writers keep committing (on a partitioned database their
+// batches span shards, so cross-shard 2PC commits run under the parity
+// load too). All paths read the same BeginAt snapshot, so any
+// divergence is an executor or router bug, not timing.
 func TestQueryParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runQueryParity(t, shards)
+		})
+	}
+}
+
+func runQueryParity(t *testing.T, shards int) {
 	rng := rand.New(rand.NewSource(20260806))
 
-	db, err := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.Volatile, Parallelism: 4})
+	db, err := hyrisenv.Open(hyrisenv.Config{Mode: hyrisenv.Volatile, Parallelism: 4, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +158,61 @@ func TestQueryParity(t *testing.T) {
 
 	serial := exec.New(1)
 	ctx := context.Background()
+
+	// Per-shard serial reference: run the serial executor independently
+	// on every partition and combine in the test — an implementation of
+	// the routing contract independent of internal/shard's own.
+	serialVals := func(tx *hyrisenv.Tx, preds []exec.Pred) []string {
+		var out []string
+		for i := 0; i < db.Shards(); i++ {
+			part := tbl.Sharded().Part(i)
+			rows, err := serial.Select(ctx, tx.Sharded().Part(i), part, preds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vals := range exec.Project(part, rows, 0, 1, 2) {
+				out = append(out, fmt.Sprint(vals))
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	serialRangeVals := func(tx *hyrisenv.Tx, lo, hi hyrisenv.Value) []string {
+		var out []string
+		for i := 0; i < db.Shards(); i++ {
+			part := tbl.Sharded().Part(i)
+			rows, err := serial.SelectRange(ctx, tx.Sharded().Part(i), part, 0, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, vals := range exec.Project(part, rows, 0, 1, 2) {
+				out = append(out, fmt.Sprint(vals))
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	routedVals := func(rows []uint64) []string {
+		out := make([]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, fmt.Sprint([]hyrisenv.Value{
+				tbl.Value(0, r), tbl.Value(1, r), tbl.Value(2, r)}))
+		}
+		sort.Strings(out)
+		return out
+	}
+	eqVals := func(label string, a, b []string) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", label, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: row[%d] %s vs %s", label, i, a[i], b[i])
+			}
+		}
+	}
+
 	cols := []string{"id", "cat", "num"}
 	ops := []hyrisenv.Op{hyrisenv.Eq, hyrisenv.Ne, hyrisenv.Lt, hyrisenv.Le, hyrisenv.Gt, hyrisenv.Ge}
 	randPred := func() hyrisenv.Pred {
@@ -202,10 +268,7 @@ func TestQueryParity(t *testing.T) {
 			preds = append(preds, randPred())
 		}
 
-		serRows, err := serial.Select(ctx, local.Internal(), tbl.Internal(), toExec(preds)...)
-		if err != nil {
-			t.Fatal(err)
-		}
+		serVals := serialVals(local, toExec(preds))
 		parRows, err := local.SelectContext(ctx, tbl, preds...)
 		if err != nil {
 			t.Fatal(err)
@@ -214,12 +277,16 @@ func TestQueryParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eqRows(label+" select serial/parallel", serRows, parRows)
+		eqVals(label+" select serial/parallel", serVals, routedVals(parRows))
 		eqRows(label+" select parallel/network", parRows, netRows)
 
-		serN, err := serial.Count(ctx, local.Internal(), tbl.Internal(), toExec(preds)...)
-		if err != nil {
-			t.Fatal(err)
+		var serN int
+		for i := 0; i < db.Shards(); i++ {
+			n, err := serial.Count(ctx, local.Sharded().Part(i), tbl.Sharded().Part(i), toExec(preds)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serN += n
 		}
 		parN, err := local.CountContext(ctx, tbl, preds...)
 		if err != nil {
@@ -238,10 +305,7 @@ func TestQueryParity(t *testing.T) {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		serRows, err = serial.SelectRange(ctx, local.Internal(), tbl.Internal(), 0, hyrisenv.Int(lo), hyrisenv.Int(hi))
-		if err != nil {
-			t.Fatal(err)
-		}
+		serVals = serialRangeVals(local, hyrisenv.Int(lo), hyrisenv.Int(hi))
 		parRows, err = local.SelectRangeContext(ctx, tbl, "id", hyrisenv.Int(lo), hyrisenv.Int(hi))
 		if err != nil {
 			t.Fatal(err)
@@ -250,16 +314,22 @@ func TestQueryParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eqRows(label+" range serial/parallel", serRows, parRows)
+		eqVals(label+" range serial/parallel", serVals, routedVals(parRows))
 		eqRows(label+" range parallel/network", parRows, netRows)
 
 		// GroupBy parity (serial vs parallel; the wire protocol has no
-		// aggregate op). Counts are exact; float sums may differ at ulp
-		// scale across merge orders, so compare with a relative epsilon.
-		serG, err := serial.GroupBy(ctx, local.Internal(), tbl.Internal(), 1, 2)
-		if err != nil {
-			t.Fatal(err)
+		// aggregate op). Per-shard serial partials merge through the same
+		// ordering contract as GroupBy itself. Counts are exact; float
+		// sums may differ at ulp scale across merge orders, so compare
+		// with a relative epsilon.
+		partials := make([][]exec.Group, db.Shards())
+		for i := 0; i < db.Shards(); i++ {
+			partials[i], err = serial.GroupBy(ctx, local.Sharded().Part(i), tbl.Sharded().Part(i), 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
+		serG := exec.MergeGroups(partials...)
 		parG, err := local.GroupByContext(ctx, tbl, "cat", "num")
 		if err != nil {
 			t.Fatal(err)

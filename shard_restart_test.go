@@ -1,0 +1,93 @@
+package hyrisenv_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hyrisenv"
+)
+
+// TestRestartFlatAcrossShardCounts is the regression guard for the
+// sharded instant-restart property (experiment E12): recovery fans out
+// across shards concurrently, so reopening the same dataset partitioned
+// 8 ways must not cost materially more than reopening it unpartitioned.
+// The budget is 2x the single-shard time (the paper's property is
+// per-shard recovery of 1/N the data, run in parallel) plus a fixed
+// floor that keeps the test meaningful on noisy CI machines where both
+// times are a few milliseconds.
+func TestRestartFlatAcrossShardCounts(t *testing.T) {
+	const rows = 20000
+	recoveryTime := func(shards int) time.Duration {
+		t.Helper()
+		dir := t.TempDir()
+		cfg := hyrisenv.Config{
+			Mode: hyrisenv.NVM, Dir: dir, NVMHeapSize: 64 << 20, Shards: shards,
+		}
+		db, err := hyrisenv.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := db.CreateTable("orders", []hyrisenv.Column{
+			{Name: "id", Type: hyrisenv.Int64},
+			{Name: "customer", Type: hyrisenv.String},
+			{Name: "amount", Type: hyrisenv.Float64},
+		}, "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for done := 0; done < rows; done += 1000 {
+			tx := db.Begin()
+			for i := done; i < done+1000; i++ {
+				if _, err := tx.Insert(tbl,
+					hyrisenv.Int(int64(i)),
+					hyrisenv.Str(fmt.Sprintf("c%d", i%97)),
+					hyrisenv.Float(float64(i)),
+				); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		db2, err := hyrisenv.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db2.Close()
+		tbl2, err := db2.Table("orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := db2.Begin().CountContext(context.Background(), tbl2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != rows {
+			t.Fatalf("shards=%d: %d rows after restart, want %d", shards, n, rows)
+		}
+		rs := db2.RecoveryStats()
+		if rs.Shards != shards {
+			t.Fatalf("RecoveryStats.Shards = %d, want %d", rs.Shards, shards)
+		}
+		return rs.Total
+	}
+
+	t1 := recoveryTime(1)
+	t8 := recoveryTime(8)
+	budget := 2 * t1
+	if floor := 250 * time.Millisecond; budget < floor {
+		budget = floor
+	}
+	t.Logf("recovery: shards=1 %s, shards=8 %s (budget %s)", t1, t8, budget)
+	if t8 > budget {
+		t.Fatalf("restart not flat: shards=8 recovered in %s, over the %s budget (shards=1: %s)",
+			t8, budget, t1)
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"fmt"
 
 	"hyrisenv/internal/exec"
-	"hyrisenv/internal/query"
+	"hyrisenv/internal/shard"
 	"hyrisenv/internal/txn"
 )
 
@@ -20,39 +20,45 @@ var ErrNoSuchRow = errors.New("hyrisenv: no such row")
 
 // Tx is a transaction. It reads a consistent snapshot taken at Begin and
 // buffers writes that become atomically visible — and durable, per the
-// database's mode — at Commit. A Tx is not safe for concurrent use.
+// database's mode — at Commit. On a partitioned database the snapshot
+// spans every shard; a transaction whose writes all land on one shard
+// commits on that shard's fast path, and one that spans shards commits
+// with two-phase commit through the persistent coordinator. A Tx is not
+// safe for concurrent use.
 //
-// Read methods come in pairs: a context-aware canonical form
-// (SelectContext, CountContext, ...) that returns (result, error) and
-// cancels in-flight parallel scans when the context is cancelled, and a
-// deprecated legacy form (Select, Count, ...) kept for source
-// compatibility that swallows the error. The surface mirrors the
-// network client's Tx, so code moves between embedded and remote use
-// without reshaping.
+// Read methods are context-aware, return (result, error), and cancel
+// in-flight parallel scans when the context is cancelled. The surface
+// mirrors the network client's Tx, so code moves between embedded and
+// remote use without reshaping.
 type Tx struct {
-	tx *txn.Txn
-	ex *exec.Executor
+	tx *shard.Tx
 }
 
 // Begin starts a transaction.
-func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin(), ex: db.eng.Exec()} }
+func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin()} }
 
 // BeginAt starts a read-only transaction reading the database as of a
 // historical commit ID — time travel over the insert-only MVCC versions
 // (available until a merge compacts the history away). Write operations
 // on the returned Tx fail.
 func (db *DB) BeginAt(cid uint64) *Tx {
-	return &Tx{tx: db.eng.Manager().BeginAt(cid), ex: db.eng.Exec()}
+	return &Tx{tx: db.eng.BeginAt(cid)}
 }
 
 // LastCommitID returns the current commit horizon, usable with BeginAt.
-func (db *DB) LastCommitID() uint64 { return db.eng.Manager().LastCID() }
+func (db *DB) LastCommitID() uint64 { return db.eng.LastCID() }
 
-// Internal exposes the transaction-layer handle to the sibling
-// benchmark, experiment and test code inside this module.
-func (tx *Tx) Internal() *txn.Txn { return tx.tx }
+// Internal exposes the transaction-layer handle — the shard-0 part when
+// partitioned — to the sibling benchmark, experiment and test code
+// inside this module.
+func (tx *Tx) Internal() *txn.Txn { return tx.tx.Part(0) }
 
-// Insert appends a row and returns its physical row ID.
+// Sharded exposes the shard-routing transaction.
+func (tx *Tx) Sharded() *shard.Tx { return tx.tx }
+
+// Insert appends a row and returns its physical row ID. On a
+// partitioned database the row is routed by its first column and the
+// returned row ID is global.
 func (tx *Tx) Insert(t *Table, vals ...Value) (uint64, error) {
 	return tx.tx.Insert(t.t, vals)
 }
@@ -63,7 +69,8 @@ func (tx *Tx) Delete(t *Table, row uint64) error {
 }
 
 // Update replaces the row with new values and returns the new version's
-// row ID (insert-only MVCC: the old version is invalidated).
+// row ID (insert-only MVCC: the old version is invalidated). If the new
+// first column hashes to a different shard, the row moves there.
 func (tx *Tx) Update(t *Table, row uint64, vals ...Value) (uint64, error) {
 	return tx.tx.Update(t.t, row, vals)
 }
@@ -119,8 +126,6 @@ func (t *Table) preds(ps []Pred) ([]exec.Pred, error) {
 	return out, nil
 }
 
-// --- Canonical context-aware read API ----------------------------------------
-
 // SelectContext returns the row IDs satisfying all predicates, using
 // secondary indexes where available; other scans run morsel-parallel on
 // the database's executor (Config.Parallelism) and stop early when ctx
@@ -130,7 +135,7 @@ func (tx *Tx) SelectContext(ctx context.Context, t *Table, preds ...Pred) ([]uin
 	if err != nil {
 		return nil, err
 	}
-	return tx.ex.Select(ctx, tx.tx, t.t, qp...)
+	return tx.tx.Select(ctx, t.t, qp...)
 }
 
 // SelectRangeContext returns rows whose named column falls in [lo, hi).
@@ -139,7 +144,7 @@ func (tx *Tx) SelectRangeContext(ctx context.Context, t *Table, col string, lo, 
 	if err != nil {
 		return nil, err
 	}
-	return tx.ex.SelectRange(ctx, tx.tx, t.t, ci, lo, hi)
+	return tx.tx.SelectRange(ctx, t.t, ci, lo, hi)
 }
 
 // CountContext returns the number of rows satisfying all predicates.
@@ -148,7 +153,7 @@ func (tx *Tx) CountContext(ctx context.Context, t *Table, preds ...Pred) (int, e
 	if err != nil {
 		return 0, err
 	}
-	return tx.ex.Count(ctx, tx.tx, t.t, qp...)
+	return tx.tx.Count(ctx, t.t, qp...)
 }
 
 // ScanAllContext returns every visible row ID — SelectContext with no
@@ -157,9 +162,12 @@ func (tx *Tx) ScanAllContext(ctx context.Context, t *Table) ([]uint64, error) {
 	return tx.SelectContext(ctx, t)
 }
 
+// Group is one GROUP BY result row.
+type Group = exec.Group
+
 // GroupByContext aggregates all visible rows grouped by column
 // groupCol, summing aggCol ("" = count only). Results are ordered by
-// group key.
+// group key; on a partitioned database per-shard partials are merged.
 func (tx *Tx) GroupByContext(ctx context.Context, t *Table, groupCol, aggCol string) ([]Group, error) {
 	gi, err := t.colIndex(groupCol)
 	if err != nil {
@@ -171,12 +179,16 @@ func (tx *Tx) GroupByContext(ctx context.Context, t *Table, groupCol, aggCol str
 			return nil, err
 		}
 	}
-	return tx.ex.GroupBy(ctx, tx.tx, t.t, gi, agg)
+	return tx.tx.GroupBy(ctx, t.t, gi, agg)
 }
+
+// JoinPair couples row IDs of an equi-join result.
+type JoinPair = exec.JoinPair
 
 // JoinContext computes the inner equi-join left.leftCol =
 // right.rightCol over the rows visible to the transaction. The build
-// side runs morsel-parallel.
+// side runs morsel-parallel; on a partitioned database the build spans
+// every shard of the left table.
 func (tx *Tx) JoinContext(ctx context.Context, left *Table, leftCol string, right *Table, rightCol string) ([]JoinPair, error) {
 	li, err := left.colIndex(leftCol)
 	if err != nil {
@@ -186,89 +198,8 @@ func (tx *Tx) JoinContext(ctx context.Context, left *Table, leftCol string, righ
 	if err != nil {
 		return nil, err
 	}
-	return tx.ex.HashJoin(ctx, tx.tx, left.t, li, right.t, ri)
+	return tx.tx.HashJoin(ctx, left.t, li, right.t, ri)
 }
-
-// RowContext materializes all columns of a physical row.
-func (tx *Tx) RowContext(ctx context.Context, t *Table, row uint64) ([]Value, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if row >= t.t.Rows() {
-		return nil, fmt.Errorf("%w: row %d of table %q (%d rows)", ErrNoSuchRow, row, t.t.Name, t.t.Rows())
-	}
-	cols := make([]int, t.t.Schema.NumCols())
-	for i := range cols {
-		cols[i] = i
-	}
-	return query.Project(t.t, []uint64{row}, cols...)[0], nil
-}
-
-// --- Deprecated legacy read API ----------------------------------------------
-
-// Select returns the row IDs satisfying all predicates, or nil on an
-// unknown column.
-//
-// Deprecated: use SelectContext, which reports errors and honors
-// cancellation.
-func (tx *Tx) Select(t *Table, preds ...Pred) []uint64 {
-	rows, _ := tx.SelectContext(context.Background(), t, preds...)
-	return rows
-}
-
-// SelectRange returns rows whose named column falls in [lo, hi), or nil
-// on an unknown column.
-//
-// Deprecated: use SelectRangeContext.
-func (tx *Tx) SelectRange(t *Table, col string, lo, hi Value) []uint64 {
-	rows, _ := tx.SelectRangeContext(context.Background(), t, col, lo, hi)
-	return rows
-}
-
-// Count returns the number of rows satisfying all predicates, or 0 on
-// an unknown column.
-//
-// Deprecated: use CountContext.
-func (tx *Tx) Count(t *Table, preds ...Pred) int {
-	n, _ := tx.CountContext(context.Background(), t, preds...)
-	return n
-}
-
-// ScanAll returns every visible row ID.
-//
-// Deprecated: use ScanAllContext.
-func (tx *Tx) ScanAll(t *Table) []uint64 {
-	rows, _ := tx.ScanAllContext(context.Background(), t)
-	return rows
-}
-
-// Row materializes all columns of a row, or nil for a row ID outside
-// the table.
-//
-// Deprecated: use RowContext.
-func (tx *Tx) Row(t *Table, row uint64) []Value {
-	vals, _ := tx.RowContext(context.Background(), t, row)
-	return vals
-}
-
-// Group is one GROUP BY result row.
-type Group = exec.Group
-
-// GroupBy aggregates all visible rows grouped by column groupCol,
-// summing aggCol ("" = count only), or returns nil on an unknown
-// column. Results are ordered by group key.
-//
-// Deprecated: use GroupByContext.
-func (tx *Tx) GroupBy(t *Table, groupCol, aggCol string) []Group {
-	groups, _ := tx.GroupByContext(context.Background(), t, groupCol, aggCol)
-	return groups
-}
-
-// TopK returns the k groups with the largest Sum.
-func TopK(groups []Group, k int) []Group { return exec.TopK(groups, k) }
-
-// JoinPair couples row IDs of an equi-join result.
-type JoinPair = exec.JoinPair
 
 // Join computes the inner equi-join left.leftCol = right.rightCol over
 // the rows visible to the transaction.
@@ -276,16 +207,29 @@ func (tx *Tx) Join(left *Table, leftCol string, right *Table, rightCol string) (
 	return tx.JoinContext(context.Background(), left, leftCol, right, rightCol)
 }
 
-// OrderBy sorts the row IDs by the named column (in place) using the
-// order-preserving dictionary encoding; desc reverses. It returns nil
-// for an unknown column.
-func (tx *Tx) OrderBy(t *Table, rows []uint64, col string, desc bool) []uint64 {
-	ci, err := t.colIndex(col)
-	if err != nil {
-		return nil
+// RowContext materializes all columns of a physical row.
+func (tx *Tx) RowContext(ctx context.Context, t *Table, row uint64) ([]Value, error) {
+	vals, err := tx.tx.Row(ctx, t.t, row)
+	if errors.Is(err, shard.ErrNoSuchRow) {
+		return nil, fmt.Errorf("%w: row %d of table %q", ErrNoSuchRow, row, t.t.Name)
 	}
-	return query.OrderBy(t.t, rows, ci, desc)
+	return vals, err
 }
 
+// OrderBy sorts the row IDs by the named column (in place) using the
+// order-preserving dictionary encoding; desc reverses. On a partitioned
+// database keys from different shards' dictionaries compare directly
+// (the encoding is order-preserving on values).
+func (tx *Tx) OrderBy(t *Table, rows []uint64, col string, desc bool) ([]uint64, error) {
+	ci, err := t.colIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	return tx.tx.OrderBy(t.t, rows, ci, desc)
+}
+
+// TopK returns the k groups with the largest Sum.
+func TopK(groups []Group, k int) []Group { return exec.TopK(groups, k) }
+
 // Limit returns at most n of rows starting at offset.
-func Limit(rows []uint64, offset, n int) []uint64 { return query.Limit(rows, offset, n) }
+func Limit(rows []uint64, offset, n int) []uint64 { return exec.Limit(rows, offset, n) }
