@@ -19,19 +19,23 @@ vet:
 # The repo's own static-analysis suite (see internal/analysis): runs its
 # unit tests first (under -race — the driver runs analyzers on packages
 # concurrently) so a broken analyzer cannot vacuously pass the repo,
-# then the suite diffed against the committed findings baseline (the
+# then the full suite — seven per-package analyzers plus the two
+# whole-program ones (protocheck, recoverycheck) over the module-wide
+# callgraph — diffed against the committed findings baseline (the
 # baseline is empty — the module is clean — so any finding is a new
 # finding), then the suppression self-check that rejects reasonless
-# //nvmcheck:ignore comments anywhere, fixtures included.
+# //nvmcheck:ignore comments anywhere, fixtures included, and fails on
+# a points-to resolution-rate regression.
 nvmcheck:
 	$(GO) test -race ./internal/analysis/...
-	$(GO) run ./cmd/nvmcheck -baseline nvmcheck_baseline.json ./...
+	$(GO) run ./cmd/nvmcheck -wholeprogram -baseline nvmcheck_baseline.json ./...
 	$(GO) run ./cmd/nvmcheck -selfcheck ./...
 
-# Per-analyzer finding and suppression counts plus points-to resolution
-# metrics, to keep waiver debt and analysis blind spots visible.
+# Per-analyzer finding/suppression/wall-clock counts plus points-to
+# resolution metrics, to keep waiver debt, analysis blind spots and the
+# analysis-time budget visible.
 nvmcheck-stats:
-	$(GO) run ./cmd/nvmcheck -stats ./...
+	$(GO) run ./cmd/nvmcheck -wholeprogram -stats ./...
 
 # Cross-validation: static and dynamic analysis must agree on the same
 # injected bug. Removes the element persist from Vector.Append (the
@@ -54,6 +58,26 @@ crosscheck:
 		echo "crosscheck: shadow crash sweep fails on the corrupted recoveries"; \
 	fi; \
 	mv internal/pstruct/vector.go.crossorig internal/pstruct/vector.go; \
+	exit $$status
+	$(MAKE) crosscheck-2pc
+
+# 2PC cross-validation: three seeded protocol bugs, each gated behind a
+# build tag that swaps one shard-package file for a broken variant
+# (internal/shard/*_seeded.go), each proven twice per tag by
+# TestCrashMatrix2PCSeeded — the whole-program analyzers flag it
+# statically AND the sharded crash sweep corrupts a real database with
+# it (see internal/crashtest/seeded_*.go for the tag -> finding map).
+crosscheck-2pc:
+	@status=0; \
+	for tag in crosscheck_nodecidepersist crosscheck_swap crosscheck_deadfield; do \
+		echo "crosscheck: seeding $$tag"; \
+		if out="$$($(GO) test -tags $$tag ./internal/crashtest -run 'TestCrashMatrix2PCSeeded' -count=1 -v 2>&1)"; then \
+			echo "$$out" | grep -E 'static:|dynamic:'; \
+		else \
+			echo "$$out" >&2; \
+			echo "crosscheck: $$tag NOT caught both statically and dynamically" >&2; status=1; \
+		fi; \
+	done; \
 	exit $$status
 
 test:

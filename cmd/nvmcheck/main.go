@@ -1,16 +1,22 @@
 // Command nvmcheck runs the repo's static-analysis suite: seven
-// analyzers that enforce the NVM crash-consistency discipline, the
-// concurrency discipline around it, and the network-protocol hygiene
-// rules at compile time.
+// per-package analyzers that enforce the NVM crash-consistency
+// discipline, the concurrency discipline around it, and the
+// network-protocol hygiene rules at compile time — plus, with
+// -wholeprogram, two whole-program analyzers (protocheck,
+// recoverycheck) that verify the cross-package 2PC barrier protocol and
+// commit/recovery symmetry over the module-wide resolved callgraph.
 //
 // Usage:
 //
-//	go run ./cmd/nvmcheck [-l] [-stats] [-selfcheck] [-json] [-baseline file] [packages]
+//	go run ./cmd/nvmcheck [-l] [-wholeprogram] [-tags list] [-stats]
+//	    [-selfcheck] [-json] [-baseline file] [-budget d] [packages]
 //
 // With no arguments it checks ./... . Diagnostics print one per line as
-// file:line:col: message [analyzer]; the exit status is 1 when any
-// diagnostic survives suppression filtering. Suppress a finding with a
-// reasoned comment on (or directly above) the reported line:
+// file:line:col: message [analyzer], sorted by (file, line, analyzer,
+// message) so output and baselines are byte-stable across runs and
+// package-load orders; the exit status is 1 when any diagnostic
+// survives suppression filtering. Suppress a finding with a reasoned
+// comment on (or directly above) the reported line:
 //
 //	//nvmcheck:ignore <analyzer> <reason>
 //
@@ -19,20 +25,28 @@
 // that the caller persists — and persistcheck reports the annotation
 // itself when the flow analysis proves it unnecessary.
 //
+// -tags passes build constraints through to the loader, so the
+// crosscheck harness can analyze the deliberately broken protocol
+// variants gated behind the crosscheck_* tags.
+//
 // -json prints the surviving findings as a JSON array of
 // {analyzer, file, line, col, message} objects with repo-relative
 // paths, suitable for committing as a baseline. -baseline <file> loads
 // such an array and reports (and fails on) only findings not in it, so
 // CI can gate on *new* findings while a known set is being worked down.
 //
-// -stats prints a per-analyzer table of raised findings and reasoned
-// suppressions, plus the points-to layer's resolution metrics —
-// dynamic call sites resolved against unresolved, and allocation sites
-// split by NVM/volatile origin — so both suppression debt and analysis
-// blind spots stay visible. -selfcheck scans every package — including
-// the analysis framework, which the regular run exempts — for
-// //nvmcheck:ignore comments lacking the mandatory reason, and fails
-// if any exist.
+// -stats prints a per-analyzer table of raised findings, reasoned
+// suppressions and wall-clock, the points-to layer's resolution
+// metrics, and (under -wholeprogram) the callgraph size — so
+// suppression debt, analysis blind spots and the analysis-time budget
+// all stay visible. -budget fails the run when loading plus analysis
+// exceeds the given duration (CI uses 5m for the whole-program step).
+//
+// -selfcheck scans every package — including the analysis framework,
+// which the regular run exempts — for suppression comments lacking the
+// mandatory reason, and verifies the points-to layer's
+// dynamic call-site resolution rate against a regression floor; either
+// failure fails the build.
 package main
 
 import (
@@ -42,21 +56,24 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hyrisenv/internal/analysis"
 	"hyrisenv/internal/analysis/deadlinecheck"
 	"hyrisenv/internal/analysis/lockcheck"
 	"hyrisenv/internal/analysis/persistcheck"
 	"hyrisenv/internal/analysis/pptrcheck"
+	"hyrisenv/internal/analysis/protocheck"
 	"hyrisenv/internal/analysis/ptr"
 	"hyrisenv/internal/analysis/publishcheck"
+	"hyrisenv/internal/analysis/recoverycheck"
 	"hyrisenv/internal/analysis/sharecheck"
 	"hyrisenv/internal/analysis/wirecodecheck"
 )
 
-// Suite is the full analyzer suite, in the order findings are most
-// useful to read: durability first, then concurrency, then aliasing,
-// then protocol.
+// Suite is the per-package analyzer suite, in the order findings are
+// most useful to read: durability first, then concurrency, then
+// aliasing, then protocol.
 var Suite = []*analysis.Analyzer{
 	persistcheck.Analyzer,
 	publishcheck.Analyzer,
@@ -66,6 +83,26 @@ var Suite = []*analysis.Analyzer{
 	wirecodecheck.Analyzer,
 	deadlinecheck.Analyzer,
 }
+
+// ProgSuite is the whole-program suite, run only under -wholeprogram:
+// these analyzers see every loaded package at once through the
+// module-wide resolved callgraph.
+var ProgSuite = []*analysis.ProgramAnalyzer{
+	protocheck.Analyzer,
+	recoverycheck.Analyzer,
+}
+
+// minResolutionRate is the -selfcheck regression floor for the
+// points-to layer's dynamic call-site resolution. The whole-program
+// analyzers' callgraph edges come from this resolution, so a silent
+// drop would quietly blind protocheck/recoverycheck to dynamic calls;
+// the floor pins the measured rate (354/432 ≈ 0.82 at the time it was
+// set) with headroom for benign churn. It is only enforced when the
+// run covers enough call sites to make the ratio meaningful.
+const (
+	minResolutionRate  = 0.78
+	minResolutionSites = 100
+)
 
 // A finding is the JSON form of one diagnostic, with a repo-relative
 // path so baselines commit cleanly.
@@ -87,12 +124,15 @@ func (f finding) String() string {
 
 func main() {
 	list := flag.Bool("l", false, "list the analyzers in the suite and exit")
-	stats := flag.Bool("stats", false, "print per-analyzer finding and suppression counts and points-to resolution metrics")
-	selfcheck := flag.Bool("selfcheck", false, "fail on //nvmcheck:ignore comments without a reason, everywhere (including the analysis framework)")
+	whole := flag.Bool("wholeprogram", false, "additionally run the whole-program analyzers (protocheck, recoverycheck) over the module-wide callgraph")
+	tags := flag.String("tags", "", "comma-separated build tags passed to the package loader")
+	stats := flag.Bool("stats", false, "print per-analyzer finding/suppression/wall-clock counts and points-to resolution metrics")
+	selfcheck := flag.Bool("selfcheck", false, "fail on reasonless //nvmcheck:ignore comments anywhere and on a points-to resolution-rate regression")
 	jsonOut := flag.Bool("json", false, "print findings as JSON (repo-relative paths)")
 	baseline := flag.String("baseline", "", "JSON findings file; only findings not in it are reported and fail the run")
+	budget := flag.Duration("budget", 0, "fail if loading plus analysis exceeds this duration (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [-stats] [-selfcheck] [-json] [-baseline file] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nvmcheck [-l] [-wholeprogram] [-tags list] [-stats] [-selfcheck] [-json] [-baseline file] [-budget d] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,26 +141,22 @@ func main() {
 		for _, a := range Suite {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range ProgSuite {
+			fmt.Printf("%-14s [whole-program] %s\n", a.Name, a.Doc)
+		}
 		return
 	}
 
+	start := time.Now()
 	patterns := flag.Args()
-	pkgs, err := analysis.Load("", patterns...)
+	var loadTags []string
+	if *tags != "" {
+		loadTags = strings.Split(*tags, ",")
+	}
+	pkgs, err := analysis.LoadTags("", loadTags, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvmcheck:", err)
 		os.Exit(2)
-	}
-
-	if *selfcheck {
-		diags := analysis.ReasonlessSuppressions(pkgs)
-		for _, d := range diags {
-			fmt.Println(d)
-		}
-		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "nvmcheck: %d reasonless suppression(s)\n", len(diags))
-			os.Exit(1)
-		}
-		return
 	}
 
 	// The analysis framework and its fixtures exercise the rules
@@ -132,11 +168,55 @@ func main() {
 		}
 		targets = append(targets, p)
 	}
+
+	if *selfcheck {
+		diags := analysis.ReasonlessSuppressions(pkgs)
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "nvmcheck: %d reasonless suppression(s)\n", len(diags))
+			os.Exit(1)
+		}
+		ps := ptrStats(targets)
+		if ps.CallSites >= minResolutionSites {
+			rate := float64(ps.Resolved) / float64(ps.CallSites)
+			if rate < minResolutionRate {
+				fmt.Fprintf(os.Stderr,
+					"nvmcheck: points-to resolution regressed: %d/%d dynamic call sites (%.1f%%) below the %.0f%% floor — the whole-program callgraph is losing edges\n",
+					ps.Resolved, ps.CallSites, 100*rate, 100*minResolutionRate)
+				os.Exit(1)
+			}
+			fmt.Printf("points-to resolution: %d/%d call sites (%.1f%%, floor %.0f%%)\n",
+				ps.Resolved, ps.CallSites, 100*rate, 100*minResolutionRate)
+		}
+		return
+	}
+
 	res, err := analysis.RunDetailed(targets, Suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvmcheck:", err)
 		os.Exit(2)
 	}
+	if *whole {
+		progRes, err := analysis.RunProgram(analysis.NewProgram(targets), ProgSuite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvmcheck:", err)
+			os.Exit(2)
+		}
+		res.Diags = append(res.Diags, progRes.Diags...)
+		analysis.SortDiagnostics(res.Diags)
+		for name, n := range progRes.Raw {
+			res.Raw[name] = n
+		}
+		for name, n := range progRes.Suppressed {
+			res.Suppressed[name] = n
+		}
+		for name, d := range progRes.Elapsed {
+			res.Elapsed[name] = d
+		}
+	}
+	elapsed := time.Since(start)
 
 	wd, _ := os.Getwd()
 	findings := make([]finding, 0, len(res.Diags))
@@ -175,27 +255,51 @@ func main() {
 	}
 
 	if *stats {
-		fmt.Printf("%-14s %9s %10s\n", "analyzer", "findings", "suppressed")
+		fmt.Printf("%-14s %9s %10s %12s\n", "analyzer", "findings", "suppressed", "wall-clock")
+		printRow := func(name string) {
+			fmt.Printf("%-14s %9d %10d %12s\n",
+				name, res.Raw[name], res.Suppressed[name],
+				res.Elapsed[name].Round(time.Millisecond))
+		}
 		for _, a := range Suite {
-			fmt.Printf("%-14s %9d %10d\n", a.Name, res.Raw[a.Name], res.Suppressed[a.Name])
+			printRow(a.Name)
 		}
-		var ps ptr.Stats
-		for _, p := range targets {
-			s := ptr.For(p).Stats()
-			ps.CallSites += s.CallSites
-			ps.Resolved += s.Resolved
-			ps.Unresolved += s.Unresolved
-			ps.AllocSites += s.AllocSites
-			ps.NVMAlloc += s.NVMAlloc
-			ps.Volatile += s.Volatile
+		if *whole {
+			for _, a := range ProgSuite {
+				printRow(a.Name)
+			}
 		}
+		ps := ptrStats(targets)
 		fmt.Printf("points-to: %d/%d dynamic call sites resolved, %d allocation sites (%d NVM, %d volatile)\n",
 			ps.Resolved, ps.CallSites, ps.AllocSites, ps.NVMAlloc, ps.Volatile)
+		fmt.Printf("total: %d package(s) loaded and analyzed in %s\n",
+			len(targets), elapsed.Round(time.Millisecond))
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "nvmcheck: analysis took %s, over the %s budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		os.Exit(1)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "nvmcheck: %d %s(s)\n", len(findings), noun)
 		os.Exit(1)
 	}
+}
+
+// ptrStats aggregates the points-to layer's metrics over the target
+// packages.
+func ptrStats(targets []*analysis.Package) ptr.Stats {
+	var ps ptr.Stats
+	for _, p := range targets {
+		s := ptr.For(p).Stats()
+		ps.CallSites += s.CallSites
+		ps.Resolved += s.Resolved
+		ps.Unresolved += s.Unresolved
+		ps.AllocSites += s.AllocSites
+		ps.NVMAlloc += s.NVMAlloc
+		ps.Volatile += s.Volatile
+	}
+	return ps
 }
 
 // relFile makes filename repo-relative when it lies under the working

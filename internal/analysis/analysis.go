@@ -31,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one invariant checker.
@@ -98,6 +99,10 @@ type Result struct {
 	// Suppressed counts the findings dropped by reasoned suppressions;
 	// Raw[a] - Suppressed[a] findings of analyzer a survived.
 	Suppressed map[string]int
+	// Elapsed is each analyzer's accumulated wall-clock across every
+	// package (or, for whole-program analyzers, its single run), so the
+	// -stats output can watch the analysis-time budget.
+	Elapsed map[string]time.Duration
 }
 
 // RunDetailed is Run with per-analyzer finding and suppression counts.
@@ -105,6 +110,7 @@ func RunDetailed(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 	res := &Result{
 		Raw:        map[string]int{},
 		Suppressed: map[string]int{},
+		Elapsed:    map[string]time.Duration{},
 	}
 	for _, a := range analyzers {
 		res.Raw[a.Name] = 0
@@ -122,7 +128,10 @@ func RunDetailed(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 				Info:     pkg.Info,
 				diags:    &raw,
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			res.Elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
@@ -137,18 +146,32 @@ func RunDetailed(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 		res.Diags = append(res.Diags, kept...)
 		res.Diags = append(res.Diags, sup.malformed...)
 	}
-	all := res.Diags
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Pos, all[j].Pos
+	SortDiagnostics(res.Diags)
+	return res, nil
+}
+
+// SortDiagnostics orders diags by (file, line, analyzer, message,
+// column). The analyzer name participates in the order so that runs
+// whose analyzer sets execute in different orders (or concurrently)
+// emit byte-identical output — the committed findings baseline diffs
+// depend on it.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return all[i].Message < all[j].Message
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		if diags[i].Message != diags[j].Message {
+			return diags[i].Message < diags[j].Message
+		}
+		return a.Column < b.Column
 	})
-	return res, nil
 }
 
 // ReasonlessSuppressions scans every package — including ones excluded

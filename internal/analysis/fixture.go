@@ -37,7 +37,27 @@ func Fixture(t *testing.T, root string, analyzers []*Analyzer, patterns ...strin
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
+	checkWants(t, pkgs, diags)
+}
 
+// FixtureProgram is Fixture for whole-program analyzers: the matched
+// packages are assembled into one Program and the analyzers run once
+// over it, with the same `// want "regexp"` contract.
+func FixtureProgram(t *testing.T, root string, analyzers []*ProgramAnalyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture packages: %v", err)
+	}
+	res, err := RunProgram(NewProgram(pkgs), analyzers)
+	if err != nil {
+		t.Fatalf("running program analyzers: %v", err)
+	}
+	checkWants(t, pkgs, res.Diags)
+}
+
+func checkWants(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
 	type expectation struct {
 		pos token.Position
 		re  *regexp.Regexp

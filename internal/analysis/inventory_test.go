@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/deadlinecheck"
+	"hyrisenv/internal/analysis/publishcheck"
+	"hyrisenv/internal/analysis/wirecodecheck"
+)
+
+// TestProductionSuppressionsLoadBearing pins the suppression inventory
+// documented in README.md: every //nvmcheck:ignore in production code
+// must still absorb exactly the findings it was written for. A count
+// above the pin means new findings are hiding under an old comment; a
+// count below means the suppression went stale and must be deleted.
+// (The nvm arena-walk recoverycheck suppression is pinned separately by
+// recoverycheck.TestNvmFsckSuppressionLoadBearing, and the pstruct one
+// doubles as the `make crosscheck` detection-power probe.)
+func TestProductionSuppressionsLoadBearing(t *testing.T) {
+	cases := []struct {
+		pattern  string
+		analyzer *analysis.Analyzer
+		want     int
+	}{
+		{"./internal/server", deadlinecheck.Analyzer, 5},
+		{"./internal/server", wirecodecheck.Analyzer, 1},
+		{"./internal/pstruct", publishcheck.Analyzer, 1},
+	}
+	for _, tc := range cases {
+		pkgs, err := analysis.Load("../..", tc.pattern)
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.pattern, err)
+		}
+		res, err := analysis.RunDetailed(pkgs, []*analysis.Analyzer{tc.analyzer})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", tc.analyzer.Name, tc.pattern, err)
+		}
+		if got := res.Suppressed[tc.analyzer.Name]; got != tc.want {
+			t.Errorf("%s on %s: %d reasoned suppression(s) absorbed a finding, want %d — update the README inventory and this pin together",
+				tc.analyzer.Name, tc.pattern, got, tc.want)
+		}
+		for _, d := range res.Diags {
+			t.Errorf("unexpected surviving finding in %s: %s", tc.pattern, d)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 )
 
 // A Package is one type-checked package ready for analysis.
@@ -49,13 +50,26 @@ type listPackage struct {
 // cache. Test files are not loaded: the checked invariants concern
 // production code, and fixtures encode expectations in regular files.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadTags(dir, nil, patterns...)
+}
+
+// LoadTags is Load with additional build constraints. The tags select
+// which files `go list` reports for each package (and which variant the
+// export data is compiled under), so analyses can target build-tag-gated
+// code — the crosscheck harness loads the deliberately broken 2PC
+// variants this way (see internal/shard's crosscheck_* tags).
+func LoadTags(dir string, tags []string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{
+	args := []string{
 		"list", "-deps", "-export",
 		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Incomplete,Error",
-	}, patterns...)
+	}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer

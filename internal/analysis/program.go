@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"time"
+)
+
+// A Program is the whole-program view over one Load result: every
+// target package, ordered dependencies-first over the package DAG, plus
+// a module-wide function index that bridges the two identities a
+// function has under export-data loading. A *types.Func observed at a
+// cross-package call site belongs to the importer's export-data view of
+// the callee package and is a different object from the one produced by
+// type-checking the callee from source; both print the same
+// types.Func.FullName (e.g. "(*hyrisenv/internal/nvm.Heap).Persist"),
+// so the index is keyed by full name and whole-program analyses use
+// full names as function identity.
+type Program struct {
+	// Fset is the single file set shared by every package of one Load
+	// call.
+	Fset *token.FileSet
+	// Packages holds the target packages in topological order,
+	// dependencies before dependents, ties broken by import path.
+	Packages []*Package
+
+	byPath map[string]*Package
+	funcs  map[string]*ProgFunc
+	names  []string // sorted keys of funcs
+}
+
+// A ProgFunc is one function or method declared with a body somewhere
+// in the program, together with the package that declares it.
+type ProgFunc struct {
+	Pkg  *Package
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+}
+
+// FullName returns the function's module-wide identity.
+func (f *ProgFunc) FullName() string { return f.Obj.FullName() }
+
+// NewProgram assembles the whole-program view of pkgs (one Load/LoadTags
+// result; they share a file set).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		byPath: map[string]*Package{},
+		funcs:  map[string]*ProgFunc{},
+	}
+	for _, pkg := range pkgs {
+		p.byPath[pkg.PkgPath] = pkg
+		if p.Fset == nil {
+			p.Fset = pkg.Fset
+		}
+	}
+
+	// Topological order over the in-program import DAG, dependencies
+	// first. Visit order is sorted so the result is deterministic.
+	paths := make([]string, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		paths = append(paths, pkg.PkgPath)
+	}
+	sort.Strings(paths)
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		pkg, ok := p.byPath[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		imps := pkg.Types.Imports()
+		ipaths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			ipaths = append(ipaths, imp.Path())
+		}
+		sort.Strings(ipaths)
+		for _, ip := range ipaths {
+			visit(ip)
+		}
+		p.Packages = append(p.Packages, pkg)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.funcs[obj.FullName()] = &ProgFunc{Pkg: pkg, Obj: obj, Decl: fd}
+			}
+		}
+	}
+	p.names = make([]string, 0, len(p.funcs))
+	for name := range p.funcs {
+		p.names = append(p.names, name)
+	}
+	sort.Strings(p.names)
+	return p
+}
+
+// Package returns the target package with the given import path, or nil
+// when the path is outside the program (a dependency loaded only as
+// export data, or the standard library).
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// FuncOf resolves fn — from any package's type information, source- or
+// export-data-backed — to its declaration in the program, or nil when
+// the function is declared outside the loaded target set (or has no
+// body).
+func (p *Program) FuncOf(fn *types.Func) *ProgFunc {
+	if fn == nil {
+		return nil
+	}
+	return p.funcs[fn.FullName()]
+}
+
+// FuncNamed is FuncOf by full name.
+func (p *Program) FuncNamed(fullName string) *ProgFunc { return p.funcs[fullName] }
+
+// Funcs returns every declared function of the program, sorted by full
+// name.
+func (p *Program) Funcs() []*ProgFunc {
+	out := make([]*ProgFunc, 0, len(p.names))
+	for _, name := range p.names {
+		out = append(out, p.funcs[name])
+	}
+	return out
+}
+
+// A ProgramAnalyzer checks a whole-program invariant: one Run sees every
+// package at once through the Program, instead of one package at a
+// time. Cross-package protocols (the 2PC barrier schedule, commit/
+// recovery symmetry) are inexpressible as per-package Analyzers — the
+// commit path and the recovery path of the same durable field routinely
+// live in different packages.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nvmcheck:ignore comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the whole program and reports findings via
+	// pass.Reportf.
+	Run func(pass *ProgramPass) error
+}
+
+// A ProgramPass provides one whole-program analyzer run.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgram applies every whole-program analyzer to prog and returns
+// the surviving diagnostics with per-analyzer accounting, exactly as
+// RunDetailed does for per-package analyzers. The same //nvmcheck:ignore
+// convention applies; malformed (reasonless) suppressions are *not*
+// re-reported here — the per-package run and -selfcheck already flag
+// them, and a -wholeprogram run layers both drivers over the same
+// packages.
+func RunProgram(prog *Program, analyzers []*ProgramAnalyzer) (*Result, error) {
+	res := &Result{
+		Raw:        map[string]int{},
+		Suppressed: map[string]int{},
+		Elapsed:    map[string]time.Duration{},
+	}
+	sup := &suppressions{byLine: map[string]map[string]bool{}}
+	for _, pkg := range prog.Packages {
+		ps := collectSuppressions(pkg)
+		for key, names := range ps.byLine {
+			if sup.byLine[key] == nil {
+				sup.byLine[key] = map[string]bool{}
+			}
+			for name := range names {
+				sup.byLine[key][name] = true
+			}
+		}
+	}
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		res.Raw[a.Name] = 0
+		res.Suppressed[a.Name] = 0
+		pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &raw}
+		start := time.Now()
+		err := a.Run(pass)
+		res.Elapsed[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s (whole program): %w", a.Name, err)
+		}
+	}
+	kept := sup.filter(raw)
+	for _, d := range raw {
+		res.Raw[d.Analyzer]++
+		res.Suppressed[d.Analyzer]++
+	}
+	for _, d := range kept {
+		res.Suppressed[d.Analyzer]--
+	}
+	res.Diags = kept
+	SortDiagnostics(res.Diags)
+	return res, nil
+}

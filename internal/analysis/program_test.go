@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"hyrisenv/internal/analysis"
+)
+
+// loadTwoPkg loads the twopc fixture together with the nvm stub it
+// imports, as two source-checked target packages sharing one file set.
+func loadTwoPkg(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load(filepath.Join("testdata", "src"), "./twopc", "./nvm")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestProgramTopoOrder pins the dependencies-first package order: the
+// nvm stub must precede the twopc fixture that imports it, regardless
+// of the order go list emitted them.
+func TestProgramTopoOrder(t *testing.T) {
+	prog := analysis.NewProgram(loadTwoPkg(t))
+	pos := map[string]int{}
+	for i, pkg := range prog.Packages {
+		pos[pkg.PkgPath] = i
+	}
+	if pos["fix/nvm"] >= pos["fix/twopc"] {
+		t.Errorf("dependency fix/nvm ordered after its dependent: %v", pos)
+	}
+}
+
+// TestProgramIdentityBridging is the load-bearing property of the
+// whole-program layer: the *types.Func observed at a cross-package call
+// site belongs to the caller's export-data view of the callee package
+// and is a *different object* from the source-checked one — FuncOf must
+// bridge the two through the full-name index, or no cross-package
+// callgraph edge would ever reach a declaration.
+func TestProgramIdentityBridging(t *testing.T) {
+	pkgs := loadTwoPkg(t)
+	prog := analysis.NewProgram(pkgs)
+
+	twopc := prog.Package("fix/twopc")
+	if twopc == nil {
+		t.Fatal("fix/twopc not in program")
+	}
+	var siteObj *types.Func
+	for _, f := range twopc.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || siteObj != nil {
+				return true
+			}
+			if fn, ok := twopc.Info.Uses[sel.Sel].(*types.Func); ok && fn.Name() == "PutU64" {
+				siteObj = fn
+			}
+			return true
+		})
+	}
+	if siteObj == nil {
+		t.Fatal("no PutU64 call site found in fix/twopc")
+	}
+
+	pf := prog.FuncOf(siteObj)
+	if pf == nil {
+		t.Fatalf("FuncOf failed to bridge %s to a declaration", siteObj.FullName())
+	}
+	if pf.Pkg.PkgPath != "fix/nvm" || pf.Decl.Name.Name != "PutU64" {
+		t.Errorf("bridged to %s in %s, want PutU64 in fix/nvm", pf.Decl.Name.Name, pf.Pkg.PkgPath)
+	}
+	if pf.Obj == siteObj {
+		t.Error("call-site object and declaration object are identical — the fixture no longer exercises export-data bridging")
+	}
+	if pf.FullName() != siteObj.FullName() {
+		t.Errorf("full names disagree: %s vs %s", pf.FullName(), siteObj.FullName())
+	}
+	if prog.FuncNamed(siteObj.FullName()) != pf {
+		t.Error("FuncNamed and FuncOf disagree")
+	}
+}
+
+// TestProgramFuncsSorted pins the deterministic function enumeration
+// order analyzers iterate in.
+func TestProgramFuncsSorted(t *testing.T) {
+	prog := analysis.NewProgram(loadTwoPkg(t))
+	funcs := prog.Funcs()
+	if len(funcs) == 0 {
+		t.Fatal("no functions indexed")
+	}
+	for i := 1; i < len(funcs); i++ {
+		if funcs[i-1].FullName() >= funcs[i].FullName() {
+			t.Fatalf("Funcs out of order at %d: %s >= %s", i, funcs[i-1].FullName(), funcs[i].FullName())
+		}
+	}
+}

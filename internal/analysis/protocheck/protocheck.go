@@ -1,0 +1,465 @@
+// Package protocheck verifies the two-phase-commit barrier protocol
+// whole-program: Prepare persisted on every participant, then a single
+// Decide record persisted (and drained) at the coordinator, then
+// CommitPrepared/Forget only after the decision is durable. Presumed
+// abort means nothing commit-durable may exist before Decide, and a
+// prepared participant may never be aborted once a decision is
+// recorded.
+//
+// The analyzer recognizes protocol roles structurally, not by repo
+// type names: a participant is any type whose method set has both
+// Prepare and CommitPrepared, a coordinator any type with both Decide
+// and Forget. Protocol events propagate transitively through the
+// whole-program resolved callgraph (summary.Graph over the points-to
+// layer), so a driver that prepares through a helper in another
+// package is still checked.
+//
+// Two checks run:
+//
+//  1. Driver ordering. A function is a 2PC driver when it contains a
+//     prepare-only call site and a separate decide/finish site — the
+//     shape of a coordinator loop, as opposed to a workload helper
+//     whose single Commit call carries the whole protocol. Every path
+//     through a driver is interpreted against the phase machine
+//     (init → prepared → decided → finished); reordered, missing and
+//     conditionally-skipped barriers are findings. Paths on which the
+//     coordinator is statically known to be nil (the ModeLog
+//     configuration, which is visibility- but not crash-atomic) are
+//     exempt from the decision-barrier obligations.
+//
+//  2. Decide persist schedule. The body of every coordinator Decide
+//     method must persist each decision word before dirtying the next
+//     (the record must never tear), persist every store before the
+//     success return, and drain after the last persist so the decision
+//     has device-level durability before any participant finishes.
+//     Calls to helpers that transitively persist (the cross-package
+//     persist summary) count as barriers.
+package protocheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "protocheck",
+	Doc:  "whole-program 2PC barrier protocol: prepare before decide, decide durable before finish/forget, no aborts after the decision",
+	Run:  run,
+}
+
+// Protocol events, closed transitively over the callgraph.
+const (
+	evPrepare uint64 = 1 << iota
+	evDecide
+	evFinish // CommitPrepared
+	evAbort  // AbortPrepared
+	evForget
+)
+
+// primitive classifies what fn itself does in the protocol, by method
+// name and receiver shape. It must not require a body: cross-package
+// callees may be known only from export data.
+func primitive(fn *types.Func) uint64 {
+	if fn == nil {
+		return 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0
+	}
+	t := sig.Recv().Type()
+	switch fn.Name() {
+	case "Prepare":
+		if summary.HasMethods(t, "Prepare", "CommitPrepared") {
+			return evPrepare
+		}
+	case "CommitPrepared":
+		if summary.HasMethods(t, "Prepare", "CommitPrepared") {
+			return evFinish
+		}
+	case "AbortPrepared":
+		if summary.HasMethods(t, "Prepare", "CommitPrepared") {
+			return evAbort
+		}
+	case "Decide":
+		if summary.HasMethods(t, "Decide", "Forget") {
+			return evDecide
+		}
+	case "Forget":
+		if summary.HasMethods(t, "Decide", "Forget") {
+			return evForget
+		}
+	}
+	return 0
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := summary.Graph(pass.Prog)
+	eff := g.Close(primitive)
+	pe := g.PersistEffects()
+
+	c := &checker{pass: pass, g: g, eff: eff, pe: pe, reported: map[string]bool{}}
+	for _, f := range pass.Prog.Funcs() {
+		if isDecideMethod(f.Obj) {
+			c.checkDecideBody(f)
+		}
+		if c.isDriver(f) {
+			c.checkDriver(f)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.ProgramPass
+	g        *summary.Global
+	eff      map[string]uint64
+	pe       map[string]uint64
+	reported map[string]bool
+}
+
+// report deduplicates: the loop re-walk and the state-set structure can
+// visit one call several times.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%v\x00%s", pos, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+// siteEvents returns the transitive protocol events of one call site:
+// the union, over every resolved callee, of what the callee is and what
+// its body (when in the program) eventually does.
+func (c *checker) siteEvents(pkg *analysis.Package, call *ast.CallExpr) uint64 {
+	var ev uint64
+	for _, fn := range c.g.CalleesAt(pkg, call) {
+		ev |= primitive(fn) | c.eff[fn.FullName()]
+	}
+	return ev
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: driver ordering.
+
+// Phases of the driver state machine.
+const (
+	phInit uint8 = iota
+	phPrepared
+	phDecided
+	phFinished
+)
+
+// Coordinator-nil facts, tracked per path so the ModeLog configuration
+// (no coordinator, no crash-atomicity obligation) is exempt.
+const (
+	coUnknown uint8 = iota
+	coNil
+	coNotNil
+)
+
+type dstate struct {
+	ph uint8
+	co uint8
+}
+
+// isDriver reports whether f orchestrates the protocol itself: it has a
+// call site that prepares without deciding or finishing, and a separate
+// site that decides or finishes without preparing. A workload function
+// whose single Commit call transitively carries every event matches
+// neither shape and is not a driver.
+func (c *checker) isDriver(f *analysis.ProgFunc) bool {
+	hasPrepare, hasResolve := false, false
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev := c.siteEvents(f.Pkg, call)
+		if ev&evPrepare != 0 && ev&(evDecide|evFinish) == 0 {
+			hasPrepare = true
+		}
+		if ev&(evDecide|evFinish) != 0 && ev&evPrepare == 0 {
+			hasResolve = true
+		}
+		return true
+	})
+	return hasPrepare && hasResolve
+}
+
+func (c *checker) checkDriver(f *analysis.ProgFunc) {
+	w := &pathWalker[dstate]{
+		info: f.Pkg.Info,
+		apply: func(call *ast.CallExpr, in stateSet[dstate]) stateSet[dstate] {
+			return c.applyDriverCall(f, call, in)
+		},
+		isEvent: func(call *ast.CallExpr) bool {
+			return c.siteEvents(f.Pkg, call) != 0
+		},
+		refine: func(cond ast.Expr, then bool, in stateSet[dstate]) stateSet[dstate] {
+			return refineCoord(f.Pkg.Info, cond, then, in)
+		},
+		atReturn: func(ret *ast.ReturnStmt, in stateSet[dstate]) {
+			// Only success-shaped returns (no results, or a literal nil
+			// error) promise the caller a committed transaction; error
+			// returns hand the prepared state back to the caller's own
+			// failure handling.
+			pos := f.Decl.End()
+			if ret != nil {
+				pos = ret.Pos()
+				if len(ret.Results) > 0 && !isNil(ret.Results[len(ret.Results)-1]) {
+					return
+				}
+			}
+			for s := range in {
+				if s.ph == phPrepared && s.co != coNil {
+					c.report(pos, "2PC driver returns with participants prepared but no decision recorded or abort — a crash here leaks prepared state that recovery resolves to abort, while the caller believes the commit succeeded")
+					break
+				}
+			}
+		},
+	}
+	w.walkBody(f.Decl.Body, stateSet[dstate]{{ph: phInit, co: coUnknown}: true})
+}
+
+func (c *checker) applyDriverCall(f *analysis.ProgFunc, call *ast.CallExpr, in stateSet[dstate]) stateSet[dstate] {
+	ev := c.siteEvents(f.Pkg, call)
+	if ev == 0 {
+		return in
+	}
+	any := func(pred func(dstate) bool) bool {
+		for s := range in {
+			if pred(s) {
+				return true
+			}
+		}
+		return false
+	}
+	all := func(pred func(dstate) bool) bool {
+		for s := range in {
+			if !pred(s) {
+				return false
+			}
+		}
+		return len(in) > 0
+	}
+
+	if ev&evPrepare != 0 && any(func(s dstate) bool { return s.ph >= phDecided }) {
+		c.report(call.Pos(), "participant prepared after the commit decision was recorded — prepare barriers must all precede Decide")
+	}
+	if ev&evDecide != 0 && all(func(s dstate) bool { return s.ph == phInit }) {
+		c.report(call.Pos(), "commit decision recorded before any participant prepared — a crash after Decide would redo the commit against unprepared participants")
+	}
+	if ev&evFinish != 0 && any(func(s dstate) bool { return s.ph < phDecided && s.co != coNil }) {
+		c.report(call.Pos(), "participant finished before the commit decision is durable — a crash between this finish and Decide commits one shard and presumed-aborts the rest")
+	}
+	if ev&evAbort != 0 && any(func(s dstate) bool { return s.ph >= phDecided }) {
+		c.report(call.Pos(), "prepared participant aborted after the commit decision was recorded — recovery would redo a commit the abort already undid")
+	}
+	if ev&evForget != 0 && len(in) > 0 && all(func(s dstate) bool { return s.ph < phFinished }) {
+		c.report(call.Pos(), "decision record forgotten before every participant finished — a crash now leaves prepared contexts whose gtid recovery can no longer resolve")
+	}
+
+	out := stateSet[dstate]{}
+	for s := range in {
+		ns := s
+		if ev&evAbort != 0 {
+			ns.ph = phInit
+		}
+		if ev&evPrepare != 0 && ns.ph < phPrepared {
+			ns.ph = phPrepared
+		}
+		if ev&evDecide != 0 && ns.ph < phDecided {
+			ns.ph = phDecided
+		}
+		if ev&evFinish != 0 && ns.ph < phFinished {
+			ns.ph = phFinished
+		}
+		out[ns] = true
+	}
+	return out
+}
+
+// refineCoord narrows the per-path coordinator-nil fact through
+// `x != nil` / `x == nil` conditions (and conjunctions containing one)
+// where x is coordinator-shaped. States contradicting the taken branch
+// are filtered out, which is what correlates a later `coord != nil`
+// guard with an earlier one.
+func refineCoord(info *types.Info, cond ast.Expr, then bool, in stateSet[dstate]) stateSet[dstate] {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return refineCoord(info, e.X, !then, in)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if then {
+				// Both conjuncts hold on the then-branch.
+				return refineCoord(info, e.Y, true, refineCoord(info, e.X, true, in))
+			}
+			return in // !(A && B) narrows neither conjunct
+		case token.LOR:
+			if !then {
+				return refineCoord(info, e.Y, false, refineCoord(info, e.X, false, in))
+			}
+			return in
+		case token.NEQ, token.EQL:
+			var x ast.Expr
+			if isNil(e.Y) {
+				x = e.X
+			} else if isNil(e.X) {
+				x = e.Y
+			} else {
+				return in
+			}
+			t := info.TypeOf(x)
+			if t == nil || !summary.HasMethods(t, "Decide", "Forget") {
+				return in
+			}
+			// coordinator != nil holds on: then-branch of NEQ, else of EQL.
+			notNil := then == (e.Op == token.NEQ)
+			out := stateSet[dstate]{}
+			for s := range in {
+				if notNil && s.co == coNil {
+					continue
+				}
+				if !notNil && s.co == coNotNil {
+					continue
+				}
+				ns := s
+				if notNil {
+					ns.co = coNotNil
+				} else {
+					ns.co = coNil
+				}
+				out[ns] = true
+			}
+			return out
+		}
+	}
+	return in
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: the Decide persist schedule.
+
+func isDecideMethod(fn *types.Func) bool {
+	if fn.Name() != "Decide" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return summary.HasMethods(sig.Recv().Type(), "Decide", "Forget")
+}
+
+// pstate models the durability of the decision record being built:
+// how many stored words are still unflushed (pending) or flushed but
+// unfenced (flushed), and whether the last persist still needs a drain
+// for device-level durability.
+type pstate struct {
+	pending   uint8
+	flushed   uint8
+	needDrain bool
+}
+
+func (c *checker) checkDecideBody(f *analysis.ProgFunc) {
+	w := &pathWalker[pstate]{
+		info: f.Pkg.Info,
+		apply: func(call *ast.CallExpr, in stateSet[pstate]) stateSet[pstate] {
+			return c.applyPersistCall(f, call, in)
+		},
+		isEvent: func(call *ast.CallExpr) bool { return false },
+		atReturn: func(ret *ast.ReturnStmt, in stateSet[pstate]) {
+			// Only the success return commits the coordinator to the
+			// decision; error returns may leave arbitrary state.
+			if ret == nil || len(ret.Results) != 1 || !isNil(ret.Results[0]) {
+				return
+			}
+			for s := range in {
+				if s.pending > 0 || s.flushed > 0 {
+					c.report(ret.Pos(), "decision word stored but never persisted before the success return — a crash can lose the decision after participants were told to finish")
+					return
+				}
+			}
+			for s := range in {
+				if s.needDrain {
+					c.report(ret.Pos(), "decision record persisted but not drained before the success return — the decision lacks device-level durability when participants start finishing")
+					return
+				}
+			}
+		},
+	}
+	w.walkBody(f.Decl.Body, stateSet[pstate]{{}: true})
+}
+
+// sitePersist returns the transitive persist effects of one call site.
+func (c *checker) sitePersist(pkg *analysis.Package, call *ast.CallExpr) uint64 {
+	var ev uint64
+	for _, fn := range c.g.CalleesAt(pkg, call) {
+		ev |= summary.PersistPrimitive(fn) | c.pe[fn.FullName()]
+	}
+	return ev
+}
+
+func (c *checker) applyPersistCall(f *analysis.ProgFunc, call *ast.CallExpr, in stateSet[pstate]) stateSet[pstate] {
+	ev := c.sitePersist(f.Pkg, call)
+	if ev == 0 {
+		return in
+	}
+	if ev&summary.EffStore != 0 {
+		for s := range in {
+			if s.pending+s.flushed >= 1 {
+				c.report(call.Pos(), "second decision word stored while the first is not yet persisted — the record can tear; persist each word before dirtying the next")
+				break
+			}
+		}
+	}
+	out := stateSet[pstate]{}
+	for s := range in {
+		ns := s
+		if ev&summary.EffStore != 0 && ns.pending < 2 {
+			ns.pending++
+		}
+		if ev&summary.EffFlush != 0 {
+			if ns.flushed+ns.pending > 2 {
+				ns.flushed = 2
+			} else {
+				ns.flushed += ns.pending
+			}
+			ns.pending = 0
+		}
+		if ev&summary.EffPersist != 0 {
+			ns.pending, ns.flushed, ns.needDrain = 0, 0, true
+		}
+		if ev&summary.EffFence != 0 {
+			if ns.flushed > 0 {
+				ns.needDrain = true
+			}
+			ns.flushed = 0
+		}
+		if ev&summary.EffDrain != 0 {
+			ns.flushed = 0
+			ns.needDrain = false
+		}
+		out[ns] = true
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package protocheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/protocheck"
+)
+
+func TestFixture(t *testing.T) {
+	analysis.FixtureProgram(t, analysis.FixtureDir(),
+		[]*analysis.ProgramAnalyzer{protocheck.Analyzer}, "./twopc")
+}
+
+// TestRealTreeRecognizesDriver pins the whole-program wiring against
+// the real module: the cross-shard commit path and the coordinator's
+// Decide must be recognized (a silent loss of driver detection would
+// let the protocol rot unchecked), and the real tree must be clean.
+func TestRealTreeRecognizesDriver(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./internal/shard")
+	if err != nil {
+		t.Fatalf("loading internal/shard: %v", err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	if prog.FuncNamed("(*hyrisenv/internal/shard.Coordinator).Decide") == nil {
+		t.Fatalf("whole-program index is missing Coordinator.Decide")
+	}
+	res, err := analysis.RunProgram(prog, []*analysis.ProgramAnalyzer{protocheck.Analyzer})
+	if err != nil {
+		t.Fatalf("running protocheck: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected finding on the real tree: %s", d)
+	}
+}

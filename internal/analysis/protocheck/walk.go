@@ -1,0 +1,263 @@
+package protocheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// stateSet is a finite set of abstract states: one element per
+// distinguishable execution path through the function so far. Keeping a
+// *set* (instead of joining into one lattice value) is what lets the
+// checks correlate facts across branches — a state that took the
+// `coord == nil` branch stays separate from one that recorded a
+// decision, so the ModeLog no-coordinator path never pollutes the
+// crash-atomic path with false positives.
+type stateSet[S comparable] map[S]bool
+
+func union[S comparable](a, b stateSet[S]) stateSet[S] {
+	out := stateSet[S]{}
+	for s := range a {
+		out[s] = true
+	}
+	for s := range b {
+		out[s] = true
+	}
+	return out
+}
+
+// pathWalker evaluates one function body over a stateSet,
+// path-sensitively. It is an abstract interpreter over the statement
+// shapes that appear on commit paths, with three deliberate
+// approximations:
+//
+//   - loops execute at least once (once and twice are both walked, so
+//     loop-carried phase transitions are observed; the zero-iteration
+//     path is excluded because prepare/finish loops run over the writer
+//     set, which the surrounding code guarantees non-empty);
+//   - `go` statements and defers are not modeled (their bodies run at
+//     an unknown point in the barrier order);
+//   - function literals are opaque (calls inside them are attributed to
+//     nothing).
+//
+// The err-check idiom `if err := x.Call(...); err != nil { ... }` is
+// modeled precisely when isEvent(call) holds: the then-branch sees the
+// pre-call states (the call failed, so its durable effect must be
+// assumed absent) while the fall-through sees the post-call states.
+type pathWalker[S comparable] struct {
+	info *types.Info
+
+	// apply runs the checks for one call against the incoming states
+	// and returns the transformed states. It is invoked exactly once
+	// per syntactic visit of the call.
+	apply func(call *ast.CallExpr, in stateSet[S]) stateSet[S]
+	// isEvent reports whether call warrants err-shape failure modeling.
+	isEvent func(call *ast.CallExpr) bool
+	// refine filters/updates states entering a branch guarded by cond
+	// (then reports which arm). nil means no condition refinement.
+	refine func(cond ast.Expr, then bool, in stateSet[S]) stateSet[S]
+	// atReturn runs the end-of-path checks. The return's result
+	// expressions have already been applied.
+	atReturn func(ret *ast.ReturnStmt, in stateSet[S])
+}
+
+// walkBody interprets the whole body and runs atReturn(nil) checks on
+// the implicit fall-off-the-end return, when any path reaches it.
+func (w *pathWalker[S]) walkBody(body *ast.BlockStmt, in stateSet[S]) {
+	out := w.stmt(body, in)
+	if len(out) > 0 && w.atReturn != nil {
+		w.atReturn(nil, out)
+	}
+}
+
+// exprCalls applies every call expression syntactically inside e, in
+// traversal order, skipping function literals.
+func (w *pathWalker[S]) exprCalls(e ast.Expr, in stateSet[S]) stateSet[S] {
+	if e == nil {
+		return in
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	for _, call := range calls {
+		in = w.apply(call, in)
+	}
+	return in
+}
+
+// stmt returns the fall-through states of s; an empty set means no path
+// falls through (every path returned, panicked or branched away).
+func (w *pathWalker[S]) stmt(s ast.Stmt, in stateSet[S]) stateSet[S] {
+	if len(in) == 0 || s == nil {
+		return in
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			in = w.stmt(st, in)
+		}
+		return in
+	case *ast.ExprStmt:
+		return w.exprCalls(s.X, in)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			in = w.exprCalls(r, in)
+		}
+		return in
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						in = w.exprCalls(v, in)
+					}
+				}
+			}
+		}
+		return in
+	case *ast.IfStmt:
+		return w.ifStmt(s, in)
+	case *ast.ForStmt:
+		in = w.stmt(s.Init, in)
+		in = w.exprCalls(s.Cond, in)
+		return w.loop(s.Body, in)
+	case *ast.RangeStmt:
+		in = w.exprCalls(s.X, in)
+		return w.loop(s.Body, in)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			in = w.exprCalls(r, in)
+		}
+		if w.atReturn != nil {
+			w.atReturn(s, in)
+		}
+		return stateSet[S]{}
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; the loop re-walk
+		// covers the states they carry.
+		return stateSet[S]{}
+	case *ast.SwitchStmt:
+		in = w.stmt(s.Init, in)
+		in = w.exprCalls(s.Tag, in)
+		return w.clauses(s.Body, in)
+	case *ast.TypeSwitchStmt:
+		in = w.stmt(s.Init, in)
+		return w.clauses(s.Body, in)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, in)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, in)
+	case *ast.GoStmt, *ast.DeferStmt:
+		return in
+	default:
+		return in
+	}
+}
+
+// loop walks a loop body from in once and then once more from the first
+// pass's fall-through (plus in, for paths that branch back early), so
+// loop-carried state transitions are observed. The union of both
+// passes' fall-throughs is the loop's out-state; the zero-iteration
+// path is deliberately excluded (see the pathWalker contract).
+func (w *pathWalker[S]) loop(body *ast.BlockStmt, in stateSet[S]) stateSet[S] {
+	once := w.stmt(body, in)
+	twice := w.stmt(body, union(once, in))
+	return union(once, twice)
+}
+
+// clauses joins every clause body of a switch/select; a missing default
+// keeps the incoming states as an extra fall-through arm.
+func (w *pathWalker[S]) clauses(body *ast.BlockStmt, in stateSet[S]) stateSet[S] {
+	out := stateSet[S]{}
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				in = w.exprCalls(e, in)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		}
+		arm := in
+		for _, st := range stmts {
+			arm = w.stmt(st, arm)
+		}
+		out = union(out, arm)
+	}
+	if !hasDefault {
+		out = union(out, in)
+	}
+	return out
+}
+
+func (w *pathWalker[S]) ifStmt(s *ast.IfStmt, in stateSet[S]) stateSet[S] {
+	// The err-check idiom around a protocol event call.
+	if as, ok := s.Init.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok &&
+			w.isEvent != nil && w.isEvent(call) && isErrNotNil(w.info, s.Cond, as.Lhs[0]) {
+			fallIn := w.apply(call, in) // checks run once, against pre-call states
+			thenOut := w.stmt(s.Body, in)
+			elseOut := fallIn
+			if s.Else != nil {
+				elseOut = w.stmt(s.Else, fallIn)
+			}
+			return union(thenOut, elseOut)
+		}
+	}
+	in = w.stmt(s.Init, in)
+	in = w.exprCalls(s.Cond, in)
+	thenIn, elseIn := in, in
+	if w.refine != nil {
+		thenIn = w.refine(s.Cond, true, in)
+		elseIn = w.refine(s.Cond, false, in)
+	}
+	thenOut := w.stmt(s.Body, thenIn)
+	elseOut := elseIn
+	if s.Else != nil {
+		elseOut = w.stmt(s.Else, elseIn)
+	}
+	return union(thenOut, elseOut)
+}
+
+// isErrNotNil reports whether cond is `e != nil` for the identifier
+// assigned by lhs.
+func isErrNotNil(info *types.Info, cond ast.Expr, lhs ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	lid, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	x, ok := ast.Unparen(be.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	y, ok := ast.Unparen(be.Y).(*ast.Ident)
+	if !ok || y.Name != "nil" {
+		return false
+	}
+	xo := info.Uses[x]
+	lo := info.Defs[lid]
+	if lo == nil {
+		lo = info.Uses[lid]
+	}
+	return xo != nil && xo == lo
+}

@@ -126,7 +126,9 @@ func (g *Graph) walkBody(fc *fctx, body *ast.BlockStmt) {
 			ch := g.genExpr(fc, n.Chan)
 			val := g.genExpr(fc, n.Value)
 			g.stores = append(g.stores, storec{dst: ch, field: "[*]", src: val})
-			g.sinks = append(g.sinks, val)
+			if val >= 0 {
+				g.sinks = append(g.sinks, val)
+			}
 			return false
 		case *ast.GoStmt:
 			g.genExpr(fc, n.Call)
@@ -151,16 +153,18 @@ func (g *Graph) walkBody(fc *fctx, body *ast.BlockStmt) {
 // sinkCall marks a goroutine call's function and arguments as escape
 // sinks: the spawned goroutine outlives the frame.
 func (g *Graph) sinkCall(call *ast.CallExpr) {
-	if n, ok := g.exprNodes[ast.Unparen(call.Fun)]; ok {
+	// exprNodes caches -1 for expressions with no pointer structure (a
+	// literal argument, say), so presence in the map is not enough.
+	if n, ok := g.exprNodes[ast.Unparen(call.Fun)]; ok && n >= 0 {
 		g.sinks = append(g.sinks, n)
 	}
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if n, ok := g.exprNodes[sel.X]; ok {
+		if n, ok := g.exprNodes[sel.X]; ok && n >= 0 {
 			g.sinks = append(g.sinks, n)
 		}
 	}
 	for _, a := range call.Args {
-		if n, ok := g.exprNodes[a]; ok {
+		if n, ok := g.exprNodes[a]; ok && n >= 0 {
 			g.sinks = append(g.sinks, n)
 		}
 	}

@@ -269,3 +269,38 @@ func TestStats(t *testing.T) {
 		t.Errorf("alloc site counts inconsistent: %+v", s)
 	}
 }
+
+// TestGoLaunchResolved pins goroutine launches as dynamic call edges:
+// `go fv(...)` through a stored function value must resolve exactly like
+// a synchronous indirect call — the whole-program callgraph (and with
+// it protocheck/recoverycheck reachability) depends on these edges.
+func TestGoLaunchResolved(t *testing.T) {
+	g, pkg := loadGraph(t)
+	names := calleeNames(g, pkg, fnDecl(t, pkg, "goLaunch"))
+	found := false
+	for n := range names {
+		if strings.Contains(n, "persistHelper") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("go-statement function-value call unresolved: callees=%v", names)
+	}
+}
+
+// TestGoMethodValueResolved pins the method-value-with-bound-receiver
+// form of a goroutine launch: `persist := h.Persist; go persist(...)`
+// must produce a call edge to Heap.Persist.
+func TestGoMethodValueResolved(t *testing.T) {
+	g, pkg := loadGraph(t)
+	names := calleeNames(g, pkg, fnDecl(t, pkg, "goBound"))
+	found := false
+	for n := range names {
+		if strings.Contains(n, "Persist") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("go-statement method-value call unresolved: callees=%v", names)
+	}
+}

@@ -1,0 +1,285 @@
+// Package recoverycheck verifies commit/recovery symmetry
+// whole-program: every durable field written on a commit path must be
+// reachable by some recovery or fsck read path, and every field a
+// recovery path reads must be written somewhere. A commit-only field is
+// a dead durable write — bytes paid for on the commit critical path
+// that restart never consumes, or (worse) state recovery silently fails
+// to rebuild. A recovery-only field is read-of-never-persisted — the
+// restart path consulting memory nothing ever initializes, the exact
+// shape of the seeded crosscheck_deadfield bug.
+//
+// Durable fields are identified by the named offset constants occurring
+// in the address expression of a heap access (h.PutU64(p.Add(coSlotCID),
+// v) keys the field {coOffSlots, coSlotSize, coSlotCID} through the
+// intra-function provenance of p), the repo's universal idiom for NVM
+// layout. Accesses whose addresses carry no module constant — opaque
+// pointers threaded through pstruct containers — are outside the
+// field model and ignored; the pstruct containers have their own
+// analyzers and fsck coverage.
+//
+// Path classification is whole-program reachability over the resolved
+// callgraph (summary.Graph over the points-to layer): commit paths are
+// the closure from Commit/CommitPrepared/Prepare/Decide/Forget/
+// Checkpoint methods, recovery paths the closure from functions named
+// like open*/recover*/fsck*/check*. A function reachable from both —
+// a creation path called under Open, say — contributes its writes and
+// reads to both sides, which only ever suppresses findings, never
+// invents them.
+package recoverycheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "recoverycheck",
+	Doc:  "commit/recovery symmetry: durable fields written on commit paths must be read on recovery paths, and recovery must never read fields nothing persists",
+	Run:  run,
+}
+
+// Heap accessor classification: the address is always the first
+// argument.
+var (
+	writeMethods = map[string]bool{"SetU64": true, "PutU64": true, "PutU32": true, "CasU64": true}
+	readMethods  = map[string]bool{"GetU64": true, "U64": true, "GetU32": true}
+)
+
+func isCommitRoot(f *analysis.ProgFunc) bool {
+	switch f.Obj.Name() {
+	case "Commit", "CommitPrepared", "Prepare", "Decide", "Forget", "Checkpoint":
+		return true
+	}
+	return false
+}
+
+func isRecoveryRoot(f *analysis.ProgFunc) bool {
+	name := strings.ToLower(f.Obj.Name())
+	for _, prefix := range []string{"open", "recover", "fsck", "check"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// An access is one heap read or write whose address expression carries
+// at least one named constant.
+type access struct {
+	pos   token.Pos
+	fn    string // short function name, for the message
+	write bool
+}
+
+type fieldInfo struct {
+	commitWrite   *access // earliest write on a commit path
+	recoveryRead  *access // earliest read on a recovery path
+	anyWrite      bool
+	anyRead       bool
+	recoveryWrite bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := summary.Graph(pass.Prog)
+	commitSide := g.Reach(isCommitRoot)
+	recoverySide := g.Reach(isRecoveryRoot)
+
+	fields := map[string]*fieldInfo{}
+	field := func(key string) *fieldInfo {
+		fi := fields[key]
+		if fi == nil {
+			fi = &fieldInfo{}
+			fields[key] = fi
+		}
+		return fi
+	}
+	before := func(a, b *access) bool { return b == nil || a.pos < b.pos }
+
+	// Every declared function is scanned: the any-write/any-read facts
+	// must cover ordinary runtime mutators (a hash-table Put writing
+	// node fields, say) that are on neither the commit nor the recovery
+	// closure — otherwise rule 2 would flag every recovery read of a
+	// field that only steady-state operations write.
+	for _, f := range pass.Prog.Funcs() {
+		name := f.FullName()
+		onCommit := commitSide[name]
+		onRecovery := recoverySide[name]
+		prov := constProvenance(f)
+		short := f.Obj.Name()
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			write, ok := classifyHeapAccess(f.Pkg.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			keys := map[string]bool{}
+			constsOf(f.Pkg.Info, call.Args[0], prov, keys)
+			if len(keys) == 0 {
+				return true
+			}
+			a := &access{pos: call.Pos(), fn: short, write: write}
+			for key := range keys {
+				fi := field(key)
+				if write {
+					fi.anyWrite = true
+					if onRecovery {
+						fi.recoveryWrite = true
+					}
+					if onCommit && before(a, fi.commitWrite) {
+						fi.commitWrite = a
+					}
+				} else {
+					fi.anyRead = true
+					if onRecovery && before(a, fi.recoveryRead) {
+						fi.recoveryRead = a
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	keys := make([]string, 0, len(fields))
+	for key := range fields {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fi := fields[key]
+		short := key[strings.LastIndexByte(key, '.')+1:]
+		if fi.commitWrite != nil && fi.recoveryRead == nil && !fi.recoveryWrite {
+			pass.Reportf(fi.commitWrite.pos,
+				"durable field keyed by %s is written on the commit path (%s) but no recovery/fsck path ever reads it — dead durable write, or recovery silently fails to rebuild this state (%s)",
+				short, fi.commitWrite.fn, key)
+		}
+		if fi.recoveryRead != nil && !fi.anyWrite {
+			pass.Reportf(fi.recoveryRead.pos,
+				"recovery path (%s) reads durable field keyed by %s that no path ever writes — the field is never persisted, so recovery consumes uninitialized memory (%s)",
+				fi.recoveryRead.fn, short, key)
+		}
+	}
+	return nil
+}
+
+// classifyHeapAccess reports whether call is a keyed heap write or read
+// (write=true/false) on the nvm.Heap receiver.
+func classifyHeapAccess(info *types.Info, call *ast.CallExpr) (write, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false, false
+	}
+	recv := analysis.ReceiverType(info, call)
+	if recv == nil || !analysis.NamedFrom(recv, "nvm", "Heap") {
+		return false, false
+	}
+	switch {
+	case writeMethods[sel.Sel.Name]:
+		return true, true
+	case readMethods[sel.Sel.Name]:
+		return false, true
+	}
+	return false, false
+}
+
+// constProvenance computes, flow-insensitively, which named constants
+// each local variable's value was built from: `p := c.root.Add(coOffSlots
+// + i*coSlotSize)` gives p the keys {coOffSlots, coSlotSize}, and a
+// later h.PutU64(p.Add(coSlotCID), v) unions in coSlotCID. The fixpoint
+// follows chains of locals (q := p.Add(...)).
+func constProvenance(f *analysis.ProgFunc) map[types.Object]map[string]bool {
+	prov := map[types.Object]map[string]bool{}
+	assign := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := f.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = f.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		keys := map[string]bool{}
+		constsOf(f.Pkg.Info, rhs, prov, keys)
+		changed := false
+		for key := range keys {
+			if prov[obj] == nil {
+				prov[obj] = map[string]bool{}
+			}
+			if !prov[obj][key] {
+				prov[obj][key] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						changed = assign(n.Lhs[i], n.Rhs[i]) || changed
+					}
+				} else {
+					for _, lhs := range n.Lhs {
+						for _, rhs := range n.Rhs {
+							changed = assign(lhs, rhs) || changed
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						changed = assign(name, n.Values[i]) || changed
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return prov
+}
+
+// constsOf collects into out the identities (pkgpath.Name) of the named
+// constants syntactically reachable from e, following local-variable
+// provenance one level per lookup.
+func constsOf(info *types.Info, e ast.Expr, prov map[types.Object]map[string]bool, out map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		switch obj := obj.(type) {
+		case *types.Const:
+			if obj.Pkg() != nil {
+				out[fmt.Sprintf("%s.%s", obj.Pkg().Path(), obj.Name())] = true
+			}
+		case *types.Var:
+			for key := range prov[obj] {
+				out[key] = true
+			}
+		}
+		return true
+	})
+}

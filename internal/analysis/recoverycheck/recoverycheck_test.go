@@ -1,0 +1,59 @@
+package recoverycheck_test
+
+import (
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/recoverycheck"
+)
+
+func TestFixture(t *testing.T) {
+	analysis.FixtureProgram(t, analysis.FixtureDir(),
+		[]*analysis.ProgramAnalyzer{recoverycheck.Analyzer}, "./recovery")
+}
+
+// TestRealShardTreeClean pins the analyzer against the real coordinator:
+// the {gtid, cid} decision slots and the high-water mark are written on
+// commit paths and read back by recovery, so the shard package must be
+// symmetric. The seeded crosscheck_deadfield variant (loaded by the
+// crashtest harness under that build tag) breaks exactly this.
+// TestNvmFsckSuppressionLoadBearing proves the //nvmcheck:ignore in the
+// nvm arena walk (fsck.go) still absorbs real findings: the analyzer
+// must raise the cursor-provenance reads (so the suppression is not
+// stale) and the reasoned comment must filter all of them (so the
+// whole-program run stays clean).
+func TestNvmFsckSuppressionLoadBearing(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./internal/nvm")
+	if err != nil {
+		t.Fatalf("loading internal/nvm: %v", err)
+	}
+	res, err := analysis.RunProgram(analysis.NewProgram(pkgs),
+		[]*analysis.ProgramAnalyzer{recoverycheck.Analyzer})
+	if err != nil {
+		t.Fatalf("running recoverycheck: %v", err)
+	}
+	if res.Raw["recoverycheck"] == 0 {
+		t.Errorf("arena-walk suppression is stale: the analyzer no longer raises any finding in internal/nvm")
+	}
+	if res.Suppressed["recoverycheck"] != res.Raw["recoverycheck"] {
+		t.Errorf("suppression absorbed %d of %d findings", res.Suppressed["recoverycheck"], res.Raw["recoverycheck"])
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected surviving finding: %s", d)
+	}
+}
+
+func TestRealShardTreeClean(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "./internal/shard")
+	if err != nil {
+		t.Fatalf("loading internal/shard: %v", err)
+	}
+	res, err := analysis.RunProgram(analysis.NewProgram(pkgs),
+		[]*analysis.ProgramAnalyzer{recoverycheck.Analyzer})
+	if err != nil {
+		t.Fatalf("running recoverycheck: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("unexpected finding on the real tree: %s", d)
+	}
+}

@@ -1,0 +1,100 @@
+package summary_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"hyrisenv/internal/analysis"
+	"hyrisenv/internal/analysis/summary"
+)
+
+func loadGlobal(t *testing.T) (*summary.Global, *analysis.Program) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.FixtureDir(), "./twopc", "./nvm")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	return summary.Graph(prog), prog
+}
+
+// TestCrossPackageEdges pins that the callgraph crosses the package
+// boundary: the twopc fixture's Decide calls into the fix/nvm stub, and
+// the edge must name the export-data callee by full name.
+func TestCrossPackageEdges(t *testing.T) {
+	g, _ := loadGlobal(t)
+	callees := g.Callees("(*fix/twopc.Coord).Decide")
+	var putU64, persist bool
+	for _, c := range callees {
+		if strings.Contains(c, "nvm.Heap).PutU64") {
+			putU64 = true
+		}
+		if strings.Contains(c, "nvm.Heap).Persist") {
+			persist = true
+		}
+	}
+	if !putU64 || !persist {
+		t.Errorf("cross-package edges missing from Decide: callees=%v", callees)
+	}
+}
+
+// TestPersistEffectClosure pins the bottom-up effect propagation:
+// CoordDelegated.Decide persists only through the persistWord helper,
+// so its summary must carry the flush/fence/drain effects transitively.
+func TestPersistEffectClosure(t *testing.T) {
+	g, _ := loadGlobal(t)
+	eff := g.PersistEffects()
+	direct := eff["(*fix/twopc.Coord).Decide"]
+	if direct&summary.EffPersist == 0 || direct&summary.EffStore == 0 {
+		t.Errorf("direct Decide effects incomplete: %b", direct)
+	}
+	delegated := eff["(*fix/twopc.CoordDelegated).Decide"]
+	if delegated&summary.EffPersist == 0 {
+		t.Errorf("persist effect did not propagate through the helper: %b", delegated)
+	}
+	helper := eff["fix/twopc.persistWord"]
+	if helper&summary.EffPersist == 0 {
+		t.Errorf("helper itself has no persist effect: %b", helper)
+	}
+}
+
+// TestReach pins the transitive closure used for commit/recovery path
+// classification: everything the commitGood driver calls — across the
+// package boundary included — is reachable from it.
+func TestReach(t *testing.T) {
+	g, _ := loadGlobal(t)
+	reach := g.Reach(func(f *analysis.ProgFunc) bool {
+		return f.FullName() == "(*fix/twopc.Eng).commitGood"
+	})
+	for _, want := range []string{
+		"(*fix/twopc.Eng).commitGood",
+		"(*fix/twopc.Coord).Decide",
+		"(*fix/twopc.Part).Prepare",
+	} {
+		if !reach[want] {
+			t.Errorf("%s not reachable from commitGood; reach=%v", want, reach)
+		}
+	}
+	if reach["(*fix/twopc.Eng).commitSwapped"] {
+		t.Error("unrelated driver commitSwapped is reachable from commitGood")
+	}
+}
+
+// TestHasMethods pins the structural role recognition protocheck uses:
+// a coordinator is any type with Decide and Forget, regardless of
+// pointerness.
+func TestHasMethods(t *testing.T) {
+	_, prog := loadGlobal(t)
+	coord := prog.FuncNamed("(*fix/twopc.Coord).Decide")
+	if coord == nil {
+		t.Fatal("Coord.Decide not in program")
+	}
+	recv := coord.Obj.Type().(*types.Signature).Recv().Type()
+	if !summary.HasMethods(recv, "Decide", "Forget") {
+		t.Error("Coord not recognized as Decide+Forget-shaped")
+	}
+	if summary.HasMethods(recv, "Decide", "NoSuchMethod") {
+		t.Error("HasMethods invented a method")
+	}
+}

@@ -102,3 +102,19 @@ func publishChain(h *nvm.Heap) {
 	h.Persist(root, 16)
 	h.SetRoot(0, root)
 }
+
+// goLaunch fires a stored function value on a goroutine: the launch is
+// a dynamic call edge and must resolve to persistHelper even though the
+// callee never runs on the spawning frame.
+func goLaunch(h *nvm.Heap, p nvm.PPtr) {
+	fv := persistHelper
+	go fv(h, p)
+}
+
+// goBound launches a method value whose receiver was bound at capture
+// time: the goroutine's call edge must resolve to Heap.Persist through
+// the bound receiver.
+func goBound(h *nvm.Heap, p nvm.PPtr) {
+	persist := h.Persist
+	go persist(p, 8)
+}

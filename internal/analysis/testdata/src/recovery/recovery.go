@@ -1,0 +1,54 @@
+// Package recovery is the recoverycheck fixture: a durable store whose
+// commit path writes three fields and whose recovery path reads a
+// different, overlapping set — the symmetric field is clean, the
+// commit-only field is a dead durable write, the recovery-only field is
+// a read of never-persisted memory.
+package recovery
+
+import "fix/nvm"
+
+const (
+	offStamp  = 0  // written at commit, read at recovery: symmetric
+	offDead   = 8  // written at commit, never read anywhere
+	offGhost  = 16 // read at recovery, never written anywhere
+	offHeader = 24 // written at creation (open path), read at recovery
+	slotSize  = 32
+)
+
+// Store is a minimal durable structure.
+type Store struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+// Open creates or attaches the store; the creation write of offHeader
+// makes that field recovery-side-written, which must satisfy the
+// never-persisted rule.
+func Open(h *nvm.Heap) (*Store, error) {
+	s := &Store{h: h}
+	s.h.PutU64(s.root.Add(offHeader), 1)
+	s.h.Persist(s.root.Add(offHeader), 8)
+	s.recoverSlots()
+	return s, nil
+}
+
+// Commit persists one slot. The offDead write survives a crash but no
+// recovery path ever consumes it.
+func (s *Store) Commit(slot, v uint64) error {
+	p := s.root.Add(slotSize * slot)
+	s.h.PutU64(p.Add(offStamp), v)
+	s.h.Persist(p.Add(offStamp), 8)
+	s.h.PutU64(p.Add(offDead), v) // want `durable field keyed by offDead is written on the commit path \(Commit\) but no recovery/fsck path ever reads it`
+	s.h.Persist(p.Add(offDead), 8)
+	s.h.Drain()
+	return nil
+}
+
+// recoverSlots rebuilds volatile state. The offGhost read consults a
+// field nothing ever writes.
+func (s *Store) recoverSlots() {
+	_ = s.h.GetU64(s.root.Add(offHeader))
+	p := s.root.Add(slotSize)
+	_ = s.h.GetU64(p.Add(offStamp))
+	_ = s.h.GetU64(p.Add(offGhost)) // want `recovery path \(recoverSlots\) reads durable field keyed by offGhost that no path ever writes`
+}

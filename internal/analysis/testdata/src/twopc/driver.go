@@ -1,0 +1,183 @@
+package twopc
+
+import "errors"
+
+// Eng drives the protocol over a writer set; this file exercises the
+// driver phase machine.
+type Eng struct {
+	c     *Coord
+	parts []*Part
+}
+
+// commitGood is the correct schedule, in exactly the real engine's
+// shape: prepare loop with abort-and-return on failure, decide under a
+// coordinator nil-check with abort-on-error, finish loop, forget.
+func (e *Eng) commitGood(gtid, cid uint64) error {
+	for i, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			for _, q := range e.parts[:i] {
+				q.AbortPrepared()
+			}
+			return err
+		}
+	}
+	if e.c != nil {
+		if err := e.c.Decide(gtid, cid); err != nil {
+			for _, p := range e.parts {
+				p.AbortPrepared()
+			}
+			return err
+		}
+	}
+	var errs []error
+	for _, p := range e.parts {
+		if err := p.CommitPrepared(cid); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if e.c != nil && len(errs) == 0 {
+		e.c.Forget(gtid)
+	}
+	return errors.Join(errs...)
+}
+
+// commitSwapped records the decision before any participant prepared.
+func (e *Eng) commitSwapped(gtid, cid uint64) error {
+	if err := e.c.Decide(gtid, cid); err != nil { // want `commit decision recorded before any participant prepared`
+		return err
+	}
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil { // want `participant prepared after the commit decision was recorded`
+			return err
+		}
+	}
+	for _, p := range e.parts {
+		p.CommitPrepared(cid)
+	}
+	e.c.Forget(gtid)
+	return nil
+}
+
+// commitEarlyFinish finishes participants before the decision exists.
+func (e *Eng) commitEarlyFinish(gtid, cid uint64) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.parts {
+		p.CommitPrepared(cid) // want `participant finished before the commit decision is durable`
+	}
+	if err := e.c.Decide(gtid, cid); err != nil {
+		return err
+	}
+	e.c.Forget(gtid)
+	return nil
+}
+
+// commitSkipDecide records the decision only under an unrelated
+// condition — on the other path participants finish undurably.
+func (e *Eng) commitSkipDecide(gtid, cid uint64, fast bool) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	if !fast {
+		if err := e.c.Decide(gtid, cid); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.parts {
+		p.CommitPrepared(cid) // want `participant finished before the commit decision is durable`
+	}
+	return nil
+}
+
+// commitForgetEarly drops the decision record while participants are
+// still finishing against it.
+func (e *Eng) commitForgetEarly(gtid, cid uint64) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	if err := e.c.Decide(gtid, cid); err != nil {
+		return err
+	}
+	e.c.Forget(gtid) // want `decision record forgotten before every participant finished`
+	for _, p := range e.parts {
+		p.CommitPrepared(cid)
+	}
+	return nil
+}
+
+// commitAbortAfterDecide rolls back prepared participants after the
+// decision was durably recorded.
+func (e *Eng) commitAbortAfterDecide(gtid, cid uint64, undo bool) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	if err := e.c.Decide(gtid, cid); err != nil {
+		return err
+	}
+	if undo {
+		for _, p := range e.parts {
+			p.AbortPrepared() // want `prepared participant aborted after the commit decision was recorded`
+		}
+		return nil
+	}
+	for _, p := range e.parts {
+		p.CommitPrepared(cid)
+	}
+	return nil
+}
+
+// commitAbandon returns success on a path that prepared participants
+// but never decided or aborted.
+func (e *Eng) commitAbandon(gtid, cid uint64, bail bool) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	if bail {
+		return nil // want `2PC driver returns with participants prepared but no decision recorded or abort`
+	}
+	if err := e.c.Decide(gtid, cid); err != nil {
+		return err
+	}
+	for _, p := range e.parts {
+		p.CommitPrepared(cid)
+	}
+	e.c.Forget(gtid)
+	return nil
+}
+
+// commitMaybeLog pins the ModeLog exemption: when the coordinator is
+// statically nil on a path, finishing without a durable decision is the
+// documented visibility-atomic (not crash-atomic) configuration and
+// must not be flagged.
+func (e *Eng) commitMaybeLog(gtid, cid uint64) error {
+	for _, p := range e.parts {
+		if err := p.Prepare(gtid); err != nil {
+			return err
+		}
+	}
+	if e.c != nil {
+		if err := e.c.Decide(gtid, cid); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.parts {
+		if err := p.CommitPrepared(cid); err != nil {
+			return err
+		}
+	}
+	if e.c != nil {
+		e.c.Forget(gtid)
+	}
+	return nil
+}

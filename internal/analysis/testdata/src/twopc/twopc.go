@@ -1,0 +1,122 @@
+// Package twopc is the protocheck fixture: stub participants and
+// coordinators exercising good and broken 2PC barrier schedules. Role
+// recognition is structural (method-set shapes), so these stubs match
+// exactly as the real shard/txn types do.
+package twopc
+
+import "fix/nvm"
+
+// Part is participant-shaped: it has Prepare and CommitPrepared.
+type Part struct{ h *nvm.Heap }
+
+func (p *Part) Prepare(gtid uint64) error       { return nil }
+func (p *Part) CommitPrepared(cid uint64) error { return nil }
+func (p *Part) AbortPrepared()                  {}
+func (p *Part) Abort()                          {}
+func (p *Part) Commit() error                   { return nil }
+
+// Coord is coordinator-shaped: it has Decide and Forget. Its Decide
+// follows the correct persist schedule: each word persisted before the
+// next is dirtied, and a drain before the success return.
+type Coord struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+const (
+	slotGTID = 0
+	slotCID  = 8
+)
+
+func (c *Coord) Decide(gtid, cid uint64) error {
+	p := c.root
+	c.h.PutU64(p.Add(slotCID), cid)
+	c.h.Persist(p.Add(slotCID), 8)
+	c.h.PutU64(p.Add(slotGTID), gtid)
+	c.h.Persist(p.Add(slotGTID), 8)
+	c.h.Drain()
+	return nil
+}
+
+func (c *Coord) Forget(gtid uint64) {
+	c.h.PutU64(c.root.Add(slotGTID), 0)
+	c.h.Persist(c.root.Add(slotGTID), 8)
+}
+
+func (c *Coord) NextGTID() uint64 { return 1 }
+
+// persistWord is a helper with a transitive persist effect; Decide
+// bodies delegating their barriers through it must still check out.
+func persistWord(h *nvm.Heap, p nvm.PPtr, v uint64) {
+	h.PutU64(p, v)
+	h.Persist(p, 8)
+}
+
+// CoordDelegated persists through the helper — clean.
+type CoordDelegated struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+func (c *CoordDelegated) Decide(gtid, cid uint64) error {
+	persistWord(c.h, c.root.Add(slotCID), cid)
+	persistWord(c.h, c.root.Add(slotGTID), gtid)
+	c.h.Drain()
+	return nil
+}
+
+func (c *CoordDelegated) Forget(gtid uint64) {}
+
+// CoordNoPersist stores the gtid word — the word that publishes the
+// decision — without persisting it before the success return.
+type CoordNoPersist struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+func (c *CoordNoPersist) Decide(gtid, cid uint64) error {
+	p := c.root
+	c.h.PutU64(p.Add(slotCID), cid)
+	c.h.Persist(p.Add(slotCID), 8)
+	c.h.PutU64(p.Add(slotGTID), gtid)
+	c.h.Drain()
+	return nil // want `decision word stored but never persisted before the success return`
+}
+
+func (c *CoordNoPersist) Forget(gtid uint64) {}
+
+// CoordTear dirties both decision words before persisting either: a
+// crash between the two persists can tear the record.
+type CoordTear struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+func (c *CoordTear) Decide(gtid, cid uint64) error {
+	p := c.root
+	c.h.PutU64(p.Add(slotCID), cid)
+	c.h.PutU64(p.Add(slotGTID), gtid) // want `second decision word stored while the first is not yet persisted`
+	c.h.Persist(p.Add(slotCID), 16)
+	c.h.Drain()
+	return nil
+}
+
+func (c *CoordTear) Forget(gtid uint64) {}
+
+// CoordNoDrain persists but never drains: the decision lacks
+// device-level durability when Decide returns success.
+type CoordNoDrain struct {
+	h    *nvm.Heap
+	root nvm.PPtr
+}
+
+func (c *CoordNoDrain) Decide(gtid, cid uint64) error {
+	p := c.root
+	c.h.PutU64(p.Add(slotCID), cid)
+	c.h.Persist(p.Add(slotCID), 8)
+	c.h.PutU64(p.Add(slotGTID), gtid)
+	c.h.Persist(p.Add(slotGTID), 8)
+	return nil // want `decision record persisted but not drained before the success return`
+}
+
+func (c *CoordNoDrain) Forget(gtid uint64) {}

@@ -1,0 +1,14 @@
+//go:build !crosscheck_nodecidepersist && !crosscheck_swap && !crosscheck_deadfield
+
+package crashtest
+
+// No seeded protocol bug is compiled in: TestCrashMatrix2PCSeeded
+// skips, and the regular matrices run against the correct protocol.
+// Each crosscheck_* build tag swaps one shard-package file for a
+// deliberately broken variant and sets these constants so the seeded
+// test knows which static finding must accompany the dynamic
+// corruption (see seeded_*.go and `make crosscheck`).
+const (
+	seededBug  = ""
+	seededWant = ""
+)

@@ -91,6 +91,7 @@ func (h *Heap) Fsck(reachable func(yield func(PPtr))) *FsckReport {
 			r.issuef("arena: block header at %d overruns watermark %d", p, next)
 			break
 		}
+		//nvmcheck:ignore recoverycheck p is the arena-walk cursor, not a field address: arenaStart/numClasses key its advance, and block headers are written by the allocator at computed addresses outside the constant-keyed field model
 		tag := h.U64(p)
 		state := h.U64(p + 8)
 		var payloadSize uint64

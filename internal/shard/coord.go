@@ -56,6 +56,11 @@ const (
 	coOffSlots     = 16
 	coSlotSize     = 16
 
+	// Slot layout: cid is persisted first; the gtid word, persisted
+	// second, publishes the decision (see Decide).
+	coSlotGTID = 0
+	coSlotCID  = 8
+
 	// defaultCoordSlots bounds concurrently in-flight cross-shard
 	// decisions (a decision lives only from its commit point until every
 	// participant released its context).
@@ -115,31 +120,6 @@ func openCoordinator(path string, shards int, opts ...nvm.Option) (*Coordinator,
 	return c, nil
 }
 
-// recover scans the fixed-size slot region rebuilding the decision map
-// and the free list, and resumes GTID allocation above the persisted
-// high-water mark (conservatively skipping the unreserved remainder of
-// the last batch).
-func (c *Coordinator) recover() error {
-	h := c.h
-	c.slots = int(h.GetU64(c.root.Add(coOffSlotCount)))
-	if c.slots <= 0 || c.slots > 1<<20 {
-		return fmt.Errorf("shard: corrupt coordinator slot count %d", c.slots)
-	}
-	for i := c.slots - 1; i >= 0; i-- {
-		p := c.root.Add(coOffSlots + uint64(i)*coSlotSize)
-		gtid := h.GetU64(p)
-		if gtid == 0 {
-			c.free = append(c.free, i)
-			continue
-		}
-		c.decisions[gtid] = h.GetU64(p.Add(8))
-		c.slotOf[gtid] = i
-	}
-	c.highGTID = h.GetU64(c.root.Add(coOffHighWater))
-	c.nextGTID = c.highGTID
-	return nil
-}
-
 // NextGTID allocates a globally unique transaction ID. IDs never repeat
 // across restarts: allocation draws from a persistently reserved batch,
 // and a restart resumes above the last reservation.
@@ -156,35 +136,6 @@ func (c *Coordinator) NextGTID() uint64 {
 	return c.nextGTID
 }
 
-// Decide durably records that gtid committed with cid — the atomic
-// commit point of a cross-shard transaction. When Decide returns, every
-// participant may finish; if the process dies first, recovery finds the
-// record and redoes the finish. Abort decisions are never recorded:
-// a prepared transaction without a record is presumed aborted.
-func (c *Coordinator) Decide(gtid, cid uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.free) == 0 {
-		return ErrCoordFull
-	}
-	slot := c.free[len(c.free)-1]
-	c.free = c.free[:len(c.free)-1]
-
-	h := c.h
-	p := c.root.Add(coOffSlots + uint64(slot)*coSlotSize)
-	h.PutU64(p.Add(8), cid)
-	h.Persist(p.Add(8), 8)
-	// The gtid store publishes the decision: atomic under the 8-byte tear
-	// model, and ordered after the cid by the persist above.
-	h.PutU64(p, gtid)
-	h.Persist(p, 8)
-	h.Drain()
-
-	c.decisions[gtid] = cid
-	c.slotOf[gtid] = slot
-	return nil
-}
-
 // Forget retires a decision once every participant has finished (their
 // contexts no longer name gtid, so recovery will never ask about it).
 // The gtid word is zeroed and persisted before the slot returns to the
@@ -198,8 +149,8 @@ func (c *Coordinator) Forget(gtid uint64) {
 		return
 	}
 	p := c.root.Add(coOffSlots + uint64(slot)*coSlotSize)
-	c.h.PutU64(p, 0)
-	c.h.Persist(p, 8)
+	c.h.PutU64(p.Add(coSlotGTID), 0)
+	c.h.Persist(p.Add(coSlotGTID), 8)
 	delete(c.slotOf, gtid)
 	delete(c.decisions, gtid)
 	c.free = append(c.free, slot)

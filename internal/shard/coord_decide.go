@@ -1,0 +1,37 @@
+//go:build !crosscheck_nodecidepersist
+
+package shard
+
+// Decide durably records that gtid committed with cid — the atomic
+// commit point of a cross-shard transaction. When Decide returns, every
+// participant may finish; if the process dies first, recovery finds the
+// record and redoes the finish. Abort decisions are never recorded:
+// a prepared transaction without a record is presumed aborted.
+//
+// The seeded crosscheck_nodecidepersist variant of this file drops the
+// persist of the gtid word; `make crosscheck` proves protocheck flags
+// the omission statically and the 2PC crash sweep observes the
+// resulting lost acked commits.
+func (c *Coordinator) Decide(gtid, cid uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) == 0 {
+		return ErrCoordFull
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+
+	h := c.h
+	p := c.root.Add(coOffSlots + uint64(slot)*coSlotSize)
+	h.PutU64(p.Add(coSlotCID), cid)
+	h.Persist(p.Add(coSlotCID), 8)
+	// The gtid store publishes the decision: atomic under the 8-byte tear
+	// model, and ordered after the cid by the persist above.
+	h.PutU64(p.Add(coSlotGTID), gtid)
+	h.Persist(p.Add(coSlotGTID), 8)
+	h.Drain()
+
+	c.decisions[gtid] = cid
+	c.slotOf[gtid] = slot
+	return nil
+}

@@ -1,0 +1,31 @@
+//go:build crosscheck_nodecidepersist
+
+package shard
+
+// Decide — SEEDED BUG (crosscheck_nodecidepersist): the gtid word that
+// publishes the decision is stored but never persisted before the
+// success return. The in-memory maps say "committed", participants
+// finish and the client is acked — but a crash can evict the ack's only
+// durable witness, and recovery then presumed-aborts a transaction the
+// client saw commit. protocheck must flag the unpersisted store
+// statically; the 2PC crash sweep must observe the lost acked commit
+// dynamically.
+func (c *Coordinator) Decide(gtid, cid uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) == 0 {
+		return ErrCoordFull
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+
+	h := c.h
+	p := c.root.Add(coOffSlots + uint64(slot)*coSlotSize)
+	h.PutU64(p.Add(coSlotCID), cid)
+	h.Persist(p.Add(coSlotCID), 8)
+	h.PutU64(p.Add(coSlotGTID), gtid) // BUG: never persisted
+
+	c.decisions[gtid] = cid
+	c.slotOf[gtid] = slot
+	return nil
+}

@@ -1,0 +1,35 @@
+//go:build !crosscheck_deadfield
+
+package shard
+
+import "fmt"
+
+// recover scans the fixed-size slot region rebuilding the decision map
+// and the free list, and resumes GTID allocation above the persisted
+// high-water mark (conservatively skipping the unreserved remainder of
+// the last batch).
+//
+// The seeded crosscheck_deadfield variant of this file never reads the
+// slot's cid word; `make crosscheck` proves recoverycheck flags the
+// commit-only field statically and the 2PC crash sweep observes the
+// wrong-CID redo corruption.
+func (c *Coordinator) recover() error {
+	h := c.h
+	c.slots = int(h.GetU64(c.root.Add(coOffSlotCount)))
+	if c.slots <= 0 || c.slots > 1<<20 {
+		return fmt.Errorf("shard: corrupt coordinator slot count %d", c.slots)
+	}
+	for i := c.slots - 1; i >= 0; i-- {
+		p := c.root.Add(coOffSlots + uint64(i)*coSlotSize)
+		gtid := h.GetU64(p.Add(coSlotGTID))
+		if gtid == 0 {
+			c.free = append(c.free, i)
+			continue
+		}
+		c.decisions[gtid] = h.GetU64(p.Add(coSlotCID))
+		c.slotOf[gtid] = i
+	}
+	c.highGTID = h.GetU64(c.root.Add(coOffHighWater))
+	c.nextGTID = c.highGTID
+	return nil
+}

@@ -1,0 +1,33 @@
+//go:build crosscheck_deadfield
+
+package shard
+
+import "fmt"
+
+// recover — SEEDED BUG (crosscheck_deadfield): the slot's cid word,
+// durably written by every Decide, is never read back — recovery
+// rebuilds every decision with cid 0, so redone finishes stamp rows
+// with a commit ID no snapshot will ever admit. The cid word becomes a
+// dead durable write: recoverycheck must flag it statically, and the
+// 2PC crash sweep must observe the wrong-CID redo corruption
+// dynamically.
+func (c *Coordinator) recover() error {
+	h := c.h
+	c.slots = int(h.GetU64(c.root.Add(coOffSlotCount)))
+	if c.slots <= 0 || c.slots > 1<<20 {
+		return fmt.Errorf("shard: corrupt coordinator slot count %d", c.slots)
+	}
+	for i := c.slots - 1; i >= 0; i-- {
+		p := c.root.Add(coOffSlots + uint64(i)*coSlotSize)
+		gtid := h.GetU64(p.Add(coSlotGTID))
+		if gtid == 0 {
+			c.free = append(c.free, i)
+			continue
+		}
+		c.decisions[gtid] = 0 // BUG: cid word never consulted
+		c.slotOf[gtid] = i
+	}
+	c.highGTID = h.GetU64(c.root.Add(coOffHighWater))
+	c.nextGTID = c.highGTID
+	return nil
+}

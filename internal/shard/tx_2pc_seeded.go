@@ -1,0 +1,66 @@
+//go:build crosscheck_swap
+
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"hyrisenv/internal/txn"
+)
+
+// commitCross — SEEDED BUG (crosscheck_swap): the commit decision is
+// recorded before any participant prepared, inverting the 2PC barrier
+// order. A crash inside the prepare loop leaves a durable decision
+// whose gtid only a subset of shards hold a prepared context for —
+// recovery redoes that subset and presumed-aborts nothing, so the
+// transaction commits on some shards and vanishes on the rest.
+// protocheck must flag the reordered barriers statically; the 2PC crash
+// sweep must observe the partial commit dynamically.
+func (t *Tx) commitCross(writers []*txn.Txn, writerShards []int) error {
+	var gtid uint64
+	if t.e.coord != nil {
+		gtid = t.e.coord.NextGTID()
+	} else {
+		gtid = gtidSrc.Add(1)
+	}
+
+	// BUG: decision first.
+	cid := t.e.clock.Next()
+	if t.e.coord != nil {
+		if err := t.e.coord.Decide(gtid, cid); err != nil {
+			t.e.clock.Done(cid, 1)
+			t.abortRemaining(writers)
+			return err
+		}
+	}
+
+	for i, w := range writers {
+		if err := w.Prepare(gtid); err != nil {
+			for _, p := range writers[:i] {
+				p.AbortPrepared() //nolint:errcheck — already failing
+			}
+			t.abortRemaining(writers[i:])
+			return fmt.Errorf("shard %d prepare: %w", writerShards[i], err)
+		}
+	}
+
+	var errs []error
+	for i, w := range writers {
+		if err := w.CommitPrepared(cid); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d finish: %w", writerShards[i], err))
+		}
+	}
+	t.e.clock.Done(cid, 1)
+	if t.e.coord != nil && len(errs) == 0 {
+		t.e.coord.Forget(gtid)
+	}
+	for _, p := range t.parts {
+		if p != nil && p.Status() == txn.StatusActive {
+			if err := p.Commit(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
